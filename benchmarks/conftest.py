@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper table/figure. Heavy artifacts (the
+HyperCompressBench instance, the DSE runner, fleet samples) are session-
+scoped; figure outputs are also written to ``results/`` as text tables and
+CSV so a run leaves an inspectable artifact trail, like the paper's
+``$HYPER_RESULTS`` directory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.dse.runner import DseRunner
+from repro.fleet import generate_fleet_profile
+from repro.hcbench import default_benchmark
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def fleet_profile():
+    return generate_fleet_profile(seed=1, num_calls=120_000)
+
+
+@pytest.fixture(scope="session")
+def bench_suite():
+    return default_benchmark()
+
+
+@pytest.fixture(scope="session")
+def dse_runner(bench_suite):
+    return DseRunner(bench_suite)
+
+
+def save_figure(results_dir: Path, figure) -> None:
+    """Persist a FigureResult as both table text and CSV."""
+    stem = figure.figure_id.lower().replace(" ", "")
+    (results_dir / f"{stem}.txt").write_text(figure.to_table() + "\n")
+    (results_dir / f"{stem}.csv").write_text(figure.to_csv())

@@ -1,0 +1,72 @@
+"""Ablations over the entropy-stage CompileT parameters (§5.8, 10-12).
+
+Covers the three generator knobs the main figures hold fixed: symbol-stat
+collection bandwidth for the Huffman and FSE compressors, and the maximum
+FSE table accuracy.
+"""
+
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.core.params import CdpuConfig
+
+
+def test_ablation_stats_bandwidth(benchmark, dse_runner, results_dir):
+    """Parameters 10-11: bytes/cycle of symbol-statistics collection.
+
+    The dictionary-build pass is serial per block (two-pass compression), so
+    halving the stats bandwidth must visibly slow ZStd compression while
+    shrinking the collector's area.
+    """
+
+    def sweep():
+        return {
+            rate: dse_runner.evaluate(
+                CdpuConfig(
+                    huffman_stats_bytes_per_cycle=rate, fse_stats_bytes_per_cycle=rate
+                ),
+                "zstd",
+                Operation.COMPRESS,
+            )
+            for rate in (2.0, 8.0, 16.0)
+        }
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert points[16.0].accel_seconds < points[2.0].accel_seconds
+    assert points[16.0].area_mm2 > points[2.0].area_mm2
+    # Ratio is untouched: this is a pure time/area knob.
+    assert points[16.0].hw_ratio == pytest.approx(points[2.0].hw_ratio, rel=1e-9)
+    lines = ["Ablation: symbol-stat collection bandwidth (ZStd compression)"]
+    for rate, point in sorted(points.items()):
+        lines.append(
+            f"  {rate:4.0f} B/cyc  speedup={point.speedup:5.2f}x area={point.area_mm2:.3f} mm^2"
+        )
+    (results_dir / "ablation_stats_bandwidth.txt").write_text("\n".join(lines) + "\n")
+
+
+def test_ablation_fse_accuracy_log(benchmark, dse_runner, results_dir):
+    """Parameter 12: max FSE table accuracy.
+
+    Larger tables code sequences closer to entropy (better ratio) but cost
+    SRAM area and longer table builds.
+    """
+
+    def sweep():
+        return {
+            acc: dse_runner.evaluate(
+                CdpuConfig(fse_max_accuracy_log=acc), "zstd", Operation.COMPRESS
+            )
+            for acc in (6, 9, 12)
+        }
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert points[12].hw_ratio >= points[6].hw_ratio * 0.999
+    assert points[12].area_mm2 > points[6].area_mm2
+    assert points[6].accel_seconds <= points[12].accel_seconds * 1.01
+    lines = ["Ablation: FSE max accuracy log (ZStd compression)"]
+    for acc, point in sorted(points.items()):
+        lines.append(
+            f"  accLog={acc:<3d} ratio={point.hw_ratio:.3f} area={point.area_mm2:.3f} mm^2 "
+            f"speedup={point.speedup:5.2f}x"
+        )
+    (results_dir / "ablation_fse_accuracy.txt").write_text("\n".join(lines) + "\n")

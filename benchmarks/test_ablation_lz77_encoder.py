@@ -1,0 +1,87 @@
+"""Ablations over the remaining LZ77-encoder CompileT parameters (§5.8).
+
+The paper's figures sweep history size and hash-table entries; the generator
+also exposes hash *function*, hash-table *contents*, and *associativity*
+(parameters 6-8). These benches quantify those knobs on HyperCompressBench,
+extending DESIGN.md's ablation list.
+"""
+
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.core.params import CdpuConfig
+
+
+def _evaluate(dse_runner, **overrides):
+    return dse_runner.evaluate(CdpuConfig(**overrides), "snappy", Operation.COMPRESS)
+
+
+def test_ablation_hash_function(benchmark, dse_runner, results_dir):
+    """Hash function choice (§5.8 parameter 8) moves ratio, not correctness."""
+
+    def sweep():
+        return {
+            name: _evaluate(dse_runner, hash_function=name)
+            for name in ("multiplicative", "zstd5", "xor_shift")
+        }
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ratios = {name: p.hw_ratio for name, p in points.items()}
+    # All hash functions must stay within a few percent of each other: the
+    # knob trades logic complexity against marginal match quality.
+    best, worst = max(ratios.values()), min(ratios.values())
+    assert worst > 0.9 * best
+    lines = ["Ablation: LZ77 hash function (Snappy compression suite)"]
+    for name, point in points.items():
+        lines.append(
+            f"  {name:<15s} ratio={point.hw_ratio:.3f} speedup={point.speedup:5.2f}x"
+        )
+    (results_dir / "ablation_hash_function.txt").write_text("\n".join(lines) + "\n")
+
+
+def test_ablation_associativity(benchmark, dse_runner, results_dir):
+    """Associativity (§5.8 parameter 6): more ways -> better matches, more
+    area, slightly more probe work."""
+
+    def sweep():
+        return {
+            ways: _evaluate(dse_runner, hash_table_associativity=ways) for ways in (1, 2, 4)
+        }
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert points[4].hw_ratio >= points[1].hw_ratio * 0.999
+    assert points[4].area_mm2 > points[1].area_mm2
+    lines = ["Ablation: hash-table associativity (Snappy compression suite)"]
+    for ways, point in points.items():
+        lines.append(
+            f"  ways={ways}  ratio={point.hw_ratio:.3f} area={point.area_mm2:.3f} mm^2 "
+            f"speedup={point.speedup:5.2f}x"
+        )
+    (results_dir / "ablation_associativity.txt").write_text("\n".join(lines) + "\n")
+
+
+def test_ablation_hash_table_contents(benchmark, dse_runner, results_dir):
+    """Contents (§5.8 parameter 7): storing a tag filters false candidates
+    before the history read, trading a wider table for fewer wasted probes."""
+
+    def sweep():
+        return {
+            contents: _evaluate(
+                dse_runner,
+                hash_table_contents=contents,
+                hash_table_entries=1 << 9,  # collisions make the tag matter
+            )
+            for contents in ("position", "position_and_tag")
+        }
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert points["position_and_tag"].accel_seconds <= points["position"].accel_seconds * 1.001
+    assert points["position_and_tag"].hw_ratio == pytest.approx(
+        points["position"].hw_ratio, rel=0.05
+    )
+    lines = ["Ablation: hash-table contents at 2^9 entries (Snappy compression)"]
+    for contents, point in points.items():
+        lines.append(
+            f"  {contents:<17s} speedup={point.speedup:5.2f}x ratio={point.hw_ratio:.3f}"
+        )
+    (results_dir / "ablation_hash_contents.txt").write_text("\n".join(lines) + "\n")

@@ -1,0 +1,25 @@
+"""§3.5.2 accelerator-chaining scenario (extension experiment)."""
+
+import pytest
+
+from repro.chaining import RPC_LOG_SCHEMA, chaining_study, render_study, sample_records
+from repro.soc.placement import Placement
+
+
+def test_chaining_study(benchmark, results_dir):
+    records = sample_records(seed=0, count=300)
+    results = benchmark.pedantic(
+        chaining_study, args=(RPC_LOG_SCHEMA, records), rounds=1, iterations=1
+    )
+
+    near = results[Placement.ROCC.value].total_cycles
+    pcie = results[Placement.PCIE_NO_CACHE.value].total_cycles
+    software = results["software"].total_cycles
+
+    # §3.8 lesson 4: near-core chaining keeps the benefit; PCIe chaining pays
+    # the offload overhead "multiple times".
+    assert software / near > 5
+    assert pcie / near > 3
+    assert results[Placement.ROCC.value].transfer_cycles == 0.0
+
+    (results_dir / "chaining_study.txt").write_text(render_study(results) + "\n")

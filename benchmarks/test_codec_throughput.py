@@ -1,0 +1,50 @@
+"""Micro-benchmarks of the pure-Python codecs themselves.
+
+These time the actual Python implementations (not the hardware model), so
+pytest-benchmark's statistics are meaningful here. They exist to keep the
+codec layer's performance visible — a 10x regression in the matcher makes
+suite generation and DSE painful.
+"""
+
+import pytest
+
+from repro.algorithms.registry import get_codec
+from repro.corpus.sources import mixed_source
+
+PAYLOAD = mixed_source(7, 64 * 1024)
+
+
+@pytest.fixture(scope="module", params=["snappy", "zstd", "flate", "gipfeli", "lzo"])
+def codec_name(request):
+    return request.param
+
+
+def test_compress_throughput(benchmark, codec_name):
+    codec = get_codec(codec_name)
+    compressed = benchmark(codec.compress, PAYLOAD)
+    assert len(compressed) < len(PAYLOAD)
+
+
+def test_decompress_throughput(benchmark, codec_name):
+    codec = get_codec(codec_name)
+    compressed = codec.compress(PAYLOAD)
+    output = benchmark(codec.decompress, compressed)
+    assert output == PAYLOAD
+
+
+def test_snappy_parse_elements(benchmark):
+    """The decompression DSE hot path: element-stream parsing."""
+    from repro.algorithms.snappy import parse_elements
+
+    compressed = get_codec("snappy").compress(PAYLOAD)
+    expected, stream = benchmark(parse_elements, compressed)
+    assert expected == len(PAYLOAD)
+
+
+def test_zstd_analyze_frame(benchmark):
+    """The ZStd decompression DSE hot path: frame analysis."""
+    from repro.algorithms.zstd_analyze import analyze_frame
+
+    frame = get_codec("zstd").compress(PAYLOAD)
+    stats = benchmark(analyze_frame, frame)
+    assert stats.content_bytes == len(PAYLOAD)

@@ -1,0 +1,32 @@
+"""Figure 1: fleet (de)compression cycle shares over time, by algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.fleet import timeline_shares
+from repro.fleet.analysis import cycle_share_by_algorithm
+from repro.fleet.distributions import CYCLE_SHARES
+
+
+def test_fig01_timeline(benchmark, fleet_profile, results_dir):
+    labels, shares = benchmark(timeline_shares)
+
+    # Final slice reproduces the Figure 1 legend.
+    measured = cycle_share_by_algorithm(fleet_profile)
+    lines = ["Figure 1: fleet cycle shares, final slice (paper legend vs measured)"]
+    for key, legend in sorted(CYCLE_SHARES.items(), key=lambda kv: -kv[1]):
+        algo, op = key
+        assert shares[key][-1] == pytest.approx(legend, abs=0.5)
+        lines.append(
+            f"  {op.short}-{algo:<8s} legend={legend:5.1f}%  sampled={measured[key]:5.1f}%"
+        )
+
+    # ZStd's 0% -> 10% first-year ramp (§3.4) is visible in the series.
+    zstd = shares[("zstd", Operation.COMPRESS)] + shares[("zstd", Operation.DECOMPRESS)]
+    last_zero = int(np.max(np.flatnonzero(zstd < 1e-9)))
+    first_at_ten = int(np.argmax(zstd >= 10.0))
+    assert 0 < first_at_ten - last_zero <= 5
+    lines.append(f"  ZStd crossed 10% {first_at_ten - last_zero} slices after introduction")
+
+    (results_dir / "fig01_timeline.txt").write_text("\n".join(lines) + "\n")

@@ -1,0 +1,65 @@
+"""Figure 2a/2b/2c and the elided §3.3.4 cost-per-byte table."""
+
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.fleet import analysis as A
+
+
+def test_fig02a_bytes_by_algorithm(benchmark, fleet_profile, results_dir):
+    byte_shares = benchmark(A.bytes_by_algorithm, fleet_profile)
+    assert sum(byte_shares.values()) == pytest.approx(100.0)
+    assert A.lightweight_compress_byte_share(fleet_profile) == pytest.approx(0.64, abs=0.05)
+    assert A.heavyweight_decompress_byte_share(fleet_profile) == pytest.approx(0.49, abs=0.05)
+    reuse = A.decompression_reuse_factor(fleet_profile)
+    assert reuse == pytest.approx(3.3, abs=0.45)
+    lines = ["Figure 2a: % of fleet uncompressed bytes by algorithm/op"]
+    for (algo, op), share in sorted(byte_shares.items(), key=lambda kv: -kv[1]):
+        if share > 0.01:
+            lines.append(f"  {op.short}-{algo:<8s} {share:5.1f}%")
+    lines.append(f"  bytes decompressed per compressed byte: {reuse:.2f} (paper: 3.3)")
+    (results_dir / "fig02a_bytes.txt").write_text("\n".join(lines) + "\n")
+
+
+def test_fig02b_zstd_level_distribution(benchmark, fleet_profile, results_dir):
+    dist = benchmark(A.zstd_level_distribution, fleet_profile)
+    at3 = A.zstd_level_cdf_at(fleet_profile, 3)
+    at5 = A.zstd_level_cdf_at(fleet_profile, 5)
+    assert at3 == pytest.approx(0.88, abs=0.05)
+    assert at5 == pytest.approx(0.95, abs=0.04)
+    lines = ["Figure 2b: byte-weighted ZStd level distribution"]
+    for level in sorted(dist):
+        lines.append(f"  level {level:>3d}: {100 * dist[level]:6.2f}%")
+    lines.append(f"  <=3: {100 * at3:.1f}% (paper 88%)   <=5: {100 * at5:.1f}% (paper 95%)")
+    (results_dir / "fig02b_levels.txt").write_text("\n".join(lines) + "\n")
+
+
+def test_fig02c_compression_ratios(benchmark, fleet_profile, results_dir):
+    ratios = benchmark(A.compression_ratio_by_bin, fleet_profile)
+    assert ratios["zstd_low"] / ratios["snappy"] == pytest.approx(1.46, rel=0.12)
+    assert ratios["zstd_high"] / ratios["zstd_low"] == pytest.approx(1.35, rel=0.15)
+    lines = ["Figure 2c: aggregate fleet compression ratios by algorithm/level bin"]
+    for name, value in sorted(ratios.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:<10s} {value:5.2f}x")
+    (results_dir / "fig02c_ratios.txt").write_text("\n".join(lines) + "\n")
+
+
+def test_sec334_cost_per_byte(benchmark, fleet_profile, results_dir):
+    """The elided §3.3.4 plot: cycles/byte per algorithm/level bin."""
+    costs = benchmark(A.cost_per_byte_by_bin, fleet_profile)
+    low_vs_snappy = costs[("zstd_low", "compress")] / costs[("snappy", "compress")]
+    high_vs_low = costs[("zstd_high", "compress")] / costs[("zstd_low", "compress")]
+    decomp = costs[("zstd", "decompress")] / costs[("snappy", "decompress")]
+    assert low_vs_snappy == pytest.approx(1.55, rel=0.1)
+    assert high_vs_low == pytest.approx(2.39, rel=0.15)
+    assert decomp == pytest.approx(1.63, rel=0.1)
+    increase = A.migration_cycle_increase(fleet_profile)
+    assert increase == pytest.approx(0.67, abs=0.12)
+    lines = [
+        "Section 3.3.4 cost-per-byte relations (measured vs paper)",
+        f"  ZStd low vs Snappy compression : {low_vs_snappy:.2f}x (paper 1.55x)",
+        f"  ZStd high vs low compression   : {high_vs_low:.2f}x (paper 2.39x)",
+        f"  ZStd vs Snappy decompression   : {decomp:.2f}x (paper 1.63x)",
+        f"  25%-Snappy service -> high ZStd: +{100 * increase:.0f}% cycles (paper +67%)",
+    ]
+    (results_dir / "sec334_costs.txt").write_text("\n".join(lines) + "\n")

@@ -1,0 +1,35 @@
+"""Figure 3: cumulative call-size distributions for Snappy/ZStd x C/D."""
+
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.analysis.textplot import cdf_plot
+from repro.fleet.analysis import call_size_cdf, median_call_size_bin
+
+
+def test_fig03_call_size_cdfs(benchmark, fleet_profile, results_dir):
+    def compute():
+        return {
+            (algo, op): call_size_cdf(fleet_profile, algo, op)
+            for algo in ("snappy", "zstd")
+            for op in Operation
+        }
+
+    cdfs = benchmark(compute)
+
+    # §3.5.1 quantile checks.
+    bins, snappy_c = cdfs[("snappy", Operation.COMPRESS)]
+    _, zstd_c = cdfs[("zstd", Operation.COMPRESS)]
+    _, snappy_d = cdfs[("snappy", Operation.DECOMPRESS)]
+    assert snappy_c[bins.index(15)] == pytest.approx(0.24, abs=0.03)  # <=32 KiB
+    assert zstd_c[bins.index(15)] == pytest.approx(0.08, abs=0.03)
+    assert snappy_d[bins.index(17)] == pytest.approx(0.62, abs=0.04)  # <128 KiB
+    assert snappy_d[bins.index(18)] == pytest.approx(0.80, abs=0.04)  # <256 KiB
+    assert median_call_size_bin(fleet_profile, "zstd", Operation.DECOMPRESS) in (21, 22)
+
+    plot = cdf_plot(
+        bins,
+        {f"{o.short}-{a}": cdf for (a, o), (bins_, cdf) in cdfs.items()},
+        title="Figure 3: byte-weighted call-size CDFs (bins = ceil(log2 bytes))",
+    )
+    (results_dir / "fig03_call_sizes.txt").write_text(plot + "\n")

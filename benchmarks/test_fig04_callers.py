@@ -1,0 +1,27 @@
+"""Figure 4: (de)compression cycles by calling library."""
+
+import pytest
+
+from repro.analysis.textplot import bar_chart
+from repro.fleet.analysis import caller_breakdown, file_format_cycle_share
+from repro.fleet.distributions import CALLER_SHARES
+
+
+def test_fig04_caller_breakdown(benchmark, fleet_profile, results_dir):
+    breakdown = benchmark(caller_breakdown, fleet_profile)
+    for caller, expected in CALLER_SHARES.items():
+        assert breakdown[caller] == pytest.approx(expected, abs=1.5), caller
+    assert file_format_cycle_share(fleet_profile) == pytest.approx(0.492, abs=0.03)
+
+    ordered = sorted(breakdown.items(), key=lambda kv: -kv[1])
+    chart = bar_chart(
+        [name for name, _ in ordered],
+        [value for _, value in ordered],
+        title="Figure 4: % of fleet (de)compression cycles by caller",
+        unit="%",
+    )
+    chart += (
+        f"\nfile-format callers total: {100 * file_format_cycle_share(fleet_profile):.1f}%"
+        " (paper: 49.2%)\n"
+    )
+    (results_dir / "fig04_callers.txt").write_text(chart)

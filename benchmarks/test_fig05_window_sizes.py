@@ -1,0 +1,35 @@
+"""Figure 5: ZStd window-size distributions in the fleet."""
+
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.analysis.textplot import cdf_plot
+from repro.fleet.analysis import window_size_cdf
+
+
+def test_fig05_window_size_cdfs(benchmark, fleet_profile, results_dir):
+    def compute():
+        return {op: window_size_cdf(fleet_profile, op) for op in Operation}
+
+    cdfs = benchmark(compute)
+    bins, comp = cdfs[Operation.COMPRESS]
+    _, decomp = cdfs[Operation.DECOMPRESS]
+
+    # §3.6: >50% of compressed bytes at <=32 KiB windows; decompression
+    # median 1 MiB; tails reach 16 MiB.
+    assert comp[bins.index(15)] > 0.5
+    assert decomp[bins.index(19)] < 0.5 <= decomp[bins.index(20)] + 0.05
+    assert comp[bins.index(23)] < 1.0
+
+    # The z15 takeaway: a 32 KiB on-chip window misses ~half of fleet
+    # compression calls (§3.6).
+    missed = 1.0 - comp[bins.index(15)]
+    assert missed == pytest.approx(0.48, abs=0.09)
+
+    plot = cdf_plot(
+        bins,
+        {"C-window": comp, "D-window": decomp},
+        title="Figure 5: ZStd window-size CDFs (bins = log2 bytes)",
+    )
+    plot += f"\ncompression calls beyond a 32 KiB window: {100 * missed:.0f}% (z15 cannot serve them)\n"
+    (results_dir / "fig05_windows.txt").write_text(plot)

@@ -1,0 +1,32 @@
+"""Figure 6: call sizes in popular open-source compression benchmarks."""
+
+import pytest
+
+from repro.analysis.textplot import cdf_plot
+from repro.hcbench.validation import (
+    median_bin_gap_vs_fleet,
+    opensource_call_size_cdf,
+    opensource_median_bin,
+)
+
+
+def test_fig06_opensource_call_sizes(benchmark, fleet_profile, results_dir):
+    bins, cdf = benchmark(opensource_call_size_cdf)
+    assert cdf[-1] == pytest.approx(1.0)
+
+    # §3.7: "the median call sizes of the distributions differ by an
+    # astounding 256x" (8 log2 bins).
+    gap = median_bin_gap_vs_fleet(fleet_profile)
+    assert 7 <= gap <= 9
+
+    plot = cdf_plot(
+        bins,
+        {"open-src": cdf},
+        title="Figure 6: open-source benchmark call-size CDF (byte-weighted)",
+    )
+    plot += (
+        f"\nopen-source median bin: {opensource_median_bin()} "
+        f"(~{2 ** opensource_median_bin() // (1 << 20)} MiB); "
+        f"gap vs fleet median: {gap} bins (~{2 ** gap}x; paper: 256x)\n"
+    )
+    (results_dir / "fig06_opensource.txt").write_text(plot)

@@ -1,0 +1,39 @@
+"""Figure 7: HyperCompressBench call-size distributions vs the fleet (§4.1)."""
+
+import pytest
+
+from repro.analysis.textplot import cdf_plot
+from repro.fleet.analysis import call_size_cdf
+from repro.hcbench.validation import suite_call_size_cdf, validate_call_sizes, validate_ratios
+
+
+def test_fig07_hcbench_call_sizes(benchmark, bench_suite, fleet_profile, results_dir):
+    deviations = benchmark(validate_call_sizes, bench_suite, fleet_profile)
+    for key, ks in deviations.items():
+        assert ks < 0.25, (key, ks)
+
+    sections = ["Figure 7: HyperCompressBench vs fleet call-size CDFs"]
+    for (algo, op), suite in bench_suite.suites.items():
+        bins, suite_cdf = suite_call_size_cdf(suite, bench_suite.config.size_scale)
+        _, fleet_cdf = call_size_cdf(fleet_profile, algo, op)
+        sections.append(
+            cdf_plot(
+                bins,
+                {"suite": suite_cdf, "fleet": fleet_cdf},
+                title=f"{op.short}-{algo} (KS distance {deviations[(algo, op)]:.3f})",
+            )
+        )
+    (results_dir / "fig07_hcbench.txt").write_text("\n\n".join(sections) + "\n")
+
+
+def test_fig07_ratio_validation(benchmark, bench_suite, fleet_profile, results_dir):
+    """§4.1's second check: achieved suite ratios vs fleet aggregates."""
+    ratios = benchmark(validate_ratios, bench_suite, fleet_profile)
+    lines = ["HyperCompressBench achieved compression ratios"]
+    for algo, (achieved, implied, fleet) in ratios.items():
+        assert achieved == pytest.approx(implied, rel=0.20)
+        lines.append(
+            f"  {algo:<7s} achieved={achieved:.2f} target-implied={implied:.2f} "
+            f"fleet={fleet:.2f}"
+        )
+    (results_dir / "fig07_ratios.txt").write_text("\n".join(lines) + "\n")

@@ -1,0 +1,26 @@
+"""Figure 11: Snappy decompression DSE (placements x history SRAM)."""
+
+import pytest
+
+from conftest import save_figure
+from repro.dse.experiments import fig11_snappy_decompression
+
+
+def test_fig11(benchmark, dse_runner, results_dir):
+    figure = benchmark.pedantic(
+        fig11_snappy_decompression, args=(dse_runner,), rounds=1, iterations=1
+    )
+    save_figure(results_dir, figure)
+
+    # Headline: >10x vs Xeon at 64K near-core (§6.2).
+    assert figure.speedup("RoCC", "64K") == pytest.approx(10.4, rel=0.12)
+    # 38% area saving for a small speedup cost at 2K (§6.2).
+    assert 1 - figure.area_normalized[-1] == pytest.approx(0.38, abs=0.02)
+    assert figure.speedup("RoCC", "2K") > 0.9 * figure.speedup("RoCC", "64K")
+    # PCIe pays ~5.6x vs near-core (§6.2).
+    assert figure.speedup("RoCC", "64K") / figure.speedup("PCIeNoCache", "64K") == pytest.approx(
+        5.6, rel=0.25
+    )
+    # Chiplet is an attractive middle ground at 64K but collapses at 2K.
+    assert figure.speedup("Chiplet", "64K") > 0.85 * figure.speedup("RoCC", "64K")
+    assert figure.speedup("Chiplet", "2K") < figure.speedup("PCIeLocalCache", "64K")

@@ -1,0 +1,25 @@
+"""Figure 12: Snappy compression DSE (2^14-entry hash table)."""
+
+import pytest
+
+from conftest import save_figure
+from repro.dse.experiments import fig12_snappy_compression
+
+
+def test_fig12(benchmark, dse_runner, results_dir):
+    figure = benchmark.pedantic(
+        fig12_snappy_compression, args=(dse_runner,), rounds=1, iterations=1
+    )
+    save_figure(results_dir, figure)
+
+    # Headline: ~16x vs Xeon at 64K (§6.3).
+    assert figure.speedup("RoCC", "64K") == pytest.approx(16.3, rel=0.12)
+    # Hardware beats software ratio at 64K (no skipping heuristic, §6.3).
+    assert figure.ratio_vs_sw[0] >= 0.998
+    # Ratio decays to roughly -5..-8% at 2K while area drops 20% (§6.3).
+    assert 0.90 <= figure.ratio_vs_sw[-1] <= 0.97
+    assert 1 - figure.area_normalized[-1] == pytest.approx(0.20, abs=0.03)
+    # Chiplet is nearly free for compression (§6.3).
+    assert figure.speedup("RoCC", "64K") / figure.speedup("Chiplet", "64K") < 1.05
+    # Compression tolerates PCIe far better than decompression (§6.6/2).
+    assert figure.speedup("PCIeNoCache", "64K") > 3.0

@@ -1,0 +1,23 @@
+"""Figure 13: Snappy compression with a 2^9-entry hash table."""
+
+import pytest
+
+from conftest import save_figure
+from repro.dse.experiments import fig12_snappy_compression, fig13_snappy_compression_small_ht
+
+
+def test_fig13(benchmark, dse_runner, results_dir):
+    figure = benchmark.pedantic(
+        fig13_snappy_compression_small_ht, args=(dse_runner,), rounds=1, iterations=1
+    )
+    save_figure(results_dir, figure)
+
+    # §6.3: 2^9 entries + 2K history = 34% of the full design's area ...
+    assert figure.area_normalized[-1] == pytest.approx(0.34, abs=0.02)
+    # ... with negligible speedup loss ...
+    reference = fig12_snappy_compression(dse_runner)
+    for label in figure.x_labels:
+        assert figure.speedup("RoCC", label) > 0.85 * reference.speedup("RoCC", label)
+    # ... and only ~3% extra compression-ratio loss at 2K.
+    extra_loss = reference.ratio_vs_sw[-1] - figure.ratio_vs_sw[-1]
+    assert 0.0 < extra_loss < 0.09

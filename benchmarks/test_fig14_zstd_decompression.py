@@ -1,0 +1,39 @@
+"""Figure 14 + the §6.4 speculation study: ZStd decompression DSE."""
+
+import pytest
+
+from conftest import save_figure
+from repro.dse.experiments import fig14_zstd_decompression, speculation_study
+
+
+def test_fig14(benchmark, dse_runner, results_dir):
+    figure = benchmark.pedantic(
+        fig14_zstd_decompression, args=(dse_runner,), rounds=1, iterations=1
+    )
+    save_figure(results_dir, figure)
+
+    # Headline: 4.2x vs Xeon at 64K (§6.4).
+    assert figure.speedup("RoCC", "64K") == pytest.approx(4.2, rel=0.1)
+    # Entropy decoding attenuates the SRAM effect: only ~8.6% area swing.
+    assert 1 - figure.area_normalized[-1] == pytest.approx(0.086, abs=0.01)
+
+
+def test_fig14_speculation_sweep(benchmark, dse_runner, results_dir):
+    points = benchmark.pedantic(speculation_study, args=(dse_runner,), rounds=1, iterations=1)
+    by_width = {p.speculation: p for p in points}
+
+    # §6.4: 2.11x / 4.2x / 5.64x at speculation 4 / 16 / 32;
+    # -10% / +18% area relative to speculation 16.
+    assert by_width[4].speedup == pytest.approx(2.11, rel=0.15)
+    assert by_width[16].speedup == pytest.approx(4.2, rel=0.1)
+    assert by_width[32].speedup == pytest.approx(5.64, rel=0.15)
+    assert by_width[32].area_mm2 / by_width[16].area_mm2 == pytest.approx(1.18, abs=0.02)
+    assert by_width[4].area_mm2 / by_width[16].area_mm2 == pytest.approx(0.90, abs=0.02)
+
+    lines = ["Section 6.4 speculation study (64K history, RoCC)"]
+    for width in (4, 16, 32):
+        point = by_width[width]
+        lines.append(
+            f"  spec={width:<3d} speedup={point.speedup:5.2f}x area={point.area_mm2:.3f} mm^2"
+        )
+    (results_dir / "fig14_speculation.txt").write_text("\n".join(lines) + "\n")

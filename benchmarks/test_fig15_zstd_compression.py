@@ -1,0 +1,23 @@
+"""Figure 15: ZStd compression DSE (2^14-entry hash table)."""
+
+import pytest
+
+from conftest import save_figure
+from repro.dse.experiments import fig15_zstd_compression
+
+
+def test_fig15(benchmark, dse_runner, results_dir):
+    figure = benchmark.pedantic(
+        fig15_zstd_compression, args=(dse_runner,), rounds=1, iterations=1
+    )
+    save_figure(results_dir, figure)
+
+    # Headline: ~15.8x vs Xeon at 64K (§6.5).
+    assert figure.speedup("RoCC", "64K") == pytest.approx(15.8, rel=0.12)
+    # The greedy Snappy-configured LZ77 encoder trails software ratio (§6.5;
+    # the paper reports 84% — see EXPERIMENTS.md for why our gap is smaller).
+    assert figure.ratio_vs_sw[0] < 1.0
+    assert figure.ratio_vs_sw[-1] < figure.ratio_vs_sw[0]
+    # Compression stays placement-tolerant (§6.6 lesson 2).
+    assert figure.speedup("PCIeNoCache", "64K") > 4.5
+    assert figure.speedup("Chiplet", "64K") > 0.95 * figure.speedup("RoCC", "64K")

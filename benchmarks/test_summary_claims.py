@@ -1,0 +1,44 @@
+"""Regenerate FINAL_TEXT_SUMMARIES: the paper's §6/abstract claims."""
+
+import pytest
+
+from repro.dse.summaries import final_text_summaries
+
+
+def test_final_text_summaries(benchmark, dse_runner, results_dir):
+    text = benchmark.pedantic(final_text_summaries, args=(dse_runner,), rounds=1, iterations=1)
+    (results_dir / "FINAL_TEXT_SUMMARIES.txt").write_text(text + "\n")
+
+    assert "Flagship speedups" in text
+    assert "Figure 11" in text and "Figure 15" in text
+    # The abstract's area-fraction claim must hold exactly (anchored model).
+    assert "2.4%" in text and "4.7%" in text
+
+
+def test_abstract_speedup_and_area_ranges(benchmark, dse_runner, results_dir):
+    """Abstract: 'a 46x range in CDPU speedup, 3x range in silicon area'."""
+    from repro.dse.experiments import all_figures
+
+    figures = benchmark.pedantic(all_figures, args=(dse_runner,), rounds=1, iterations=1)
+    speedups = [p.speedup for f in figures.values() for p in f.points]
+    speedup_range = max(speedups) / min(speedups)
+    assert speedup_range > 40
+
+    per_pipeline_ranges = {}
+    for name in ("fig11", "fig14"):
+        areas = [p.area_mm2 for p in figures[name].points]
+        per_pipeline_ranges[name] = max(areas) / min(areas)
+    comp_areas = [p.area_mm2 for p in figures["fig12"].points] + [
+        p.area_mm2 for p in figures["fig13"].points
+    ]
+    per_pipeline_ranges["fig12+13"] = max(comp_areas) / min(comp_areas)
+    # The Snappy compressor spans ~3x in area across its sweeps.
+    assert per_pipeline_ranges["fig12+13"] == pytest.approx(2.9, abs=0.4)
+
+    lines = [
+        "Abstract-level ranges (measured)",
+        f"  speedup range across all design points: {speedup_range:.0f}x (paper: 46x)",
+    ]
+    for name, value in per_pipeline_ranges.items():
+        lines.append(f"  single-pipeline area range [{name}]: {value:.2f}x")
+    (results_dir / "summary_ranges.txt").write_text("\n".join(lines) + "\n")

@@ -1,0 +1,36 @@
+"""§3.3 resource-trade-off scenario: the paper's motivation, quantified."""
+
+import pytest
+
+from repro.fleet.whatif import migration_what_if
+
+
+def test_whatif_migration(benchmark, fleet_profile, results_dir):
+    report = benchmark(migration_what_if, fleet_profile)
+
+    # §3.3's direction: the accelerated fleet compresses at the heavyweight
+    # high-level ratio (~3.94x, Figure 2c) instead of its ~2.2x blend ...
+    assert report.accelerated.aggregate_ratio == pytest.approx(3.94, rel=0.06)
+    assert report.accelerated.aggregate_ratio > report.baseline.aggregate_ratio * 1.4
+    # ... saving a large fraction of compressed-byte footprint and cycles.
+    assert report.compressed_byte_reduction > 0.3
+    assert report.cpu_cycle_reduction > 0.5
+
+    lines = [report.render(), ""]
+    for adoption in (0.25, 0.5, 1.0):
+        partial = migration_what_if(fleet_profile, adoption=adoption)
+        lines.append(
+            f"adoption {100 * adoption:3.0f}%: bytes {-100 * partial.compressed_byte_reduction:+.1f}%, "
+            f"cycles {-100 * partial.cpu_cycle_reduction:+.1f}%, "
+            f"cost {-100 * partial.cost_reduction:+.1f}%"
+        )
+    (results_dir / "whatif_tco.txt").write_text("\n".join(lines) + "\n")
+
+
+def test_related_work_positioning(benchmark, dse_runner, results_dir):
+    """§7: comparison against IBM NXU and Microsoft Zipline/Corsica."""
+    from repro.core.complex import build_comparison
+
+    comparison = benchmark.pedantic(build_comparison, args=(dse_runner,), rounds=1, iterations=1)
+    assert comparison.comparable_to_nxu()
+    (results_dir / "related_work.txt").write_text("\n".join(comparison.rows()) + "\n")

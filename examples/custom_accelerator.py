@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Design your own CDPU: a constrained design-space search.
+
+Answers the question a deployment team actually asks: *given an area budget,
+which configuration maximizes suite speedup, and what does each placement
+cost me?* — the §6.6 workflow as a library call.
+
+Run:  python examples/custom_accelerator.py [area_budget_mm2]
+"""
+
+import sys
+
+from repro.algorithms.base import Operation
+from repro.core.area import fraction_of_xeon_core
+from repro.core.params import CdpuConfig
+from repro.dse import DseRunner
+from repro.dse.sweeps import SRAM_SIZES
+from repro.soc.placement import Placement
+
+
+def search(runner: DseRunner, area_budget_mm2: float):
+    """Exhaustive search over the Snappy-compressor design space."""
+    best = None
+    for sram in SRAM_SIZES:
+        for ht_log in (9, 11, 14):
+            config = CdpuConfig(
+                encoder_history_bytes=sram, hash_table_entries=1 << ht_log
+            )
+            point = runner.evaluate(config, "snappy", Operation.COMPRESS)
+            if point.area_mm2 <= area_budget_mm2:
+                if best is None or point.speedup > best.speedup:
+                    best = point
+    return best
+
+
+def main(area_budget_mm2: float = 0.45) -> None:
+    runner = DseRunner()
+
+    print(f"Searching Snappy-compressor configs within {area_budget_mm2} mm^2 ...")
+    best = search(runner, area_budget_mm2)
+    if best is None:
+        print("  no configuration fits the budget")
+        return
+    config = best.config
+    print(
+        f"  best: {config.label()}  speedup={best.speedup:.1f}x  "
+        f"area={best.area_mm2:.3f} mm^2 "
+        f"({100 * fraction_of_xeon_core(best.area_mm2):.1f}% of a Xeon core)  "
+        f"ratio vs SW={best.ratio_vs_software:.3f}"
+    )
+
+    print("\nPlacement sensitivity of that design:")
+    for placement in Placement:
+        point = runner.evaluate(
+            config.with_(placement=placement), "snappy", Operation.COMPRESS
+        )
+        print(f"  {placement.value:<15s} speedup={point.speedup:6.2f}x")
+
+    print("\nAnd the same silicon running decompression:")
+    decomp = runner.evaluate(
+        CdpuConfig(decoder_history_bytes=config.encoder_history_bytes),
+        "snappy",
+        Operation.DECOMPRESS,
+    )
+    print(
+        f"  D-snappy {config.label()}: speedup={decomp.speedup:.1f}x, "
+        f"area={decomp.area_mm2:.3f} mm^2"
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.45)

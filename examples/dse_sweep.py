@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Run the paper's design-space exploration (§6, Figures 11-15).
+
+Evaluates every placement x history-SRAM design point on HyperCompressBench
+and prints the paper's figure tables plus the speculation study. The first
+run generates and disk-caches the benchmark (~1 minute); later runs are fast.
+
+Run:  python examples/dse_sweep.py [fig11|fig12|fig13|fig14|fig15|all]
+"""
+
+import sys
+
+from repro.dse import DseRunner
+from repro.dse.experiments import all_figures, speculation_study
+from repro.dse.summaries import claim_checks
+
+
+def main(which: str = "all") -> None:
+    print("Preparing HyperCompressBench and the DSE runner ...")
+    runner = DseRunner()
+
+    figures = all_figures(runner)
+    selected = figures if which == "all" else {which: figures[which]}
+    for figure in selected.values():
+        print()
+        print(figure.to_table())
+
+    if which in ("all", "fig14"):
+        print("\nSpeculation study (§6.4):")
+        for point in speculation_study(runner):
+            print(
+                f"  spec={point.speculation:<3d} speedup={point.speedup:5.2f}x "
+                f"area={point.area_mm2:.3f} mm^2"
+            )
+
+    if which == "all":
+        print("\nPaper claims vs this run:")
+        for check in claim_checks(figures, speculation_study(runner)):
+            print(check.render())
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "all")

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's fleet profiling study (§3, Figures 1-5).
+
+Samples a synthetic GWP-like fleet and recomputes every published statistic.
+
+Run:  python examples/fleet_analysis.py [num_calls]
+"""
+
+import sys
+
+from repro.algorithms.base import Operation
+from repro.analysis.textplot import bar_chart, sparkline
+from repro.fleet import analysis as A
+from repro.fleet import generate_fleet_profile, timeline_shares
+
+
+def main(num_calls: int = 150_000) -> None:
+    print(f"Sampling {num_calls:,} fleet (de)compression calls ...\n")
+    profile = generate_fleet_profile(seed=0, num_calls=num_calls)
+
+    print("== Figure 1 (final slice): cycle share by algorithm/op ==")
+    shares = A.cycle_share_by_algorithm(profile)
+    ordered = sorted(shares.items(), key=lambda kv: -kv[1])
+    print(
+        bar_chart(
+            [f"{op.short}-{algo}" for (algo, op), _ in ordered if _ > 0.05],
+            [v for _, v in ordered if v > 0.05],
+            unit="%",
+        )
+    )
+    print(f"\ndecompression fraction: {100 * A.decompression_cycle_fraction(profile):.1f}% (paper: 56%)")
+
+    print("\n== Figure 1 history: ZStd adoption ramp (§3.4) ==")
+    labels, series = timeline_shares()
+    zstd = series[("zstd", Operation.COMPRESS)] + series[("zstd", Operation.DECOMPRESS)]
+    print(f"  ZStd share over {len(labels)} slices: {sparkline(zstd)}")
+
+    print("\n== Figure 2: bytes, levels, ratios ==")
+    print(f"  lightweight share of compressed bytes : {100 * A.lightweight_compress_byte_share(profile):.0f}% (paper: 64%)")
+    print(f"  heavyweight share of decompressed     : {100 * A.heavyweight_decompress_byte_share(profile):.0f}% (paper: 49%)")
+    print(f"  decompressions per compressed byte    : {A.decompression_reuse_factor(profile):.2f} (paper: 3.3)")
+    print(f"  ZStd bytes at level <= 3              : {100 * A.zstd_level_cdf_at(profile, 3):.0f}% (paper: 88%)")
+    print(f"  ZStd bytes at level <= 5              : {100 * A.zstd_level_cdf_at(profile, 5):.0f}% (paper: 95%)")
+    ratios = A.compression_ratio_by_bin(profile)
+    print(f"  ratios: snappy {ratios['snappy']:.2f}  zstd(low) {ratios['zstd_low']:.2f}  zstd(high) {ratios['zstd_high']:.2f}")
+
+    print("\n== §3.3.4: why services cannot just raise compression levels ==")
+    costs = A.cost_per_byte_by_bin(profile)
+    print(f"  zstd-low / snappy compression cost : {costs[('zstd_low', 'compress')] / costs[('snappy', 'compress')]:.2f}x (paper: 1.55x)")
+    print(f"  zstd-high / zstd-low               : {costs[('zstd_high', 'compress')] / costs[('zstd_low', 'compress')]:.2f}x (paper: 2.39x)")
+    print(f"  a 25%-Snappy service moving to high ZStd: +{100 * A.migration_cycle_increase(profile):.0f}% cycles (paper: +67%, 'a non-starter')")
+
+    print("\n== Figure 3: byte-weighted median call-size bins (ceil log2) ==")
+    for algo in ("snappy", "zstd"):
+        for op in Operation:
+            b = A.median_call_size_bin(profile, algo, op)
+            print(f"  {op.short}-{algo:<7s} median bin {b} ({2 ** b // 1024} KiB)")
+
+    print("\n== Figure 4: top calling libraries ==")
+    callers = sorted(A.caller_breakdown(profile).items(), key=lambda kv: -kv[1])[:6]
+    for name, share in callers:
+        print(f"  {name:<22s} {share:5.1f}%")
+    print(f"  (file formats total {100 * A.file_format_cycle_share(profile):.1f}%; paper: 49.2%)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150_000)

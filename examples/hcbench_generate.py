@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Generate a custom HyperCompressBench from fleet statistics (§4).
+
+Demonstrates the full generator pipeline at a custom scale and validates the
+result against the fleet distributions, exactly as §4.1 does.
+
+Run:  python examples/hcbench_generate.py [files_per_suite]
+"""
+
+import sys
+
+from repro.algorithms.base import Operation
+from repro.fleet import generate_fleet_profile
+from repro.hcbench import GeneratorConfig, generate_hypercompressbench
+from repro.hcbench.validation import validate_call_sizes, validate_ratios
+
+
+def main(files_per_suite: int = 24) -> None:
+    config = GeneratorConfig(seed=7, files_per_suite=files_per_suite)
+    print(
+        f"Generating {4 * files_per_suite} benchmark files "
+        f"(size scale 1/{config.size_scale}, chunk {config.chunk_size} B) ..."
+    )
+    bench = generate_hypercompressbench(config)
+
+    print("\nSuites:")
+    for (algo, op), suite in bench.suites.items():
+        sizes = sorted(len(f.data) for f in suite.files)
+        print(
+            f"  {op.short}-{algo:<7s} {len(suite):3d} files, "
+            f"{suite.total_uncompressed_bytes / 1024:8.0f} KiB total, "
+            f"sizes {sizes[0]}..{sizes[-1]} B, "
+            f"SW ratio {suite.software_compression_ratio():.2f}x"
+        )
+
+    fleet = generate_fleet_profile(seed=7)
+    print("\nValidation vs fleet (Figure 7 + §4.1):")
+    for (algo, op), ks in validate_call_sizes(bench, fleet).items():
+        print(f"  {op.short}-{algo:<7s} call-size KS distance: {ks:.3f}")
+    for algo, (achieved, implied, fleet_ratio) in validate_ratios(bench, fleet).items():
+        print(
+            f"  {algo:<7s} ratio: achieved {achieved:.2f} / targets {implied:.2f} "
+            f"/ fleet {fleet_ratio:.2f}"
+        )
+
+    example = bench.suite("zstd", Operation.COMPRESS).files[0]
+    print(
+        f"\nEach file carries its usage parameters, e.g. {example.name}: "
+        f"level={example.level}, window={example.window_size}, "
+        f"target ratio={example.target_ratio:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 24)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: codecs, a CDPU instance, and one accelerated call.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CdpuConfig, CdpuGenerator, Operation, available_codecs, get_codec
+from repro.core.area import fraction_of_xeon_core
+
+
+def main() -> None:
+    payload = (
+        b"Hyperscale systems spend 2.9% of fleet CPU cycles on general-purpose "
+        b"lossless compression and decompression. " * 400
+    )
+
+    print("== Software codecs (all built from shared LZ77/Huffman/FSE primitives) ==")
+    for name in available_codecs():
+        codec = get_codec(name)
+        compressed = codec.compress(payload)
+        assert codec.decompress(compressed) == payload
+        print(
+            f"  {codec.info.display_name:<8s} [{codec.info.weight_class.value:<11s}] "
+            f"ratio = {len(payload) / len(compressed):5.2f}x"
+        )
+
+    print("\n== A flagship CDPU (64K history, 2^14 hash entries, spec 16, RoCC) ==")
+    cdpu = CdpuGenerator().generate(CdpuConfig())
+    for algo in ("snappy", "zstd"):
+        for op in (Operation.COMPRESS, Operation.DECOMPRESS):
+            pipeline = cdpu.pipeline(algo, op)
+            if op is Operation.COMPRESS:
+                result = pipeline.run(payload, verify=True)
+            else:
+                stream = get_codec(algo).compress(payload)
+                result = pipeline.run(stream, verify=True)
+            area = cdpu.area_mm2(algo, op)
+            print(
+                f"  {op.short}-{algo:<7s} {result.throughput_gbps:6.2f} GB/s (model), "
+                f"{area:.3f} mm^2 = {100 * fraction_of_xeon_core(area):.1f}% of a Xeon core, "
+                f"bottleneck: {result.report.bottleneck}"
+            )
+
+    print("\nEvery result above is functional: outputs are verified against the")
+    print("software codecs before a single cycle is accounted.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim for editable installs in environments without the wheel package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""Python reproduction of *CDPU: Co-designing Compression and Decompression
+Processing Units for Hyperscale Systems* (Karandikar et al., ISCA 2023).
+
+Top-level public API — the pieces a downstream user composes:
+
+* **Codecs** (:mod:`repro.algorithms`): from-scratch Snappy (wire-compatible),
+  ZStd-like, Flate-like, Gipfeli-like, LZO-like, built from shared LZ77 /
+  Huffman / FSE primitives.
+* **Fleet model** (:mod:`repro.fleet`): GWP-like call sampling calibrated to
+  every statistic the paper publishes, plus the Figures 1-6 analyses.
+* **HyperCompressBench** (:mod:`repro.hcbench`): the benchmark generator that
+  turns fleet summary statistics into representative suites (Figure 7).
+* **CDPU generator** (:mod:`repro.core`): the parameterized hardware model —
+  blocks, pipelines, placements, calibrated area/cycle accounting.
+* **DSE harness** (:mod:`repro.dse`): the Figure 11-15 sweeps and the
+  regenerated summary claims.
+
+Quick start::
+
+    from repro import CdpuConfig, CdpuGenerator, Operation, get_codec
+
+    codec = get_codec("snappy")
+    payload = codec.compress(b"hyperscale " * 1000)
+
+    cdpu = CdpuGenerator().generate(CdpuConfig())
+    result = cdpu.pipeline("snappy", Operation.DECOMPRESS).run(payload, verify=True)
+    print(result.throughput_gbps, "GB/s model throughput")
+"""
+
+from repro.algorithms import Operation, available_codecs, get_codec, get_info
+from repro.core import CdpuConfig, CdpuGenerator, CdpuInstance
+from repro.dse import DseRunner
+from repro.fleet import generate_fleet_profile
+from repro.hcbench import default_benchmark, generate_hypercompressbench
+from repro.soc import Placement, XeonBaseline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CdpuConfig",
+    "CdpuGenerator",
+    "CdpuInstance",
+    "DseRunner",
+    "Operation",
+    "Placement",
+    "XeonBaseline",
+    "available_codecs",
+    "default_benchmark",
+    "generate_fleet_profile",
+    "generate_hypercompressbench",
+    "get_codec",
+    "get_info",
+    "__version__",
+]

@@ -1,0 +1,112 @@
+"""Codec abstractions and the heavyweight/lightweight taxonomy (paper §2.2).
+
+Every algorithm in the library implements :class:`Codec`. The registry in
+:mod:`repro.algorithms.registry` exposes them by name, and the fleet model,
+HyperCompressBench generator, and hardware pipelines all consume codecs only
+through this interface.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.units import KiB
+
+
+class WeightClass(enum.Enum):
+    """Paper §2.2 taxonomy: ratio-first vs speed-first algorithms."""
+
+    HEAVYWEIGHT = "heavyweight"
+    LIGHTWEIGHT = "lightweight"
+
+
+class Operation(enum.Enum):
+    """The two directions of a CDPU, matching the paper's C-/D- prefixes."""
+
+    COMPRESS = "compress"
+    DECOMPRESS = "decompress"
+
+    @property
+    def short(self) -> str:
+        return "C" if self is Operation.COMPRESS else "D"
+
+
+@dataclass(frozen=True)
+class CodecInfo:
+    """Static description of an algorithm, mirroring the paper's Table-free
+    taxonomy in §2.2.
+
+    Attributes:
+        name: Registry name (lowercase).
+        display_name: Name as the paper prints it (e.g. ``ZStd``).
+        weight_class: Heavyweight (ratio-first) or lightweight (speed-first).
+        has_entropy_coding: Whether an entropy-coding stage exists at all.
+        supports_levels: Whether a compression-level knob exists.
+        min_level / max_level: Level range if supported (ZStd: [-7, 22]).
+        default_level: Level used when the caller does not specify one.
+        fixed_window_bytes: Window size when the format fixes it (Snappy,
+            Gipfeli: 64 KiB); ``None`` when the window is configurable.
+    """
+
+    name: str
+    display_name: str
+    weight_class: WeightClass
+    has_entropy_coding: bool
+    supports_levels: bool
+    min_level: int = 1
+    max_level: int = 1
+    default_level: int = 1
+    fixed_window_bytes: Optional[int] = 64 * KiB
+
+    def clamp_level(self, level: Optional[int]) -> int:
+        """Resolve a caller-supplied level to the codec's supported range."""
+        if not self.supports_levels or level is None:
+            return self.default_level
+        return max(self.min_level, min(self.max_level, level))
+
+
+class Codec:
+    """Abstract buffer-in/buffer-out codec (the stable API from §3.4).
+
+    Subclasses must set :attr:`info` and implement :meth:`compress` and
+    :meth:`decompress`. ``level`` and ``window_size`` are accepted by all
+    codecs; those without the corresponding knob ignore them (after
+    validation), mirroring the real libraries' behaviour.
+    """
+
+    info: CodecInfo
+
+    def compress(
+        self,
+        data: bytes,
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> bytes:
+        raise NotImplementedError
+
+    def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+        raise NotImplementedError
+
+    def compression_ratio(
+        self,
+        data: bytes,
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> float:
+        """Uncompressed size divided by compressed size (paper §2)."""
+        if not data:
+            return 1.0
+        compressed = self.compress(data, level=level, window_size=window_size)
+        return len(data) / max(1, len(compressed))
+
+    def resolve_window(self, window_size: Optional[int]) -> int:
+        """Resolve an effective window size for this codec."""
+        if self.info.fixed_window_bytes is not None:
+            return self.info.fixed_window_bytes
+        if window_size is None:
+            raise ValueError(f"{self.info.name} requires a window_size")
+        return window_size

@@ -1,0 +1,248 @@
+"""A Flate-like heavyweight codec: LZ77 + Huffman only (paper §2.2).
+
+Structurally DEFLATE (refs [7, 34]): dictionary coding plus Huffman entropy
+coding of both literals and sequence codes, with compression levels and a
+32 KiB default window. No FSE stage — which is exactly the delta the paper
+highlights in §3.4 ("transitioning from Flate to ZStd would mostly entail
+adding an FSE module"); this codec and :class:`repro.algorithms.zstd.ZstdCodec`
+differ only in their sequence entropy coder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.algorithms.base import Codec, CodecInfo, WeightClass
+from repro.algorithms.huffman import (
+    HuffmanTable,
+    byte_frequencies,
+    decode_symbols,
+    deserialize_lengths,
+    encode_symbols,
+    serialize_lengths,
+)
+from repro.algorithms.lz77 import Lz77Encoder, Lz77Params, TokenStream
+from repro.algorithms.zstd import (
+    CODE_ALPHABET,
+    SequenceTriple,
+    code_to_value,
+    tokens_to_sequences,
+    value_to_code,
+)
+from repro.common.bitio import BitReader, BitWriter
+from repro.common.errors import ConfigError, CorruptStreamError
+from repro.common.units import KiB, is_power_of_two
+from repro.common.varint import decode_varint, encode_varint
+
+MAGIC = b"FLRL"
+
+FLATE_INFO = CodecInfo(
+    name="flate",
+    display_name="Flate",
+    weight_class=WeightClass.HEAVYWEIGHT,
+    has_entropy_coding=True,
+    supports_levels=True,
+    min_level=1,
+    max_level=9,
+    default_level=6,
+    fixed_window_bytes=None,
+)
+
+#: zlib-style default window.
+DEFAULT_WINDOW = 32 * KiB
+
+
+def _level_lz77(level: int, window: int) -> Lz77Params:
+    table_log = min(16, 10 + level // 2 * 2)
+    associativity = max(1, level // 2)
+    return Lz77Params(
+        window_size=window,
+        hash_table_entries=1 << table_log,
+        associativity=associativity,
+        hash_function="multiplicative",
+        use_skipping=False,
+    )
+
+
+def _encode_codes_huffman(codes: List[int]) -> bytes:
+    """Huffman-code a sequence-code list (Flate's replacement for FSE)."""
+    out = bytearray()
+    out += encode_varint(len(codes))
+    if not codes:
+        return bytes(out)
+    table = HuffmanTable.from_frequencies({c: codes.count(c) for c in set(codes)})
+    out += serialize_lengths(table, CODE_ALPHABET)
+    payload = encode_symbols(codes, table)
+    out += encode_varint(len(payload))
+    out += payload
+    return bytes(out)
+
+
+def _decode_codes_huffman(data: bytes, pos: int) -> Tuple[List[int], int]:
+    count, pos = decode_varint(data, pos)
+    if count == 0:
+        return [], pos
+    table, consumed = deserialize_lengths(data[pos:], CODE_ALPHABET)
+    pos += consumed
+    payload_len, pos = decode_varint(data, pos)
+    if pos + payload_len > len(data):
+        raise CorruptStreamError("truncated code payload")
+    codes = decode_symbols(data[pos : pos + payload_len], count, table)
+    return codes, pos + payload_len
+
+
+class FlateCodec(Codec):
+    """LZ77 + Huffman codec with levels and a configurable window."""
+
+    info = FLATE_INFO
+
+    def tokenize(
+        self,
+        data: bytes,
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> TokenStream:
+        resolved = self.info.clamp_level(level)
+        window = self.resolve_window(window_size)
+        return Lz77Encoder(_level_lz77(resolved, window)).encode(data)
+
+    def resolve_window(self, window_size: Optional[int]) -> int:
+        if window_size is None:
+            return DEFAULT_WINDOW
+        if not is_power_of_two(window_size):
+            raise ConfigError(f"window_size must be a power of two, got {window_size}")
+        if not 1 << 10 <= window_size <= 1 << 27:
+            raise ConfigError(
+                f"window_size must be within [1 KiB, 128 MiB], got {window_size}"
+            )
+        return window_size
+
+    def compress(
+        self,
+        data: bytes,
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> bytes:
+        window = self.resolve_window(window_size)
+        stream = self.tokenize(data, level=level, window_size=window)
+        sequences, literals, trailing = tokens_to_sequences(stream.tokens)
+
+        out = bytearray()
+        out += MAGIC
+        out.append(window.bit_length() - 1)
+        out += encode_varint(len(data))
+
+        body = bytearray()
+        # Literals: Huffman when profitable, else raw.
+        freqs = byte_frequencies(literals)
+        literal_payload: bytes
+        if len(freqs) > 1 and len(literals) >= 32:
+            table = HuffmanTable.from_frequencies(freqs)
+            header = serialize_lengths(table, 256)
+            payload = encode_symbols(literals, table)
+            literal_payload = b"\x01" + encode_varint(len(literals)) + header + encode_varint(len(payload)) + payload
+            if len(literal_payload) >= len(literals) + 2:
+                literal_payload = b"\x00" + encode_varint(len(literals)) + literals
+        else:
+            literal_payload = b"\x00" + encode_varint(len(literals)) + literals
+        body += literal_payload
+
+        # Sequences: three Huffman-coded code streams + raw extra bits.
+        ll, ml, off = [], [], []
+        extra = BitWriter()
+        for seq in sequences:
+            for value, codes in ((seq.literal_length, ll), (seq.match_length, ml), (seq.offset, off)):
+                code, width, bits = value_to_code(value)
+                codes.append(code)
+                extra.write(bits, width)
+        for codes in (ll, ml, off):
+            body += _encode_codes_huffman(codes)
+        body += encode_varint(extra.bit_length)
+        body += extra.getvalue()
+        body += encode_varint(trailing)
+
+        if len(body) >= len(data) + 2:
+            out.append(0)  # stored (uncompressed) body
+            out += data
+        else:
+            out.append(1)  # compressed body
+            out += body
+        return bytes(out)
+
+    def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+        if len(data) < 6 or data[:4] != MAGIC:
+            raise CorruptStreamError("bad magic: not a Flate-like stream")
+        if not 10 <= data[4] <= 27:
+            raise CorruptStreamError(f"window log {data[4]} out of range")
+        window = 1 << data[4]
+        pos = 5
+        expected, pos = decode_varint(data, pos)
+        if pos >= len(data):
+            raise CorruptStreamError("missing body marker")
+        mode = data[pos]
+        pos += 1
+        if mode == 0:
+            body = data[pos:]
+            if len(body) != expected:
+                raise CorruptStreamError("stored body has wrong length")
+            return body
+        if mode != 1:
+            raise CorruptStreamError(f"unknown body mode {mode}")
+
+        # Literals section.
+        lit_mode = data[pos]
+        pos += 1
+        lit_count, pos = decode_varint(data, pos)
+        if lit_mode == 0:
+            literals = data[pos : pos + lit_count]
+            if len(literals) != lit_count:
+                raise CorruptStreamError("truncated raw literals")
+            pos += lit_count
+        elif lit_mode == 1:
+            table, consumed = deserialize_lengths(data[pos:], 256)
+            pos += consumed
+            payload_len, pos = decode_varint(data, pos)
+            literals = bytes(decode_symbols(data[pos : pos + payload_len], lit_count, table))
+            pos += payload_len
+        else:
+            raise CorruptStreamError(f"unknown literal mode {lit_mode}")
+
+        streams: List[List[int]] = []
+        for _ in range(3):
+            codes, pos = _decode_codes_huffman(data, pos)
+            streams.append(codes)
+        extra_bits, pos = decode_varint(data, pos)
+        extra_bytes = (extra_bits + 7) // 8
+        reader = BitReader(data[pos : pos + extra_bytes])
+        pos += extra_bytes
+        trailing, pos = decode_varint(data, pos)
+
+        ll, ml, off = streams
+        if not len(ll) == len(ml) == len(off):
+            raise CorruptStreamError("sequence streams have mismatched lengths")
+        out = bytearray()
+        lit_pos = 0
+        for i in range(len(ll)):
+            values = []
+            for code in (ll[i], ml[i], off[i]):
+                width = max(0, code - 1)
+                values.append(code_to_value(code, reader.read(width) if width else 0))
+            literal_length, match_length, offset = values
+            seq = SequenceTriple(literal_length, offset, match_length)
+            if lit_pos + seq.literal_length > len(literals):
+                raise CorruptStreamError("sequences overrun literal buffer")
+            out += literals[lit_pos : lit_pos + seq.literal_length]
+            lit_pos += seq.literal_length
+            if seq.offset <= 0 or seq.offset > len(out) or seq.offset > window:
+                raise CorruptStreamError("invalid match offset")
+            start = len(out) - seq.offset
+            for j in range(seq.match_length):
+                out.append(out[start + j])
+        if lit_pos + trailing != len(literals):
+            raise CorruptStreamError("trailing literal mismatch")
+        out += literals[lit_pos:]
+        if len(out) != expected:
+            raise CorruptStreamError("decoded length mismatch")
+        return bytes(out)

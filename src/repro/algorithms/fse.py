@@ -1,0 +1,206 @@
+"""Finite State Entropy (tANS) coding (paper §2.1, §5.4, §5.7).
+
+A table-based asymmetric-numeral-system coder with zstd-style normalized
+counts, power-of-two table sizes (``2**accuracy_log``) and the classic spread
+function. This is the entropy coder behind the ZStd-like codec's sequence
+section and behind the hardware FSE compressor/expander models.
+
+The decode table built here — per-state (symbol, nbBits, baseline) entries —
+is byte-for-byte the structure the paper's "FSE Table Builder/Reader" blocks
+materialize in SRAM (§5.4), and its size (``2**accuracy_log`` entries) is what
+the "max accuracy of FSE compression tables" compile-time parameter (§5.8
+parameter 12) controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.bitio import BitReader, BitWriter
+from repro.common.errors import CorruptStreamError
+
+#: zstd caps FSE accuracy logs at 9-12 depending on the table; we allow 5-12.
+MIN_ACCURACY_LOG = 5
+MAX_ACCURACY_LOG = 12
+DEFAULT_ACCURACY_LOG = 9
+
+
+def normalize_counts(frequencies: Dict[int, int], accuracy_log: int) -> Dict[int, int]:
+    """Scale raw symbol counts so they sum to ``2**accuracy_log``.
+
+    Every present symbol keeps a count of at least 1 (so it stays encodable);
+    rounding error is absorbed by the most frequent symbol, zstd-style.
+    """
+    if not MIN_ACCURACY_LOG <= accuracy_log <= MAX_ACCURACY_LOG:
+        raise ValueError(f"accuracy_log {accuracy_log} outside [{MIN_ACCURACY_LOG}, {MAX_ACCURACY_LOG}]")
+    table_size = 1 << accuracy_log
+    present = {s: f for s, f in frequencies.items() if f > 0}
+    if not present:
+        raise ValueError("cannot normalize an empty distribution")
+    if len(present) > table_size:
+        raise ValueError(f"{len(present)} symbols exceed table size {table_size}")
+    total = sum(present.values())
+    normalized: Dict[int, int] = {}
+    for symbol, freq in present.items():
+        normalized[symbol] = max(1, (freq * table_size) // total)
+    # Fix the sum by adjusting the largest-count symbol.
+    error = table_size - sum(normalized.values())
+    if error != 0:
+        largest = max(normalized, key=lambda s: (normalized[s], present[s]))
+        if normalized[largest] + error < 1:
+            # Pathological many-rare-symbols case: shave counts > 1 greedily.
+            for symbol in sorted(normalized, key=normalized.get, reverse=True):
+                while error < 0 and normalized[symbol] > 1:
+                    normalized[symbol] -= 1
+                    error += 1
+            if error:
+                raise ValueError("cannot normalize distribution into table")
+        else:
+            normalized[largest] += error
+    return normalized
+
+
+def spread_symbols(normalized: Dict[int, int], accuracy_log: int) -> List[int]:
+    """Scatter symbol occurrences across the state table (zstd spread step)."""
+    table_size = 1 << accuracy_log
+    step = (table_size >> 1) + (table_size >> 3) + 3
+    mask = table_size - 1
+    spread = [-1] * table_size
+    pos = 0
+    for symbol in sorted(normalized):
+        for _ in range(normalized[symbol]):
+            spread[pos] = symbol
+            pos = (pos + step) & mask
+    if any(s < 0 for s in spread):
+        raise AssertionError("spread left unassigned slots")  # unreachable: step is odd
+    return spread
+
+
+@dataclass(frozen=True)
+class DecodeEntry:
+    """One SRAM row of the hardware FSE decode table (§5.4)."""
+
+    symbol: int
+    num_bits: int
+    baseline: int
+
+
+class FseTable:
+    """Encode/decode tables built from a normalized count distribution."""
+
+    def __init__(self, normalized: Dict[int, int], accuracy_log: int) -> None:
+        table_size = 1 << accuracy_log
+        if sum(normalized.values()) != table_size:
+            raise ValueError("normalized counts must sum to the table size")
+        self.accuracy_log = accuracy_log
+        self.table_size = table_size
+        self.normalized = dict(normalized)
+        spread = spread_symbols(normalized, accuracy_log)
+        # Per-symbol occurrence states, in spread order: encoding transitions.
+        self._states: Dict[int, List[int]] = {s: [] for s in normalized}
+        for state, symbol in enumerate(spread):
+            self._states[symbol].append(state + table_size)
+        # Decode table: state -> (symbol, nbBits, baseline).
+        occurrence: Dict[int, int] = {s: 0 for s in normalized}
+        self.decode_entries: List[DecodeEntry] = []
+        for state, symbol in enumerate(spread):
+            count = normalized[symbol]
+            x_top = count + occurrence[symbol]
+            occurrence[symbol] += 1
+            num_bits = accuracy_log - (x_top.bit_length() - 1)
+            baseline = (x_top << num_bits) - table_size
+            self.decode_entries.append(DecodeEntry(symbol, num_bits, baseline))
+
+    @classmethod
+    def from_frequencies(cls, frequencies: Dict[int, int], accuracy_log: int = DEFAULT_ACCURACY_LOG) -> "FseTable":
+        return cls(normalize_counts(frequencies, accuracy_log), accuracy_log)
+
+    def encode_cost_bits(self, symbol: int) -> float:
+        """Average bits to code ``symbol`` (for cost models): -log2(p)."""
+        import math
+
+        return -math.log2(self.normalized[symbol] / self.table_size)
+
+    def _encode_step(self, state: int, symbol: int) -> Tuple[int, int, int]:
+        """One ANS step: returns (new_state, bits_value, num_bits)."""
+        count = self.normalized.get(symbol)
+        if not count:
+            raise ValueError(f"symbol {symbol} absent from FSE table")
+        num_bits = 0
+        while (state >> num_bits) >= 2 * count:
+            num_bits += 1
+        bits_value = state & ((1 << num_bits) - 1)
+        x_top = state >> num_bits
+        new_state = self._states[symbol][x_top - count]
+        return new_state, bits_value, num_bits
+
+    def encode(self, symbols: Sequence[int]) -> Tuple[bytes, int, int]:
+        """Encode a symbol sequence.
+
+        Returns ``(payload, final_state, bit_length)``. Symbols are processed
+        in reverse (ANS is LIFO) but the payload is laid out so a decoder
+        starting from ``final_state`` reads bits forward and emits symbols in
+        the original order.
+        """
+        state = self.table_size  # lowest valid state as the sentinel start
+        ops: List[Tuple[int, int]] = []
+        for symbol in reversed(symbols):
+            state, bits_value, num_bits = self._encode_step(state, symbol)
+            ops.append((bits_value, num_bits))
+        writer = BitWriter()
+        for bits_value, num_bits in reversed(ops):
+            writer.write(bits_value, num_bits)
+        return writer.getvalue(), state, writer.bit_length
+
+    def decode(self, payload: bytes, initial_state: int, count: int) -> List[int]:
+        """Decode exactly ``count`` symbols starting from ``initial_state``.
+
+        Verifies the coder lands back on the sentinel state, which catches
+        corrupted payloads with high probability.
+        """
+        if not self.table_size <= initial_state < 2 * self.table_size:
+            raise CorruptStreamError(f"FSE initial state {initial_state} out of range")
+        reader = BitReader(payload)
+        state = initial_state
+        out: List[int] = []
+        for _ in range(count):
+            entry = self.decode_entries[state - self.table_size]
+            out.append(entry.symbol)
+            bits = reader.read(entry.num_bits) if entry.num_bits else 0
+            state = self.table_size + entry.baseline + bits
+        if state != self.table_size:
+            raise CorruptStreamError("FSE stream did not terminate on sentinel state")
+        return out
+
+    def serialize_counts(self, alphabet_size: int) -> bytes:
+        """Pack normalized counts as fixed-width fields (table header).
+
+        Width is ``accuracy_log + 1`` bits per symbol, enough for the maximum
+        count ``2**accuracy_log``.
+        """
+        if self.normalized and max(self.normalized) >= alphabet_size:
+            raise ValueError("symbol outside declared alphabet")
+        width = self.accuracy_log + 1
+        writer = BitWriter()
+        for symbol in range(alphabet_size):
+            writer.write(self.normalized.get(symbol, 0), width)
+        writer.align_to_byte()
+        return writer.getvalue()
+
+    @classmethod
+    def deserialize_counts(
+        cls, data: bytes, alphabet_size: int, accuracy_log: int
+    ) -> Tuple["FseTable", int]:
+        """Inverse of :meth:`serialize_counts`; returns (table, bytes read)."""
+        width = accuracy_log + 1
+        reader = BitReader(data)
+        normalized: Dict[int, int] = {}
+        for symbol in range(alphabet_size):
+            count = reader.read(width)
+            if count:
+                normalized[symbol] = count
+        reader.align_to_byte()
+        if sum(normalized.values()) != (1 << accuracy_log):
+            raise CorruptStreamError("FSE header counts do not sum to table size")
+        return cls(normalized, accuracy_log), reader.byte_position()

@@ -1,0 +1,214 @@
+"""Canonical, length-limited Huffman coding (paper §2.1, §5.3, §5.6).
+
+Used as the literals entropy coder of the ZStd-like and Flate-like codecs and
+by the hardware Huffman compressor / expander models. Codes are canonical and
+length-limited (package-merge), serialized as a compact code-length header —
+the same information the hardware "Huff Table Builder" block consumes.
+
+Bitstream convention is DEFLATE-style: codes are emitted LSB-first with their
+bits reversed, so a decoder can *peek* a fixed ``max_bits`` window and index a
+flat lookup table — exactly the operation the speculative hardware expander
+performs per speculation lane (§5.3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.bitio import BitReader, BitWriter
+from repro.common.errors import CorruptStreamError
+
+#: Default code-length cap; zstd limits literal codes to 11 bits.
+DEFAULT_MAX_BITS = 11
+
+
+def _reverse_bits(value: int, width: int) -> int:
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def build_code_lengths(frequencies: Dict[int, int], max_bits: int = DEFAULT_MAX_BITS) -> Dict[int, int]:
+    """Compute length-limited Huffman code lengths via package-merge.
+
+    Returns a mapping from symbol to code length (1..max_bits). Symbols with
+    zero frequency are omitted. A single-symbol alphabet gets length 1.
+    """
+    symbols = [s for s, f in frequencies.items() if f > 0]
+    if not symbols:
+        return {}
+    if len(symbols) == 1:
+        return {symbols[0]: 1}
+    if len(symbols) > (1 << max_bits):
+        raise ValueError(
+            f"{len(symbols)} symbols cannot be coded within {max_bits} bits"
+        )
+
+    # Package-merge: optimal length-limited codes.
+    items = sorted((frequencies[s], s) for s in symbols)
+    packages: List[List[Tuple[int, List[int]]]] = []
+    base = [(freq, [sym]) for freq, sym in items]
+    prev: List[Tuple[int, List[int]]] = []
+    for _ in range(max_bits):
+        merged = sorted(base + prev, key=lambda t: t[0])
+        packages.append(merged)
+        prev = [
+            (merged[i][0] + merged[i + 1][0], merged[i][1] + merged[i + 1][1])
+            for i in range(0, len(merged) - 1, 2)
+        ]
+    lengths: Dict[int, int] = {s: 0 for s in symbols}
+    # Take the first 2*(n-1) items of the final level; each appearance of a
+    # symbol adds one to its code length.
+    take = 2 * (len(symbols) - 1)
+    for freq, syms in packages[-1][:take]:
+        for s in syms:
+            lengths[s] += 1
+    return lengths
+
+
+def canonical_codes(lengths: Dict[int, int]) -> Dict[int, Tuple[int, int]]:
+    """Assign canonical (code, length) pairs from code lengths.
+
+    Shorter codes come first; ties broken by symbol value — the canonical
+    ordering any decoder can reconstruct from lengths alone.
+    """
+    ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    prev_len = 0
+    for symbol, length in ordered:
+        if length <= 0:
+            raise ValueError(f"symbol {symbol} has non-positive length {length}")
+        code <<= length - prev_len
+        codes[symbol] = (code, length)
+        code += 1
+        prev_len = length
+    # Kraft check: the canonical construction overflows iff lengths invalid.
+    if prev_len and code > (1 << prev_len):
+        raise ValueError("code lengths violate the Kraft inequality")
+    return codes
+
+
+@dataclass(frozen=True)
+class HuffmanTable:
+    """A built Huffman code: canonical codes plus the flat decode table."""
+
+    codes: Dict[int, Tuple[int, int]]
+    max_bits: int
+
+    @classmethod
+    def from_frequencies(
+        cls, frequencies: Dict[int, int], max_bits: int = DEFAULT_MAX_BITS
+    ) -> "HuffmanTable":
+        lengths = build_code_lengths(frequencies, max_bits)
+        return cls.from_lengths(lengths, max_bits)
+
+    @classmethod
+    def from_lengths(cls, lengths: Dict[int, int], max_bits: int = DEFAULT_MAX_BITS) -> "HuffmanTable":
+        actual_max = max(lengths.values(), default=0)
+        if actual_max > max_bits:
+            raise ValueError(f"code length {actual_max} exceeds max_bits {max_bits}")
+        return cls(codes=canonical_codes(lengths), max_bits=max_bits)
+
+    @property
+    def lengths(self) -> Dict[int, int]:
+        return {s: l for s, (_, l) in self.codes.items()}
+
+    def decode_table(self) -> List[Tuple[int, int]]:
+        """Flat table of size 2^max_bits mapping peeked bits -> (sym, len).
+
+        Entries left as ``(-1, 0)`` are invalid codes. This is the structure
+        the hardware table reader indexes per speculation lane.
+        """
+        table: List[Tuple[int, int]] = [(-1, 0)] * (1 << self.max_bits)
+        for symbol, (code, length) in self.codes.items():
+            reversed_code = _reverse_bits(code, length)
+            step = 1 << length
+            for index in range(reversed_code, 1 << self.max_bits, step):
+                table[index] = (symbol, length)
+        return table
+
+    def encoded_bit_length(self, frequencies: Dict[int, int]) -> int:
+        """Total bits this table needs for the given symbol counts."""
+        return sum(self.codes[s][1] * f for s, f in frequencies.items() if f)
+
+
+def serialize_lengths(table: HuffmanTable, alphabet_size: int) -> bytes:
+    """Serialize code lengths as the table header (4 bits per symbol).
+
+    The hardware "Huff Table Builder" rebuilds the canonical code from this
+    header alone. ``alphabet_size`` fixes the number of entries so the reader
+    needs no terminator.
+    """
+    lengths = table.lengths
+    if any(l > 15 for l in lengths.values()):
+        raise ValueError("serialized code lengths are limited to 15 bits")
+    if lengths and max(lengths) >= alphabet_size:
+        raise ValueError("symbol outside declared alphabet")
+    writer = BitWriter()
+    for symbol in range(alphabet_size):
+        writer.write(lengths.get(symbol, 0), 4)
+    writer.align_to_byte()
+    return writer.getvalue()
+
+
+def deserialize_lengths(
+    data: bytes, alphabet_size: int, max_bits: int = DEFAULT_MAX_BITS
+) -> Tuple[HuffmanTable, int]:
+    """Inverse of :func:`serialize_lengths`; returns (table, bytes consumed)."""
+    reader = BitReader(data)
+    lengths: Dict[int, int] = {}
+    for symbol in range(alphabet_size):
+        length = reader.read(4)
+        if length:
+            lengths[symbol] = length
+    reader.align_to_byte()
+    if not lengths:
+        raise CorruptStreamError("huffman header declares no symbols")
+    try:
+        table = HuffmanTable.from_lengths(lengths, max_bits=max(max_bits, max(lengths.values())))
+    except ValueError as exc:
+        raise CorruptStreamError(f"invalid huffman header: {exc}") from None
+    return table, reader.byte_position()
+
+
+def encode_symbols(symbols: Sequence[int], table: HuffmanTable) -> bytes:
+    """Entropy-code ``symbols`` with ``table`` (LSB-first bitstream)."""
+    writer = BitWriter()
+    codes = table.codes
+    for symbol in symbols:
+        try:
+            code, length = codes[symbol]
+        except KeyError:
+            raise ValueError(f"symbol {symbol} not present in table") from None
+        writer.write(_reverse_bits(code, length), length)
+    return writer.getvalue()
+
+
+def decode_symbols(data: bytes, count: int, table: HuffmanTable) -> List[int]:
+    """Decode exactly ``count`` symbols from an LSB-first bitstream.
+
+    The serial dependence here (next code position depends on previous code
+    length) is precisely what the hardware expander speculates around (§5.3).
+    """
+    flat = table.decode_table()
+    reader = BitReader(data)
+    out: List[int] = []
+    max_bits = table.max_bits
+    for _ in range(count):
+        window = reader.peek_padded(max_bits)
+        symbol, length = flat[window]
+        if symbol < 0 or length > reader.bits_remaining:
+            raise CorruptStreamError("invalid huffman code in stream")
+        reader.skip(length)
+        out.append(symbol)
+    return out
+
+
+def byte_frequencies(data: bytes) -> Dict[int, int]:
+    """Symbol statistics for a byte buffer (the dictionary builder's input)."""
+    return dict(Counter(data))

@@ -1,0 +1,119 @@
+"""An LZO-like lightweight codec (paper §2.2, refs [4, 57]).
+
+LZO is byte-oriented LZ77 with no entropy coding but *with* compression
+levels. We mirror that: a tag-byte element stream (distinct from Snappy's) and
+levels 1-9 that scale the match-finder's hash table and search depth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.algorithms.base import Codec, CodecInfo, WeightClass
+from repro.algorithms.lz77 import (
+    Copy,
+    Literal,
+    Lz77Encoder,
+    Lz77Params,
+    TokenStream,
+    decode_tokens,
+    split_long_copies,
+)
+from repro.common.errors import CorruptStreamError
+from repro.common.units import KiB
+from repro.common.varint import decode_varint, encode_varint
+
+MAGIC = b"LZRL"
+
+#: Copy elements carry a 3-byte (offset16, len8) body; lengths cap at 255+4.
+_MAX_COPY_LEN = 259
+
+LZO_INFO = CodecInfo(
+    name="lzo",
+    display_name="LZO",
+    weight_class=WeightClass.LIGHTWEIGHT,
+    has_entropy_coding=False,
+    supports_levels=True,
+    min_level=1,
+    max_level=9,
+    default_level=1,
+    fixed_window_bytes=64 * KiB,
+)
+
+
+def _level_lz77(level: int) -> Lz77Params:
+    return Lz77Params(
+        window_size=64 * KiB - 1,
+        hash_table_entries=1 << min(16, 11 + level // 2),
+        associativity=max(1, level // 3 + 1),
+        hash_function="xor_shift",
+        use_skipping=level <= 3,
+    )
+
+
+class LzoCodec(Codec):
+    """Byte-oriented lightweight codec with levels, no entropy stage."""
+
+    info = LZO_INFO
+
+    def tokenize(self, data: bytes, *, level: Optional[int] = None) -> TokenStream:
+        resolved = self.info.clamp_level(level)
+        return Lz77Encoder(_level_lz77(resolved)).encode(data)
+
+    def compress(
+        self,
+        data: bytes,
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> bytes:
+        stream = self.tokenize(data, level=level)
+        out = bytearray()
+        out += MAGIC
+        out += encode_varint(len(data))
+        for token in split_long_copies(stream.tokens, _MAX_COPY_LEN):
+            if isinstance(token, Literal):
+                run = token.data
+                pos = 0
+                while pos < len(run):
+                    chunk = run[pos : pos + 127]
+                    out.append(len(chunk))  # 0x00-0x7F: literal run
+                    out += chunk
+                    pos += len(chunk)
+            else:
+                out.append(0x80 | (token.length - 4) // 16)  # coarse length hint
+                out.append((token.length - 4) % 16 * 16 | (token.offset >> 16))
+                out += (token.offset & 0xFFFF).to_bytes(2, "little")
+        return bytes(out)
+
+    def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+        if len(data) < 5 or data[:4] != MAGIC:
+            raise CorruptStreamError("bad magic: not an LZO-like stream")
+        pos = 4
+        expected, pos = decode_varint(data, pos)
+        tokens: List = []
+        n = len(data)
+        while pos < n:
+            tag = data[pos]
+            pos += 1
+            if tag < 0x80:
+                if tag == 0:
+                    raise CorruptStreamError("zero-length literal run")
+                if pos + tag > n:
+                    raise CorruptStreamError("truncated literal run")
+                tokens.append(Literal(data[pos : pos + tag]))
+                pos += tag
+            else:
+                if pos + 3 > n:
+                    raise CorruptStreamError("truncated copy element")
+                hi = tag & 0x7F
+                second = data[pos]
+                pos += 1
+                length = hi * 16 + (second >> 4) + 4
+                offset_hi = second & 0x0F
+                offset = (offset_hi << 16) | int.from_bytes(data[pos : pos + 2], "little")
+                pos += 2
+                if offset == 0:
+                    raise CorruptStreamError("copy with zero offset")
+                tokens.append(Copy(offset=offset, length=length))
+        return decode_tokens(tokens, expected_length=expected)

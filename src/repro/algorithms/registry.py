@@ -1,0 +1,71 @@
+"""Registry of the six fleet algorithms (paper §2.2, Figure 1).
+
+All six fleet algorithms are implemented as codecs sharing the LZ77/Huffman/
+FSE primitives. The paper's DSE builds CDPUs only for Snappy and ZStd (§3.2
+footnote 3: the dominant lightweight/heavyweight representatives); the other
+four exist so the fleet model, taxonomy and benchmark machinery cover the
+full Figure 1 algorithm set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.algorithms.base import Codec, CodecInfo, WeightClass
+from repro.algorithms.brotli import BROTLI_INFO, BrotliCodec
+from repro.algorithms.flate import FLATE_INFO, FlateCodec
+from repro.algorithms.gipfeli import GIPFELI_INFO, GipfeliCodec
+from repro.algorithms.lzo import LZO_INFO, LzoCodec
+from repro.algorithms.snappy import SNAPPY_INFO, SnappyCodec
+from repro.algorithms.zstd import ZSTD_INFO, ZstdCodec
+
+#: Fleet algorithm descriptions, in the paper's Figure 1 legend order.
+ALGORITHM_INFOS: Dict[str, CodecInfo] = {
+    "snappy": SNAPPY_INFO,
+    "zstd": ZSTD_INFO,
+    "flate": FLATE_INFO,
+    "brotli": BROTLI_INFO,
+    "gipfeli": GIPFELI_INFO,
+    "lzo": LZO_INFO,
+}
+
+_CODEC_FACTORIES = {
+    "brotli": BrotliCodec,
+    "snappy": SnappyCodec,
+    "zstd": ZstdCodec,
+    "flate": FlateCodec,
+    "gipfeli": GipfeliCodec,
+    "lzo": LzoCodec,
+}
+
+
+def available_codecs() -> List[str]:
+    """Names of algorithms with a runnable codec implementation."""
+    return sorted(_CODEC_FACTORIES)
+
+
+def get_codec(name: str) -> Codec:
+    """Instantiate a codec by registry name (fresh instance each call)."""
+    try:
+        factory = _CODEC_FACTORIES[name.lower()]
+    except KeyError:
+        known = ", ".join(available_codecs())
+        raise KeyError(f"no codec implementation for {name!r}; available: {known}") from None
+    return factory()
+
+
+def get_info(name: str) -> CodecInfo:
+    """Look up the static description of any fleet algorithm."""
+    try:
+        return ALGORITHM_INFOS[name.lower()]
+    except KeyError:
+        known = ", ".join(ALGORITHM_INFOS)
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+
+
+def heavyweight_algorithms() -> List[str]:
+    return [n for n, i in ALGORITHM_INFOS.items() if i.weight_class is WeightClass.HEAVYWEIGHT]
+
+
+def lightweight_algorithms() -> List[str]:
+    return [n for n, i in ALGORITHM_INFOS.items() if i.weight_class is WeightClass.LIGHTWEIGHT]

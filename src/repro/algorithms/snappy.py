@@ -1,0 +1,213 @@
+"""Snappy codec, wire-format compatible with the open-source library.
+
+Implements the block format from ``format_description.txt`` (paper ref [9]):
+a varint uncompressed-length preamble followed by literal / copy elements.
+The compressor mirrors the open-source library's structure — greedy hash-table
+matching over a fixed 64 KiB window, no entropy coding, no compression levels
+(paper §2.2) — including its *skipping* heuristic for incompressible data,
+which §6.3 identifies as the reason hardware can beat software ratio.
+
+The element parser is shared with the hardware model
+(:func:`parse_elements` returns the LZ77 token stream a decompressor CDPU
+would execute).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.algorithms.base import Codec, CodecInfo, WeightClass
+from repro.algorithms.lz77 import (
+    Copy,
+    Literal,
+    Lz77Encoder,
+    Lz77Params,
+    Token,
+    TokenStream,
+    decode_tokens,
+    split_long_copies,
+)
+from repro.common.errors import CorruptStreamError, UnsupportedInputError
+from repro.common.units import KiB
+from repro.common.varint import decode_varint, encode_varint
+
+#: Snappy's fixed history window (§2.2, §3.6).
+SNAPPY_WINDOW = 64 * KiB
+#: Maximum offset a two-byte copy element can encode.
+_MAX_COPY2_OFFSET = 65535
+#: Copy elements encode at most 64 bytes; longer matches are split.
+_MAX_COPY_LEN = 64
+#: Snappy's uncompressed length preamble is a 32-bit varint.
+_MAX_INPUT = (1 << 32) - 1
+
+_TAG_LITERAL = 0b00
+_TAG_COPY1 = 0b01
+_TAG_COPY2 = 0b10
+_TAG_COPY4 = 0b11
+
+SNAPPY_INFO = CodecInfo(
+    name="snappy",
+    display_name="Snappy",
+    weight_class=WeightClass.LIGHTWEIGHT,
+    has_entropy_coding=False,
+    supports_levels=False,
+    fixed_window_bytes=SNAPPY_WINDOW,
+)
+
+
+def _default_params(use_skipping: bool) -> Lz77Params:
+    # The library uses a 2^14-entry direct-mapped table of positions and a
+    # multiplicative hash; offsets are capped at what copy2 can encode.
+    return Lz77Params(
+        window_size=_MAX_COPY2_OFFSET,
+        hash_table_entries=1 << 14,
+        associativity=1,
+        hash_table_contents="position",
+        hash_function="multiplicative",
+        max_match_length=None,
+        use_skipping=use_skipping,
+    )
+
+
+def emit_elements(tokens: List[Token]) -> bytes:
+    """Serialize LZ77 tokens as Snappy literal/copy elements."""
+    out = bytearray()
+    for token in split_long_copies(tokens, _MAX_COPY_LEN):
+        if isinstance(token, Literal):
+            data = token.data
+            pos = 0
+            while pos < len(data):
+                # A single literal element's length field is 32-bit, but we
+                # chunk at 2^24 to keep extra-length bytes to <= 3.
+                run = data[pos : pos + (1 << 24)]
+                n = len(run) - 1
+                if n < 60:
+                    out.append(n << 2 | _TAG_LITERAL)
+                else:
+                    extra = (n.bit_length() + 7) // 8
+                    out.append((59 + extra) << 2 | _TAG_LITERAL)
+                    out.extend(n.to_bytes(extra, "little"))
+                out.extend(run)
+                pos += len(run)
+        else:
+            offset, length = token.offset, token.length
+            if 4 <= length <= 11 and offset < 2048:
+                out.append(
+                    ((offset >> 8) & 0x7) << 5 | (length - 4) << 2 | _TAG_COPY1
+                )
+                out.append(offset & 0xFF)
+            elif offset <= _MAX_COPY2_OFFSET:
+                out.append((length - 1) << 2 | _TAG_COPY2)
+                out.extend(offset.to_bytes(2, "little"))
+            else:
+                out.append((length - 1) << 2 | _TAG_COPY4)
+                out.extend(offset.to_bytes(4, "little"))
+    return bytes(out)
+
+
+def parse_elements(data: bytes) -> Tuple[int, TokenStream]:
+    """Parse a Snappy stream into (uncompressed_length, token stream).
+
+    This is the exact element sequence a decompressor CDPU executes; the
+    hardware model consumes it directly.
+    """
+    expected, pos = decode_varint(data, 0, max_bits=32)
+    tokens: List[Token] = []
+    produced = 0
+    n = len(data)
+    while pos < n:
+        tag_byte = data[pos]
+        pos += 1
+        tag = tag_byte & 0x3
+        if tag == _TAG_LITERAL:
+            field = tag_byte >> 2
+            if field < 60:
+                length = field + 1
+            else:
+                extra = field - 59
+                if pos + extra > n:
+                    raise CorruptStreamError("truncated literal length")
+                length = int.from_bytes(data[pos : pos + extra], "little") + 1
+                pos += extra
+            if pos + length > n:
+                raise CorruptStreamError("literal runs past end of input")
+            tokens.append(Literal(data[pos : pos + length]))
+            pos += length
+            produced += length
+        else:
+            if tag == _TAG_COPY1:
+                if pos + 1 > n:
+                    raise CorruptStreamError("truncated copy-1 element")
+                length = ((tag_byte >> 2) & 0x7) + 4
+                offset = ((tag_byte >> 5) & 0x7) << 8 | data[pos]
+                pos += 1
+            elif tag == _TAG_COPY2:
+                if pos + 2 > n:
+                    raise CorruptStreamError("truncated copy-2 element")
+                length = (tag_byte >> 2) + 1
+                offset = int.from_bytes(data[pos : pos + 2], "little")
+                pos += 2
+            else:
+                if pos + 4 > n:
+                    raise CorruptStreamError("truncated copy-4 element")
+                length = (tag_byte >> 2) + 1
+                offset = int.from_bytes(data[pos : pos + 4], "little")
+                pos += 4
+            if offset == 0:
+                raise CorruptStreamError("copy element with zero offset")
+            if offset > produced:
+                raise CorruptStreamError(
+                    f"copy offset {offset} exceeds produced output {produced}"
+                )
+            tokens.append(Copy(offset=offset, length=length))
+            produced += length
+        if produced > expected:
+            raise CorruptStreamError(
+                f"stream produces {produced} bytes, preamble promised {expected}"
+            )
+    if produced != expected:
+        raise CorruptStreamError(
+            f"stream produced {produced} bytes, preamble promised {expected}"
+        )
+    return expected, TokenStream(tokens, produced)
+
+
+class SnappyCodec(Codec):
+    """Buffer-in/buffer-out Snappy, structured like the C++ library.
+
+    ``use_skipping`` toggles the software incompressible-data heuristic; the
+    hardware pipeline instantiates the same matcher with skipping disabled.
+    ``lz77_params`` may override the matcher configuration entirely (used by
+    the CDPU model to sweep history window / hash-table parameters).
+    """
+
+    info = SNAPPY_INFO
+
+    def __init__(
+        self,
+        *,
+        use_skipping: bool = True,
+        lz77_params: Optional[Lz77Params] = None,
+    ) -> None:
+        self.lz77_params = lz77_params or _default_params(use_skipping)
+        self._encoder = Lz77Encoder(self.lz77_params)
+
+    def tokenize(self, data: bytes) -> TokenStream:
+        """Run only the dictionary-coding stage (used by the HW model)."""
+        return self._encoder.encode(data)
+
+    def compress(
+        self,
+        data: bytes,
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> bytes:
+        if len(data) > _MAX_INPUT:
+            raise UnsupportedInputError("snappy inputs are limited to 2^32-1 bytes")
+        stream = self._encoder.encode(data)
+        return encode_varint(len(data)) + emit_elements(stream.tokens)
+
+    def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+        expected, stream = parse_elements(data)
+        return decode_tokens(stream.tokens, expected_length=expected)

@@ -1,0 +1,140 @@
+"""Snappy framing format: the streaming API (paper §3.4).
+
+"The user API for compression ... has been essentially unchanged since the
+first compression tools were created — a stateless, buffer-in, buffer-out
+API, sometimes with a separate dictionary, and a streaming equivalent."
+
+This is that streaming equivalent for Snappy, following the open-source
+``framing_format.txt``: a stream-identifier chunk, then a sequence of
+compressed (0x00) or uncompressed (0x01) chunks of at most 64 KiB of source
+data, each protected by a masked CRC-32C; padding (0xFE) and reserved-
+skippable chunks are tolerated. Each data chunk is independently framed, so
+a consumer can restart mid-stream — which is also what lets hardware process
+chunks without unbounded state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.algorithms.snappy import SnappyCodec
+from repro.common.crc32c import masked_crc32c
+from repro.common.errors import CorruptStreamError
+
+#: Chunk type bytes from framing_format.txt.
+CHUNK_COMPRESSED = 0x00
+CHUNK_UNCOMPRESSED = 0x01
+CHUNK_PADDING = 0xFE
+CHUNK_STREAM_IDENTIFIER = 0xFF
+
+#: The mandatory first chunk: type 0xff, length 6, "sNaPpY".
+STREAM_IDENTIFIER = b"\xff\x06\x00\x00sNaPpY"
+
+#: Maximum uncompressed data per chunk.
+MAX_CHUNK_DATA = 65536
+
+
+def _chunk(chunk_type: int, payload: bytes) -> bytes:
+    if len(payload) > 0xFFFFFF:
+        raise ValueError("chunk payload exceeds 24-bit length field")
+    return bytes([chunk_type]) + len(payload).to_bytes(3, "little") + payload
+
+
+class SnappyFramedStream:
+    """Incremental compressor producing framed Snappy chunks."""
+
+    def __init__(self, *, codec: SnappyCodec = None) -> None:
+        self._codec = codec or SnappyCodec()
+        self._pending = bytearray()
+        self._header_emitted = False
+
+    def write(self, data: bytes) -> bytes:
+        """Feed input; returns any frames completed by this write."""
+        self._pending.extend(data)
+        out = bytearray()
+        if not self._header_emitted:
+            out += STREAM_IDENTIFIER
+            self._header_emitted = True
+        while len(self._pending) >= MAX_CHUNK_DATA:
+            block = bytes(self._pending[:MAX_CHUNK_DATA])
+            del self._pending[:MAX_CHUNK_DATA]
+            out += self._encode_block(block)
+        return bytes(out)
+
+    def flush(self) -> bytes:
+        """Emit the final partial chunk (and the header for empty streams)."""
+        out = bytearray()
+        if not self._header_emitted:
+            out += STREAM_IDENTIFIER
+            self._header_emitted = True
+        if self._pending:
+            out += self._encode_block(bytes(self._pending))
+            self._pending.clear()
+        return bytes(out)
+
+    def _encode_block(self, block: bytes) -> bytes:
+        crc = masked_crc32c(block).to_bytes(4, "little")
+        compressed = self._codec.compress(block)
+        if len(compressed) < len(block):
+            return _chunk(CHUNK_COMPRESSED, crc + compressed)
+        return _chunk(CHUNK_UNCOMPRESSED, crc + block)
+
+
+def compress_framed(data: bytes) -> bytes:
+    """One-shot framed compression."""
+    stream = SnappyFramedStream()
+    return stream.write(data) + stream.flush()
+
+
+def iter_frames(stream: bytes) -> Iterator[tuple]:
+    """Yield (chunk_type, payload) pairs, validating structure."""
+    if not stream.startswith(STREAM_IDENTIFIER[:1]):
+        raise CorruptStreamError("framed stream must begin with a stream identifier")
+    pos = 0
+    while pos < len(stream):
+        if pos + 4 > len(stream):
+            raise CorruptStreamError("truncated chunk header")
+        chunk_type = stream[pos]
+        length = int.from_bytes(stream[pos + 1 : pos + 4], "little")
+        pos += 4
+        if pos + length > len(stream):
+            raise CorruptStreamError("truncated chunk payload")
+        yield chunk_type, stream[pos : pos + length]
+        pos += length
+
+
+def decompress_framed(stream: bytes) -> bytes:
+    """Decode a framed stream, verifying identifiers and CRCs."""
+    codec = SnappyCodec()
+    out = bytearray()
+    saw_identifier = False
+    for chunk_type, payload in iter_frames(stream):
+        if chunk_type == CHUNK_STREAM_IDENTIFIER:
+            if payload != b"sNaPpY":
+                raise CorruptStreamError("bad stream identifier payload")
+            saw_identifier = True
+            continue
+        if not saw_identifier:
+            raise CorruptStreamError("data chunk before stream identifier")
+        if chunk_type == CHUNK_PADDING:
+            continue
+        if chunk_type in (CHUNK_COMPRESSED, CHUNK_UNCOMPRESSED):
+            if len(payload) < 4:
+                raise CorruptStreamError("chunk too short for its CRC")
+            expected_crc = int.from_bytes(payload[:4], "little")
+            body = payload[4:]
+            if chunk_type == CHUNK_COMPRESSED:
+                block = codec.decompress(body)
+            else:
+                block = body
+            if len(block) > MAX_CHUNK_DATA:
+                raise CorruptStreamError("chunk exceeds 64 KiB of source data")
+            if masked_crc32c(block) != expected_crc:
+                raise CorruptStreamError("chunk CRC mismatch")
+            out += block
+        elif 0x02 <= chunk_type <= 0x7F:
+            raise CorruptStreamError(f"unskippable reserved chunk {chunk_type:#04x}")
+        # 0x80..0xFD are reserved skippable: ignored.
+    if not saw_identifier:
+        raise CorruptStreamError("empty stream (no identifier)")
+    return bytes(out)

@@ -1,0 +1,525 @@
+"""A ZStd-like heavyweight codec: LZ77 + Huffman literals + FSE sequences.
+
+This mirrors the algorithmic structure of Zstandard (paper refs [8, 31]) —
+dictionary coding into ``(literal_length, offset, match_length)`` sequences,
+Huffman-coded literals, FSE-coded sequence codes with raw extra bits, framed
+into independent blocks over a configurable history window with compression
+levels — without reproducing the full RFC 8878 container bit-for-bit. Every
+component the paper's ZStd CDPU contains (Fig. 9/10) has a counterpart here:
+
+* ``SeqToCodeConverter`` → :func:`value_to_code` / :func:`code_to_value`,
+* Huffman dict builder/encoder → :mod:`repro.algorithms.huffman`,
+* three FSE dictionary builders (litlen/matchlen/offset) + encoder →
+  :class:`SequenceCoder`,
+* LZ77 hash matcher → :class:`repro.algorithms.lz77.Lz77Encoder`.
+
+The container guarantees ratio >= ~1 by falling back to raw blocks, and the
+decoder validates every length so corrupt inputs raise
+:class:`~repro.common.errors.CorruptStreamError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import Codec, CodecInfo, WeightClass
+from repro.algorithms.fse import FseTable
+from repro.algorithms.huffman import (
+    HuffmanTable,
+    byte_frequencies,
+    decode_symbols,
+    deserialize_lengths,
+    encode_symbols,
+    serialize_lengths,
+)
+from repro.algorithms.lz77 import (
+    Copy,
+    Literal,
+    Lz77Encoder,
+    Lz77Params,
+    Token,
+    TokenStream,
+)
+from repro.common.bitio import BitReader, BitWriter
+from repro.common.errors import ConfigError, CorruptStreamError
+from repro.common.units import KiB, MiB, is_power_of_two
+from repro.common.varint import decode_varint, encode_varint
+
+MAGIC = b"ZSRL"
+FORMAT_VERSION = 1
+
+#: zstd's real level range (§3.3.2: "levels from negative infinity to 22").
+MIN_LEVEL = -7
+MAX_LEVEL = 22
+DEFAULT_LEVEL = 3
+
+#: Block granularity, as in zstd.
+BLOCK_SIZE = 128 * KiB
+
+#: Sequence-code alphabet: code 0 encodes value 0 (litlen/matchlen only);
+#: code k encodes values [2**(k-1), 2**k) with k-1 raw extra bits.
+CODE_ALPHABET = 40
+
+_BLOCK_RAW = 0
+_BLOCK_RLE = 1
+_BLOCK_COMPRESSED = 2
+
+_LITERALS_RAW = 0
+_LITERALS_HUFFMAN = 1
+
+ZSTD_INFO = CodecInfo(
+    name="zstd",
+    display_name="ZStd",
+    weight_class=WeightClass.HEAVYWEIGHT,
+    has_entropy_coding=True,
+    supports_levels=True,
+    min_level=MIN_LEVEL,
+    max_level=MAX_LEVEL,
+    default_level=DEFAULT_LEVEL,
+    fixed_window_bytes=None,
+)
+
+
+def value_to_code(value: int) -> Tuple[int, int, int]:
+    """Convert a sequence value to (code, extra_bits_width, extra_bits_value).
+
+    The hardware ``SeqToCodeConverter`` (§5.7) performs this combinationally.
+    """
+    if value < 0:
+        raise ValueError(f"sequence values are non-negative, got {value}")
+    if value == 0:
+        return 0, 0, 0
+    code = value.bit_length()
+    base = 1 << (code - 1)
+    return code, code - 1, value - base
+
+
+def code_to_value(code: int, extra_bits_value: int) -> int:
+    """Inverse of :func:`value_to_code`."""
+    if code == 0:
+        return 0
+    return (1 << (code - 1)) + extra_bits_value
+
+
+@dataclass(frozen=True)
+class SequenceTriple:
+    """One (literal_length, offset, match_length) sequence (§2.1)."""
+
+    literal_length: int
+    offset: int
+    match_length: int
+
+
+def tokens_to_sequences(tokens: Sequence[Token]) -> Tuple[List[SequenceTriple], bytes, int]:
+    """Convert an LZ77 token stream to zstd-style sequences.
+
+    Returns ``(sequences, all_literal_bytes, trailing_literal_count)``. The
+    literal buffer concatenates every literal byte in order; each sequence
+    consumes ``literal_length`` of them before executing its copy, and the
+    trailing literals (after the final copy) are appended at the end — exactly
+    zstd's "last literals" convention.
+    """
+    sequences: List[SequenceTriple] = []
+    literals = bytearray()
+    pending = 0
+    for token in tokens:
+        if isinstance(token, Literal):
+            literals.extend(token.data)
+            pending += len(token.data)
+        else:
+            sequences.append(
+                SequenceTriple(
+                    literal_length=pending,
+                    offset=token.offset,
+                    match_length=token.length,
+                )
+            )
+            pending = 0
+    return sequences, bytes(literals), pending
+
+
+def sequences_to_tokens(
+    sequences: Sequence[SequenceTriple], literals: bytes, trailing: int
+) -> List[Token]:
+    """Inverse of :func:`tokens_to_sequences` (validates literal budget)."""
+    tokens: List[Token] = []
+    pos = 0
+    for seq in sequences:
+        if pos + seq.literal_length > len(literals):
+            raise CorruptStreamError("sequence consumes more literals than present")
+        if seq.literal_length:
+            tokens.append(Literal(literals[pos : pos + seq.literal_length]))
+            pos += seq.literal_length
+        tokens.append(Copy(offset=seq.offset, length=seq.match_length))
+    if pos + trailing != len(literals):
+        raise CorruptStreamError(
+            f"trailing literal count {trailing} inconsistent with literal buffer"
+        )
+    if trailing:
+        tokens.append(Literal(literals[pos:]))
+    return tokens
+
+
+@dataclass(frozen=True)
+class LevelParams:
+    """Matcher/entropy effort for one compression level (§2.2, §3.3.2)."""
+
+    hash_table_log: int
+    associativity: int
+    default_window: int
+    accuracy_log: int
+    #: One-step lazy parsing, enabled from level 3 up (zstd's dfast/greedy
+    #: split); the hardware encoder stays greedy (§6.5).
+    lazy: bool = False
+
+    def lz77_params(self, window_size: int) -> Lz77Params:
+        return Lz77Params(
+            window_size=window_size,
+            hash_table_entries=1 << self.hash_table_log,
+            associativity=self.associativity,
+            hash_table_contents="position",
+            hash_function="zstd5",
+            use_skipping=False,
+            lazy=self.lazy,
+        )
+
+
+#: Effort ladder: more table entries + deeper candidate search + larger
+#: default windows as the level rises; mirrors zstd's cLevel tables in shape.
+_LEVEL_LADDER: List[Tuple[int, LevelParams]] = [
+    (-7, LevelParams(hash_table_log=10, associativity=1, default_window=64 * KiB, accuracy_log=7)),
+    (-1, LevelParams(hash_table_log=11, associativity=1, default_window=64 * KiB, accuracy_log=8)),
+    (1, LevelParams(hash_table_log=12, associativity=1, default_window=128 * KiB, accuracy_log=8)),
+    (3, LevelParams(hash_table_log=14, associativity=2, default_window=256 * KiB, accuracy_log=9, lazy=True)),
+    (5, LevelParams(hash_table_log=15, associativity=4, default_window=512 * KiB, accuracy_log=9, lazy=True)),
+    (7, LevelParams(hash_table_log=16, associativity=6, default_window=1 * MiB, accuracy_log=9, lazy=True)),
+    (9, LevelParams(hash_table_log=16, associativity=8, default_window=2 * MiB, accuracy_log=10, lazy=True)),
+    (12, LevelParams(hash_table_log=17, associativity=12, default_window=4 * MiB, accuracy_log=10, lazy=True)),
+    (16, LevelParams(hash_table_log=17, associativity=20, default_window=8 * MiB, accuracy_log=11, lazy=True)),
+    (19, LevelParams(hash_table_log=18, associativity=32, default_window=8 * MiB, accuracy_log=11, lazy=True)),
+    (22, LevelParams(hash_table_log=18, associativity=48, default_window=16 * MiB, accuracy_log=11, lazy=True)),
+]
+
+
+def level_params(level: int) -> LevelParams:
+    """Resolve a (clamped) compression level to its effort parameters."""
+    level = max(MIN_LEVEL, min(MAX_LEVEL, level))
+    chosen = _LEVEL_LADDER[0][1]
+    for threshold, params in _LEVEL_LADDER:
+        if level >= threshold:
+            chosen = params
+    return chosen
+
+
+class SequenceCoder:
+    """FSE coding of sequence triples: three tables + one extra-bits stream.
+
+    Mirrors the hardware FSE compressor (§5.7): three dictionary builders
+    (literal length, match length, offset) feeding one encoder, with the
+    SeqToCode conversion in front.
+    """
+
+    def __init__(self, accuracy_log: int) -> None:
+        self.accuracy_log = accuracy_log
+
+    def encode(self, sequences: Sequence[SequenceTriple]) -> bytes:
+        ll_codes, ml_codes, off_codes = [], [], []
+        extra = BitWriter()
+        for seq in sequences:
+            for value, codes in (
+                (seq.literal_length, ll_codes),
+                (seq.match_length, ml_codes),
+                (seq.offset, off_codes),
+            ):
+                code, width, bits = value_to_code(value)
+                codes.append(code)
+                extra.write(bits, width)
+        out = bytearray()
+        out += encode_varint(len(sequences))
+        if not sequences:
+            return bytes(out)
+        for codes in (ll_codes, ml_codes, off_codes):
+            table = FseTable.from_frequencies(
+                {c: codes.count(c) for c in set(codes)}, self.accuracy_log
+            )
+            payload, state, _bits = table.encode(codes)
+            alphabet = max(codes) + 1
+            out += bytes([self.accuracy_log, alphabet])
+            out += table.serialize_counts(alphabet)
+            out += state.to_bytes(2, "little")
+            out += encode_varint(len(payload))
+            out += payload
+        extra_payload = extra.getvalue()
+        out += encode_varint(extra.bit_length)
+        out += extra_payload
+        return bytes(out)
+
+    @staticmethod
+    def decode(data: bytes, pos: int) -> Tuple[List[SequenceTriple], int]:
+        num_sequences, pos = decode_varint(data, pos)
+        if num_sequences == 0:
+            return [], pos
+        streams: List[List[int]] = []
+        for _ in range(3):
+            if pos >= len(data):
+                raise CorruptStreamError("truncated sequence section")
+            if pos + 2 > len(data):
+                raise CorruptStreamError("truncated sequence table header")
+            acc_log = data[pos]
+            alphabet = data[pos + 1]
+            pos += 2
+            if not 5 <= acc_log <= 12:
+                raise CorruptStreamError(f"invalid FSE accuracy log {acc_log}")
+            if not 1 <= alphabet <= CODE_ALPHABET:
+                raise CorruptStreamError(f"invalid sequence-code alphabet {alphabet}")
+            table, consumed = FseTable.deserialize_counts(data[pos:], alphabet, acc_log)
+            pos += consumed
+            if pos + 2 > len(data):
+                raise CorruptStreamError("truncated FSE state")
+            state = int.from_bytes(data[pos : pos + 2], "little")
+            pos += 2
+            payload_len, pos = decode_varint(data, pos)
+            if pos + payload_len > len(data):
+                raise CorruptStreamError("truncated FSE payload")
+            payload = data[pos : pos + payload_len]
+            pos += payload_len
+            streams.append(table.decode(payload, state, num_sequences))
+        extra_bits, pos = decode_varint(data, pos)
+        extra_bytes = (extra_bits + 7) // 8
+        if pos + extra_bytes > len(data):
+            raise CorruptStreamError("truncated extra-bits stream")
+        reader = BitReader(data[pos : pos + extra_bytes])
+        pos += extra_bytes
+        ll_codes, ml_codes, off_codes = streams
+        sequences: List[SequenceTriple] = []
+        for i in range(num_sequences):
+            values = []
+            for code in (ll_codes[i], ml_codes[i], off_codes[i]):
+                if code >= CODE_ALPHABET:
+                    raise CorruptStreamError(f"sequence code {code} out of range")
+                width = max(0, code - 1)
+                bits = reader.read(width) if width else 0
+                values.append(code_to_value(code, bits))
+            literal_length, match_length, offset = values
+            if offset <= 0:
+                raise CorruptStreamError("sequence offset must be positive")
+            sequences.append(SequenceTriple(literal_length, offset, match_length))
+        return sequences, pos
+
+
+def _encode_literals(literals: bytes) -> bytes:
+    """Literals section: Huffman when it wins, raw otherwise."""
+    if len(literals) >= 32:
+        freqs = byte_frequencies(literals)
+        if len(freqs) > 1:
+            table = HuffmanTable.from_frequencies(freqs)
+            header = serialize_lengths(table, 256)
+            payload = encode_symbols(literals, table)
+            if 1 + len(header) + len(payload) + 5 < len(literals):
+                out = bytearray([_LITERALS_HUFFMAN])
+                out += encode_varint(len(literals))
+                out += header
+                out += encode_varint(len(payload))
+                out += payload
+                return bytes(out)
+    return bytes([_LITERALS_RAW]) + encode_varint(len(literals)) + literals
+
+
+def _decode_literals(data: bytes, pos: int) -> Tuple[bytes, int]:
+    if pos >= len(data):
+        raise CorruptStreamError("missing literals section")
+    mode = data[pos]
+    pos += 1
+    count, pos = decode_varint(data, pos)
+    if mode == _LITERALS_RAW:
+        if pos + count > len(data):
+            raise CorruptStreamError("truncated raw literals")
+        return data[pos : pos + count], pos + count
+    if mode == _LITERALS_HUFFMAN:
+        table, consumed = deserialize_lengths(data[pos:], 256)
+        pos += consumed
+        payload_len, pos = decode_varint(data, pos)
+        if pos + payload_len > len(data):
+            raise CorruptStreamError("truncated huffman literals")
+        symbols = decode_symbols(data[pos : pos + payload_len], count, table)
+        return bytes(symbols), pos + payload_len
+    raise CorruptStreamError(f"unknown literals mode {mode}")
+
+
+class ZstdCodec(Codec):
+    """The ZStd-like heavyweight codec with levels and window sizing."""
+
+    info = ZSTD_INFO
+
+    def __init__(
+        self,
+        *,
+        lz77_params: Optional[Lz77Params] = None,
+        accuracy_log: Optional[int] = None,
+    ) -> None:
+        # Optional overrides pin the matcher and FSE table precision (used by
+        # the CDPU model when sweeping hardware history / hash-table /
+        # accuracy-log parameters).
+        self._lz77_override = lz77_params
+        self._accuracy_override = accuracy_log
+
+    def _matcher(self, level: int, window_size: int) -> Lz77Encoder:
+        if self._lz77_override is not None:
+            return Lz77Encoder(self._lz77_override)
+        return Lz77Encoder(level_params(level).lz77_params(window_size))
+
+    def resolve_window(self, window_size: Optional[int], *, level: int = DEFAULT_LEVEL) -> int:
+        if window_size is None:
+            return level_params(level).default_window
+        if not is_power_of_two(window_size):
+            raise ConfigError(f"window_size must be a power of two, got {window_size}")
+        if not 1 << 10 <= window_size <= 1 << 27:
+            raise ConfigError(
+                f"window_size must be within [1 KiB, 128 MiB], got {window_size}"
+            )
+        return window_size
+
+    def tokenize(
+        self,
+        data: bytes,
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> TokenStream:
+        """Dictionary-coding stage only (shared with the HW model)."""
+        resolved_level = self.info.clamp_level(level)
+        window = self.resolve_window(window_size, level=resolved_level)
+        return self._matcher(resolved_level, window).encode(data)
+
+    def compress(
+        self,
+        data: bytes,
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> bytes:
+        resolved_level = self.info.clamp_level(level)
+        window = self.resolve_window(window_size, level=resolved_level)
+        params = level_params(resolved_level)
+        matcher = self._matcher(resolved_level, window)
+        coder = SequenceCoder(self._accuracy_override or params.accuracy_log)
+
+        out = bytearray()
+        out += MAGIC
+        out.append(FORMAT_VERSION)
+        out.append(window.bit_length() - 1)
+        out += encode_varint(len(data))
+
+        if not data:
+            out.append(_BLOCK_RAW | 0x80)
+            out += encode_varint(0)
+            return bytes(out)
+
+        for start in range(0, len(data), BLOCK_SIZE):
+            block = data[start : start + BLOCK_SIZE]
+            last = start + BLOCK_SIZE >= len(data)
+            out += self._compress_block(block, matcher, coder, last)
+        return bytes(out)
+
+    def _compress_block(
+        self, block: bytes, matcher: Lz77Encoder, coder: SequenceCoder, last: bool
+    ) -> bytes:
+        last_flag = 0x80 if last else 0
+        if len(block) >= 16 and len(set(block)) == 1:
+            header = bytearray([_BLOCK_RLE | last_flag])
+            header += encode_varint(len(block))
+            header.append(block[0])
+            return bytes(header)
+        # NOTE: blocks are matched independently (offsets never cross a block
+        # boundary), which keeps block decode stateless like zstd's default.
+        stream = matcher.encode(block)
+        sequences, literals, trailing = tokens_to_sequences(stream.tokens)
+        body = bytearray()
+        body += _encode_literals(literals)
+        body += coder.encode(sequences)
+        body += encode_varint(trailing)
+        if len(body) + 6 >= len(block):
+            header = bytearray([_BLOCK_RAW | last_flag])
+            header += encode_varint(len(block))
+            return bytes(header) + block
+        header = bytearray([_BLOCK_COMPRESSED | last_flag])
+        header += encode_varint(len(block))
+        header += encode_varint(len(body))
+        return bytes(header) + bytes(body)
+
+    def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+        if len(data) < 6 or data[:4] != MAGIC:
+            raise CorruptStreamError("bad magic: not a ZStd-like frame")
+        if data[4] != FORMAT_VERSION:
+            raise CorruptStreamError(f"unsupported format version {data[4]}")
+        window_log = data[5]
+        if not 10 <= window_log <= 27:
+            raise CorruptStreamError(f"window log {window_log} out of range")
+        window = 1 << window_log
+        pos = 6
+        expected, pos = decode_varint(data, pos)
+        out = bytearray()
+        saw_last = False
+        while pos < len(data):
+            if saw_last:
+                raise CorruptStreamError("data after last block")
+            block_tag = data[pos]
+            pos += 1
+            block_type = block_tag & 0x7F
+            saw_last = bool(block_tag & 0x80)
+            raw_size, pos = decode_varint(data, pos)
+            if block_type == _BLOCK_RAW:
+                if pos + raw_size > len(data):
+                    raise CorruptStreamError("truncated raw block")
+                out += data[pos : pos + raw_size]
+                pos += raw_size
+            elif block_type == _BLOCK_RLE:
+                if pos >= len(data):
+                    raise CorruptStreamError("truncated RLE block")
+                out += bytes([data[pos]]) * raw_size
+                pos += 1
+            elif block_type == _BLOCK_COMPRESSED:
+                body_size, pos = decode_varint(data, pos)
+                if pos + body_size > len(data):
+                    raise CorruptStreamError("truncated compressed block")
+                self._decode_block(data, pos, raw_size, window, out)
+                pos += body_size
+            else:
+                raise CorruptStreamError(f"unknown block type {block_type}")
+            if len(out) > expected:
+                raise CorruptStreamError("frame produced more bytes than declared")
+        if not saw_last:
+            raise CorruptStreamError("frame missing last block")
+        if len(out) != expected:
+            raise CorruptStreamError(
+                f"frame produced {len(out)} bytes, header declared {expected}"
+            )
+        return bytes(out)
+
+    def _decode_block(
+        self, data: bytes, pos: int, raw_size: int, window: int, out: bytearray
+    ) -> None:
+        block_start = len(out)
+        literals, pos = _decode_literals(data, pos)
+        sequences, pos = SequenceCoder.decode(data, pos)
+        trailing, pos = decode_varint(data, pos)
+        lit_pos = 0
+        for seq in sequences:
+            if lit_pos + seq.literal_length > len(literals):
+                raise CorruptStreamError("sequences overrun literal buffer")
+            out += literals[lit_pos : lit_pos + seq.literal_length]
+            lit_pos += seq.literal_length
+            produced_in_block = len(out) - block_start
+            if seq.offset > produced_in_block or seq.offset > window:
+                raise CorruptStreamError(
+                    f"match offset {seq.offset} outside window/history"
+                )
+            start = len(out) - seq.offset
+            for i in range(seq.match_length):
+                out.append(out[start + i])
+        if lit_pos + trailing != len(literals):
+            raise CorruptStreamError("trailing literal count mismatch")
+        out += literals[lit_pos:]
+        if len(out) - block_start != raw_size:
+            raise CorruptStreamError("block decoded to wrong size")

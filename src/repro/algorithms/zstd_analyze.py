@@ -1,0 +1,173 @@
+"""Structural analysis of ZStd-like frames for the hardware model.
+
+The ZStd decompressor pipeline needs to know, per compressed frame, how much
+work each hardware block performs: Huffman-coded literal symbols (expander),
+sequences (FSE expander), table counts/sizes (table builders), and the full
+LZ77 token stream with real offsets (LZ77 decoder + history fallbacks).
+:func:`analyze_frame` extracts all of that in one validating pass that
+mirrors :meth:`repro.algorithms.zstd.ZstdCodec.decompress`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.algorithms.lz77 import Copy, Literal, Token, TokenStream
+from repro.algorithms.zstd import (
+    FORMAT_VERSION,
+    MAGIC,
+    SequenceCoder,
+    _BLOCK_COMPRESSED,
+    _BLOCK_RAW,
+    _BLOCK_RLE,
+    _LITERALS_HUFFMAN,
+    _LITERALS_RAW,
+)
+from repro.common.errors import CorruptStreamError
+from repro.common.varint import decode_varint
+
+
+@dataclass
+class BlockStats:
+    """Work performed decoding one frame block."""
+
+    block_type: str  # "raw", "rle", or "compressed"
+    raw_size: int
+    literal_count: int = 0
+    huffman_coded: bool = False
+    num_sequences: int = 0
+    fse_tables: int = 0
+    fse_accuracy_logs: List[int] = field(default_factory=list)
+
+
+@dataclass
+class FrameStats:
+    """Aggregate per-frame statistics plus the executable token stream."""
+
+    window_log: int
+    content_bytes: int
+    compressed_bytes: int
+    blocks: List[BlockStats]
+    tokens: TokenStream
+
+    @property
+    def huffman_symbols(self) -> int:
+        return sum(b.literal_count for b in self.blocks if b.huffman_coded)
+
+    @property
+    def huffman_tables(self) -> int:
+        return sum(1 for b in self.blocks if b.huffman_coded)
+
+    @property
+    def total_sequences(self) -> int:
+        return sum(b.num_sequences for b in self.blocks)
+
+    @property
+    def total_fse_tables(self) -> int:
+        return sum(b.fse_tables for b in self.blocks)
+
+
+def analyze_frame(data: bytes) -> FrameStats:
+    """Parse a ZStd-like frame and collect hardware-relevant statistics.
+
+    Raises :class:`CorruptStreamError` on malformed frames, like the real
+    decoder. The returned token stream reconstructs the content when executed
+    (offsets are frame-relative: blocks are matched independently, so every
+    offset stays within its block — consistent with the encoder).
+    """
+    if len(data) < 6 or data[:4] != MAGIC:
+        raise CorruptStreamError("bad magic: not a ZStd-like frame")
+    if data[4] != FORMAT_VERSION:
+        raise CorruptStreamError(f"unsupported format version {data[4]}")
+    window_log = data[5]
+    pos = 6
+    expected, pos = decode_varint(data, pos)
+
+    blocks: List[BlockStats] = []
+    tokens: List[Token] = []
+    produced = 0
+    saw_last = False
+    while pos < len(data):
+        if saw_last:
+            raise CorruptStreamError("data after last block")
+        tag = data[pos]
+        pos += 1
+        block_type = tag & 0x7F
+        saw_last = bool(tag & 0x80)
+        raw_size, pos = decode_varint(data, pos)
+        if block_type == _BLOCK_RAW:
+            if pos + raw_size > len(data):
+                raise CorruptStreamError("truncated raw block")
+            if raw_size:
+                tokens.append(Literal(data[pos : pos + raw_size]))
+            blocks.append(BlockStats("raw", raw_size))
+            pos += raw_size
+        elif block_type == _BLOCK_RLE:
+            if pos >= len(data):
+                raise CorruptStreamError("truncated RLE block")
+            byte = data[pos]
+            pos += 1
+            # RLE executes as one literal byte plus one maximal-overlap copy.
+            tokens.append(Literal(bytes([byte])))
+            if raw_size > 1:
+                tokens.append(Copy(offset=1, length=raw_size - 1))
+            blocks.append(BlockStats("rle", raw_size))
+        elif block_type == _BLOCK_COMPRESSED:
+            body_size, pos = decode_varint(data, pos)
+            if pos + body_size > len(data):
+                raise CorruptStreamError("truncated compressed block")
+            stats, block_tokens = _analyze_block(data, pos, raw_size)
+            blocks.append(stats)
+            tokens.extend(block_tokens)
+            pos += body_size
+        else:
+            raise CorruptStreamError(f"unknown block type {block_type}")
+        produced += raw_size
+    if not saw_last:
+        raise CorruptStreamError("frame missing last block")
+    if produced != expected:
+        raise CorruptStreamError("frame size mismatch")
+    return FrameStats(
+        window_log=window_log,
+        content_bytes=expected,
+        compressed_bytes=len(data),
+        blocks=blocks,
+        tokens=TokenStream(tokens, expected),
+    )
+
+
+def _analyze_block(data: bytes, pos: int, raw_size: int):
+    from repro.algorithms.zstd import _decode_literals, sequences_to_tokens
+
+    start = pos
+    mode = data[pos] if pos < len(data) else -1
+    literals, pos = _decode_literals(data, pos)
+    sequences, seq_end = SequenceCoder.decode(data, pos)
+    # Re-parse the accuracy logs for the table-builder model.
+    acc_logs: List[int] = []
+    scan = pos
+    num_sequences, scan = decode_varint(data, scan)
+    if num_sequences:
+        for _ in range(3):
+            acc_logs.append(data[scan])
+            alphabet = data[scan + 1]
+            scan += 2
+            width = acc_logs[-1] + 1
+            scan += (alphabet * width + 7) // 8
+            scan += 2  # state
+            payload_len, scan = decode_varint(data, scan)
+            scan += payload_len
+    pos = seq_end
+    trailing, pos = decode_varint(data, pos)
+    block_tokens = sequences_to_tokens(sequences, literals, trailing)
+    stats = BlockStats(
+        block_type="compressed",
+        raw_size=raw_size,
+        literal_count=len(literals),
+        huffman_coded=(mode == _LITERALS_HUFFMAN),
+        num_sequences=len(sequences),
+        fse_tables=3 if sequences else 0,
+        fse_accuracy_logs=acc_logs,
+    )
+    return stats, block_tokens

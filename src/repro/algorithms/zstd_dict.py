@@ -1,0 +1,252 @@
+"""Dictionary compression for the ZStd-like codec (paper §3.4).
+
+The stable (de)compression API the paper leans on is "a stateless, buffer-in,
+buffer-out API, **sometimes with a separate dictionary**, and a streaming
+equivalent". Dictionaries matter precisely for the fleet's small calls
+(Figure 3's sub-32 KiB mass): a shared prefix of common structure gives the
+LZ77 stage history to match against before the payload has produced any.
+
+:class:`ZstdDictCodec` is the dictionary variant of
+:class:`~repro.algorithms.zstd.ZstdCodec`: the dictionary (capped to the
+window) is virtually prepended to the first block's history, so copies may
+reach back into it; the decoder seeds its history with the same dictionary,
+verified by CRC-32C. Later blocks are matched independently, as in the base
+container.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.algorithms.lz77 import Copy, Literal, Lz77Encoder, Token
+from repro.algorithms.zstd import (
+    BLOCK_SIZE,
+    DEFAULT_LEVEL,
+    SequenceCoder,
+    ZSTD_INFO,
+    ZstdCodec,
+    _decode_literals,
+    _encode_literals,
+    level_params,
+    tokens_to_sequences,
+)
+from repro.common.crc32c import crc32c
+from repro.common.errors import CorruptStreamError
+from repro.common.varint import decode_varint, encode_varint
+
+DICT_MAGIC = b"ZSRD"
+DICT_FORMAT_VERSION = 1
+
+
+def strip_prefix_tokens(tokens: List[Token], prefix_length: int) -> List[Token]:
+    """Drop/trim tokens so the stream reconstructs only bytes after
+    ``prefix_length``.
+
+    Trimming a copy keeps its offset: an LZ77 copy is a sequential byte copy
+    (``dst[i] = dst[i - offset]``), so any suffix of it is itself a valid
+    copy at the same offset.
+    """
+    out: List[Token] = []
+    pos = 0
+    for token in tokens:
+        length = len(token.data) if isinstance(token, Literal) else token.length
+        end = pos + length
+        if end <= prefix_length:
+            pass  # entirely inside the prefix: drop
+        elif pos >= prefix_length:
+            out.append(token)
+        elif isinstance(token, Literal):
+            out.append(Literal(token.data[prefix_length - pos :]))
+        else:
+            out.append(Copy(offset=token.offset, length=end - prefix_length))
+        pos = end
+    return out
+
+
+class ZstdDictCodec:
+    """ZStd-like compression with a caller-supplied prefix dictionary."""
+
+    info = ZSTD_INFO
+
+    def __init__(self, dictionary: bytes) -> None:
+        if not dictionary:
+            raise ValueError("dictionary must be non-empty (use ZstdCodec otherwise)")
+        self.dictionary = dictionary
+        self._checksum = crc32c(dictionary)
+
+    def compress(
+        self,
+        data: bytes,
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> bytes:
+        resolved_level = self.info.clamp_level(level)
+        plain = ZstdCodec()
+        window = plain.resolve_window(window_size, level=resolved_level)
+        params = level_params(resolved_level)
+        matcher = Lz77Encoder(params.lz77_params(window))
+        coder = SequenceCoder(params.accuracy_log)
+        dict_tail = self.dictionary[-window:]
+
+        out = bytearray()
+        out += DICT_MAGIC
+        out.append(DICT_FORMAT_VERSION)
+        out.append(window.bit_length() - 1)
+        out += self._checksum.to_bytes(4, "little")
+        out += encode_varint(len(data))
+
+        if not data:
+            out.append(0x80)  # empty last block
+            out += encode_varint(0)
+            return bytes(out)
+
+        for start in range(0, len(data), BLOCK_SIZE):
+            block = data[start : start + BLOCK_SIZE]
+            last = start + BLOCK_SIZE >= len(data)
+            if start == 0:
+                out += self._compress_first_block(block, dict_tail, matcher, coder, last)
+            else:
+                # Later blocks: standard independent matching.
+                out += self._compress_plain_block(block, matcher, coder, last)
+        return bytes(out)
+
+    def _compress_first_block(
+        self,
+        block: bytes,
+        dict_tail: bytes,
+        matcher: Lz77Encoder,
+        coder: SequenceCoder,
+        last: bool,
+    ) -> bytes:
+        stream = matcher.encode(dict_tail + block)
+        tokens = strip_prefix_tokens(stream.tokens, len(dict_tail))
+        sequences, literals, trailing = tokens_to_sequences(tokens)
+        body = bytearray()
+        body += _encode_literals(literals)
+        body += coder.encode(sequences)
+        body += encode_varint(trailing)
+        last_flag = 0x80 if last else 0
+        if len(body) + 6 >= len(block):
+            header = bytearray([0x00 | last_flag])  # raw
+            header += encode_varint(len(block))
+            return bytes(header) + block
+        header = bytearray([0x02 | last_flag])  # compressed
+        header += encode_varint(len(block))
+        header += encode_varint(len(body))
+        return bytes(header) + bytes(body)
+
+    def _compress_plain_block(
+        self, block: bytes, matcher: Lz77Encoder, coder: SequenceCoder, last: bool
+    ) -> bytes:
+        return self._compress_first_block(block, b"", matcher, coder, last)
+
+    def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+        if len(data) < 10 or data[:4] != DICT_MAGIC:
+            raise CorruptStreamError("bad magic: not a dictionary frame")
+        if data[4] != DICT_FORMAT_VERSION:
+            raise CorruptStreamError(f"unsupported dict-frame version {data[4]}")
+        window_log = data[5]
+        if not 10 <= window_log <= 27:
+            raise CorruptStreamError(f"window log {window_log} out of range")
+        window = 1 << window_log
+        stored_checksum = int.from_bytes(data[6:10], "little")
+        if stored_checksum != self._checksum:
+            raise CorruptStreamError(
+                "frame was compressed with a different dictionary (CRC mismatch)"
+            )
+        dict_tail = self.dictionary[-window:]
+        pos = 10
+        expected, pos = decode_varint(data, pos)
+        out = bytearray()
+        saw_last = False
+        first = True
+        while pos < len(data):
+            if saw_last:
+                raise CorruptStreamError("data after last block")
+            tag = data[pos]
+            pos += 1
+            block_type = tag & 0x7F
+            saw_last = bool(tag & 0x80)
+            raw_size, pos = decode_varint(data, pos)
+            if block_type == 0x00:  # raw
+                if pos + raw_size > len(data):
+                    raise CorruptStreamError("truncated raw block")
+                out += data[pos : pos + raw_size]
+                pos += raw_size
+            elif block_type == 0x02:  # compressed
+                body_size, pos = decode_varint(data, pos)
+                if pos + body_size > len(data):
+                    raise CorruptStreamError("truncated compressed block")
+                prefix = dict_tail if first else b""
+                self._decode_block(data, pos, raw_size, window, prefix, out)
+                pos += body_size
+            else:
+                raise CorruptStreamError(f"unknown dict-frame block type {block_type}")
+            first = False
+        if not saw_last:
+            raise CorruptStreamError("frame missing last block")
+        if len(out) != expected:
+            raise CorruptStreamError("frame produced wrong number of bytes")
+        return bytes(out)
+
+    def _decode_block(
+        self,
+        data: bytes,
+        pos: int,
+        raw_size: int,
+        window: int,
+        prefix: bytes,
+        out: bytearray,
+    ) -> None:
+        literals, pos = _decode_literals(data, pos)
+        sequences, pos = SequenceCoder.decode(data, pos)
+        trailing, pos = decode_varint(data, pos)
+        # Execute against a scratch buffer seeded with the dictionary so
+        # copies may reach into it; only the produced part is appended.
+        scratch = bytearray(prefix)
+        base = len(scratch)
+        lit_pos = 0
+        for seq in sequences:
+            if lit_pos + seq.literal_length > len(literals):
+                raise CorruptStreamError("sequences overrun literal buffer")
+            scratch += literals[lit_pos : lit_pos + seq.literal_length]
+            lit_pos += seq.literal_length
+            if seq.offset > len(scratch) or seq.offset > window + base:
+                raise CorruptStreamError(f"match offset {seq.offset} outside history")
+            start = len(scratch) - seq.offset
+            for i in range(seq.match_length):
+                scratch.append(scratch[start + i])
+        if lit_pos + trailing != len(literals):
+            raise CorruptStreamError("trailing literal count mismatch")
+        scratch += literals[lit_pos:]
+        if len(scratch) - base != raw_size:
+            raise CorruptStreamError("block decoded to wrong size")
+        out += scratch[base:]
+
+
+def train_dictionary(samples: List[bytes], max_size: int = 4096) -> bytes:
+    """Build a simple shared dictionary from sample payloads.
+
+    A lightweight stand-in for ``zstd --train``: concatenates the most common
+    fixed-size grams across samples (most common last, so the hottest content
+    sits at the smallest offsets). Good enough to demonstrate the small-call
+    ratio benefit; not a COVER/FastCover implementation.
+    """
+    if not samples:
+        raise ValueError("need at least one sample to train a dictionary")
+    from collections import Counter
+
+    gram = 16
+    counts: Counter = Counter()
+    for sample in samples:
+        for i in range(0, max(0, len(sample) - gram), gram):
+            counts[sample[i : i + gram]] += 1
+    ranked = [g for g, c in counts.most_common() if c >= 2]
+    if not ranked:
+        ranked = [g for g, _ in counts.most_common(max_size // gram)]
+    budget = max_size // gram
+    # Most common last = closest to the data = cheapest offsets.
+    chosen = list(reversed(ranked[:budget]))
+    dictionary = b"".join(chosen)[:max_size]
+    return dictionary or samples[0][:max_size]

@@ -1,0 +1,5 @@
+"""Reporting helpers: ASCII tables/plots for examples and experiment output."""
+
+from repro.analysis.textplot import bar_chart, cdf_plot, sparkline
+
+__all__ = ["bar_chart", "cdf_plot", "sparkline"]

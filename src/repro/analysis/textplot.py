@@ -1,0 +1,55 @@
+"""Minimal ASCII plotting for examples and reports (no plotting deps)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return title
+    peak = max(max(values), 1e-12)
+    label_width = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(value / peak * width))) if value > 0 else ""
+        lines.append(f"{label.rjust(label_width)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    bins: Sequence[int],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render cumulative distributions as rows of per-bin percentages."""
+    lines = [title] if title else []
+    header = "bin  " + "  ".join(name.rjust(8) for name in series)
+    lines.append(header)
+    for i, b in enumerate(bins):
+        row = f"{b:>3}  " + "  ".join(f"{100 * s[i]:7.1f}%" for s in series.values())
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend using block characters."""
+    blocks = " .:-=+*#%@"
+    values = list(values)
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    return "".join(blocks[int((v - low) / span * (len(blocks) - 1))] for v in values)

@@ -1,0 +1,30 @@
+"""Accelerator chaining study: serializer + CDPU composition (§3.5.2)."""
+
+from repro.chaining.protobuf import (
+    RPC_LOG_SCHEMA,
+    FieldSpec,
+    MessageSchema,
+    WireType,
+    decode_message,
+    decode_record_batch,
+    encode_message,
+    encode_record_batch,
+    sample_records,
+)
+from repro.chaining.study import ChainResult, chaining_study, render_study, run_chain
+
+__all__ = [
+    "ChainResult",
+    "FieldSpec",
+    "MessageSchema",
+    "RPC_LOG_SCHEMA",
+    "WireType",
+    "chaining_study",
+    "decode_message",
+    "decode_record_batch",
+    "encode_message",
+    "encode_record_batch",
+    "render_study",
+    "run_chain",
+    "sample_records",
+]

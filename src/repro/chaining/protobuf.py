@@ -1,0 +1,195 @@
+"""A protocol-buffer-like serializer substrate (paper §3.5.2, refs [39, 43]).
+
+§3.5.2 envisions CDPUs invoked "in conjunction with related accelerators
+(e.g., a hardware protocol buffer (de)serializer) as part of a larger
+data-access operation" — 49% of fleet (de)compression cycles come from file
+formats that are internally serializing-then-compressing protobufs. To study
+that chaining quantitatively we need the substrate itself: a wire-compatible
+subset of the protobuf encoding (tag/wire-type framing, varints, fixed widths,
+length-delimited fields).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from repro.common.errors import CorruptStreamError
+from repro.common.varint import decode_varint, encode_varint
+
+FieldValue = Union[int, float, bytes, str]
+
+
+class WireType(enum.IntEnum):
+    """Protobuf wire types (subset: no groups)."""
+
+    VARINT = 0
+    FIXED64 = 1
+    LENGTH_DELIMITED = 2
+    FIXED32 = 5
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One schema field: number, wire type, and a human name."""
+
+    number: int
+    wire_type: WireType
+    name: str
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.number < (1 << 29):
+            raise ValueError(f"field number {self.number} out of range")
+
+
+@dataclass(frozen=True)
+class MessageSchema:
+    """An ordered set of fields (the paper's 'serialized protobufs')."""
+
+    name: str
+    fields: Tuple[FieldSpec, ...]
+
+    def __post_init__(self) -> None:
+        numbers = [f.number for f in self.fields]
+        if len(numbers) != len(set(numbers)):
+            raise ValueError("duplicate field numbers in schema")
+
+    def field_by_number(self, number: int) -> FieldSpec:
+        for field in self.fields:
+            if field.number == number:
+                return field
+        raise KeyError(f"schema {self.name} has no field {number}")
+
+
+def _encode_tag(number: int, wire_type: WireType) -> bytes:
+    return encode_varint(number << 3 | int(wire_type))
+
+
+def encode_message(schema: MessageSchema, values: Dict[str, FieldValue]) -> bytes:
+    """Serialize a record; unknown keys are rejected, missing keys skipped."""
+    by_name = {f.name: f for f in schema.fields}
+    unknown = set(values) - set(by_name)
+    if unknown:
+        raise KeyError(f"values not in schema {schema.name}: {sorted(unknown)}")
+    out = bytearray()
+    for field in schema.fields:  # canonical field order
+        if field.name not in values:
+            continue
+        value = values[field.name]
+        out += _encode_tag(field.number, field.wire_type)
+        if field.wire_type is WireType.VARINT:
+            out += encode_varint(int(value))
+        elif field.wire_type is WireType.FIXED64:
+            out += struct.pack("<d", float(value)) if isinstance(value, float) else struct.pack("<Q", int(value))
+        elif field.wire_type is WireType.FIXED32:
+            out += struct.pack("<I", int(value) & 0xFFFFFFFF)
+        else:
+            blob = value.encode() if isinstance(value, str) else bytes(value)
+            out += encode_varint(len(blob))
+            out += blob
+    return bytes(out)
+
+
+def decode_message(schema: MessageSchema, data: bytes) -> Dict[str, FieldValue]:
+    """Parse a record; validates tags/lengths, skips unknown fields."""
+    values: Dict[str, FieldValue] = {}
+    pos = 0
+    while pos < len(data):
+        tag, pos = decode_varint(data, pos)
+        number = tag >> 3
+        try:
+            wire_type = WireType(tag & 0x7)
+        except ValueError:
+            raise CorruptStreamError(f"unknown wire type {tag & 0x7}") from None
+        if wire_type is WireType.VARINT:
+            value, pos = decode_varint(data, pos)
+        elif wire_type is WireType.FIXED64:
+            if pos + 8 > len(data):
+                raise CorruptStreamError("truncated fixed64 field")
+            value = struct.unpack("<Q", data[pos : pos + 8])[0]
+            pos += 8
+        elif wire_type is WireType.FIXED32:
+            if pos + 4 > len(data):
+                raise CorruptStreamError("truncated fixed32 field")
+            value = struct.unpack("<I", data[pos : pos + 4])[0]
+            pos += 4
+        else:
+            length, pos = decode_varint(data, pos)
+            if pos + length > len(data):
+                raise CorruptStreamError("length-delimited field overruns buffer")
+            value = data[pos : pos + length]
+            pos += length
+        try:
+            field = schema.field_by_number(number)
+        except KeyError:
+            continue  # unknown field: protobuf-compatible skip
+        if field.wire_type is not wire_type:
+            raise CorruptStreamError(
+                f"field {number} has wire type {wire_type}, schema says {field.wire_type}"
+            )
+        values[field.name] = value
+    return values
+
+
+def encode_record_batch(schema: MessageSchema, records: List[Dict[str, FieldValue]]) -> bytes:
+    """Length-prefixed record stream: the 'sequence of serialized protobufs
+    that are accumulated and compressed periodically' of §3.5.2."""
+    out = bytearray()
+    for record in records:
+        blob = encode_message(schema, record)
+        out += encode_varint(len(blob))
+        out += blob
+    return bytes(out)
+
+
+def decode_record_batch(schema: MessageSchema, data: bytes) -> List[Dict[str, FieldValue]]:
+    records = []
+    pos = 0
+    while pos < len(data):
+        length, pos = decode_varint(data, pos)
+        if pos + length > len(data):
+            raise CorruptStreamError("record overruns batch")
+        records.append(decode_message(schema, data[pos : pos + length]))
+        pos += length
+    return records
+
+
+#: A fleet-ish RPC log schema used by the chaining study and tests.
+RPC_LOG_SCHEMA = MessageSchema(
+    name="RpcLogEntry",
+    fields=(
+        FieldSpec(1, WireType.VARINT, "timestamp_us"),
+        FieldSpec(2, WireType.VARINT, "user_id"),
+        FieldSpec(3, WireType.LENGTH_DELIMITED, "method"),
+        FieldSpec(4, WireType.VARINT, "status"),
+        FieldSpec(5, WireType.VARINT, "latency_us"),
+        FieldSpec(6, WireType.LENGTH_DELIMITED, "payload"),
+        FieldSpec(7, WireType.FIXED32, "shard"),
+    ),
+)
+
+
+def sample_records(seed: int, count: int) -> List[Dict[str, FieldValue]]:
+    """Generate RPC-log records with realistic repetition structure."""
+    from repro.common.rng import make_rng
+
+    rng = make_rng(seed, "chaining-records")
+    methods = [b"/storage.Read", b"/storage.Write", b"/index.Lookup", b"/cache.Get"]
+    records = []
+    ts = 1_700_000_000_000_000
+    for _ in range(count):
+        ts += int(rng.integers(1, 2000))
+        records.append(
+            {
+                "timestamp_us": ts,
+                "user_id": int(rng.integers(1, 1 << 20)),
+                "method": methods[int(rng.integers(0, len(methods)))],
+                "status": int(rng.choice([0, 0, 0, 0, 5, 13])),
+                "latency_us": int(rng.integers(50, 100_000)),
+                "payload": bytes(rng.integers(0, 4, size=int(rng.integers(8, 64))) + 97),
+                "shard": int(rng.integers(0, 64)),
+            }
+        )
+    return records

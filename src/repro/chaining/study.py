@@ -1,0 +1,174 @@
+"""Accelerator chaining study (paper §3.5.2 and §3.8 lesson 4).
+
+The question: when a data-access operation is *serialize -> (bookkeeping) ->
+compress* (49% of fleet (de)compression cycles come from such file-format
+code), how does CDPU placement interact with the serializer accelerator's
+placement?
+
+The paper's qualitative claims, which this study makes quantitative:
+
+* chaining across PCIe "would incur substantial offload overhead multiple
+  times, making the use of each accelerator less attractive" (§3.5.2);
+* placing both accelerators near the core, "utilizing the CPU caches ... as
+  the intermediate storage", preserves most of the chaining benefit without
+  re-architecting file formats (§3.8 lesson 4b).
+
+The chain executes functionally: records are really serialized (protobuf
+wire format) and really compressed; only the time accounting is modeled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.algorithms.base import Operation
+from repro.algorithms.registry import get_codec
+from repro.chaining.protobuf import MessageSchema, encode_record_batch
+from repro.core import calibration as cal
+from repro.core.generator import CdpuGenerator
+from repro.core.params import CdpuConfig
+from repro.soc.memory import MemorySystem
+from repro.soc.placement import Placement
+
+#: Hardware serializer service rate (bytes of wire output per cycle), in the
+#: range reported for protobuf accelerators (refs [39, 43]).
+SERIALIZER_BYTES_PER_CYCLE = 4.0
+#: Software serialization cost (cycles/byte), per the same studies' baselines.
+SOFTWARE_SERIALIZE_CYCLES_PER_BYTE = 10.0
+#: The "small, unrelated book-keeping operations between the two accelerated
+#: operations" (§3.5.2), executed on the CPU, cycles per chained operation.
+BOOKKEEPING_CYCLES = 400.0
+
+
+@dataclass(frozen=True)
+class ChainResult:
+    """Cycle breakdown of one serialize+compress data-access operation."""
+
+    scenario: str
+    serialize_cycles: float
+    transfer_cycles: float
+    bookkeeping_cycles: float
+    compress_cycles: float
+    wire_bytes: int
+    compressed_bytes: int
+
+    @property
+    def total_cycles(self) -> float:
+        return (
+            self.serialize_cycles
+            + self.transfer_cycles
+            + self.bookkeeping_cycles
+            + self.compress_cycles
+        )
+
+    @property
+    def throughput_gbps(self) -> float:
+        return self.wire_bytes / (self.total_cycles / cal.CDPU_CLOCK_HZ) / cal.GB_PER_SECOND
+
+
+def run_chain(
+    schema: MessageSchema,
+    records: List[dict],
+    *,
+    placement: Placement,
+    algorithm: str = "zstd",
+    software_serializer: bool = False,
+) -> ChainResult:
+    """Execute serialize -> bookkeeping -> compress under one placement.
+
+    ``placement`` applies to *both* accelerators (the §3.5.2 scenario chains
+    them on the same device/queue). Near-core, the intermediate wire buffer
+    stays in the L2 and moves once; across PCIe, it crosses the link after
+    serialization and again into the compressor, and each stage pays its own
+    command round trips.
+    """
+    wire = encode_record_batch(schema, records)
+
+    memory = MemorySystem.for_placement(placement)
+    if software_serializer:
+        serialize = len(wire) * SOFTWARE_SERIALIZE_CYCLES_PER_BYTE
+        serializer_dispatch = 0.0
+    else:
+        serialize = len(wire) / SERIALIZER_BYTES_PER_CYCLE
+        serializer_dispatch = memory.per_call_overhead_cycles()
+        # Raw field data in, wire data out, through the placement's port.
+        serialize += memory.streaming_cycles(len(wire), len(wire))
+
+    # The compressor runs the real pipeline on the real wire bytes.
+    instance = CdpuGenerator().generate(CdpuConfig(placement=placement))
+    pipeline = instance.pipeline(algorithm, Operation.COMPRESS)
+    compress_result = pipeline.run(wire)
+
+    # Intermediate transfer: near-core chains hand off through the shared L2
+    # (charged once inside each stage's streaming); off-die placements move
+    # the intermediate across the link again between the two engines.
+    if placement is Placement.ROCC or software_serializer:
+        transfer = 0.0
+    else:
+        transfer = memory.streaming_cycles(len(wire), len(wire))
+
+    return ChainResult(
+        scenario=f"{'sw' if software_serializer else 'hw'}-serialize+{algorithm}@{placement.value}",
+        serialize_cycles=serialize + serializer_dispatch,
+        transfer_cycles=transfer,
+        bookkeeping_cycles=BOOKKEEPING_CYCLES,
+        compress_cycles=compress_result.cycles,
+        wire_bytes=len(wire),
+        compressed_bytes=compress_result.output_bytes,
+    )
+
+
+def chaining_study(
+    schema: MessageSchema,
+    records: List[dict],
+    *,
+    algorithm: str = "zstd",
+) -> Dict[str, ChainResult]:
+    """Compare the §3.5.2 scenarios on one record batch.
+
+    Returns results for: all-software, near-core chained accelerators,
+    chiplet-chained, and PCIe-chained.
+    """
+    results: Dict[str, ChainResult] = {}
+    results["software"] = run_chain(
+        schema, records, placement=Placement.ROCC, algorithm=algorithm,
+        software_serializer=True,
+    )
+    # Software baseline also compresses in software: substitute the Xeon cost.
+    from repro.soc.xeon import XeonBaseline
+
+    software = results["software"]
+    wire_ratio = software.wire_bytes / max(1, software.compressed_bytes)
+    xeon = XeonBaseline()
+    sw_compress_seconds = xeon.call_seconds(
+        algorithm, Operation.COMPRESS, software.wire_bytes, ratio=wire_ratio
+    )
+    results["software"] = ChainResult(
+        scenario="software-serialize+software-compress",
+        serialize_cycles=software.serialize_cycles,
+        transfer_cycles=0.0,
+        bookkeeping_cycles=BOOKKEEPING_CYCLES,
+        compress_cycles=sw_compress_seconds * cal.CDPU_CLOCK_HZ,
+        wire_bytes=software.wire_bytes,
+        compressed_bytes=software.compressed_bytes,
+    )
+
+    for placement in (Placement.ROCC, Placement.CHIPLET, Placement.PCIE_NO_CACHE):
+        results[placement.value] = run_chain(
+            schema, records, placement=placement, algorithm=algorithm
+        )
+    return results
+
+
+def render_study(results: Dict[str, ChainResult]) -> str:
+    lines = [
+        "Chained data-access operation: serialize -> bookkeeping -> compress",
+        f"{'scenario':<44s} {'total cyc':>10s} {'xfer':>8s} {'GB/s':>7s}",
+    ]
+    for result in results.values():
+        lines.append(
+            f"{result.scenario:<44s} {result.total_cycles:10.0f} "
+            f"{result.transfer_cycles:8.0f} {result.throughput_gbps:7.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five subcommands expose the library's main surfaces:
+
+* ``compress`` / ``decompress`` — run any of the from-scratch codecs on a
+  file (buffer-in/buffer-out, §3.4's stable API).
+* ``fleet`` — print the §3 fleet-profiling summary from a synthetic sample.
+* ``dse`` — run one of the Figure 11-15 sweeps and print its table.
+* ``summaries`` — regenerate FINAL_TEXT_SUMMARIES from a full exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.algorithms.registry import available_codecs, get_codec
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CDPU (ISCA'23) reproduction: codecs, fleet study, benchmark "
+        "generation and CDPU design-space exploration.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    comp = sub.add_parser("compress", help="compress a file with one of the codecs")
+    comp.add_argument("input", help="input path ('-' for stdin)")
+    comp.add_argument("output", help="output path ('-' for stdout)")
+    comp.add_argument("--algorithm", "-a", choices=available_codecs(), default="snappy")
+    comp.add_argument("--level", "-l", type=int, default=None)
+    comp.add_argument("--window-log", type=int, default=None, help="log2 window size")
+
+    decomp = sub.add_parser("decompress", help="decompress a file")
+    decomp.add_argument("input")
+    decomp.add_argument("output")
+    decomp.add_argument("--algorithm", "-a", choices=available_codecs(), default="snappy")
+
+    fleet = sub.add_parser("fleet", help="print the fleet profiling summary (paper §3)")
+    fleet.add_argument("--calls", type=int, default=120_000)
+    fleet.add_argument("--seed", type=int, default=0)
+
+    dse = sub.add_parser("dse", help="run one paper experiment (Figures 11-15)")
+    dse.add_argument(
+        "figure", choices=["fig11", "fig12", "fig13", "fig14", "fig15"],
+        help="which figure's sweep to run",
+    )
+
+    sub.add_parser("summaries", help="regenerate FINAL_TEXT_SUMMARIES (full DSE)")
+    return parser
+
+
+def _read(path: str) -> bytes:
+    if path == "-":
+        return sys.stdin.buffer.read()
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _write(path: str, data: bytes) -> None:
+    if path == "-":
+        sys.stdout.buffer.write(data)
+        return
+    with open(path, "wb") as handle:
+        handle.write(data)
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from repro.common.errors import ReproError
+
+    codec = get_codec(args.algorithm)
+    data = _read(args.input)
+    window = (1 << args.window_log) if args.window_log else None
+    try:
+        compressed = codec.compress(data, level=args.level, window_size=window)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    _write(args.output, compressed)
+    ratio = len(data) / max(1, len(compressed))
+    print(
+        f"{args.algorithm}: {len(data)} -> {len(compressed)} bytes ({ratio:.2f}x)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    from repro.common.errors import CorruptStreamError
+
+    codec = get_codec(args.algorithm)
+    try:
+        output = codec.decompress(_read(args.input))
+    except CorruptStreamError as exc:
+        print(f"error: corrupt stream: {exc}", file=sys.stderr)
+        return 1
+    _write(args.output, output)
+    print(f"{args.algorithm}: {len(output)} bytes restored", file=sys.stderr)
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import analysis as A
+    from repro.fleet import generate_fleet_profile
+
+    profile = generate_fleet_profile(seed=args.seed, num_calls=args.calls)
+    print(f"fleet sample: {len(profile):,} calls (seed {args.seed})")
+    print(f"  decompression cycle share : {100 * A.decompression_cycle_fraction(profile):.1f}%")
+    print(f"  lightweight comp bytes    : {100 * A.lightweight_compress_byte_share(profile):.1f}%")
+    print(f"  decompressions per byte   : {A.decompression_reuse_factor(profile):.2f}")
+    print(f"  ZStd bytes at level <= 3  : {100 * A.zstd_level_cdf_at(profile, 3):.1f}%")
+    print(f"  file-format caller cycles : {100 * A.file_format_cycle_share(profile):.1f}%")
+    ratios = A.compression_ratio_by_bin(profile)
+    print(
+        "  aggregate ratios          : "
+        + "  ".join(f"{k}={v:.2f}" for k, v in sorted(ratios.items()))
+    )
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from repro.dse import DseRunner
+    from repro.dse import experiments
+
+    runner = DseRunner()
+    figure = {
+        "fig11": experiments.fig11_snappy_decompression,
+        "fig12": experiments.fig12_snappy_compression,
+        "fig13": experiments.fig13_snappy_compression_small_ht,
+        "fig14": experiments.fig14_zstd_decompression,
+        "fig15": experiments.fig15_zstd_compression,
+    }[args.figure](runner)
+    print(figure.to_table())
+    return 0
+
+
+def _cmd_summaries(_args: argparse.Namespace) -> int:
+    from repro.dse import DseRunner
+    from repro.dse.summaries import final_text_summaries
+
+    print(final_text_summaries(DseRunner()))
+    return 0
+
+
+_COMMANDS = {
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "fleet": _cmd_fleet,
+    "dse": _cmd_dse,
+    "summaries": _cmd_summaries,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

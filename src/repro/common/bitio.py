@@ -1,0 +1,131 @@
+"""Bit-granular readers and writers for the entropy coders.
+
+Two bit orders are provided because the two entropy-coder families in the
+paper's CDPU use different conventions:
+
+* :class:`BitWriter` / :class:`BitReader` — LSB-first within each byte, the
+  convention used by DEFLATE and by zstd's FSE bitstreams.
+* Both support peeking fixed-width fields, which is what the hardware Huffman
+  expander's speculative table lookups do.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CorruptStreamError
+
+
+class BitWriter:
+    """Accumulates bits LSB-first and renders them to bytes.
+
+    Bits are appended with :meth:`write`; the first bit written becomes the
+    least-significant bit of the first output byte.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._bit_acc = 0
+        self._bit_count = 0
+
+    def write(self, value: int, num_bits: int) -> None:
+        """Append the low ``num_bits`` bits of ``value``."""
+        if num_bits < 0:
+            raise ValueError(f"num_bits must be non-negative, got {num_bits}")
+        if num_bits == 0:
+            return
+        if value < 0 or value >= (1 << num_bits):
+            raise ValueError(f"value {value} does not fit in {num_bits} bits")
+        self._bit_acc |= value << self._bit_count
+        self._bit_count += num_bits
+        while self._bit_count >= 8:
+            self._buffer.append(self._bit_acc & 0xFF)
+            self._bit_acc >>= 8
+            self._bit_count -= 8
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._buffer) * 8 + self._bit_count
+
+    def align_to_byte(self) -> None:
+        """Pad with zero bits up to the next byte boundary."""
+        if self._bit_count:
+            self._buffer.append(self._bit_acc & 0xFF)
+            self._bit_acc = 0
+            self._bit_count = 0
+
+    def getvalue(self) -> bytes:
+        """Return the stream so far, padding the final partial byte with 0s."""
+        tail = bytes([self._bit_acc & 0xFF]) if self._bit_count else b""
+        return bytes(self._buffer) + tail
+
+
+class BitReader:
+    """Reads bits LSB-first from a byte string, mirroring :class:`BitWriter`."""
+
+    def __init__(self, data: bytes, start_bit: int = 0) -> None:
+        self._data = data
+        self._pos = start_bit
+        self._limit = len(data) * 8
+        if start_bit < 0 or start_bit > self._limit:
+            raise ValueError(f"start_bit {start_bit} outside stream of {self._limit} bits")
+
+    @property
+    def bits_remaining(self) -> int:
+        return self._limit - self._pos
+
+    @property
+    def bit_position(self) -> int:
+        return self._pos
+
+    def read(self, num_bits: int) -> int:
+        """Consume and return ``num_bits`` bits as an integer."""
+        value = self.peek(num_bits)
+        self._pos += num_bits
+        return value
+
+    def peek(self, num_bits: int) -> int:
+        """Return the next ``num_bits`` bits without consuming them."""
+        if num_bits < 0:
+            raise ValueError(f"num_bits must be non-negative, got {num_bits}")
+        if num_bits > self.bits_remaining:
+            raise CorruptStreamError(
+                f"bitstream underflow: wanted {num_bits}, have {self.bits_remaining}"
+            )
+        result = 0
+        pos = self._pos
+        gathered = 0
+        while gathered < num_bits:
+            byte = self._data[pos >> 3]
+            offset = pos & 7
+            take = min(8 - offset, num_bits - gathered)
+            chunk = (byte >> offset) & ((1 << take) - 1)
+            result |= chunk << gathered
+            gathered += take
+            pos += take
+        return result
+
+    def peek_padded(self, num_bits: int) -> int:
+        """Peek up to ``num_bits``; missing tail bits read as zero.
+
+        This mirrors how a hardware decoder's speculative lookups behave at
+        the end of a stream: the lookahead window is zero-extended.
+        """
+        available = min(num_bits, self.bits_remaining)
+        return self.peek(available)
+
+    def skip(self, num_bits: int) -> None:
+        if num_bits > self.bits_remaining:
+            raise CorruptStreamError("bitstream underflow during skip")
+        self._pos += num_bits
+
+    def align_to_byte(self) -> None:
+        """Advance to the next byte boundary (discarding pad bits)."""
+        remainder = self._pos & 7
+        if remainder:
+            self.skip(8 - remainder)
+
+    def byte_position(self) -> int:
+        """Current position in bytes; only valid when byte-aligned."""
+        if self._pos & 7:
+            raise ValueError("reader is not byte-aligned")
+        return self._pos >> 3

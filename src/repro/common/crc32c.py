@@ -1,0 +1,46 @@
+"""CRC-32C (Castagnoli), as used by the Snappy framing format.
+
+Table-driven, reflected, polynomial 0x1EDC6F41. The framing format stores a
+*masked* CRC (rotate right 15 and add a constant) so that CRCs of data that
+happens to contain CRCs do not degenerate — both forms are provided.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_POLY = 0x82F63B78  # reflected 0x1EDC6F41
+_MASK_DELTA = 0xA282EAD8
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ _POLY if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32c(data: bytes, crc: int = 0) -> int:
+    """Compute (or continue) a CRC-32C over ``data``."""
+    crc = ~crc & 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    return ~crc & 0xFFFFFFFF
+
+
+def masked_crc32c(data: bytes) -> int:
+    """Snappy framing's masked CRC: rotate right by 15 bits, add a constant."""
+    crc = crc32c(data)
+    return ((crc >> 15 | crc << 17) + _MASK_DELTA) & 0xFFFFFFFF
+
+
+def unmask_crc32c(masked: int) -> int:
+    """Inverse of :func:`masked_crc32c`."""
+    rot = (masked - _MASK_DELTA) & 0xFFFFFFFF
+    return (rot >> 17 | rot << 15) & 0xFFFFFFFF

@@ -1,0 +1,29 @@
+"""Exception hierarchy shared across the reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class at API boundaries. Codec-level corruption is
+always signalled with :class:`CorruptStreamError` — decoders never silently
+produce wrong output for malformed input.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid parameter combination was supplied to a generator/model."""
+
+
+class CorruptStreamError(ReproError):
+    """A compressed stream failed validation during decoding."""
+
+
+class UnsupportedInputError(ReproError):
+    """The input violates a documented limit (e.g. exceeds a format maximum)."""
+
+
+class CalibrationError(ReproError):
+    """A calibration table is inconsistent or missing an anchor point."""

@@ -1,0 +1,66 @@
+"""Hash functions for LZ77 match-finder hash tables.
+
+The CDPU generator exposes the hash function as a compile-time parameter
+(Section 5.8, parameter 8). We provide the functions actually used by the
+deployed software codecs so the hardware model and our codecs share them:
+
+* ``multiplicative`` — Snappy's 4-byte Fibonacci-style multiplicative hash.
+* ``zstd5`` — zstd's 5-byte multiplicative hash (used at fast levels).
+* ``xor_shift`` — a cheap XOR/shift fold, representative of minimal-area
+  hardware hashing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+_MASK64 = (1 << 64) - 1
+
+#: Snappy's magic multiplier (2654435761 = 2^32 / phi).
+_KNUTH32 = 0x9E3779B1
+#: zstd's 64-bit prime for 5-byte hashing.
+_ZSTD_PRIME5 = 0x9FB21C651E98DF25
+
+
+def hash_multiplicative(word: int, bits: int) -> int:
+    """Snappy-style hash of a 32-bit little-endian word into ``bits`` bits."""
+    return ((word * _KNUTH32) & 0xFFFFFFFF) >> (32 - bits)
+
+
+def hash_zstd5(word: int, bits: int) -> int:
+    """zstd-style hash of a 40-bit (5-byte) little-endian word."""
+    value = ((word << 24) * _ZSTD_PRIME5) & _MASK64
+    return value >> (64 - bits)
+
+
+def hash_xor_shift(word: int, bits: int) -> int:
+    """Cheap XOR-fold hash: representative minimal hardware hash."""
+    word &= 0xFFFFFFFF
+    word ^= word >> 15
+    word = (word * 0x85EBCA6B) & 0xFFFFFFFF
+    word ^= word >> 13
+    return word & ((1 << bits) - 1)
+
+
+HashFunction = Callable[[int, int], int]
+
+HASH_FUNCTIONS: Dict[str, HashFunction] = {
+    "multiplicative": hash_multiplicative,
+    "zstd5": hash_zstd5,
+    "xor_shift": hash_xor_shift,
+}
+
+
+def get_hash_function(name: str) -> HashFunction:
+    """Look up a hash function by its registry name."""
+    try:
+        return HASH_FUNCTIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(HASH_FUNCTIONS))
+        raise KeyError(f"unknown hash function {name!r}; known: {known}") from None
+
+
+def load_u32le(data: bytes, pos: int) -> int:
+    """Read a little-endian u32 starting at ``pos`` (zero-padded at the end)."""
+    chunk = data[pos : pos + 4]
+    return int.from_bytes(chunk, "little")

@@ -1,0 +1,69 @@
+"""Size/frequency unit helpers used throughout the library.
+
+The paper mixes KiB/MiB byte quantities, GB/s throughputs (decimal), and GHz
+clock frequencies. These helpers keep the conventions in one place:
+
+* ``KiB``/``MiB``/``GiB`` are binary (1024-based) byte multipliers, matching
+  how the paper reports window and call sizes.
+* Throughputs are reported in decimal GB/s (1e9 bytes/second), matching
+  lzbench and the paper's text.
+"""
+
+from __future__ import annotations
+
+import math
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: One decimal gigabyte, used for GB/s throughput reporting (lzbench style).
+GB = 1_000_000_000
+
+
+def bytes_per_cycle_to_gbps(bytes_per_cycle: float, clock_hz: float) -> float:
+    """Convert a per-cycle processing rate into decimal GB/s."""
+    return bytes_per_cycle * clock_hz / GB
+
+
+def gbps_to_bytes_per_cycle(gbps: float, clock_hz: float) -> float:
+    """Convert a decimal GB/s throughput into bytes per clock cycle."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return gbps * GB / clock_hz
+
+
+def ceil_log2(value: int) -> int:
+    """``ceil(log2(value))`` for positive integers (paper's call-size bins).
+
+    The fleet figures bin calls by ``ceil(lg2(bytes))``; a 1-byte call lands
+    in bin 0 and a 64 MiB call in bin 26.
+    """
+    if value <= 0:
+        raise ValueError(f"ceil_log2 requires a positive value, got {value}")
+    return (value - 1).bit_length()
+
+
+def floor_log2(value: int) -> int:
+    """``floor(log2(value))`` for positive integers (window-size bins)."""
+    if value <= 0:
+        raise ValueError(f"floor_log2 requires a positive value, got {value}")
+    return value.bit_length() - 1
+
+
+def format_size(num_bytes: float) -> str:
+    """Render a byte count the way the paper labels axes (64K, 2M, ...)."""
+    if num_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {num_bytes}")
+    for threshold, suffix in ((GiB, "G"), (MiB, "M"), (KiB, "K")):
+        if num_bytes >= threshold:
+            scaled = num_bytes / threshold
+            if math.isclose(scaled, round(scaled)):
+                return f"{round(scaled)}{suffix}"
+            return f"{scaled:.1f}{suffix}"
+    return f"{int(num_bytes)}B"
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0

@@ -1,0 +1,57 @@
+"""Little-endian base-128 varints (the Snappy preamble encoding).
+
+Snappy's stream begins with the uncompressed length encoded as a varint
+(identical to protocol-buffer varints). The helpers here are also reused by
+the ZStd-like container for frame-level lengths.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CorruptStreamError
+
+#: Snappy limits the uncompressed length preamble to 32 bits.
+MAX_VARINT32 = (1 << 32) - 1
+MAX_VARINT64 = (1 << 64) - 1
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a little-endian base-128 varint."""
+    if value < 0:
+        raise ValueError(f"varints encode non-negative integers, got {value}")
+    if value > MAX_VARINT64:
+        raise ValueError(f"value {value} exceeds 64-bit varint range")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, pos: int = 0, *, max_bits: int = 64) -> tuple[int, int]:
+    """Decode a varint from ``data`` starting at ``pos``.
+
+    Returns ``(value, next_pos)``. Raises :class:`CorruptStreamError` when the
+    stream ends mid-varint or the value overflows ``max_bits``.
+    """
+    result = 0
+    shift = 0
+    limit = (1 << max_bits) - 1
+    while True:
+        if pos >= len(data):
+            raise CorruptStreamError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if result > limit:
+                raise CorruptStreamError(
+                    f"varint value {result} overflows {max_bits}-bit limit"
+                )
+            return result, pos
+        shift += 7
+        if shift >= max_bits + 7:
+            raise CorruptStreamError("varint too long")

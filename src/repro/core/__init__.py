@@ -1,0 +1,15 @@
+"""The paper's primary contribution: the parameterized CDPU generator.
+
+Public surface:
+
+* :class:`~repro.core.params.CdpuConfig` — every §5.8 parameter.
+* :class:`~repro.core.generator.CdpuGenerator` — elaborates pipelines.
+* :mod:`~repro.core.area` — the calibrated silicon-area model.
+* :mod:`~repro.core.calibration` — every paper anchor and derived constant.
+"""
+
+from repro.core.complex import CdpuComplex
+from repro.core.generator import CdpuGenerator, CdpuInstance
+from repro.core.params import CdpuConfig, ParamKind
+
+__all__ = ["CdpuComplex", "CdpuConfig", "CdpuGenerator", "CdpuInstance", "ParamKind"]

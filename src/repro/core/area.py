@@ -1,0 +1,102 @@
+"""Silicon area model (paper §6: 16 nm-class synthesis estimates).
+
+Component-level model calibrated to the four published absolute areas (see
+:mod:`repro.core.calibration` for the derivations). Areas are for a single
+pipeline; a combined Snappy+ZStd CDPU shares the LZ77 blocks, matching the
+paper's ~1.3 mm^2 (Snappy) / ~5.7 mm^2 (ZStd, i.e. both directions) totals.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import Operation
+from repro.common.units import KiB
+from repro.core import calibration as cal
+from repro.core.params import CdpuConfig
+
+
+def sram_area_mm2(num_bytes: int) -> float:
+    """History/table SRAM area from capacity."""
+    return (num_bytes / KiB) * cal.SRAM_MM2_PER_KIB
+
+
+def hash_table_area_mm2(entries: int, associativity: int = 1) -> float:
+    """Hash-table SRAM area; ways multiply the stored candidate slots."""
+    return entries * associativity * cal.HASH_ENTRY_MM2
+
+
+def huffman_expander_area_mm2(speculation: int) -> float:
+    """Speculative Huffman decode lanes (superlinear in width, §6.4)."""
+    return cal.HUFF_SPEC_COEFF * speculation**cal.HUFF_SPEC_EXPONENT
+
+
+def fse_table_area_mm2(accuracy_log: int) -> float:
+    """FSE decode/encode table SRAMs (2**accuracy_log entries)."""
+    return (1 << accuracy_log) / 512.0 * cal.FSE_TABLE_MM2_PER_ACCURACY_STEP
+
+
+def stats_collector_area_mm2(bytes_per_cycle: float) -> float:
+    """Symbol-statistics counters; ports scale with counting bandwidth."""
+    return bytes_per_cycle * cal.STATS_MM2_PER_BYTE_PER_CYCLE
+
+
+def snappy_decompressor_area_mm2(config: CdpuConfig) -> float:
+    """Figure 11's area series: fixed logic + history SRAM."""
+    return cal.SNAPPY_DECOMP_LOGIC_MM2 + sram_area_mm2(config.decoder_history_bytes)
+
+
+def snappy_compressor_area_mm2(config: CdpuConfig) -> float:
+    """Figure 12/13's area series: logic + history SRAM + hash table."""
+    return (
+        cal.SNAPPY_COMP_LOGIC_MM2
+        + sram_area_mm2(config.encoder_history_bytes)
+        + hash_table_area_mm2(config.hash_table_entries, config.hash_table_associativity)
+    )
+
+
+def zstd_decompressor_area_mm2(config: CdpuConfig) -> float:
+    """Figure 14's area series: adds Huffman speculation lanes + FSE tables.
+
+    The fixed-logic constant is calibrated at accuracy log 9 (the FSE-table
+    knob only contributes its delta from that baseline).
+    """
+    return (
+        cal.ZSTD_DECOMP_LOGIC_MM2
+        + sram_area_mm2(config.decoder_history_bytes)
+        + huffman_expander_area_mm2(config.huffman_speculation)
+        + fse_table_area_mm2(config.fse_max_accuracy_log)
+        - fse_table_area_mm2(9)
+    )
+
+
+def zstd_compressor_area_mm2(config: CdpuConfig) -> float:
+    """Figure 15's area series: logic + history + hash table + stats knobs."""
+    default_stats = cal.DEFAULT_STATS_BYTES_PER_CYCLE
+    return (
+        cal.ZSTD_COMP_LOGIC_MM2
+        + sram_area_mm2(config.encoder_history_bytes)
+        + hash_table_area_mm2(config.hash_table_entries, config.hash_table_associativity)
+        + fse_table_area_mm2(config.fse_max_accuracy_log)
+        - fse_table_area_mm2(9)
+        + stats_collector_area_mm2(config.huffman_stats_bytes_per_cycle)
+        + stats_collector_area_mm2(config.fse_stats_bytes_per_cycle)
+        - 2 * stats_collector_area_mm2(default_stats)
+    )
+
+
+def pipeline_area_mm2(algorithm: str, operation: Operation, config: CdpuConfig) -> float:
+    """Area of one (algorithm, operation) pipeline under ``config``."""
+    table = {
+        ("snappy", Operation.DECOMPRESS): snappy_decompressor_area_mm2,
+        ("snappy", Operation.COMPRESS): snappy_compressor_area_mm2,
+        ("zstd", Operation.DECOMPRESS): zstd_decompressor_area_mm2,
+        ("zstd", Operation.COMPRESS): zstd_compressor_area_mm2,
+    }
+    try:
+        return table[(algorithm, operation)](config)
+    except KeyError:
+        raise KeyError(f"no area model for {algorithm}/{operation.value}") from None
+
+
+def fraction_of_xeon_core(area_mm2: float) -> float:
+    """Area as a fraction of a Xeon core tile (the paper's 2.4%-4.7% claim)."""
+    return area_mm2 / cal.AREA_XEON_CORE_TILE

@@ -1,0 +1,23 @@
+"""Reusable CDPU hardware block models (paper §5.1-§5.7)."""
+
+from repro.core.blocks.entropy import (
+    FseCompressorBlock,
+    FseExpanderBlock,
+    HuffmanCompressorBlock,
+    HuffmanExpanderBlock,
+)
+from repro.core.blocks.interface import CommandRouter, MemLoader, MemWriter, shared_port_cycles
+from repro.core.blocks.lz77 import Lz77DecoderBlock, Lz77EncoderBlock
+
+__all__ = [
+    "CommandRouter",
+    "FseCompressorBlock",
+    "FseExpanderBlock",
+    "HuffmanCompressorBlock",
+    "HuffmanExpanderBlock",
+    "Lz77DecoderBlock",
+    "Lz77EncoderBlock",
+    "MemLoader",
+    "MemWriter",
+    "shared_port_cycles",
+]

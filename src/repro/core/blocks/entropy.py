@@ -1,0 +1,112 @@
+"""Entropy-coding hardware blocks (paper §5.3, §5.4, §5.6, §5.7).
+
+Huffman expander/compressor and FSE expander/compressor cycle models. The
+decode-side models capture the two effects the paper's DSE turns on:
+
+* **Speculation** (§5.3): Huffman decode is inherently serial; the expander
+  issues table lookups for S candidate bit positions per cycle. Confirmed
+  symbols per cycle grow ~sqrt(S) — each extra lane is less likely to be on
+  the true decode path — which is exactly the scaling law implied by the
+  paper's 2.11x / 4.2x / 5.64x results for S = 4 / 16 / 32 (§6.4).
+* **Table builds** (§5.3, §5.4): decode tables must be materialized in SRAM
+  before symbols can flow, a serial per-block cost proportional to table
+  size (and, for FSE, bounded by the accuracy-log compile-time parameter).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core import calibration as cal
+from repro.core.params import CdpuConfig
+
+#: Huffman decode-table entries (11-bit max code length, zstd-style).
+HUFF_DECODE_TABLE_ENTRIES = 1 << 11
+#: Entries the table builder writes per cycle (wide SRAM fills).
+TABLE_BUILD_ENTRIES_PER_CYCLE = 4.0
+
+
+@dataclass(frozen=True)
+class HuffmanExpanderBlock:
+    """Speculative Huffman decoder: Table Builder + Reader + Control (§5.3)."""
+
+    config: CdpuConfig
+
+    def symbols_per_cycle(self) -> float:
+        """Confirmed decodes per cycle at this speculation width."""
+        return cal.HUFF_DECODE_RATE_COEFF * math.sqrt(self.config.huffman_speculation)
+
+    def decode_cycles(self, num_symbols: float) -> float:
+        return num_symbols / self.symbols_per_cycle()
+
+    def table_build_cycles(self, num_tables: int) -> float:
+        """Serial decode-table materialization, once per Huffman-coded block."""
+        return (
+            num_tables
+            * HUFF_DECODE_TABLE_ENTRIES
+            * cal.TABLE_BUILD_CYCLES_PER_ENTRY
+            / TABLE_BUILD_ENTRIES_PER_CYCLE
+        )
+
+
+@dataclass(frozen=True)
+class HuffmanCompressorBlock:
+    """Huffman dictionary builder + encoder (§5.6).
+
+    Compression is two-pass at block granularity: the dictionary builder
+    must see the whole block's symbol statistics before the encoder can emit
+    a single code, so the statistics pass is a *serial* stage whose speed is
+    the compile-time "bytes per cycle to collect symbol stats" parameter
+    (§5.8 parameter 10).
+    """
+
+    config: CdpuConfig
+
+    def stats_cycles(self, num_symbols: float) -> float:
+        return num_symbols / self.config.huffman_stats_bytes_per_cycle
+
+    def encode_cycles(self, num_symbols: float) -> float:
+        return num_symbols / cal.HUFF_ENCODE_BYTES_PER_CYCLE
+
+
+@dataclass(frozen=True)
+class FseExpanderBlock:
+    """FSE Table Builder + Table SRAM + Reader (§5.4)."""
+
+    config: CdpuConfig
+
+    def decode_cycles(self, num_sequences: float) -> float:
+        """Three interleaved streams (litlen/matchlen/offset) advance one
+        sequence per cycle together."""
+        return num_sequences / cal.FSE_SEQUENCES_PER_CYCLE
+
+    def table_build_cycles(self, num_tables: int, accuracy_log: int) -> float:
+        entries = 1 << min(accuracy_log, self.config.fse_max_accuracy_log)
+        return (
+            num_tables * entries * cal.TABLE_BUILD_CYCLES_PER_ENTRY / TABLE_BUILD_ENTRIES_PER_CYCLE
+        )
+
+
+@dataclass(frozen=True)
+class FseCompressorBlock:
+    """Three FSE dictionary builders + encoder + SeqToCode converter (§5.7)."""
+
+    config: CdpuConfig
+
+    def stats_cycles(self, num_sequences: float) -> float:
+        """Serial normalized-count collection across the three builders.
+
+        The SeqToCodeConverter feeds all three builders in lockstep, so the
+        pass length is the sequence count over the stats bandwidth (§5.8
+        parameter 11), independent of which of the three tables is largest.
+        """
+        return 3.0 * num_sequences / self.config.fse_stats_bytes_per_cycle
+
+    def encode_cycles(self, num_sequences: float) -> float:
+        return num_sequences / cal.FSE_SEQUENCES_PER_CYCLE
+
+    def table_build_cycles(self) -> float:
+        """Materializing the three encode tables before the encode pass."""
+        entries = 1 << self.config.fse_max_accuracy_log
+        return 3.0 * entries * cal.TABLE_BUILD_CYCLES_PER_ENTRY / TABLE_BUILD_ENTRIES_PER_CYCLE

@@ -1,0 +1,59 @@
+"""System-interface blocks: CommandRouter, MemLoader, MemWriter (paper §5.1).
+
+These blocks connect a CDPU pipeline to the SoC: the CommandRouter accepts
+RoCC commands and dispatches them to sub-blocks; MemLoaders stream input from
+the L2; MemWriters stream output back. Their cycle contributions are derived
+from the placement's :class:`~repro.soc.memory.MemorySystem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soc.memory import MemorySystem
+
+
+@dataclass(frozen=True)
+class CommandRouter:
+    """Dispatches incoming RoCC commands to the correct sub-block (§5.1).
+
+    Cost is per invocation: the RoCC instruction reaches the accelerator in a
+    few cycles near-core; off-die placements pay command/completion round
+    trips (doorbell, descriptor fetch, interrupt/poll).
+    """
+
+    memory: MemorySystem
+
+    def dispatch_cycles(self) -> float:
+        return self.memory.per_call_overhead_cycles()
+
+
+@dataclass(frozen=True)
+class MemLoader:
+    """Streams a byte range from the memory system into the pipeline (§5.1)."""
+
+    memory: MemorySystem
+
+    def stream_cycles(self, num_bytes: float) -> float:
+        """Cycles to load ``num_bytes`` with the loader alone on the port."""
+        return self.memory.streaming_cycles(num_bytes, 0.0)
+
+
+@dataclass(frozen=True)
+class MemWriter:
+    """Streams pipeline output back to the memory system (§5.1)."""
+
+    memory: MemorySystem
+
+    def stream_cycles(self, num_bytes: float) -> float:
+        return self.memory.streaming_cycles(0.0, num_bytes)
+
+
+def shared_port_cycles(memory: MemorySystem, input_bytes: float, output_bytes: float) -> float:
+    """Streaming time when loaders and writers share the 256-bit port.
+
+    This is the quantity pipelines use: input and output move concurrently
+    but through one port, so the bound is combined bytes over the placement's
+    sustained streaming bandwidth.
+    """
+    return memory.streaming_cycles(input_bytes, output_bytes)

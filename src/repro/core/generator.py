@@ -1,0 +1,104 @@
+"""The CDPU generator: elaborate pipelines from a configuration (paper §5).
+
+:class:`CdpuGenerator` plays the role of the Chisel generator + Chipyard SoC
+integration (Figure 8): given a :class:`~repro.core.params.CdpuConfig`, it
+elaborates the block graph for each supported (algorithm, direction) pair,
+attaches the placement's memory system, and reports per-pipeline silicon
+area. The structural output (which blocks exist, what is shared) mirrors
+Figures 9 and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from repro.algorithms.base import Operation
+from repro.core.area import pipeline_area_mm2
+from repro.core.params import CdpuConfig
+from repro.core.pipelines.snappy import SnappyCompressorPipeline, SnappyDecompressorPipeline
+from repro.core.pipelines.zstd import ZstdCompressorPipeline, ZstdDecompressorPipeline
+from repro.soc.memory import MemorySystem
+
+Pipeline = Union[
+    SnappyCompressorPipeline,
+    SnappyDecompressorPipeline,
+    ZstdCompressorPipeline,
+    ZstdDecompressorPipeline,
+]
+
+#: Block inventory per pipeline, mirroring Figures 9 and 10. Blocks marked
+#: shared are instantiated once in a combined Snappy+ZStd CDPU.
+PIPELINE_BLOCKS: Dict[Tuple[str, Operation], List[str]] = {
+    ("snappy", Operation.DECOMPRESS): [
+        "cmd-router", "memloader", "lz77-loader", "history-sram",
+        "off-chip-history-lookup", "lz77-writer", "memwriter", "snappy-control",
+    ],
+    ("zstd", Operation.DECOMPRESS): [
+        "cmd-router", "memloader", "fse-table-builder", "fse-table-sram",
+        "fse-table-reader", "huff-table-builder", "huff-table-reader",
+        "huff-control", "lz77-loader", "history-sram",
+        "off-chip-history-lookup", "lz77-writer", "memwriter", "zstd-control",
+    ],
+    ("snappy", Operation.COMPRESS): [
+        "cmd-router", "memloader", "lz77-hash-matcher", "litlen-injector",
+        "copy-expander", "memwriter", "snappy-control",
+    ],
+    ("zstd", Operation.COMPRESS): [
+        "cmd-router", "memloader", "lz77-hash-matcher", "litlen-injector",
+        "seq-to-code-converter", "huff-dict-builder", "huff-encoder",
+        "fse-dict-builder-x3", "fse-encoder", "memwriter", "zstd-control",
+    ],
+}
+
+#: Blocks shared between the Snappy and ZStd pipelines of one direction
+#: ("the LZ77 decoding block is re-used between Snappy and ZStd", §6.4;
+#: "this accelerator re-uses the LZ77 encoder block from the Snappy
+#: accelerator", §6.5).
+SHARED_BLOCKS: Dict[Operation, List[str]] = {
+    Operation.DECOMPRESS: [
+        "cmd-router", "memloader", "lz77-loader", "history-sram",
+        "off-chip-history-lookup", "lz77-writer", "memwriter",
+    ],
+    Operation.COMPRESS: [
+        "cmd-router", "memloader", "lz77-hash-matcher", "litlen-injector",
+        "memwriter",
+    ],
+}
+
+
+@dataclass(frozen=True)
+class CdpuInstance:
+    """An elaborated CDPU: pipelines plus area accounting."""
+
+    config: CdpuConfig
+    pipelines: Dict[Tuple[str, Operation], Pipeline]
+
+    def pipeline(self, algorithm: str, operation: Operation) -> Pipeline:
+        try:
+            return self.pipelines[(algorithm, operation)]
+        except KeyError:
+            raise KeyError(
+                f"this CDPU was not generated with a {algorithm}/{operation.value} pipeline"
+            ) from None
+
+    def area_mm2(self, algorithm: str, operation: Operation) -> float:
+        return pipeline_area_mm2(algorithm, operation, self.config)
+
+    def block_inventory(self, algorithm: str, operation: Operation) -> List[str]:
+        return list(PIPELINE_BLOCKS[(algorithm, operation)])
+
+
+class CdpuGenerator:
+    """Elaborates CDPU instances from design-space configurations."""
+
+    def generate(self, config: CdpuConfig) -> CdpuInstance:
+        memory = MemorySystem.for_placement(config.placement)
+        pipelines: Dict[Tuple[str, Operation], Pipeline] = {}
+        if "snappy" in config.algorithms:
+            pipelines[("snappy", Operation.DECOMPRESS)] = SnappyDecompressorPipeline(config, memory)
+            pipelines[("snappy", Operation.COMPRESS)] = SnappyCompressorPipeline(config, memory)
+        if "zstd" in config.algorithms:
+            pipelines[("zstd", Operation.DECOMPRESS)] = ZstdDecompressorPipeline(config, memory)
+            pipelines[("zstd", Operation.COMPRESS)] = ZstdCompressorPipeline(config, memory)
+        return CdpuInstance(config=config, pipelines=pipelines)

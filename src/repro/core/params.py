@@ -1,0 +1,161 @@
+"""CDPU generator parameterization (paper §5.8).
+
+:class:`CdpuConfig` carries every parameter the paper's generator exposes,
+tagged with its configurability class:
+
+========================================  =========  ==================
+Parameter                                  Kind       Paper §5.8 number
+========================================  =========  ==================
+placement                                  CompileT   1
+algorithms (supported set)                 Both       2
+decoder history window (SRAM bytes)        Both       3
+encoder history window (SRAM bytes)        Both       4
+hash-table entries                         Both       5
+hash-table associativity                   Both       6
+hash-table contents                        CompileT   7
+hash function                              CompileT   8
+Huffman speculation width                  CompileT   9
+Huffman stats bytes/cycle                  CompileT   10
+FSE stats bytes/cycle                      CompileT   11
+FSE max accuracy log                       CompileT   12
+========================================  =========  ==================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, fields, replace
+from typing import FrozenSet, Tuple
+
+from repro.algorithms.lz77 import Lz77Params
+from repro.common.errors import ConfigError
+from repro.common.hashing import HASH_FUNCTIONS
+from repro.common.units import KiB, format_size, is_power_of_two
+from repro.core import calibration as cal
+from repro.soc.placement import Placement
+
+
+class ParamKind(enum.Enum):
+    """How a parameter may be changed (paper §5.8)."""
+
+    RUNTIME = "RunT"
+    COMPILE_TIME = "CompileT"
+    BOTH = "RunT & CompileT"
+
+
+def _meta(kind: ParamKind) -> dict:
+    return {"kind": kind}
+
+
+@dataclass(frozen=True)
+class CdpuConfig:
+    """One point in the CDPU design space."""
+
+    placement: Placement = field(
+        default=Placement.ROCC, metadata=_meta(ParamKind.COMPILE_TIME)
+    )
+    algorithms: FrozenSet[str] = field(
+        default=frozenset({"snappy", "zstd"}), metadata=_meta(ParamKind.BOTH)
+    )
+    #: LZ77 decoder on-accelerator history SRAM (§5.8 param 3).
+    decoder_history_bytes: int = field(default=64 * KiB, metadata=_meta(ParamKind.BOTH))
+    #: LZ77 encoder on-accelerator history SRAM (§5.8 param 4).
+    encoder_history_bytes: int = field(default=64 * KiB, metadata=_meta(ParamKind.BOTH))
+    hash_table_entries: int = field(default=1 << 14, metadata=_meta(ParamKind.BOTH))
+    hash_table_associativity: int = field(default=1, metadata=_meta(ParamKind.BOTH))
+    hash_table_contents: str = field(
+        default="position", metadata=_meta(ParamKind.COMPILE_TIME)
+    )
+    hash_function: str = field(
+        default="multiplicative", metadata=_meta(ParamKind.COMPILE_TIME)
+    )
+    #: Huffman expander speculation width (§5.3; IBM z15 uses 32).
+    huffman_speculation: int = field(default=16, metadata=_meta(ParamKind.COMPILE_TIME))
+    huffman_stats_bytes_per_cycle: float = field(
+        default=cal.DEFAULT_STATS_BYTES_PER_CYCLE, metadata=_meta(ParamKind.COMPILE_TIME)
+    )
+    fse_stats_bytes_per_cycle: float = field(
+        default=cal.DEFAULT_STATS_BYTES_PER_CYCLE, metadata=_meta(ParamKind.COMPILE_TIME)
+    )
+    fse_max_accuracy_log: int = field(default=9, metadata=_meta(ParamKind.COMPILE_TIME))
+
+    def __post_init__(self) -> None:
+        if not self.algorithms:
+            raise ConfigError("a CDPU must support at least one algorithm")
+        unknown = self.algorithms - {"snappy", "zstd"}
+        if unknown:
+            raise ConfigError(
+                f"unsupported algorithms {sorted(unknown)}; the generator "
+                "builds Snappy and ZStd pipelines"
+            )
+        for name, value in (
+            ("decoder_history_bytes", self.decoder_history_bytes),
+            ("encoder_history_bytes", self.encoder_history_bytes),
+            ("hash_table_entries", self.hash_table_entries),
+        ):
+            if not is_power_of_two(value):
+                raise ConfigError(f"{name} must be a power of two, got {value}")
+        if self.decoder_history_bytes < 1 * KiB or self.decoder_history_bytes > 1024 * KiB:
+            raise ConfigError("decoder history must be within [1 KiB, 1 MiB]")
+        if self.encoder_history_bytes < 1 * KiB or self.encoder_history_bytes > 1024 * KiB:
+            raise ConfigError("encoder history must be within [1 KiB, 1 MiB]")
+        if self.hash_table_associativity < 1:
+            raise ConfigError("hash-table associativity must be >= 1")
+        if self.hash_table_contents not in ("position", "position_and_tag"):
+            raise ConfigError(f"unknown hash_table_contents {self.hash_table_contents!r}")
+        if self.hash_function not in HASH_FUNCTIONS:
+            raise ConfigError(f"unknown hash_function {self.hash_function!r}")
+        if not is_power_of_two(self.huffman_speculation) or not 1 <= self.huffman_speculation <= 64:
+            raise ConfigError("huffman_speculation must be a power of two in [1, 64]")
+        if not 5 <= self.fse_max_accuracy_log <= 12:
+            raise ConfigError("fse_max_accuracy_log must be in [5, 12]")
+        if self.huffman_stats_bytes_per_cycle <= 0 or self.fse_stats_bytes_per_cycle <= 0:
+            raise ConfigError("stats bandwidths must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def encoder_lz77_params(self) -> Lz77Params:
+        """The matcher configuration the hardware LZ77 encoder implements.
+
+        The encoder's reachable match offset is capped by its history SRAM
+        (compression cannot fall back to L2: history checking is serial,
+        §6.3), and hardware does not implement the software skipping
+        heuristic (§6.3).
+        """
+        return Lz77Params(
+            window_size=self.encoder_history_bytes,
+            hash_table_entries=self.hash_table_entries,
+            associativity=self.hash_table_associativity,
+            hash_table_contents=self.hash_table_contents,
+            hash_function=self.hash_function,
+            use_skipping=False,
+        )
+
+    def label(self) -> str:
+        """Short identifier in the paper's plot style (e.g. ``64K14HT``)."""
+        ht_log = self.hash_table_entries.bit_length() - 1
+        return (
+            f"{format_size(self.encoder_history_bytes)}{ht_log}HT-"
+            f"spec{self.huffman_speculation}-{self.placement.value}"
+        )
+
+    def with_(self, **overrides) -> "CdpuConfig":
+        """Functional update (sweeps derive design points from a base)."""
+        return replace(self, **overrides)
+
+    def runtime_parameters(self) -> Tuple[str, ...]:
+        """Names of parameters adjustable after the hardware is built."""
+        return tuple(
+            f.name
+            for f in fields(self)
+            if f.metadata.get("kind") in (ParamKind.RUNTIME, ParamKind.BOTH)
+        )
+
+    def compile_time_parameters(self) -> Tuple[str, ...]:
+        return tuple(
+            f.name
+            for f in fields(self)
+            if f.metadata.get("kind") in (ParamKind.COMPILE_TIME, ParamKind.BOTH)
+        )

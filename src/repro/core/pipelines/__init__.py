@@ -1,0 +1,14 @@
+"""CDPU pipeline models: Snappy/ZStd x compress/decompress (Figures 9-10)."""
+
+from repro.core.pipelines.base import CallResult, CycleReport
+from repro.core.pipelines.snappy import SnappyCompressorPipeline, SnappyDecompressorPipeline
+from repro.core.pipelines.zstd import ZstdCompressorPipeline, ZstdDecompressorPipeline
+
+__all__ = [
+    "CallResult",
+    "CycleReport",
+    "SnappyCompressorPipeline",
+    "SnappyDecompressorPipeline",
+    "ZstdCompressorPipeline",
+    "ZstdDecompressorPipeline",
+]

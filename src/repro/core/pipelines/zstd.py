@@ -1,0 +1,134 @@
+"""ZStd CDPU pipelines (paper Figures 9-10, evaluated in §6.4-§6.5).
+
+The decompressor consumes a real ZStd-like frame: Huffman symbol counts,
+FSE sequence counts, table builds, and the LZ77 token stream (with true
+offsets for history-fallback accounting) all come from
+:func:`repro.algorithms.zstd_analyze.analyze_frame`.
+
+The compressor re-uses the LZ77 encoder block *as configured for Snappy*
+(§6.5 does exactly this, and attributes its 84%-of-software compression
+ratio to it), then really entropy-codes the result through the shared
+container writer to obtain the hardware-achieved size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.lz77 import Literal
+from repro.algorithms.zstd import ZstdCodec, tokens_to_sequences
+from repro.algorithms.zstd_analyze import FrameStats, analyze_frame
+from repro.core.blocks.entropy import (
+    FseCompressorBlock,
+    FseExpanderBlock,
+    HuffmanCompressorBlock,
+    HuffmanExpanderBlock,
+)
+from repro.core.blocks.interface import CommandRouter, shared_port_cycles
+from repro.core.blocks.lz77 import Lz77DecoderBlock, Lz77EncoderBlock
+from repro.core.params import CdpuConfig
+from repro.core.pipelines.base import CallResult, CycleReport
+from repro.soc.memory import MemorySystem
+
+
+@dataclass(frozen=True)
+class ZstdDecompressorPipeline:
+    """FSE/Huffman expanders feeding the shared LZ77 decoder (Figure 9)."""
+
+    config: CdpuConfig
+    memory: MemorySystem
+
+    def __post_init__(self) -> None:
+        if "zstd" not in self.config.algorithms:
+            raise ValueError("config does not enable the zstd algorithm")
+
+    def run(self, compressed: bytes, *, verify: bool = False) -> CallResult:
+        stats = analyze_frame(compressed)
+        if verify:
+            from repro.algorithms.lz77 import decode_tokens
+
+            assert len(decode_tokens(stats.tokens.tokens)) == stats.content_bytes
+        return self.account(stats)
+
+    def account(self, stats: FrameStats) -> CallResult:
+        """Cycle accounting from pre-analyzed frame statistics (DSE fast
+        path: frame analysis is config-independent)."""
+        decoder = Lz77DecoderBlock(self.config, self.memory)
+        huffman = HuffmanExpanderBlock(self.config)
+        fse = FseExpanderBlock(self.config)
+
+        report = CycleReport()
+        report.add_pipelined(
+            "memload+memwrite",
+            shared_port_cycles(
+                self.memory,
+                stats.compressed_bytes + decoder.fallback_traffic_bytes(stats.tokens),
+                stats.content_bytes,
+            ),
+        )
+        report.add_pipelined("huffman-expander", huffman.decode_cycles(stats.huffman_symbols))
+        report.add_pipelined("fse-expander", fse.decode_cycles(stats.total_sequences))
+        report.add_pipelined("lz77-writer", decoder.execute_cycles(stats.tokens))
+        report.add_serial("history-fallback", decoder.fallback_cycles(stats.tokens))
+        report.add_serial("huffman-table-build", huffman.table_build_cycles(stats.huffman_tables))
+        acc = max(stats.blocks[0].fse_accuracy_logs, default=9) if stats.blocks else 9
+        report.add_serial("fse-table-build", fse.table_build_cycles(stats.total_fse_tables, acc))
+        report.add_serial("cmd-router", CommandRouter(self.memory).dispatch_cycles())
+        return CallResult(
+            input_bytes=stats.compressed_bytes,
+            output_bytes=stats.content_bytes,
+            report=report,
+        )
+
+
+@dataclass(frozen=True)
+class ZstdCompressorPipeline:
+    """LZ77 matcher + Huffman/FSE compressors + SeqToCode (Figure 10)."""
+
+    config: CdpuConfig
+    memory: MemorySystem
+
+    def __post_init__(self) -> None:
+        if "zstd" not in self.config.algorithms:
+            raise ValueError("config does not enable the zstd algorithm")
+
+    def _hw_codec(self) -> ZstdCodec:
+        return ZstdCodec(
+            lz77_params=self.config.encoder_lz77_params(),
+            accuracy_log=self.config.fse_max_accuracy_log,
+        )
+
+    def run(self, data: bytes, *, verify: bool = False) -> CallResult:
+        encoder = Lz77EncoderBlock(self.config)
+        tokens, match_stats = encoder.tokenize(data)
+        compressed = self._hw_codec().compress(data)
+        if verify:
+            # Hardware output must be decodable by the software decompressor.
+            assert ZstdCodec().decompress(compressed) == data
+        return self.account(len(data), tokens, match_stats, len(compressed))
+
+    def account(self, data_length: int, tokens, match_stats, compressed_bytes: int) -> CallResult:
+        """Cycle accounting from a pre-run matcher + pre-computed HW size."""
+        encoder = Lz77EncoderBlock(self.config)
+        sequences, literals, _trailing = tokens_to_sequences(tokens.tokens)
+        huffman = HuffmanCompressorBlock(self.config)
+        fse = FseCompressorBlock(self.config)
+
+        report = CycleReport()
+        report.add_pipelined(
+            "memload+memwrite", shared_port_cycles(self.memory, data_length, compressed_bytes)
+        )
+        report.add_pipelined("lz77-matcher", encoder.match_cycles(data_length, tokens, match_stats))
+        # Two-pass entropy coding at block granularity cannot overlap the
+        # matcher's stream: statistics, table builds, then the encode pass.
+        report.add_serial("huffman-stats", huffman.stats_cycles(len(literals)))
+        report.add_serial("huffman-encoder", huffman.encode_cycles(len(literals)))
+        report.add_serial("fse-stats", fse.stats_cycles(len(sequences)))
+        report.add_serial("fse-encoder", fse.encode_cycles(len(sequences)))
+        report.add_serial("fse-table-build", fse.table_build_cycles())
+        report.add_serial("cmd-router", CommandRouter(self.memory).dispatch_cycles())
+        return CallResult(input_bytes=data_length, output_bytes=compressed_bytes, report=report)
+
+    def compressed_size(self, data: bytes) -> int:
+        """Hardware-achieved compressed size (for the ratio-vs-SW series)."""
+        return len(self._hw_codec().compress(data))

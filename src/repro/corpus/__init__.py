@@ -1,0 +1,6 @@
+"""Synthetic corpora and chunking (stand-in for Silesia/Calgary/etc., §4)."""
+
+from repro.corpus.chunker import DEFAULT_CHUNK_SIZE, Chunk, chunk_corpus
+from repro.corpus.sources import SOURCES, build_corpus
+
+__all__ = ["Chunk", "DEFAULT_CHUNK_SIZE", "SOURCES", "build_corpus", "chunk_corpus"]

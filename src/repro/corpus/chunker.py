@@ -1,0 +1,52 @@
+"""Fixed-size chunking of corpus files (paper §4, first generator stage).
+
+"The generator starts by breaking all files from the ... benchmarks into
+fixed-size chunks." Chunks carry provenance so HyperCompressBench files can
+report which sources they were assembled from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+DEFAULT_CHUNK_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A fixed-size slice of a corpus file."""
+
+    source_file: str
+    index: int
+    data: bytes
+
+    @property
+    def chunk_id(self) -> str:
+        return f"{self.source_file}#{self.index}"
+
+
+def chunk_corpus(
+    corpus: Dict[str, bytes],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    *,
+    drop_partial: bool = True,
+) -> List[Chunk]:
+    """Split every corpus file into ``chunk_size`` pieces.
+
+    Partial tail chunks are dropped by default so every chunk's compression
+    ratio is comparable (the paper's LUT is indexed purely by ratio).
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    chunks: List[Chunk] = []
+    for name in sorted(corpus):
+        data = corpus[name]
+        full = len(data) // chunk_size
+        for index in range(full):
+            chunks.append(
+                Chunk(name, index, data[index * chunk_size : (index + 1) * chunk_size])
+            )
+        if not drop_partial and len(data) % chunk_size:
+            chunks.append(Chunk(name, full, data[full * chunk_size :]))
+    return chunks

@@ -1,0 +1,209 @@
+"""Synthetic corpus sources standing in for the open benchmark corpora.
+
+The paper's HyperCompressBench generator chunks Silesia, Canterbury, Calgary
+and SnappyFiles (§4). Those corpora are not redistributable here, so this
+module synthesizes data with the same *property that matters to the
+generator*: a diverse pool of chunks spanning compression ratios from ~1.0
+(random) to >8 (highly structured), with realistic LZ77 match structure and
+byte-entropy profiles. Each source is deterministic in ``(seed, size)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.common.rng import make_rng
+
+# A compact vocabulary gives natural-language-like repeat distances without
+# shipping a dictionary file.
+_WORDS = (
+    "the of and to in is was he for it with as his on be at by had not are "
+    "but from or have an they which one you were her all she there would "
+    "their we him been has when who will more no if out so said what up its "
+    "about into than them can only other new some could time these two may "
+    "then do first any my now such like our over man me even most made after "
+    "also did many before must through back years where much your way well "
+    "down should because each just those people how too little state good "
+    "very make world still own see men work long get here between both life "
+    "being under never day same another know while last might us great old "
+    "year off come since against go came right used take three"
+).split()
+
+_LOG_TEMPLATES = [
+    "INFO request handled path=/api/v{va}/{word} status={status} latency_ms={lat}",
+    "WARN retrying rpc target={word}-service attempt={va} deadline_ms={lat}",
+    "ERROR cache miss shard={va} key={word}_{status} cost_us={lat}",
+    "INFO compaction finished level={va} bytes_in={lat}000 bytes_out={status}00",
+    "DEBUG queue depth sampled queue={word} depth={status} watermark={lat}",
+]
+
+_JSON_KEYS = [
+    "user_id", "timestamp", "operation", "status_code", "latency_us",
+    "bytes_sent", "bytes_received", "region", "service", "retry_count",
+]
+
+
+def text_source(seed: int, size: int) -> bytes:
+    """English-like text via a first-order Markov chain over a vocabulary."""
+    rng = make_rng(seed, "text")
+    n_words = len(_WORDS)
+    # Sparse row-stochastic transition structure: each word prefers ~8 others.
+    preferred = rng.integers(0, n_words, size=(n_words, 8))
+    out = bytearray()
+    state = int(rng.integers(0, n_words))
+    sentence_len = 0
+    while len(out) < size:
+        word = _WORDS[state]
+        out += word.encode()
+        sentence_len += 1
+        if sentence_len >= rng.integers(6, 18):
+            out += b". "
+            sentence_len = 0
+        else:
+            out += b" "
+        if rng.random() < 0.85:
+            state = int(preferred[state][int(rng.integers(0, 8))])
+        else:
+            state = int(rng.integers(0, n_words))
+    return bytes(out[:size])
+
+
+def log_source(seed: int, size: int) -> bytes:
+    """Structured service logs: heavy template reuse, varying fields."""
+    rng = make_rng(seed, "log")
+    out = bytearray()
+    ts = 1_600_000_000_000
+    while len(out) < size:
+        template = _LOG_TEMPLATES[int(rng.integers(0, len(_LOG_TEMPLATES)))]
+        ts += int(rng.integers(1, 900))
+        line = f"{ts} " + template.format(
+            va=int(rng.integers(1, 30)),
+            word=_WORDS[int(rng.integers(0, len(_WORDS)))],
+            status=int(rng.choice([200, 200, 200, 204, 404, 500])),
+            lat=int(rng.integers(1, 5000)),
+        )
+        out += line.encode() + b"\n"
+    return bytes(out[:size])
+
+
+def json_source(seed: int, size: int) -> bytes:
+    """JSON/protobuf-like records: repeated keys, semi-random values."""
+    rng = make_rng(seed, "json")
+    out = bytearray()
+    while len(out) < size:
+        fields = []
+        for key in _JSON_KEYS:
+            if rng.random() < 0.2:
+                continue
+            if rng.random() < 0.5:
+                value = str(int(rng.integers(0, 1 << 20)))
+            else:
+                value = '"' + _WORDS[int(rng.integers(0, len(_WORDS)))] + '"'
+            fields.append(f'"{key}":{value}')
+        out += ("{" + ",".join(fields) + "}\n").encode()
+    return bytes(out[:size])
+
+
+def database_source(seed: int, size: int) -> bytes:
+    """Columnar-ish rows: fixed layout, low-cardinality enum columns."""
+    rng = make_rng(seed, "database")
+    enums = [b"ACTIVE  ", b"DELETED ", b"PENDING ", b"ARCHIVED"]
+    out = bytearray()
+    row_id = 0
+    while len(out) < size:
+        row_id += 1
+        out += row_id.to_bytes(8, "little")
+        out += enums[int(rng.choice([0, 0, 0, 0, 1, 2, 2, 3]))]
+        out += int(rng.integers(0, 100)).to_bytes(1, "little") * 4
+        out += bytes(rng.integers(0, 256, size=4, dtype=np.uint8))
+    return bytes(out[:size])
+
+
+def binary_source(seed: int, size: int) -> bytes:
+    """Executable-like data: repeated opcode motifs plus string-table runs."""
+    rng = make_rng(seed, "binary")
+    motifs = [bytes(rng.integers(0, 256, size=int(rng.integers(3, 9)), dtype=np.uint8)) for _ in range(48)]
+    out = bytearray()
+    while len(out) < size:
+        roll = rng.random()
+        if roll < 0.7:
+            out += motifs[int(rng.integers(0, len(motifs)))]
+        elif roll < 0.85:
+            out += _WORDS[int(rng.integers(0, len(_WORDS)))].encode() + b"\x00"
+        else:
+            out += bytes(rng.integers(0, 256, size=8, dtype=np.uint8))
+    return bytes(out[:size])
+
+
+def dna_source(seed: int, size: int) -> bytes:
+    """Four-symbol genomic-like data: low byte entropy, few long matches."""
+    rng = make_rng(seed, "dna")
+    return bytes(rng.choice(np.frombuffer(b"ACGT", dtype=np.uint8), size=size))
+
+
+def random_source(seed: int, size: int) -> bytes:
+    """Incompressible data (already-compressed/encrypted payload stand-in)."""
+    rng = make_rng(seed, "random")
+    return bytes(rng.integers(0, 256, size=size, dtype=np.uint8))
+
+
+def repetitive_source(seed: int, size: int) -> bytes:
+    """Highly compressible data: long verbatim repeats with slow drift."""
+    rng = make_rng(seed, "repetitive")
+    unit = bytes(rng.integers(0, 256, size=64, dtype=np.uint8))
+    out = bytearray()
+    while len(out) < size:
+        if rng.random() < 0.05:
+            mutated = bytearray(unit)
+            mutated[int(rng.integers(0, len(unit)))] = int(rng.integers(0, 256))
+            unit = bytes(mutated)
+        out += unit
+    return bytes(out[:size])
+
+
+def mixed_source(seed: int, size: int) -> bytes:
+    """Interleaved segments from every other source (archive-like)."""
+    rng = make_rng(seed, "mixed")
+    parts: List[bytes] = []
+    produced = 0
+    sources = [text_source, log_source, json_source, database_source,
+               binary_source, dna_source, random_source, repetitive_source]
+    while produced < size:
+        fn = sources[int(rng.integers(0, len(sources)))]
+        seg = fn(int(rng.integers(0, 1 << 30)), int(rng.integers(2048, 16384)))
+        parts.append(seg)
+        produced += len(seg)
+    return b"".join(parts)[:size]
+
+
+SourceFn = Callable[[int, int], bytes]
+
+#: All corpus sources, keyed by name; ordered roughly by compressibility.
+SOURCES: Dict[str, SourceFn] = {
+    "repetitive": repetitive_source,
+    "log": log_source,
+    "json": json_source,
+    "text": text_source,
+    "database": database_source,
+    "binary": binary_source,
+    "dna": dna_source,
+    "mixed": mixed_source,
+    "random": random_source,
+}
+
+
+def build_corpus(seed: int, file_size: int, files_per_source: int = 1) -> Dict[str, bytes]:
+    """Materialize the full synthetic corpus as named files.
+
+    This plays the role of the Silesia+Canterbury+Calgary+SnappyFiles pool in
+    the paper's §4 pipeline; :mod:`repro.hcbench.lut` chunks it.
+    """
+    if file_size <= 0:
+        raise ValueError(f"file_size must be positive, got {file_size}")
+    corpus: Dict[str, bytes] = {}
+    for name, fn in SOURCES.items():
+        for index in range(files_per_source):
+            corpus[f"{name}-{index}"] = fn(seed + index * 1013, file_size)
+    return corpus

@@ -1,0 +1,14 @@
+"""Design-space exploration harness (paper §6)."""
+
+from repro.dse.pareto import best_within_area, pareto_frontier, smallest_meeting_speedup
+from repro.dse.results import FigureResult
+from repro.dse.runner import DesignPointResult, DseRunner
+
+__all__ = [
+    "DesignPointResult",
+    "DseRunner",
+    "FigureResult",
+    "best_within_area",
+    "pareto_frontier",
+    "smallest_meeting_speedup",
+]

@@ -1,0 +1,102 @@
+"""Pareto-frontier extraction over DSE results (§6.6's optimization view).
+
+The paper's lessons are statements about the area/performance frontier
+("a 38% silicon area savings can be achieved by slightly sacrificing
+speedup"). This module makes the frontier a first-class object: given any
+set of evaluated design points, extract the non-dominated ones and query
+them by budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.dse.runner import DesignPointResult
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One non-dominated design point (smaller area, larger speedup win)."""
+
+    point: DesignPointResult
+
+    @property
+    def area_mm2(self) -> float:
+        return self.point.area_mm2
+
+    @property
+    def speedup(self) -> float:
+        return self.point.speedup
+
+    @property
+    def label(self) -> str:
+        return self.point.config.label()
+
+
+def pareto_frontier(points: Sequence[DesignPointResult]) -> List[FrontierPoint]:
+    """Non-dominated subset under (minimize area, maximize speedup).
+
+    Returned sorted by ascending area; every next point strictly improves
+    speedup, so the list *is* the frontier curve.
+    """
+    ordered = sorted(points, key=lambda p: (p.area_mm2, -p.speedup))
+    frontier: List[FrontierPoint] = []
+    best_speedup = float("-inf")
+    for point in ordered:
+        if point.speedup > best_speedup:
+            frontier.append(FrontierPoint(point))
+            best_speedup = point.speedup
+    return frontier
+
+
+def best_within_area(
+    points: Sequence[DesignPointResult], area_budget_mm2: float
+) -> Optional[DesignPointResult]:
+    """Fastest design fitting an area budget (None if nothing fits)."""
+    eligible = [p for p in points if p.area_mm2 <= area_budget_mm2]
+    if not eligible:
+        return None
+    return max(eligible, key=lambda p: p.speedup)
+
+
+def smallest_meeting_speedup(
+    points: Sequence[DesignPointResult], min_speedup: float
+) -> Optional[DesignPointResult]:
+    """Smallest design meeting a speedup floor (None if impossible)."""
+    eligible = [p for p in points if p.speedup >= min_speedup]
+    if not eligible:
+        return None
+    return min(eligible, key=lambda p: p.area_mm2)
+
+
+def knee_point(frontier: Sequence[FrontierPoint]) -> Optional[FrontierPoint]:
+    """The frontier point with the best marginal speedup per mm^2.
+
+    A simple knee heuristic: normalize both axes over the frontier's span
+    and pick the point maximizing (speedup_norm - area_norm).
+    """
+    if not frontier:
+        return None
+    if len(frontier) == 1:
+        return frontier[0]
+    areas = [f.area_mm2 for f in frontier]
+    speeds = [f.speedup for f in frontier]
+    area_span = max(areas) - min(areas) or 1.0
+    speed_span = max(speeds) - min(speeds) or 1.0
+    return max(
+        frontier,
+        key=lambda f: (f.speedup - min(speeds)) / speed_span
+        - (f.area_mm2 - min(areas)) / area_span,
+    )
+
+
+def render_frontier(frontier: Sequence[FrontierPoint]) -> str:
+    lines = ["Pareto frontier (area mm^2 -> speedup x)"]
+    knee = knee_point(frontier)
+    for point in frontier:
+        marker = "  <- knee" if knee is not None and point is knee else ""
+        lines.append(
+            f"  {point.area_mm2:7.3f} mm^2  {point.speedup:6.2f}x  {point.label}{marker}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Result containers and rendering for DSE experiments (Figures 11-15)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dse.runner import DesignPointResult
+
+
+@dataclass
+class FigureResult:
+    """Everything one paper figure plots, plus the raw design points.
+
+    ``series`` maps a series name (placement) to per-x speedups;
+    ``area_normalized`` and ``ratio_vs_sw`` follow the figure's secondary
+    axes where present.
+    """
+
+    figure_id: str
+    title: str
+    x_labels: List[str]
+    series: Dict[str, List[float]]
+    area_normalized: List[float] = field(default_factory=list)
+    ratio_vs_sw: List[float] = field(default_factory=list)
+    points: List[DesignPointResult] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def speedup(self, series_name: str, x_label: str) -> float:
+        return self.series[series_name][self.x_labels.index(x_label)]
+
+    def to_table(self) -> str:
+        """Render the figure's data as an aligned text table."""
+        headers = ["SRAM"] + list(self.series)
+        if self.area_normalized:
+            headers.append("Area(norm)")
+        if self.ratio_vs_sw:
+            headers.append("Ratio vs SW")
+        rows = []
+        for i, label in enumerate(self.x_labels):
+            row = [label] + [f"{self.series[s][i]:.2f}" for s in self.series]
+            if self.area_normalized:
+                row.append(f"{self.area_normalized[i]:.3f}")
+            if self.ratio_vs_sw:
+                row.append(f"{self.ratio_vs_sw[i]:.3f}")
+            rows.append(row)
+        widths = [max(len(h), *(len(r[c]) for r in rows)) for c, h in enumerate(headers)]
+        lines = [
+            f"{self.figure_id}: {self.title}",
+            "  ".join(h.ljust(widths[c]) for c, h in enumerate(headers)),
+            "  ".join("-" * widths[c] for c in range(len(headers))),
+        ]
+        for row in rows:
+            lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The raw-results CSV the paper's artifact also emits."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(
+            ["figure", "sram", "series", "speedup", "area_norm", "ratio_vs_sw"]
+        )
+        for i, label in enumerate(self.x_labels):
+            for name, values in self.series.items():
+                writer.writerow(
+                    [
+                        self.figure_id,
+                        label,
+                        name,
+                        f"{values[i]:.4f}",
+                        f"{self.area_normalized[i]:.4f}" if self.area_normalized else "",
+                        f"{self.ratio_vs_sw[i]:.4f}" if self.ratio_vs_sw else "",
+                    ]
+                )
+        return buffer.getvalue()
+
+    def best_point(self) -> DesignPointResult:
+        return max(self.points, key=lambda p: p.speedup)
+
+    def worst_point(self) -> DesignPointResult:
+        return min(self.points, key=lambda p: p.speedup)

@@ -1,0 +1,207 @@
+"""Design-space-exploration runner (paper §6.1 methodology).
+
+Evaluates CDPU configurations against HyperCompressBench suites, with the
+Xeon software baseline on the other side. Per §6.1, the aggregate metric is
+the **total time to (de)compress every file in a suite**.
+
+The runner memoizes the config-independent part of each evaluation:
+
+* decompression workloads — parsed element streams / frame analyses — are
+  shared across every placement and SRAM size;
+* compression workloads — matcher token streams and hardware-achieved
+  compressed sizes — are keyed by the encoder-relevant parameters only, so
+  all four placements of one SRAM/HT point share one matcher run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.algorithms.base import Operation
+from repro.algorithms.lz77 import Lz77Params, MatcherStats, TokenStream
+from repro.algorithms.snappy import parse_elements
+from repro.algorithms.zstd_analyze import FrameStats, analyze_frame
+from repro.core import calibration as cal
+from repro.core.area import pipeline_area_mm2
+from repro.core.generator import CdpuGenerator
+from repro.core.params import CdpuConfig
+from repro.hcbench.suite import HyperCompressBench, Suite, default_benchmark
+from repro.soc.xeon import XeonBaseline
+
+
+@dataclass(frozen=True)
+class DesignPointResult:
+    """One evaluated design point of a sweep (one bar/point in Figs 11-15)."""
+
+    algorithm: str
+    operation: Operation
+    config: CdpuConfig
+    accel_seconds: float
+    xeon_seconds: float
+    area_mm2: float
+    #: Aggregate HW compression ratio (compression points only).
+    hw_ratio: Optional[float] = None
+    #: Aggregate SW compression ratio on the same suite.
+    sw_ratio: Optional[float] = None
+
+    @property
+    def speedup(self) -> float:
+        """End-to-end suite speedup vs the Xeon (paper's y-axes)."""
+        return self.xeon_seconds / self.accel_seconds
+
+    @property
+    def ratio_vs_software(self) -> Optional[float]:
+        if self.hw_ratio is None or self.sw_ratio is None:
+            return None
+        return self.hw_ratio / self.sw_ratio
+
+    @property
+    def accel_gbps(self) -> float:
+        return self._suite_bytes / self.accel_seconds / cal.GB_PER_SECOND
+
+    @property
+    def xeon_gbps(self) -> float:
+        return self._suite_bytes / self.xeon_seconds / cal.GB_PER_SECOND
+
+    # Set post-construction by the runner (suite uncompressed byte total).
+    _suite_bytes: int = 0
+
+
+@dataclass
+class _DecodeWorkItem:
+    compressed_bytes: int
+    output_bytes: int
+    tokens: Optional[TokenStream] = None  # snappy
+    frame: Optional[FrameStats] = None  # zstd
+
+
+@dataclass
+class _EncodeWorkItem:
+    data_length: int
+    tokens: TokenStream
+    stats: MatcherStats
+    hw_compressed_bytes: int
+
+
+class DseRunner:
+    """Evaluates design points against one HyperCompressBench instance."""
+
+    def __init__(
+        self,
+        bench: Optional[HyperCompressBench] = None,
+        xeon: Optional[XeonBaseline] = None,
+    ) -> None:
+        self.bench = bench if bench is not None else default_benchmark()
+        self.xeon = xeon if xeon is not None else XeonBaseline()
+        self._decode_cache: Dict[str, List[_DecodeWorkItem]] = {}
+        self._encode_cache: Dict[Tuple, List[_EncodeWorkItem]] = {}
+        self._xeon_cache: Dict[Tuple[str, Operation], float] = {}
+        self._generator = CdpuGenerator()
+
+    # ------------------------------------------------------------------
+    # Workload preparation (config-independent, memoized)
+    # ------------------------------------------------------------------
+
+    def _decode_workload(self, algorithm: str) -> List[_DecodeWorkItem]:
+        cached = self._decode_cache.get(algorithm)
+        if cached is not None:
+            return cached
+        suite = self.bench.suite(algorithm, Operation.DECOMPRESS)
+        items: List[_DecodeWorkItem] = []
+        for file in suite.files:
+            compressed = suite.compressed_form(file)
+            if algorithm == "snappy":
+                expected, tokens = parse_elements(compressed)
+                items.append(_DecodeWorkItem(len(compressed), expected, tokens=tokens))
+            else:
+                frame = analyze_frame(compressed)
+                items.append(
+                    _DecodeWorkItem(len(compressed), frame.content_bytes, frame=frame)
+                )
+        self._decode_cache[algorithm] = items
+        return items
+
+    @staticmethod
+    def _encoder_key(algorithm: str, config: CdpuConfig) -> Tuple:
+        params = config.encoder_lz77_params()
+        return (algorithm, params, config.fse_max_accuracy_log if algorithm == "zstd" else None)
+
+    def _encode_workload(self, algorithm: str, config: CdpuConfig) -> List[_EncodeWorkItem]:
+        key = self._encoder_key(algorithm, config)
+        cached = self._encode_cache.get(key)
+        if cached is not None:
+            return cached
+        suite = self.bench.suite(algorithm, Operation.COMPRESS)
+        instance = self._generator.generate(config)
+        pipeline = instance.pipeline(algorithm, Operation.COMPRESS)
+        items: List[_EncodeWorkItem] = []
+        from repro.core.blocks.lz77 import Lz77EncoderBlock
+
+        encoder = Lz77EncoderBlock(config)
+        for file in suite.files:
+            tokens, stats = encoder.tokenize(file.data)
+            if algorithm == "snappy":
+                from repro.algorithms.snappy import emit_elements
+                from repro.common.varint import encode_varint
+
+                hw_size = len(encode_varint(len(file.data))) + len(emit_elements(tokens.tokens))
+            else:
+                hw_size = pipeline.compressed_size(file.data)
+            items.append(_EncodeWorkItem(len(file.data), tokens, stats, hw_size))
+        self._encode_cache[key] = items
+        return items
+
+    def xeon_seconds(self, algorithm: str, operation: Operation) -> float:
+        key = (algorithm, operation)
+        if key not in self._xeon_cache:
+            self._xeon_cache[key] = self.xeon.suite_seconds(self.bench.suite(*key))
+        return self._xeon_cache[key]
+
+    # ------------------------------------------------------------------
+    # Design-point evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self, config: CdpuConfig, algorithm: str, operation: Operation
+    ) -> DesignPointResult:
+        """Run one (config, suite) evaluation: §6.1 aggregate totals."""
+        suite = self.bench.suite(algorithm, operation)
+        instance = self._generator.generate(config)
+        pipeline = instance.pipeline(algorithm, operation)
+
+        accel_cycles = 0.0
+        hw_ratio = None
+        sw_ratio = None
+        if operation is Operation.DECOMPRESS:
+            for item in self._decode_workload(algorithm):
+                if algorithm == "snappy":
+                    result = pipeline.account(item.compressed_bytes, item.output_bytes, item.tokens)
+                else:
+                    result = pipeline.account(item.frame)
+                accel_cycles += result.cycles
+        else:
+            items = self._encode_workload(algorithm, config)
+            hw_total = 0
+            for item in items:
+                result = pipeline.account(
+                    item.data_length, item.tokens, item.stats, item.hw_compressed_bytes
+                )
+                accel_cycles += result.cycles
+                hw_total += item.hw_compressed_bytes
+            unc_total = suite.total_uncompressed_bytes
+            hw_ratio = unc_total / max(1, hw_total)
+            sw_ratio = suite.software_compression_ratio()
+
+        result = DesignPointResult(
+            algorithm=algorithm,
+            operation=operation,
+            config=config,
+            accel_seconds=accel_cycles / cal.CDPU_CLOCK_HZ,
+            xeon_seconds=self.xeon_seconds(algorithm, operation),
+            area_mm2=pipeline_area_mm2(algorithm, operation, config),
+            hw_ratio=hw_ratio,
+            sw_ratio=sw_ratio,
+        )
+        object.__setattr__(result, "_suite_bytes", suite.total_uncompressed_bytes)
+        return result

@@ -1,0 +1,71 @@
+"""Sweep axes of the paper's design-space exploration (§6).
+
+* History SRAM sizes: 64K .. 2K (x-axes of Figures 11-15).
+* Placements: RoCC / Chiplet / PCIeLocalCache / PCIeNoCache.
+* Hash-table entries: 2^14 (default) vs 2^9 (Figure 13).
+* Huffman speculation: 4 / 16 / 32 (§6.4's sweep; 32 matches IBM z15).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.common.units import KiB, format_size
+from repro.core.params import CdpuConfig
+from repro.soc.placement import ALL_PLACEMENTS, Placement
+
+#: Figure 11-15 x-axis, largest first (the paper plots 64K on the left).
+SRAM_SIZES: List[int] = [64 * KiB, 32 * KiB, 16 * KiB, 8 * KiB, 4 * KiB, 2 * KiB]
+
+#: Figure 13's reduced hash table vs the default.
+HASH_TABLE_ENTRIES_DEFAULT = 1 << 14
+HASH_TABLE_ENTRIES_SMALL = 1 << 9
+
+#: §6.4 speculation sweep (default 16; 32 = IBM z15-like; 4 = minimum).
+SPECULATION_WIDTHS: List[int] = [4, 16, 32]
+
+
+def sram_labels(sizes: Sequence[int] = tuple(SRAM_SIZES)) -> List[str]:
+    """Axis labels the way the paper prints them (64K ... 2K)."""
+    return [format_size(s) for s in sizes]
+
+
+def decoder_sweep(
+    placements: Sequence[Placement] = tuple(ALL_PLACEMENTS),
+    sram_sizes: Sequence[int] = tuple(SRAM_SIZES),
+    *,
+    base: CdpuConfig = CdpuConfig(),
+) -> Iterator[Tuple[Placement, int, CdpuConfig]]:
+    """Placement x decoder-history grid (Figures 11 and 14)."""
+    for placement in placements:
+        for sram in sram_sizes:
+            yield placement, sram, base.with_(
+                placement=placement, decoder_history_bytes=sram
+            )
+
+
+def encoder_sweep(
+    placements: Sequence[Placement],
+    sram_sizes: Sequence[int] = tuple(SRAM_SIZES),
+    *,
+    hash_table_entries: int = HASH_TABLE_ENTRIES_DEFAULT,
+    base: CdpuConfig = CdpuConfig(),
+) -> Iterator[Tuple[Placement, int, CdpuConfig]]:
+    """Placement x encoder-history grid (Figures 12, 13 and 15)."""
+    for placement in placements:
+        for sram in sram_sizes:
+            yield placement, sram, base.with_(
+                placement=placement,
+                encoder_history_bytes=sram,
+                hash_table_entries=hash_table_entries,
+            )
+
+
+def speculation_sweep(
+    widths: Sequence[int] = tuple(SPECULATION_WIDTHS),
+    *,
+    base: CdpuConfig = CdpuConfig(),
+) -> Iterator[Tuple[int, CdpuConfig]]:
+    """Huffman speculation sweep at fixed 64K history (§6.4)."""
+    for width in widths:
+        yield width, base.with_(huffman_speculation=width)

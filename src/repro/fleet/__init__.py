@@ -1,0 +1,14 @@
+"""Fleet profiling model: GWP-like sampling + the §3 analyses (Figures 1-6)."""
+
+from repro.fleet.profile import ALGORITHMS, FleetProfile, generate_fleet_profile, timeline_shares
+from repro.fleet.whatif import ResourceWeights, WhatIfReport, migration_what_if
+
+__all__ = [
+    "ALGORITHMS",
+    "FleetProfile",
+    "ResourceWeights",
+    "WhatIfReport",
+    "generate_fleet_profile",
+    "migration_what_if",
+    "timeline_shares",
+]

@@ -1,0 +1,217 @@
+"""Fleet analyses: recompute every §3 figure from sampled call records.
+
+Each function takes a :class:`~repro.fleet.profile.FleetProfile` and returns
+the data behind one paper figure. Tests assert that the published statistics
+(88% of ZStd bytes at level <= 3, 3.3 decompressions per compressed byte,
+49% of cycles from file formats, ...) re-emerge from the samples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import Operation
+from repro.common.units import ceil_log2
+from repro.fleet.costmodel import PER_CALL_OVERHEAD_CYCLES
+from repro.fleet.distributions import CALL_SIZE_BINS, FILE_FORMAT_CALLERS, WINDOW_SIZE_BINS
+from repro.fleet.profile import ALGORITHMS, FleetProfile
+
+
+def cycle_share_by_algorithm(profile: FleetProfile) -> Dict[Tuple[str, Operation], float]:
+    """Figure 1 (final slice): % of (de)compression cycles per algorithm/op."""
+    total = profile.total_cycles()
+    shares: Dict[Tuple[str, Operation], float] = {}
+    for algo in ALGORITHMS:
+        for op in (Operation.COMPRESS, Operation.DECOMPRESS):
+            shares[(algo, op)] = 100.0 * profile.total_cycles(algo, op) / total
+    return shares
+
+
+def decompression_cycle_fraction(profile: FleetProfile) -> float:
+    """§3.2: fraction of (de)compression cycles spent decompressing (~56%)."""
+    return profile.total_cycles(operation=Operation.DECOMPRESS) / profile.total_cycles()
+
+
+def bytes_by_algorithm(profile: FleetProfile) -> Dict[Tuple[str, Operation], float]:
+    """Figure 2a: % of fleet uncompressed bytes handled per algorithm/op."""
+    total = profile.total_uncompressed()
+    return {
+        (algo, op): 100.0 * profile.total_uncompressed(algo, op) / total
+        for algo in ALGORITHMS
+        for op in (Operation.COMPRESS, Operation.DECOMPRESS)
+    }
+
+
+def lightweight_compress_byte_share(profile: FleetProfile) -> float:
+    """§3.8 lesson 1a: lightweight algorithms' share of compressed bytes."""
+    comp_total = profile.total_uncompressed(operation=Operation.COMPRESS)
+    light = sum(
+        profile.total_uncompressed(a, Operation.COMPRESS)
+        for a in ("snappy", "gipfeli", "lzo")
+    )
+    return light / comp_total
+
+
+def heavyweight_decompress_byte_share(profile: FleetProfile) -> float:
+    """§3.3.1: heavyweight algorithms' share of decompressed bytes (~49%)."""
+    decomp_total = profile.total_uncompressed(operation=Operation.DECOMPRESS)
+    heavy = sum(
+        profile.total_uncompressed(a, Operation.DECOMPRESS)
+        for a in ("zstd", "flate", "brotli")
+    )
+    return heavy / decomp_total
+
+
+def decompression_reuse_factor(profile: FleetProfile) -> float:
+    """§3.3.1: each compressed byte is decompressed ~3.3 times."""
+    return profile.total_uncompressed(operation=Operation.DECOMPRESS) / profile.total_uncompressed(
+        operation=Operation.COMPRESS
+    )
+
+
+def zstd_level_distribution(profile: FleetProfile) -> Dict[int, float]:
+    """Figure 2b: byte-weighted distribution of ZStd compression levels."""
+    mask = profile.mask("zstd", Operation.COMPRESS)
+    levels = profile.level[mask]
+    sizes = profile.uncompressed_bytes[mask].astype(float)
+    total = sizes.sum()
+    return {
+        int(level): float(sizes[levels == level].sum() / total)
+        for level in np.unique(levels)
+    }
+
+
+def zstd_level_cdf_at(profile: FleetProfile, level: int) -> float:
+    """Fraction of ZStd-compressed bytes at levels <= ``level``."""
+    dist = zstd_level_distribution(profile)
+    return sum(p for l, p in dist.items() if l <= level)
+
+
+def compression_ratio_by_bin(profile: FleetProfile) -> Dict[str, float]:
+    """Figure 2c: aggregate achieved ratio per algorithm/level bin."""
+    out: Dict[str, float] = {}
+    comp = profile.operation == 0
+    for algo in ALGORITHMS:
+        algo_mask = comp & (profile.algo == ALGORITHMS.index(algo))
+        if not algo_mask.any():
+            continue
+        if algo == "zstd":
+            for name, level_mask in (
+                ("zstd_low", profile.level <= 3),
+                ("zstd_high", profile.level > 3),
+            ):
+                mask = algo_mask & level_mask
+                if mask.any():
+                    out[name] = float(
+                        profile.uncompressed_bytes[mask].sum()
+                        / profile.compressed_bytes[mask].sum()
+                    )
+        else:
+            out[algo] = float(
+                profile.uncompressed_bytes[algo_mask].sum()
+                / profile.compressed_bytes[algo_mask].sum()
+            )
+    return out
+
+
+def cost_per_byte_by_bin(profile: FleetProfile) -> Dict[Tuple[str, str], float]:
+    """§3.3.4 (elided plot): aggregate cycles/byte per algorithm/level bin.
+
+    Keys are ``(bin_name, 'compress'|'decompress')``. The per-call dispatch
+    overhead is excluded so the result is the marginal per-byte cost.
+    """
+    out: Dict[Tuple[str, str], float] = {}
+    for op, op_name in ((0, "compress"), (1, "decompress")):
+        op_mask = profile.operation == op
+        for algo in ALGORITHMS:
+            algo_mask = op_mask & (profile.algo == ALGORITHMS.index(algo))
+            if not algo_mask.any():
+                continue
+            bins: List[Tuple[str, np.ndarray]]
+            if algo == "zstd" and op == 0:
+                bins = [
+                    ("zstd_low", algo_mask & (profile.level <= 3)),
+                    ("zstd_high", algo_mask & (profile.level > 3)),
+                ]
+            else:
+                bins = [(algo, algo_mask)]
+            for name, mask in bins:
+                if not mask.any():
+                    continue
+                cycles = profile.cycles[mask] - PER_CALL_OVERHEAD_CYCLES
+                out[(name, op_name)] = float(
+                    cycles.sum() / profile.uncompressed_bytes[mask].sum()
+                )
+    return out
+
+
+def migration_cycle_increase(
+    profile: FleetProfile, service_decomp_share: float = 0.25
+) -> float:
+    """§3.3.4: cycle growth if a service moved Snappy comp -> high-level ZStd.
+
+    "If a service spends 25% of its cycles on Snappy compression, switching to
+    the highest ZStd levels would result in a 67% increase in the service's
+    cycle consumption."
+    """
+    costs = cost_per_byte_by_bin(profile)
+    ratio = costs[("zstd_high", "compress")] / costs[("snappy", "compress")]
+    return service_decomp_share * (ratio - 1.0)
+
+
+def call_size_cdf(
+    profile: FleetProfile, algo: str, operation: Operation
+) -> Tuple[List[int], np.ndarray]:
+    """Figure 3: byte-weighted cumulative call-size distribution.
+
+    Returns (bins, cdf) where bins are ceil(log2(bytes)) values and cdf[i] is
+    the fraction of uncompressed bytes from calls in bins <= bins[i].
+    """
+    mask = profile.mask(algo, operation)
+    sizes = profile.uncompressed_bytes[mask]
+    if len(sizes) == 0:
+        raise ValueError(f"no samples for {algo}/{operation.value}")
+    bin_ids = np.asarray([ceil_log2(int(s)) for s in sizes])
+    totals = np.zeros(len(CALL_SIZE_BINS))
+    for i, b in enumerate(CALL_SIZE_BINS):
+        totals[i] = sizes[bin_ids == b].sum()
+    # Clamp out-of-range bins into the edges (tiny mass).
+    totals[0] += sizes[bin_ids < CALL_SIZE_BINS[0]].sum()
+    totals[-1] += sizes[bin_ids > CALL_SIZE_BINS[-1]].sum()
+    cdf = np.cumsum(totals) / totals.sum()
+    return list(CALL_SIZE_BINS), cdf
+
+
+def median_call_size_bin(profile: FleetProfile, algo: str, operation: Operation) -> int:
+    """The ceil(log2) bin containing the byte-weighted median call size."""
+    bins, cdf = call_size_cdf(profile, algo, operation)
+    return bins[int(np.searchsorted(cdf, 0.5))]
+
+
+def window_size_cdf(profile: FleetProfile, operation: Operation) -> Tuple[List[int], np.ndarray]:
+    """Figure 5: byte-weighted ZStd window-size CDF (bins are log2)."""
+    mask = profile.mask("zstd", operation)
+    windows = profile.window_size[mask]
+    sizes = profile.uncompressed_bytes[mask].astype(float)
+    totals = np.zeros(len(WINDOW_SIZE_BINS))
+    for i, b in enumerate(WINDOW_SIZE_BINS):
+        totals[i] = sizes[windows == (1 << b)].sum()
+    cdf = np.cumsum(totals) / totals.sum()
+    return list(WINDOW_SIZE_BINS), cdf
+
+
+def caller_breakdown(profile: FleetProfile) -> Dict[str, float]:
+    """Figure 4: % of (de)compression cycles by calling library."""
+    total = profile.cycles.sum()
+    return {
+        name: 100.0 * float(profile.cycles[profile.caller == i].sum() / total)
+        for i, name in enumerate(profile.caller_names)
+    }
+
+
+def file_format_cycle_share(profile: FleetProfile) -> float:
+    """§3.5.2 / §3.8 lesson 4a: cycles invoked by file-format libraries (~49%)."""
+    breakdown = caller_breakdown(profile)
+    return sum(breakdown[c] for c in FILE_FORMAT_CALLERS) / 100.0

@@ -1,0 +1,103 @@
+"""Fleet software cost-per-byte model (paper §3.3.4).
+
+The paper elides its cost-per-byte plot but quotes the relations that matter:
+
+* ZStd compression at low levels costs **1.55x** Snappy compression per byte.
+* ZStd compression at high levels costs an additional **2.39x** over low.
+* ZStd decompression costs **1.63x** Snappy decompression.
+* Heavyweight ratios improve 1.35-1.97x at a 1.55-3.70x per-byte cost.
+
+The absolute anchors come from the Xeon throughputs in §6 (1.1 / 0.36 /
+0.94 / 0.22 GB/s at 2.3 GHz nominal), adjusted so that dividing the Figure 1
+cycle shares by these costs reproduces the Figure 2a byte shares (lightweight
+handling 64% of compressed bytes, heavyweight producing 49% of decompressed
+bytes, and 3.3 decompressions per compressed byte). Fleet cost-per-byte runs
+slightly above in-memory lzbench numbers because production calls suffer cold
+caches and small payloads; the DSE Xeon baseline in :mod:`repro.soc.xeon`
+carries the lzbench-anchored constants instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.algorithms.base import Operation
+
+#: Base cycles/byte for compression at each algorithm's default level.
+_COMPRESS_BASE: Dict[str, float] = {
+    "snappy": 6.0,
+    "zstd": 9.3,  # at level <= 3 (the fleet's dominant bin)
+    "flate": 22.0,
+    "brotli": 16.0,  # fleet Brotli runs at low levels
+    "gipfeli": 4.5,
+    "lzo": 5.0,
+}
+
+#: Cycles/byte for decompression (level-independent to first order).
+_DECOMPRESS_BASE: Dict[str, float] = {
+    "snappy": 2.45,
+    "zstd": 4.0,  # 1.63x Snappy (§3.3.4)
+    "flate": 4.9,
+    "brotli": 4.7,
+    "gipfeli": 3.3,
+    "lzo": 2.9,
+}
+
+#: Fixed per-call software overhead (dispatch, allocator, stats), cycles.
+PER_CALL_OVERHEAD_CYCLES = 2000.0
+
+
+def zstd_compress_cost(level: int) -> float:
+    """Cycles/byte for ZStd compression at a given level.
+
+    Piecewise-linear ladder calibrated so the byte-weighted average over the
+    Figure 2b level mix gives the published bin relations: the [-inf, 3] bin
+    averages ~9.2 (1.55x Snappy's 6.0) and the [4, 22] bin averages ~22.3
+    (2.39x the low bin).
+    """
+    if level <= 3:
+        return max(3.0, 9.3 + 0.3 * (level - 3))
+    return 18.0 + 2.5 * (level - 4)
+
+
+def cost_per_byte(algo: str, operation: Operation, level: Optional[int] = None) -> float:
+    """Software cycles/byte for one (algorithm, operation, level)."""
+    if operation is Operation.COMPRESS:
+        if algo == "zstd" and level is not None:
+            return zstd_compress_cost(level)
+        try:
+            return _COMPRESS_BASE[algo]
+        except KeyError:
+            raise KeyError(f"unknown algorithm {algo!r}") from None
+    try:
+        return _DECOMPRESS_BASE[algo]
+    except KeyError:
+        raise KeyError(f"unknown algorithm {algo!r}") from None
+
+
+def call_cycles(
+    algo: str,
+    operation: Operation,
+    uncompressed_bytes: float,
+    level: Optional[int] = None,
+) -> float:
+    """Total software cycles for one call (before sampling noise)."""
+    return PER_CALL_OVERHEAD_CYCLES + uncompressed_bytes * cost_per_byte(algo, operation, level)
+
+
+def relation_checkpoints() -> Tuple[float, float, float]:
+    """The three §3.3.4 relations implied by this model, for validation.
+
+    Returns (zstd_low_vs_snappy, zstd_high_vs_low, zstd_vs_snappy_decomp).
+    """
+    from repro.fleet.distributions import ZSTD_LEVEL_PMF
+
+    low_mass = sum(p for l, p in ZSTD_LEVEL_PMF.items() if l <= 3)
+    high_mass = sum(p for l, p in ZSTD_LEVEL_PMF.items() if l > 3)
+    low_avg = sum(p * zstd_compress_cost(l) for l, p in ZSTD_LEVEL_PMF.items() if l <= 3) / low_mass
+    high_avg = sum(p * zstd_compress_cost(l) for l, p in ZSTD_LEVEL_PMF.items() if l > 3) / high_mass
+    return (
+        low_avg / _COMPRESS_BASE["snappy"],
+        high_avg / low_avg,
+        _DECOMPRESS_BASE["zstd"] / _DECOMPRESS_BASE["snappy"],
+    )

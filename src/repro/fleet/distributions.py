@@ -1,0 +1,282 @@
+"""Calibrated fleet distributions (paper §3, Figures 1-5).
+
+Each table below encodes a marginal distribution the paper publishes, either
+as an explicit chart value or as quoted quantiles. The sampler in
+:mod:`repro.fleet.profile` draws per-call records from these marginals; the
+analyses in :mod:`repro.fleet.analysis` recompute the figures from the drawn
+samples, closing the loop (generated data must reproduce the published
+statistics — tests assert this).
+
+Calibration sources, figure by figure:
+
+* Figure 1 legend (final time slice): per-algorithm cycle shares.
+* §3.2: 2.9% of fleet cycles; 56% of those in decompression.
+* Figure 2b: ZStd level distribution (88% of bytes at level <= 3, 95% at
+  <= 5, fewer than 0.002% at levels >= 12).
+* Figure 3: byte-weighted call-size CDFs (quantiles quoted in §3.5.1).
+* Figure 4: caller-library cycle shares (explicit percentages).
+* Figure 5: ZStd window-size CDFs (quantiles quoted in §3.6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import Operation
+from repro.common.units import KiB, MiB
+
+#: Fraction of all fleet CPU cycles spent in (de)compression (§3.2).
+FLEET_COMPRESSION_CYCLE_FRACTION = 0.029
+
+#: Figure 1 legend, final time slice: % of (de)compression cycles.
+CYCLE_SHARES: Dict[Tuple[str, Operation], float] = {
+    ("snappy", Operation.COMPRESS): 19.5,
+    ("zstd", Operation.COMPRESS): 15.4,
+    ("flate", Operation.COMPRESS): 5.9,
+    ("brotli", Operation.COMPRESS): 3.3,
+    ("gipfeli", Operation.COMPRESS): 0.1,
+    ("lzo", Operation.COMPRESS): 0.02,
+    ("snappy", Operation.DECOMPRESS): 20.3,
+    ("zstd", Operation.DECOMPRESS): 25.8,
+    ("flate", Operation.DECOMPRESS): 5.2,
+    ("brotli", Operation.DECOMPRESS): 4.0,
+    ("gipfeli", Operation.DECOMPRESS): 0.4,
+    ("lzo", Operation.DECOMPRESS): 0.1,
+}
+
+#: ZStd compression level distribution, byte-weighted (Figure 2b).
+#: Cumulative checkpoints: 88% at <= 3, 95% at <= 5, < 0.002% at >= 12.
+ZSTD_LEVEL_PMF: Dict[int, float] = {
+    -5: 0.010,
+    -3: 0.010,
+    -1: 0.030,
+    1: 0.130,
+    2: 0.100,
+    3: 0.600,
+    4: 0.040,
+    5: 0.030,
+    6: 0.020,
+    7: 0.012,
+    8: 0.008,
+    9: 0.005,
+    10: 0.003,
+    11: 0.001982,
+    12: 0.000008,
+    15: 0.000005,
+    19: 0.000003,
+    22: 0.000002,
+}
+
+#: Aggregate fleet-achieved compression ratios by algorithm/level bin
+#: (Figure 2c). ZStd low = 1.46x Snappy; ZStd high = 1.35x ZStd low; every
+#: bin >= 2 ("no algorithm having an aggregate compression ratio less than 2").
+FLEET_RATIO_BY_BIN: Dict[str, float] = {
+    "flate": 3.30,
+    "zstd_high": 3.94,  # levels [4, 22]
+    "zstd_low": 2.92,  # levels [-inf, 3]
+    "snappy": 2.00,
+    "brotli": 2.40,  # fleet Brotli runs at low levels (§3.3.3)
+    "gipfeli": 2.20,
+    "lzo": 2.05,
+}
+
+#: Per-call ratio spread (lognormal sigma) around the bin aggregate.
+RATIO_SIGMA = 0.35
+
+# ---------------------------------------------------------------------------
+# Call-size distributions (Figure 3). Bins are ceil(log2(call size)); mass is
+# the fraction of *uncompressed bytes* handled by calls in the bin, exactly
+# how the paper's y-axes are weighted.
+# ---------------------------------------------------------------------------
+
+CALL_SIZE_BINS: List[int] = list(range(10, 27))  # 1 KiB .. 64 MiB
+
+_SNAPPY_COMP_MASS = [
+    # 10..15: 24% of bytes from calls <= 32 KiB
+    0.010, 0.020, 0.030, 0.050, 0.060, 0.070,
+    # 16, 17: median falls between 64 KiB and 128 KiB
+    0.180, 0.130,
+    # 18..21: uniform rise
+    0.060, 0.050, 0.050, 0.040,
+    # 22: the (2 MiB, 4 MiB] bin holds 16.8% of bytes
+    0.168,
+    # 23..26: tail to 64 MiB
+    0.030, 0.020, 0.015, 0.017,
+]
+
+_ZSTD_COMP_MASS = [
+    # 10..15: only 8% of bytes from calls <= 32 KiB
+    0.002, 0.004, 0.008, 0.016, 0.020, 0.030,
+    # 16: the (32 KiB, 64 KiB] bin holds 28% of bytes
+    0.280,
+    # 17: median between 64 KiB and 128 KiB
+    0.200,
+    # 18..26: uniform rise to 64 MiB
+    0.055, 0.055, 0.055, 0.055, 0.055, 0.050, 0.045, 0.035, 0.035,
+]
+
+_SNAPPY_DECOMP_MASS = [
+    # 10..17: 62% of bytes in calls < 128 KiB
+    0.020, 0.030, 0.050, 0.070, 0.090, 0.110, 0.120, 0.140,
+    # 18: 80% < 256 KiB
+    0.180,
+    # 19..26: thin tail
+    0.050, 0.040, 0.030, 0.030, 0.030, 0.020, 0.010, 0.010,
+]
+
+_ZSTD_DECOMP_MASS = [
+    # 10..20: slow rise; median sits between 1 MiB and 2 MiB
+    0.004, 0.006, 0.010, 0.020, 0.030, 0.040, 0.050, 0.060, 0.070, 0.080, 0.105,
+    # 21: crosses the median inside (1 MiB, 2 MiB]
+    0.125,
+    # 22..26: heavy large-call tail
+    0.110, 0.100, 0.080, 0.060, 0.050,
+]
+
+_FLEET_GENERIC_MASS = _SNAPPY_COMP_MASS  # flate/brotli/gipfeli/lzo detail is
+# not collected by the fleet profiler (§3.1.2); reuse the Snappy shape.
+
+
+def _normalized(mass: List[float]) -> np.ndarray:
+    array = np.asarray(mass, dtype=float)
+    if len(array) != len(CALL_SIZE_BINS):
+        raise ValueError("mass table length mismatch")
+    return array / array.sum()
+
+
+CALL_SIZE_BYTE_MASS: Dict[Tuple[str, Operation], np.ndarray] = {
+    ("snappy", Operation.COMPRESS): _normalized(_SNAPPY_COMP_MASS),
+    ("zstd", Operation.COMPRESS): _normalized(_ZSTD_COMP_MASS),
+    ("snappy", Operation.DECOMPRESS): _normalized(_SNAPPY_DECOMP_MASS),
+    ("zstd", Operation.DECOMPRESS): _normalized(_ZSTD_DECOMP_MASS),
+}
+for _algo in ("flate", "brotli", "gipfeli", "lzo"):
+    for _op in (Operation.COMPRESS, Operation.DECOMPRESS):
+        CALL_SIZE_BYTE_MASS[(_algo, _op)] = _normalized(_FLEET_GENERIC_MASS)
+
+
+# ---------------------------------------------------------------------------
+# ZStd window-size distributions (Figure 5). Bins are log2(window size);
+# mass is byte-weighted, same as Figure 5's y-axis.
+# ---------------------------------------------------------------------------
+
+WINDOW_SIZE_BINS: List[int] = list(range(15, 25))  # 32 KiB .. 16 MiB
+
+#: Compression: slightly over 50% of bytes at <= 32 KiB windows, 75th
+#: percentile between 512 KiB and 1 MiB, tail to 16 MiB.
+_ZSTD_COMP_WINDOW = [0.52, 0.06, 0.05, 0.05, 0.06, 0.08, 0.06, 0.06, 0.04, 0.02]
+#: Decompression: median 1 MiB.
+_ZSTD_DECOMP_WINDOW = [0.18, 0.06, 0.06, 0.06, 0.06, 0.14, 0.13, 0.12, 0.11, 0.08]
+
+
+def _normalized_window(mass: List[float]) -> np.ndarray:
+    array = np.asarray(mass, dtype=float)
+    if len(array) != len(WINDOW_SIZE_BINS):
+        raise ValueError("window mass table length mismatch")
+    return array / array.sum()
+
+
+ZSTD_WINDOW_BYTE_MASS: Dict[Operation, np.ndarray] = {
+    Operation.COMPRESS: _normalized_window(_ZSTD_COMP_WINDOW),
+    Operation.DECOMPRESS: _normalized_window(_ZSTD_DECOMP_WINDOW),
+}
+
+# ---------------------------------------------------------------------------
+# Caller libraries (Figure 4): % of (de)compression cycles by calling code.
+# ---------------------------------------------------------------------------
+
+CALLER_SHARES: Dict[str, float] = {
+    "RPC": 13.9,
+    "Filetype1": 13.2,
+    "Other": 13.0,
+    "Unknown": 11.2,
+    "Filetype3.1": 9.7,
+    "Filetype2": 9.5,
+    "MixedResourceShuffle": 9.3,
+    "Filetype4": 6.9,
+    "Filetype3": 6.0,
+    "Filetype5": 2.7,
+    "InMemShuffle": 1.7,
+    "InMemMap": 1.5,
+    "Filetype7": 0.6,
+    "Filetype8": 0.4,
+    "InStorageShuffle": 0.2,
+    "Filetype6": 0.1,
+}
+
+#: Callers that are file-format libraries ("49% of cycles are derived from
+#: file formats", §3.5.2).
+FILE_FORMAT_CALLERS = [name for name in CALLER_SHARES if name.startswith("Filetype")]
+
+
+def sample_from_byte_mass(
+    rng: np.random.Generator,
+    bins: List[int],
+    byte_mass: np.ndarray,
+    count: int,
+) -> np.ndarray:
+    """Sample per-call sizes whose *byte-weighted* histogram matches.
+
+    ``byte_mass[i]`` is the fraction of bytes in bin ``i``. The number of
+    calls in a bin is proportional to ``byte_mass / bin_size``, so sampling
+    calls from that reweighted pmf and drawing a size within the bin
+    reproduces the byte-weighted distribution.
+    """
+    bin_tops = np.asarray([1 << b for b in bins], dtype=float)
+    bin_bottoms = bin_tops / 2.0
+    call_pmf = byte_mass / bin_tops
+    call_pmf = call_pmf / call_pmf.sum()
+    chosen = stratified_choice(rng, call_pmf, count)
+    # Log-uniform within the bin, matching the smooth CDFs in Figure 3.
+    fractions = rng.random(count)
+    sizes = bin_bottoms[chosen] * (2.0 ** fractions)
+    return np.maximum(1, sizes.astype(np.int64))
+
+
+def stratified_choice(rng: np.random.Generator, pmf: np.ndarray, count: int) -> np.ndarray:
+    """Draw ``count`` category indices with near-exact proportions.
+
+    Plain multinomial sampling of heavy-tailed, byte-weighted quantities has
+    enormous estimator variance (one 64 MiB call swings an entire share), so
+    per-category counts are allocated deterministically (largest-remainder
+    rounding) and only shuffled; expectations match ``pmf`` exactly up to
+    integer rounding. GWP operates at fleet scale where this is moot; the
+    stratification lets a 10^5-call sample reproduce fleet statistics.
+    """
+    ideal = pmf * count
+    base = np.floor(ideal).astype(np.int64)
+    remainder = count - int(base.sum())
+    if remainder > 0:
+        order = np.argsort(-(ideal - base))
+        base[order[:remainder]] += 1
+    out = np.repeat(np.arange(len(pmf)), base)
+    rng.shuffle(out)
+    return out
+
+
+def sample_levels(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Draw ZStd compression levels from the Figure 2b distribution."""
+    levels = np.asarray(list(ZSTD_LEVEL_PMF), dtype=np.int64)
+    probs = np.asarray(list(ZSTD_LEVEL_PMF.values()), dtype=float)
+    probs = probs / probs.sum()
+    return levels[stratified_choice(rng, probs, count)]
+
+
+def sample_windows(rng: np.random.Generator, operation: Operation, count: int) -> np.ndarray:
+    """Draw ZStd window sizes from the Figure 5 distribution."""
+    mass = ZSTD_WINDOW_BYTE_MASS[operation]
+    chosen = stratified_choice(rng, mass, count)
+    return np.asarray([1 << WINDOW_SIZE_BINS[i] for i in chosen], dtype=np.int64)
+
+
+def expected_bytes_per_call(algo: str, operation: Operation) -> float:
+    """Mean call size implied by a byte-weighted mass table."""
+    mass = CALL_SIZE_BYTE_MASS[(algo, operation)]
+    bin_tops = np.asarray([1 << b for b in CALL_SIZE_BINS], dtype=float)
+    call_pmf = mass / bin_tops
+    call_pmf = call_pmf / call_pmf.sum()
+    # Mean size within a bin under log-uniform sampling: top/(2 ln 2).
+    mean_sizes = bin_tops / 2.0 * (1.0 / np.log(2.0))
+    return float((call_pmf * mean_sizes).sum())

@@ -1,0 +1,247 @@
+"""GWP-like fleet sampling: per-call records drawn from calibrated marginals.
+
+:class:`FleetProfile` is the analogue of the paper's §3.1.2 call-sampling
+dataset: one row per sampled (de)compression call, carrying algorithm,
+operation, uncompressed/compressed sizes, compression level, window size,
+CPU cycles, owning service, and calling library. All fleet analyses
+(Figures 1-6) are computed *from these samples*, mirroring how the paper's
+figures are computed from GWP samples rather than from closed-form
+distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import Operation
+from repro.common.rng import make_rng
+from repro.fleet import costmodel
+from repro.fleet.distributions import (
+    CALL_SIZE_BINS,
+    CALL_SIZE_BYTE_MASS,
+    CALLER_SHARES,
+    CYCLE_SHARES,
+    FLEET_RATIO_BY_BIN,
+    RATIO_SIGMA,
+    expected_bytes_per_call,
+    sample_from_byte_mass,
+    sample_levels,
+    sample_windows,
+)
+from repro.fleet.services import ALL_SERVICES
+
+#: Stable algorithm ordering for integer-coded columns.
+ALGORITHMS: List[str] = ["snappy", "zstd", "flate", "brotli", "gipfeli", "lzo"]
+
+#: Sentinel level for algorithms without levels.
+NO_LEVEL = -128
+
+
+def _ratio_bin(algo: str, level: int) -> str:
+    if algo == "zstd":
+        return "zstd_low" if level <= 3 else "zstd_high"
+    return algo
+
+
+@dataclass
+class FleetProfile:
+    """Struct-of-arrays table of sampled (de)compression calls."""
+
+    algo: np.ndarray  # int8 index into ALGORITHMS
+    operation: np.ndarray  # int8: 0=compress, 1=decompress
+    uncompressed_bytes: np.ndarray  # int64
+    compressed_bytes: np.ndarray  # int64
+    level: np.ndarray  # int16, NO_LEVEL when not applicable
+    window_size: np.ndarray  # int64, 0 when not applicable
+    cycles: np.ndarray  # float64
+    service: np.ndarray  # int16 index into ALL_SERVICES
+    caller: np.ndarray  # int16 index into sorted CALLER_SHARES keys
+    caller_names: List[str]
+
+    def __len__(self) -> int:
+        return len(self.algo)
+
+    def mask(self, algo: Optional[str] = None, operation: Optional[Operation] = None) -> np.ndarray:
+        selected = np.ones(len(self), dtype=bool)
+        if algo is not None:
+            selected &= self.algo == ALGORITHMS.index(algo)
+        if operation is not None:
+            selected &= self.operation == (0 if operation is Operation.COMPRESS else 1)
+        return selected
+
+    def total_cycles(self, algo: Optional[str] = None, operation: Optional[Operation] = None) -> float:
+        return float(self.cycles[self.mask(algo, operation)].sum())
+
+    def total_uncompressed(self, algo: Optional[str] = None, operation: Optional[Operation] = None) -> float:
+        return float(self.uncompressed_bytes[self.mask(algo, operation)].sum())
+
+
+def generate_fleet_profile(seed: int = 0, num_calls: int = 200_000) -> FleetProfile:
+    """Sample a synthetic fleet of (de)compression calls.
+
+    Call counts per (algorithm, operation) are derived from the Figure 1
+    cycle shares and the cost model: byte volume = cycle share / cost-per-byte
+    and call count = byte volume / mean call size, so cycle, byte, and call
+    statistics all stay mutually consistent with the published numbers.
+    """
+    if num_calls < 1000:
+        raise ValueError("num_calls too small to resolve the rarest algorithm bins")
+    rng = make_rng(seed, "fleet-profile")
+
+    # --- per-(algo, op) call budget -------------------------------------
+    weights: Dict[Tuple[str, Operation], float] = {}
+    for (algo, op), share in CYCLE_SHARES.items():
+        avg_cost = costmodel.cost_per_byte(algo, op, level=None)
+        if algo == "zstd" and op is Operation.COMPRESS:
+            # Byte-weighted average over the fleet level mix.
+            from repro.fleet.distributions import ZSTD_LEVEL_PMF
+
+            avg_cost = sum(p * costmodel.zstd_compress_cost(l) for l, p in ZSTD_LEVEL_PMF.items())
+        byte_volume = share / avg_cost
+        weights[(algo, op)] = byte_volume / expected_bytes_per_call(algo, op)
+    total_weight = sum(weights.values())
+    budgets = {
+        key: max(8, int(round(num_calls * w / total_weight))) for key, w in weights.items()
+    }
+
+    columns: Dict[str, List[np.ndarray]] = {
+        "algo": [], "operation": [], "uncompressed": [], "compressed": [],
+        "level": [], "window": [], "cycles": [],
+    }
+
+    for (algo, op), count in budgets.items():
+        sub_rng = make_rng(seed, f"fleet-{algo}-{op.value}")
+        sizes = sample_from_byte_mass(
+            sub_rng, CALL_SIZE_BINS, CALL_SIZE_BYTE_MASS[(algo, op)], count
+        )
+        if algo == "zstd":
+            levels = sample_levels(sub_rng, count) if op is Operation.COMPRESS else np.full(count, 3, dtype=np.int64)
+            windows = sample_windows(sub_rng, op, count)
+        else:
+            levels = np.full(count, NO_LEVEL, dtype=np.int64)
+            windows = np.zeros(count, dtype=np.int64)
+
+        # Per-call ratio: lognormal in 1/ratio so the byte-weighted aggregate
+        # compression ratio converges to the Figure 2c bin value.
+        inv_ratios = np.empty(count, dtype=float)
+        for bin_name in set(_ratio_bin(algo, int(l)) for l in levels):
+            bin_mask = np.asarray(
+                [_ratio_bin(algo, int(l)) == bin_name for l in levels]
+            )
+            target = FLEET_RATIO_BY_BIN[bin_name]
+            mu = np.log(1.0 / target) - RATIO_SIGMA**2 / 2.0
+            inv_ratios[bin_mask] = np.exp(
+                sub_rng.normal(mu, RATIO_SIGMA, size=int(bin_mask.sum()))
+            )
+        inv_ratios = np.clip(inv_ratios, 1e-3, 1.0)
+        compressed = np.maximum(1, (sizes * inv_ratios).astype(np.int64))
+
+        if algo == "zstd" and op is Operation.COMPRESS:
+            per_byte = np.asarray([costmodel.zstd_compress_cost(int(l)) for l in levels])
+        else:
+            per_byte = np.full(count, costmodel.cost_per_byte(algo, op))
+        noise = np.exp(sub_rng.normal(0.0, 0.20, size=count))
+        cycles = costmodel.PER_CALL_OVERHEAD_CYCLES + sizes * per_byte * noise
+
+        columns["algo"].append(np.full(count, ALGORITHMS.index(algo), dtype=np.int8))
+        columns["operation"].append(
+            np.full(count, 0 if op is Operation.COMPRESS else 1, dtype=np.int8)
+        )
+        columns["uncompressed"].append(sizes)
+        columns["compressed"].append(compressed)
+        columns["level"].append(levels.astype(np.int16))
+        columns["window"].append(windows)
+        columns["cycles"].append(cycles)
+
+    algo_col = np.concatenate(columns["algo"])
+    cycles_col = np.concatenate(columns["cycles"])
+    n = len(algo_col)
+
+    # Services and callers are attributed by *cycle* share (Figures 4 and
+    # §3.2 are cycle breakdowns), so assignment fills each label's cycle
+    # quota over a randomly ordered view of the calls. Plain independent
+    # labels would leave the breakdown hostage to which label the few
+    # gigantic calls landed on.
+    def assign_by_cycle_quota(shares: np.ndarray, label: str) -> np.ndarray:
+        quota_rng = make_rng(seed, f"fleet-assign-{label}")
+        order = quota_rng.permutation(n)
+        cumulative = np.cumsum(cycles_col[order])
+        positions = cumulative / cumulative[-1]
+        boundaries = np.cumsum(shares / shares.sum())
+        labels_in_order = np.searchsorted(boundaries, positions, side="left")
+        labels_in_order = np.minimum(labels_in_order, len(shares) - 1)
+        out = np.empty(n, dtype=np.int16)
+        out[order] = labels_in_order.astype(np.int16)
+        return out
+
+    service_col = assign_by_cycle_quota(
+        np.asarray([s.fleet_share for s in ALL_SERVICES]), "service"
+    )
+    caller_names = list(CALLER_SHARES)
+    caller_col = assign_by_cycle_quota(
+        np.asarray([CALLER_SHARES[c] for c in caller_names]), "caller"
+    )
+
+    return FleetProfile(
+        algo=algo_col,
+        operation=np.concatenate(columns["operation"]),
+        uncompressed_bytes=np.concatenate(columns["uncompressed"]),
+        compressed_bytes=np.concatenate(columns["compressed"]),
+        level=np.concatenate(columns["level"]),
+        window_size=np.concatenate(columns["window"]),
+        cycles=np.concatenate(columns["cycles"]),
+        service=service_col,
+        caller=caller_col,
+        caller_names=caller_names,
+    )
+
+
+def timeline_shares(num_years: int = 8, slices_per_year: int = 3) -> Tuple[List[str], Dict[Tuple[str, Operation], np.ndarray]]:
+    """Algorithm cycle shares over time (Figure 1's stacked history).
+
+    Models the §3.4 dynamics: ZStd enters the fleet partway through and grows
+    from 0% to ~10% of (de)compression cycles within roughly one year,
+    continuing to its final share; Flate declines as services migrate; the
+    final slice reproduces the Figure 1 legend exactly.
+    """
+    labels = [
+        f"Y{year + 1}-{month:02d}"
+        for year in range(num_years)
+        for month in np.linspace(4, 12, slices_per_year).astype(int)
+    ]
+    n = len(labels)
+    final = {key: share for key, share in CYCLE_SHARES.items()}
+    shares: Dict[Tuple[str, Operation], np.ndarray] = {}
+
+    zstd_intro = int(n * 0.45)  # ZStd appears mid-history
+    one_year = slices_per_year
+    for (algo, op), end in final.items():
+        curve = np.empty(n)
+        if algo == "zstd":
+            curve[:zstd_intro] = 0.0
+            # ~10% of (de)compression cycles total across C+D after one year:
+            # this series' share of that 10% is proportional to its final share.
+            year_mark = end / (final[("zstd", Operation.COMPRESS)] + final[("zstd", Operation.DECOMPRESS)]) * 10.0
+            ramp_end = min(n, zstd_intro + one_year)
+            curve[zstd_intro:ramp_end] = np.linspace(0.0, year_mark, ramp_end - zstd_intro)
+            curve[ramp_end:] = np.linspace(year_mark, end, n - ramp_end)
+        elif algo == "brotli":
+            intro = int(n * 0.3)
+            curve[:intro] = 0.0
+            curve[intro:] = np.linspace(0.0, end, n - intro)
+        elif algo == "flate":
+            curve[:] = np.linspace(end * 3.0, end, n)  # legacy decline
+        else:
+            curve[:] = np.linspace(end * 1.2, end, n)
+        shares[(algo, op)] = curve
+
+    # Normalize every slice to 100% (the figure is self-normalized per month).
+    totals = np.zeros(n)
+    for curve in shares.values():
+        totals += curve
+    for key in shares:
+        shares[key] = shares[key] / totals * 100.0
+    return labels, shares

@@ -1,0 +1,182 @@
+"""Fleet-level what-if modeling: can accelerators change WSC trade-offs? (§3.3)
+
+The paper's central economic argument: an accelerator that makes heavyweight
+compression as cheap as lightweight compression does not just save the 2.9%
+of fleet cycles spent (de)compressing — it lets services move from Snappy (or
+low ZStd levels) to high-ratio compression "for free", shrinking storage,
+network, and memory consumption. This module quantifies that scenario against
+a sampled fleet profile and a CDPU design point.
+
+Resources modeled per §2: persistent storage writes, network transfer (each
+compressed byte moves over the network), and memory capacity; plus the CPU
+cycles returned to the fleet by offloading. Cost weights are deliberately
+coarse, unit-normalized knobs (the paper only says "100s of millions of
+dollars" [24, 56]) — the *relative* comparisons between scenarios are the
+output that matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.algorithms.base import Operation
+from repro.fleet.distributions import FLEET_RATIO_BY_BIN
+from repro.fleet.profile import ALGORITHMS, FleetProfile
+
+
+@dataclass(frozen=True)
+class ResourceWeights:
+    """Relative cost of one unit of each resource (arbitrary currency).
+
+    Defaults reflect the paper's qualitative pointers: memory is ~50% of WSC
+    TCO [26], big-data customers spend as much on storage as compute [51],
+    and network bandwidth is a "perpetual concern" [54].
+    """
+
+    cpu_cycle: float = 1.0
+    stored_byte: float = 40.0  # amortized storage cost per logical byte
+    network_byte: float = 25.0
+    memory_byte: float = 60.0
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Resource consumption of one fleet-wide compression policy."""
+
+    name: str
+    cpu_cycles: float
+    compressed_bytes: float
+    uncompressed_bytes: float
+
+    @property
+    def aggregate_ratio(self) -> float:
+        return self.uncompressed_bytes / max(1.0, self.compressed_bytes)
+
+    def cost(self, weights: ResourceWeights) -> float:
+        """Weighted resource cost: cycles + downstream byte footprint.
+
+        Compressed bytes are charged once as storage, once as network (they
+        are written somewhere and move somewhere), and a fraction as memory
+        residency.
+        """
+        byte_cost = self.compressed_bytes * (
+            weights.stored_byte + weights.network_byte + 0.25 * weights.memory_byte
+        )
+        return self.cpu_cycles * weights.cpu_cycle + byte_cost
+
+
+@dataclass(frozen=True)
+class WhatIfReport:
+    """Baseline vs accelerated-migration scenario comparison."""
+
+    baseline: ScenarioResult
+    accelerated: ScenarioResult
+    weights: ResourceWeights
+
+    @property
+    def cpu_cycle_reduction(self) -> float:
+        """Fraction of (de)compression CPU cycles removed from the fleet."""
+        return 1.0 - self.accelerated.cpu_cycles / self.baseline.cpu_cycles
+
+    @property
+    def compressed_byte_reduction(self) -> float:
+        """Fraction of compressed bytes (storage/network/memory) removed."""
+        return 1.0 - self.accelerated.compressed_bytes / self.baseline.compressed_bytes
+
+    @property
+    def cost_reduction(self) -> float:
+        return 1.0 - self.accelerated.cost(self.weights) / self.baseline.cost(self.weights)
+
+    def render(self) -> str:
+        lines = [
+            "What-if: migrate lightweight + low-level traffic to accelerated high-ratio ZStd",
+            f"  aggregate ratio    : {self.baseline.aggregate_ratio:5.2f}x -> {self.accelerated.aggregate_ratio:5.2f}x",
+            f"  (de)comp CPU cycles: {100 * self.cpu_cycle_reduction:5.1f}% reduction (offloaded to CDPUs)",
+            f"  compressed bytes   : {100 * self.compressed_byte_reduction:5.1f}% reduction "
+            "(storage + network + memory)",
+            f"  weighted cost      : {100 * self.cost_reduction:5.1f}% reduction",
+        ]
+        return "\n".join(lines)
+
+
+def _bin_ratio(algo_index: int, level: int) -> float:
+    algo = ALGORITHMS[algo_index]
+    if algo == "zstd":
+        return FLEET_RATIO_BY_BIN["zstd_low" if level <= 3 else "zstd_high"]
+    return FLEET_RATIO_BY_BIN[algo]
+
+
+def migration_what_if(
+    profile: FleetProfile,
+    *,
+    accelerated_ratio: Optional[float] = None,
+    cdpu_cycles_per_byte: float = 0.6,
+    adoption: float = 1.0,
+    weights: ResourceWeights = ResourceWeights(),
+) -> WhatIfReport:
+    """Model the §3.3 scenario on sampled fleet calls.
+
+    Baseline: every call runs its sampled algorithm/level in software.
+    Accelerated: an ``adoption`` fraction of *compression* traffic (and its
+    later decompressions) moves to a CDPU running ZStd at high level
+    (``accelerated_ratio``, default the fleet's zstd_high aggregate), with
+    the accelerator consuming ``cdpu_cycles_per_byte`` host-visible cycles
+    per byte (dispatch plus polling; the heavy lifting happens in the CDPU).
+
+    Returns a report with cycle, byte, and weighted-cost reductions.
+    """
+    if not 0.0 <= adoption <= 1.0:
+        raise ValueError(f"adoption must be within [0, 1], got {adoption}")
+    target_ratio = accelerated_ratio or FLEET_RATIO_BY_BIN["zstd_high"]
+
+    sizes = profile.uncompressed_bytes.astype(float)
+    baseline_cycles = float(profile.cycles.sum())
+    baseline_compressed = float(
+        profile.compressed_bytes[profile.operation == 0].sum()
+    )
+    comp_uncompressed = float(sizes[profile.operation == 0].sum())
+
+    baseline = ScenarioResult(
+        name="software-status-quo",
+        cpu_cycles=baseline_cycles,
+        compressed_bytes=baseline_compressed,
+        uncompressed_bytes=comp_uncompressed,
+    )
+
+    # Accelerated: an ``adoption`` fraction of each migratable call's bytes
+    # compresses on the CDPU at the high-level ratio; the rest stays in
+    # software. Calls already at high ZStd levels gain nothing and stay put.
+    comp_mask = profile.operation == 0
+    already_high = (profile.algo == ALGORITHMS.index("zstd")) & (profile.level > 3)
+    migratable = comp_mask & ~already_high
+
+    comp_sizes = sizes * comp_mask
+    migrated_bytes = comp_sizes * migratable * adoption
+    staying_cycles = float(
+        (profile.cycles * comp_mask * np.where(migratable, 1.0 - adoption, 1.0)).sum()
+    )
+    staying_compressed = float(
+        (profile.compressed_bytes * comp_mask * np.where(migratable, 1.0 - adoption, 1.0)).sum()
+    )
+    accel_cycles = staying_cycles + float(migrated_bytes.sum()) * cdpu_cycles_per_byte
+    accel_compressed = staying_compressed + float(migrated_bytes.sum()) / target_ratio
+
+    # Decompression traffic follows the compression policy: the migrated
+    # byte fraction decompresses on the accelerator too.
+    migrated_fraction = float(migrated_bytes.sum()) / max(1.0, comp_uncompressed)
+    decomp_mask = profile.operation == 1
+    decomp_cycles_sw = float(profile.cycles[decomp_mask].sum())
+    decomp_bytes = float(sizes[decomp_mask].sum())
+    accel_cycles += (1 - migrated_fraction) * decomp_cycles_sw
+    accel_cycles += migrated_fraction * decomp_bytes * cdpu_cycles_per_byte
+
+    accelerated = ScenarioResult(
+        name="accelerated-high-ratio",
+        cpu_cycles=accel_cycles,
+        compressed_bytes=accel_compressed,
+        uncompressed_bytes=comp_uncompressed,
+    )
+    return WhatIfReport(baseline=baseline, accelerated=accelerated, weights=weights)

@@ -1,0 +1,25 @@
+"""HyperCompressBench: fleet-representative benchmark generation (§4)."""
+
+from repro.hcbench.generator import (
+    SUITE_PAIRS,
+    BenchmarkFile,
+    GeneratorConfig,
+    HcBenchGenerator,
+)
+from repro.hcbench.suite import (
+    HyperCompressBench,
+    Suite,
+    default_benchmark,
+    generate_hypercompressbench,
+)
+
+__all__ = [
+    "BenchmarkFile",
+    "GeneratorConfig",
+    "HcBenchGenerator",
+    "HyperCompressBench",
+    "SUITE_PAIRS",
+    "Suite",
+    "default_benchmark",
+    "generate_hypercompressbench",
+]

@@ -1,0 +1,233 @@
+"""The HyperCompressBench generator (paper §4).
+
+Pipeline, exactly as the paper describes it:
+
+1. Chunk the corpus (here: the synthetic corpus, see DESIGN.md substitution
+   table) and build ratio-indexed LUTs per algorithm/parameter pair.
+2. Ingest fleet metrics (call size, compression ratio, window size, level)
+   from the profiling data and sample target parameters per benchmark file.
+3. For each target, greedily pick LUT chunks with the closest ratio until the
+   target call size is reached, periodically re-evaluating the assembled file
+   and adjusting the target ratio; introduce random shuffles in both the LUT
+   walk and the output ordering to avoid pathological sequences.
+4. Save the file together with the (level, window size) parameters that must
+   be applied when it is used.
+
+The ``size_scale`` knob shrinks sampled fleet call sizes by a power of two so
+the pure-Python pipeline stays CI-sized while preserving every distribution's
+*shape* (a 1/2^k scale shifts the log2 call-size CDF by exactly k bins; the
+validation figure accounts for it). ``size_scale=1`` generates the full-size
+suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import Operation
+from repro.common.rng import make_rng
+from repro.corpus import build_corpus, chunk_corpus
+from repro.fleet.profile import ALGORITHMS, FleetProfile, generate_fleet_profile
+from repro.hcbench.lut import LutKey, RatioLut, build_luts, default_lut_keys, lut_for_call
+
+
+@dataclass(frozen=True)
+class BenchmarkFile:
+    """One HyperCompressBench entry: payload plus usage parameters.
+
+    ``data`` is the *uncompressed* content. For compression benchmarks it is
+    the direct input; for decompression benchmarks the harness compresses it
+    once (with ``level``/``window_size``) to obtain the stream under test, so
+    the call-size distribution stays defined over uncompressed bytes exactly
+    as in Figures 3 and 7.
+    """
+
+    name: str
+    algorithm: str
+    operation: Operation
+    data: bytes
+    level: Optional[int]
+    window_size: Optional[int]
+    target_ratio: float
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the benchmark generator."""
+
+    seed: int = 0
+    files_per_suite: int = 48
+    #: Divide sampled fleet call sizes by this power of two (1 = full size).
+    size_scale: int = 64
+    corpus_file_size: int = 48 * 1024
+    chunk_size: int = 1024
+    min_file_bytes: int = 256
+    #: Re-evaluate the assembled file's ratio every N chunks (§4's
+    #: "at various points during this process").
+    reevaluate_every: int = 4
+
+    def __post_init__(self) -> None:
+        if self.size_scale < 1 or self.size_scale & (self.size_scale - 1):
+            raise ValueError("size_scale must be a power of two >= 1")
+        if self.files_per_suite < 1:
+            raise ValueError("files_per_suite must be positive")
+
+
+#: The four suites the paper generates (§4): (Snappy, ZStd) x (C, D).
+SUITE_PAIRS: List[Tuple[str, Operation]] = [
+    ("snappy", Operation.COMPRESS),
+    ("zstd", Operation.COMPRESS),
+    ("snappy", Operation.DECOMPRESS),
+    ("zstd", Operation.DECOMPRESS),
+]
+
+
+class HcBenchGenerator:
+    """Builds benchmark suites from fleet summary statistics."""
+
+    def __init__(
+        self,
+        config: GeneratorConfig = GeneratorConfig(),
+        *,
+        fleet: Optional[FleetProfile] = None,
+        luts: Optional[Dict[LutKey, RatioLut]] = None,
+    ) -> None:
+        self.config = config
+        self.fleet = fleet if fleet is not None else generate_fleet_profile(config.seed)
+        if luts is None:
+            corpus = build_corpus(config.seed, config.corpus_file_size)
+            chunks = chunk_corpus(corpus, config.chunk_size)
+            luts = build_luts(chunks, default_lut_keys())
+        self.luts = luts
+
+    # ------------------------------------------------------------------
+    # Target sampling (stage 2)
+    # ------------------------------------------------------------------
+
+    def _sample_targets(
+        self, algorithm: str, operation: Operation, count: int, rng: np.random.Generator
+    ) -> List[Tuple[int, Optional[int], Optional[int], float]]:
+        """Draw (size, level, window, ratio) targets from fleet samples."""
+        mask = self.fleet.mask(algorithm, operation)
+        indices = np.flatnonzero(mask)
+        if len(indices) == 0:
+            raise ValueError(f"fleet profile has no {algorithm}/{operation.value} calls")
+        # Byte-weighted resampling: each benchmark file stands for an equal
+        # share of fleet *bytes* (importance sampling over calls). A scaled
+        # suite of tens of files could never match a byte-weighted CDF with
+        # call-weighted draws — one 64 MiB tail call would dominate — so the
+        # suite's unweighted file-size CDF is the estimator of the fleet's
+        # byte-weighted CDF (see hcbench.validation).
+        weights = self.fleet.uncompressed_bytes[indices].astype(float)
+        weights = weights / weights.sum()
+        chosen = rng.choice(indices, size=count, p=weights)
+        targets = []
+        for row in chosen:
+            size = max(
+                self.config.min_file_bytes,
+                int(self.fleet.uncompressed_bytes[row]) // self.config.size_scale,
+            )
+            level = int(self.fleet.level[row])
+            if level == -128:  # NO_LEVEL sentinel
+                level_value: Optional[int] = None
+            else:
+                level_value = level
+            window = int(self.fleet.window_size[row]) or None
+            ratio = self.fleet.uncompressed_bytes[row] / max(1, self.fleet.compressed_bytes[row])
+            targets.append((size, level_value, window, float(ratio)))
+        return targets
+
+    # ------------------------------------------------------------------
+    # Greedy assembly (stage 3)
+    # ------------------------------------------------------------------
+
+    def _assemble_file(
+        self,
+        lut: RatioLut,
+        target_size: int,
+        target_ratio: float,
+        level: Optional[int],
+        window: Optional[int],
+        rng: np.random.Generator,
+    ) -> bytes:
+        """Greedy nearest-ratio chunk selection with true-ratio feedback.
+
+        The aim starts at the per-chunk target and is steered multiplicatively
+        whenever the assembled file is re-evaluated by *actually compressing*
+        it (§4: "the generator evaluates the file assembled so far and adjusts
+        the target ratio accordingly") — per-chunk ratios systematically
+        underestimate whole-file ratios because assembly creates cross-chunk
+        matches.
+        """
+        from repro.algorithms.registry import get_codec
+
+        codec = get_codec(lut.key.algorithm)
+        pieces: List[bytes] = []
+        used: set = set()
+        assembled = 0
+        # Whole-file ratios run above per-chunk LUT ratios (cross-chunk
+        # matches), so start the aim below the target.
+        aim = min(max(target_ratio * 0.7, lut.min_ratio), lut.max_ratio)
+        checkpoints = sorted(
+            {max(4096, int(target_size * f)) for f in (0.12, 0.25, 0.4, 0.55, 0.7, 0.85)}
+        )
+        while assembled < target_size:
+            skip = int(rng.integers(-2, 3))  # random shuffle within the LUT walk
+            rated = lut.nearest(aim, skip=skip, exclude=used)
+            used.add(rated.chunk.chunk_id)
+            if len(used) >= len(lut):
+                used.clear()  # pool exhausted: allow reuse
+            take = min(len(rated.chunk.data), target_size - assembled)
+            pieces.append(rated.chunk.data[:take])
+            assembled += take
+            if checkpoints and assembled >= checkpoints[0] and assembled < target_size:
+                while checkpoints and assembled >= checkpoints[0]:
+                    checkpoints.pop(0)
+                so_far = b"".join(pieces)
+                achieved = len(so_far) / max(
+                    1, len(codec.compress(so_far, level=level, window_size=window))
+                )
+                correction = (target_ratio / achieved) ** 0.75
+                aim = min(max(aim * correction, lut.min_ratio), lut.max_ratio)
+        # Random shuffle of the output ordering (§4), preserving total size.
+        order = rng.permutation(len(pieces))
+        return b"".join(pieces[i] for i in order)
+
+    # ------------------------------------------------------------------
+    # Suite generation (stage 4)
+    # ------------------------------------------------------------------
+
+    def generate_suite(self, algorithm: str, operation: Operation) -> List[BenchmarkFile]:
+        """Generate one (algorithm, operation) suite."""
+        if algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        rng = make_rng(self.config.seed, f"hcbench-{algorithm}-{operation.value}")
+        targets = self._sample_targets(algorithm, operation, self.config.files_per_suite, rng)
+        files: List[BenchmarkFile] = []
+        for index, (size, level, window, ratio) in enumerate(targets):
+            lut = lut_for_call(self.luts, algorithm, level)
+            data = self._assemble_file(lut, size, ratio, level, window, rng)
+            files.append(
+                BenchmarkFile(
+                    name=f"{algorithm}-{operation.short}-{index:05d}",
+                    algorithm=algorithm,
+                    operation=operation,
+                    data=data,
+                    level=level,
+                    window_size=window,
+                    target_ratio=ratio,
+                )
+            )
+        return files
+
+    def generate_all(self) -> Dict[Tuple[str, Operation], List[BenchmarkFile]]:
+        """Generate all four suites (the full HyperCompressBench)."""
+        return {
+            (algo, op): self.generate_suite(algo, op) for algo, op in SUITE_PAIRS
+        }

@@ -1,0 +1,139 @@
+"""Chunk compression-ratio lookup tables (paper §4, second generator stage).
+
+"Each chunk is individually run through all combinations of supported
+algorithms and parameters (window size, compression level) to obtain a
+compression ratio for that chunk for each algorithm/parameters pair. This
+data is stored in lookup tables indexed by the compression ratio."
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.registry import get_codec
+from repro.corpus.chunker import Chunk
+
+
+@dataclass(frozen=True)
+class RatedChunk:
+    """A chunk with its measured compression ratio for one config."""
+
+    chunk: Chunk
+    ratio: float
+
+
+@dataclass(frozen=True)
+class LutKey:
+    """One algorithm/parameter combination the LUT was built for."""
+
+    algorithm: str
+    level: Optional[int] = None
+    window_size: Optional[int] = None
+
+
+class RatioLut:
+    """Ratio-indexed chunk lookup for one algorithm/parameter pair.
+
+    Supports nearest-ratio queries with an exclusion set so the generator can
+    avoid reusing a chunk within one output file.
+    """
+
+    def __init__(self, key: LutKey, rated: Sequence[RatedChunk]) -> None:
+        if not rated:
+            raise ValueError("cannot build a LUT from zero chunks")
+        self.key = key
+        self._rated: List[RatedChunk] = sorted(rated, key=lambda r: r.ratio)
+        self._ratios: List[float] = [r.ratio for r in self._rated]
+
+    def __len__(self) -> int:
+        return len(self._rated)
+
+    @property
+    def min_ratio(self) -> float:
+        return self._ratios[0]
+
+    @property
+    def max_ratio(self) -> float:
+        return self._ratios[-1]
+
+    def nearest(
+        self,
+        target_ratio: float,
+        *,
+        skip: int = 0,
+        exclude: Optional[set] = None,
+    ) -> RatedChunk:
+        """Chunk whose ratio is nearest the target.
+
+        ``skip`` steps away from the best candidate (the generator's
+        random-shuffle knob) and ``exclude`` is a set of chunk ids already
+        used in the file being assembled — repeating a chunk verbatim would
+        create artificial long-range matches and blow up the achieved ratio
+        (the "pathological sequences" §4 guards against). When every chunk is
+        excluded, reuse is allowed again.
+        """
+        index = bisect.bisect_left(self._ratios, target_ratio)
+        candidates = []
+        if index < len(self._rated):
+            candidates.append(index)
+        if index > 0:
+            candidates.append(index - 1)
+        best = min(candidates, key=lambda i: abs(self._ratios[i] - target_ratio))
+        start = min(len(self._rated) - 1, max(0, best + skip))
+        if not exclude:
+            return self._rated[start]
+        # Scan outward from the shifted best index for an unused chunk.
+        for delta in range(len(self._rated)):
+            for position in (start + delta, start - delta):
+                if 0 <= position < len(self._rated):
+                    rated = self._rated[position]
+                    if rated.chunk.chunk_id not in exclude:
+                        return rated
+        return self._rated[start]
+
+
+def build_luts(
+    chunks: Sequence[Chunk],
+    keys: Sequence[LutKey],
+) -> Dict[LutKey, RatioLut]:
+    """Measure every chunk under every algorithm/parameter combination."""
+    luts: Dict[LutKey, RatioLut] = {}
+    for key in keys:
+        codec = get_codec(key.algorithm)
+        rated: List[RatedChunk] = []
+        for chunk in chunks:
+            ratio = codec.compression_ratio(
+                chunk.data, level=key.level, window_size=key.window_size
+            )
+            rated.append(RatedChunk(chunk, ratio))
+        luts[key] = RatioLut(key, rated)
+    return luts
+
+
+def default_lut_keys() -> List[LutKey]:
+    """The algorithm/parameter grid used for HyperCompressBench.
+
+    Snappy has no parameters; ZStd is measured at a low/default/high level
+    spread (the generator interpolates between them via the ratio index).
+    """
+    return [
+        LutKey("snappy"),
+        LutKey("zstd", level=1, window_size=64 * 1024),
+        LutKey("zstd", level=3, window_size=256 * 1024),
+        LutKey("zstd", level=9, window_size=1024 * 1024),
+    ]
+
+
+def lut_for_call(
+    luts: Dict[LutKey, RatioLut], algorithm: str, level: Optional[int]
+) -> RatioLut:
+    """Pick the LUT whose parameters best match a sampled fleet call."""
+    candidates = [k for k in luts if k.algorithm == algorithm]
+    if not candidates:
+        raise KeyError(f"no LUT built for algorithm {algorithm!r}")
+    if level is None:
+        return luts[candidates[0]]
+    best = min(candidates, key=lambda k: abs((k.level or 0) - level))
+    return luts[best]

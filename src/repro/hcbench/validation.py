@@ -1,0 +1,146 @@
+"""HyperCompressBench validation (paper §4.1, Figures 6 and 7).
+
+Two checks, mirroring the paper:
+
+* Figure 7: the generated suites' byte-weighted call-size CDFs must line up
+  with the fleet CDFs (after undoing the suite's ``size_scale`` shift).
+* §4.1: aggregate achieved compression ratios should land within 5-10% of the
+  fleet's aggregate ratios.
+
+Plus Figure 6: the call-size distribution of the *open-source* corpora, whose
+median the paper finds to be ~256x the fleet median. The open corpora file
+sizes are public metadata, recorded here verbatim so the comparison does not
+depend on having the corpus bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import Operation
+from repro.common.units import MiB, KiB, ceil_log2
+from repro.fleet.analysis import call_size_cdf, compression_ratio_by_bin
+from repro.fleet.distributions import CALL_SIZE_BINS
+from repro.fleet.profile import FleetProfile
+from repro.hcbench.suite import HyperCompressBench, Suite
+
+#: Approximate file sizes (bytes) of the four open-source benchmark corpora
+#: the paper examines in §3.7 (Silesia, Canterbury, Calgary, SnappyFiles).
+OPEN_SOURCE_FILE_SIZES: Dict[str, List[int]] = {
+    "silesia": [
+        10_192_446,  # dickens
+        51_220_480,  # mozilla
+        9_970_564,  # mr
+        33_553_445,  # nci
+        6_152_192,  # ooffice
+        10_085_684,  # osdb
+        6_627_202,  # reymont
+        21_606_400,  # samba
+        7_251_944,  # sao
+        41_458_703,  # webster
+        8_474_240,  # x-ray
+        5_345_280,  # xml
+    ],
+    "canterbury": [
+        152_089, 125_179, 24_603, 11_150, 3_721_562, 1_029_744, 426_754,
+        481_861, 513_216, 38_240, 4_227,
+    ],
+    "calgary": [
+        111_261, 768_771, 610_856, 102_400, 377_109, 21_504, 246_814,
+        53_161, 82_199, 46_526, 13_286, 11_954, 38_105, 4_110,
+    ],
+    "snappyfiles": [
+        152_089, 129_301, 42_685, 93_695, 4_064, 14_564, 57_437, 3_678,
+        118_588, 775_931, 184_320, 106_881,
+    ],
+}
+
+
+def opensource_call_size_cdf() -> Tuple[List[int], np.ndarray]:
+    """Figure 6: byte-weighted call-size CDF of the open corpora.
+
+    Bins extend past the fleet's 64 MiB cap because open corpus files run
+    larger than most fleet calls are small.
+    """
+    sizes = [s for files in OPEN_SOURCE_FILE_SIZES.values() for s in files]
+    bins = list(range(10, 27))
+    totals = np.zeros(len(bins))
+    for size in sizes:
+        b = min(max(ceil_log2(size), bins[0]), bins[-1])
+        totals[bins.index(b)] += size
+    return bins, np.cumsum(totals) / totals.sum()
+
+
+def opensource_median_bin() -> int:
+    """Bin holding the byte-weighted median open-source call size."""
+    bins, cdf = opensource_call_size_cdf()
+    return bins[int(np.searchsorted(cdf, 0.5))]
+
+
+def median_bin_gap_vs_fleet(profile: FleetProfile) -> int:
+    """§3.7: log2 gap between open-source and fleet median call sizes.
+
+    The paper reports a ~256x (8-bin) gap; we compare against the pooled
+    Snappy/ZStd compression call-size medians.
+    """
+    from repro.fleet.analysis import median_call_size_bin
+
+    fleet_bins = [
+        median_call_size_bin(profile, algo, op)
+        for algo in ("snappy", "zstd")
+        for op in (Operation.COMPRESS, Operation.DECOMPRESS)
+    ]
+    return opensource_median_bin() - int(np.median(fleet_bins))
+
+
+def suite_call_size_cdf(suite: Suite, size_scale: int) -> Tuple[List[int], np.ndarray]:
+    """Figure 7: suite CDF mapped back onto fleet-scale bins.
+
+    A suite generated with ``size_scale = 2**k`` has every call size divided
+    by 2**k, which shifts its log2 CDF left by k bins; shifting the bin labels
+    right by k realigns it with the fleet axis.
+    """
+    shift = int(np.log2(size_scale))
+    shifted_bins = [b - shift for b in CALL_SIZE_BINS]
+    cdf = suite.call_size_cdf(shifted_bins)
+    return CALL_SIZE_BINS, cdf
+
+
+def validate_call_sizes(
+    bench: HyperCompressBench, profile: FleetProfile
+) -> Dict[Tuple[str, Operation], float]:
+    """Max CDF deviation (Kolmogorov-Smirnov distance) per suite vs fleet."""
+    out: Dict[Tuple[str, Operation], float] = {}
+    for (algo, op), suite in bench.suites.items():
+        _bins, suite_cdf = suite_call_size_cdf(suite, bench.config.size_scale)
+        _fleet_bins, fleet_cdf = call_size_cdf(profile, algo, op)
+        out[(algo, op)] = float(np.max(np.abs(suite_cdf - fleet_cdf)))
+    return out
+
+
+def validate_ratios(
+    bench: HyperCompressBench, profile: FleetProfile
+) -> Dict[str, Tuple[float, float, float]]:
+    """§4.1 ratio check: (achieved, target-implied, fleet) aggregate ratios.
+
+    * *achieved* — what the suite actually compresses to.
+    * *target-implied* — the aggregate the sampled per-file fleet targets ask
+      for; comparing achieved against this isolates the assembly controller's
+      accuracy from fleet-sampling variance.
+    * *fleet* — the Figure 2c fleet-wide aggregate for the dominant bin.
+
+    Compression suites only — decompression suites share the same data
+    construction.
+    """
+    fleet_ratios = compression_ratio_by_bin(profile)
+    out: Dict[str, Tuple[float, float, float]] = {}
+    for algo in ("snappy", "zstd"):
+        suite = bench.suite(algo, Operation.COMPRESS)
+        achieved = suite.software_compression_ratio()
+        total_unc = sum(len(f.data) for f in suite.files)
+        implied = total_unc / sum(len(f.data) / f.target_ratio for f in suite.files)
+        fleet = fleet_ratios["zstd_low" if algo == "zstd" else "snappy"]
+        out[algo] = (achieved, implied, fleet)
+    return out

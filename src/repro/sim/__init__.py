@@ -1,0 +1,13 @@
+"""Service-level queueing simulation of shared CDPUs (extension of §6)."""
+
+from repro.sim.arrivals import CallArrival, poisson_trace
+from repro.sim.queueing import ServiceModel, SimulationResult, saturation_sweep, simulate
+
+__all__ = [
+    "CallArrival",
+    "ServiceModel",
+    "SimulationResult",
+    "poisson_trace",
+    "saturation_sweep",
+    "simulate",
+]

@@ -1,0 +1,79 @@
+"""Call-arrival traces for service-level simulation.
+
+The DSE (§6) measures isolated call latency ("without overlapping requests",
+§6.1). A deployment also cares how a CDPU behaves as a *shared service*:
+queueing under bursty arrivals, utilization, tail latency. This module turns
+fleet statistics into open-loop arrival traces for the queueing simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import Operation
+from repro.common.rng import make_rng
+from repro.fleet.profile import ALGORITHMS, FleetProfile
+
+
+@dataclass(frozen=True)
+class CallArrival:
+    """One offered (de)compression call."""
+
+    arrival_time: float  # seconds
+    algorithm: str
+    operation: Operation
+    uncompressed_bytes: int
+    compressed_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        return self.uncompressed_bytes / max(1, self.compressed_bytes)
+
+
+def poisson_trace(
+    profile: FleetProfile,
+    *,
+    seed: int = 0,
+    num_calls: int = 2000,
+    offered_bytes_per_second: float = 2.0e9,
+    algorithms: Optional[List[str]] = None,
+) -> List[CallArrival]:
+    """Sample an open-loop Poisson arrival trace from fleet call statistics.
+
+    Calls are resampled from the profile (sizes, algorithm, operation keep
+    their fleet joint distribution); interarrival times are exponential with
+    a rate chosen so the long-run offered load equals
+    ``offered_bytes_per_second`` of uncompressed data.
+    """
+    if offered_bytes_per_second <= 0:
+        raise ValueError("offered load must be positive")
+    rng = make_rng(seed, "sim-arrivals")
+    mask = np.ones(len(profile), dtype=bool)
+    if algorithms is not None:
+        allowed = {ALGORITHMS.index(a) for a in algorithms}
+        mask = np.isin(profile.algo, list(allowed))
+    indices = np.flatnonzero(mask)
+    if len(indices) == 0:
+        raise ValueError("no fleet calls match the requested algorithms")
+    chosen = rng.choice(indices, size=num_calls)
+
+    mean_bytes = float(profile.uncompressed_bytes[chosen].mean())
+    rate = offered_bytes_per_second / mean_bytes  # calls per second
+    gaps = rng.exponential(1.0 / rate, size=num_calls)
+    times = np.cumsum(gaps)
+
+    trace = []
+    for t, row in zip(times, chosen):
+        trace.append(
+            CallArrival(
+                arrival_time=float(t),
+                algorithm=ALGORITHMS[int(profile.algo[row])],
+                operation=Operation.COMPRESS if profile.operation[row] == 0 else Operation.DECOMPRESS,
+                uncompressed_bytes=int(profile.uncompressed_bytes[row]),
+                compressed_bytes=int(profile.compressed_bytes[row]),
+            )
+        )
+    return trace

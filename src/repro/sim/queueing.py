@@ -1,0 +1,160 @@
+"""Event-driven queueing simulation of a shared CDPU (extension of §6).
+
+Models the accelerator as a multi-lane FIFO station: calls arrive from an
+open-loop trace, wait for a free pipeline lane, and occupy it for the cycle
+model's service time. The same harness runs the software baseline (a pool of
+Xeon cores) so service-level comparisons — utilization, sojourn percentiles,
+saturation points — come from one mechanism.
+
+Service times are derived from the calibrated models rather than re-running
+the functional pipelines per simulated call: a call of ``u`` uncompressed /
+``c`` compressed bytes costs its placement's per-call overhead plus bytes
+over the configuration's effective rate (measured once per (algorithm,
+operation) from the DSE evaluation, or supplied directly).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import Operation
+from repro.core import calibration as cal
+from repro.sim.arrivals import CallArrival
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Maps a call to its service time on one lane (seconds)."""
+
+    #: Effective uncompressed-bytes/second per (algorithm, operation).
+    rates: Dict[Tuple[str, Operation], float]
+    #: Fixed per-call overhead, seconds.
+    per_call_seconds: float
+
+    def service_seconds(self, call: CallArrival) -> float:
+        try:
+            rate = self.rates[(call.algorithm, call.operation)]
+        except KeyError:
+            raise KeyError(
+                f"no service rate for {call.algorithm}/{call.operation.value}"
+            ) from None
+        return self.per_call_seconds + call.uncompressed_bytes / rate
+
+    @classmethod
+    def from_dse(cls, runner, config) -> "ServiceModel":
+        """Measure rates from the DSE runner's suite aggregates."""
+        rates = {}
+        for algo in ("snappy", "zstd"):
+            for op in Operation:
+                point = runner.evaluate(config, algo, op)
+                rates[(algo, op)] = point.accel_gbps * cal.GB_PER_SECOND
+        from repro.soc.placement import placement_model
+
+        overhead_cycles = placement_model(config.placement).per_call_overhead_cycles()
+        return cls(rates=rates, per_call_seconds=overhead_cycles / cal.CDPU_CLOCK_HZ)
+
+    @classmethod
+    def software_baseline(cls, xeon=None) -> "ServiceModel":
+        """One Xeon core running the software libraries."""
+        from repro.soc.xeon import SOFTWARE_CALL_OVERHEAD_CYCLES, XeonBaseline
+
+        xeon = xeon or XeonBaseline()
+        rates = {
+            key: gbps * cal.GB_PER_SECOND for key, gbps in cal.XEON_GBPS.items()
+        }
+        return cls(
+            rates=rates,
+            per_call_seconds=SOFTWARE_CALL_OVERHEAD_CYCLES / xeon.clock_hz,
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one queueing run."""
+
+    num_calls: int
+    lanes: int
+    makespan_seconds: float
+    busy_lane_seconds: float
+    sojourn_seconds: np.ndarray  # arrival -> completion, per call
+    waiting_seconds: np.ndarray
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of lane capacity in use."""
+        return self.busy_lane_seconds / (self.lanes * self.makespan_seconds)
+
+    def sojourn_percentile(self, q: float) -> float:
+        return float(np.percentile(self.sojourn_seconds, q))
+
+    @property
+    def mean_sojourn(self) -> float:
+        return float(self.sojourn_seconds.mean())
+
+    @property
+    def mean_waiting(self) -> float:
+        return float(self.waiting_seconds.mean())
+
+    def summary(self, name: str) -> str:
+        return (
+            f"{name:<24s} lanes={self.lanes} util={100 * self.utilization:5.1f}% "
+            f"mean={1e6 * self.mean_sojourn:8.1f}us "
+            f"p50={1e6 * self.sojourn_percentile(50):8.1f}us "
+            f"p99={1e6 * self.sojourn_percentile(99):9.1f}us"
+        )
+
+
+def simulate(
+    trace: Sequence[CallArrival],
+    service: ServiceModel,
+    *,
+    lanes: int = 1,
+) -> SimulationResult:
+    """Run the multi-lane FIFO simulation over an arrival trace.
+
+    Deterministic given the trace: ties go to the lowest-numbered lane.
+    """
+    if lanes < 1:
+        raise ValueError(f"lanes must be >= 1, got {lanes}")
+    if not trace:
+        raise ValueError("empty arrival trace")
+    # Min-heap of (free_at_time, lane_id).
+    free_at: List[Tuple[float, int]] = [(0.0, lane) for lane in range(lanes)]
+    heapq.heapify(free_at)
+    sojourn = np.empty(len(trace))
+    waiting = np.empty(len(trace))
+    busy = 0.0
+    completion_max = 0.0
+    for index, call in enumerate(trace):
+        lane_free, lane = heapq.heappop(free_at)
+        start = max(call.arrival_time, lane_free)
+        service_time = service.service_seconds(call)
+        end = start + service_time
+        heapq.heappush(free_at, (end, lane))
+        sojourn[index] = end - call.arrival_time
+        waiting[index] = start - call.arrival_time
+        busy += service_time
+        completion_max = max(completion_max, end)
+    return SimulationResult(
+        num_calls=len(trace),
+        lanes=lanes,
+        makespan_seconds=completion_max,
+        busy_lane_seconds=busy,
+        sojourn_seconds=sojourn,
+        waiting_seconds=waiting,
+    )
+
+
+def saturation_sweep(
+    make_trace: Callable[[float], Sequence[CallArrival]],
+    service: ServiceModel,
+    loads: Sequence[float],
+    *,
+    lanes: int = 1,
+) -> List[Tuple[float, SimulationResult]]:
+    """Evaluate the station across offered loads (bytes/second)."""
+    return [(load, simulate(make_trace(load), service, lanes=lanes)) for load in loads]

@@ -1,0 +1,19 @@
+"""SoC substrate: memory hierarchy, CDPU placements, and the Xeon baseline."""
+
+from repro.soc.memory import MemorySystem
+from repro.soc.rocc import CdpuFunct, RoccFrontend, RoccInstruction, call_command_sequence
+from repro.soc.placement import ALL_PLACEMENTS, Placement, PlacementModel, placement_model
+from repro.soc.xeon import XeonBaseline
+
+__all__ = [
+    "ALL_PLACEMENTS",
+    "MemorySystem",
+    "Placement",
+    "PlacementModel",
+    "XeonBaseline",
+    "CdpuFunct",
+    "RoccFrontend",
+    "RoccInstruction",
+    "call_command_sequence",
+    "placement_model",
+]

@@ -1,0 +1,53 @@
+"""Memory-system model for the accelerated SoC (paper §5, Figure 8).
+
+The CDPUs access unified memory through a 256-bit TileLink port behind the
+shared L2/LLC. For the analytical cycle model three quantities matter:
+
+* **streaming time** — moving N bytes with deeply pipelined DMA requests is
+  limited by ``outstanding * beat / latency`` (little's law) and by the port
+  width; input and output streams share the port;
+* **blocking reads** — decompression history fallbacks (§5.2) depend on the
+  just-produced output, so each off-CDPU lookup is a serialized round trip;
+* **per-call overhead** — command dispatch plus placement round trips.
+
+All placement dependence is delegated to
+:class:`repro.soc.placement.PlacementModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import calibration as cal
+from repro.soc.placement import Placement, PlacementModel, placement_model
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """The accelerator's view of the memory hierarchy for one placement."""
+
+    model: PlacementModel
+
+    @classmethod
+    def for_placement(cls, placement: Placement) -> "MemorySystem":
+        return cls(placement_model(placement))
+
+    @property
+    def placement(self) -> Placement:
+        return self.model.placement
+
+    def streaming_cycles(self, input_bytes: float, output_bytes: float) -> float:
+        """Cycles to stream the call's input and output through the port.
+
+        The two streams share one port, so the lower bound is total bytes
+        over the placement's sustained streaming bandwidth.
+        """
+        total = max(0.0, input_bytes) + max(0.0, output_bytes)
+        return total / self.model.streaming_bytes_per_cycle()
+
+    def blocking_read_cycles(self, num_requests: float) -> float:
+        """Serialized intermediate reads (history fallbacks): latency each."""
+        return num_requests * self.model.intermediate_request_latency
+
+    def per_call_overhead_cycles(self) -> float:
+        return self.model.per_call_overhead_cycles()

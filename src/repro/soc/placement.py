@@ -1,0 +1,118 @@
+"""CDPU placement models (paper §3.5, §5.8 parameter 1, §6).
+
+Four placements, with the latency-injection semantics of §5.8:
+
+* ``ROCC`` — near-core, on the SoC's TileLink NoC; no injected latency.
+* ``CHIPLET`` — same package, different die; 25 ns on every request.
+* ``PCIE_LOCAL_CACHE`` — PCIe+DDIO card with on-board SRAM cache and DRAM;
+  200 ns for raw-input and final-output transfers, but *intermediate*
+  accesses (history fallbacks, table spills) hit the card-local cache.
+* ``PCIE_NO_CACHE`` — PCIe+DDIO card without local storage; 200 ns on all
+  requests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core import calibration as cal
+
+
+class Placement(enum.Enum):
+    """Where the CDPU sits relative to the CPU (§3.5)."""
+
+    ROCC = "RoCC"
+    CHIPLET = "Chiplet"
+    PCIE_LOCAL_CACHE = "PCIeLocalCache"
+    PCIE_NO_CACHE = "PCIeNoCache"
+
+
+@dataclass(frozen=True)
+class PlacementModel:
+    """Latency/bandwidth characteristics of one placement.
+
+    Attributes:
+        placement: The placement this model describes.
+        edge_extra_cycles: Added latency on raw-input / final-output requests.
+        intermediate_extra_cycles: Added latency on intermediate requests
+            (decompression history fallbacks beyond the on-CDPU SRAM).
+        outstanding_requests: DMA pipelining depth for streaming transfers.
+        call_round_trips: Command/completion round trips per invocation that
+            pay the edge latency (doorbell, descriptor fetch, completion).
+    """
+
+    placement: Placement
+    edge_extra_cycles: float
+    intermediate_extra_cycles: float
+    outstanding_requests: int
+    call_round_trips: int
+
+    @property
+    def edge_request_latency(self) -> float:
+        """Full round-trip latency of a streaming request, cycles."""
+        return cal.L2_LATENCY_CYCLES + self.edge_extra_cycles
+
+    @property
+    def intermediate_request_latency(self) -> float:
+        """Round-trip latency of an intermediate (history/table) request."""
+        if self.placement is Placement.PCIE_LOCAL_CACHE:
+            # Served by the card's own SRAM cache / DRAM.
+            return cal.CARD_CACHE_LATENCY_CYCLES
+        return cal.L2_LATENCY_CYCLES + self.intermediate_extra_cycles
+
+    def streaming_bytes_per_cycle(self) -> float:
+        """Sustained streaming bandwidth: outstanding beats over latency,
+        capped by the 256-bit port."""
+        pipelined = cal.BEAT_BYTES * self.outstanding_requests / self.edge_request_latency
+        return min(cal.PORT_BYTES_PER_CYCLE, pipelined)
+
+    def per_call_overhead_cycles(self) -> float:
+        """Fixed invocation cost: RoCC dispatch plus placement round trips."""
+        return cal.ROCC_CALL_OVERHEAD_CYCLES + self.call_round_trips * self.edge_extra_cycles
+
+
+_MODELS = {
+    Placement.ROCC: PlacementModel(
+        placement=Placement.ROCC,
+        edge_extra_cycles=0.0,
+        intermediate_extra_cycles=0.0,
+        outstanding_requests=cal.MEMLOADER_OUTSTANDING_NEAR,
+        call_round_trips=0,
+    ),
+    Placement.CHIPLET: PlacementModel(
+        placement=Placement.CHIPLET,
+        edge_extra_cycles=cal.CHIPLET_EXTRA_CYCLES,
+        intermediate_extra_cycles=cal.CHIPLET_EXTRA_CYCLES,
+        outstanding_requests=cal.MEMLOADER_OUTSTANDING_NEAR,
+        call_round_trips=cal.CHIPLET_CALL_ROUND_TRIPS,
+    ),
+    Placement.PCIE_LOCAL_CACHE: PlacementModel(
+        placement=Placement.PCIE_LOCAL_CACHE,
+        edge_extra_cycles=cal.PCIE_EXTRA_CYCLES,
+        intermediate_extra_cycles=0.0,  # replaced by the card cache latency
+        outstanding_requests=cal.MEMLOADER_OUTSTANDING_PCIE,
+        call_round_trips=cal.PCIE_CALL_ROUND_TRIPS,
+    ),
+    Placement.PCIE_NO_CACHE: PlacementModel(
+        placement=Placement.PCIE_NO_CACHE,
+        edge_extra_cycles=cal.PCIE_EXTRA_CYCLES,
+        intermediate_extra_cycles=cal.PCIE_EXTRA_CYCLES,
+        outstanding_requests=cal.MEMLOADER_OUTSTANDING_PCIE,
+        call_round_trips=cal.PCIE_CALL_ROUND_TRIPS,
+    ),
+}
+
+
+def placement_model(placement: Placement) -> PlacementModel:
+    """Look up the latency/bandwidth model for a placement."""
+    return _MODELS[placement]
+
+
+#: Placements in the order the paper's figures plot them.
+ALL_PLACEMENTS = [
+    Placement.ROCC,
+    Placement.CHIPLET,
+    Placement.PCIE_LOCAL_CACHE,
+    Placement.PCIE_NO_CACHE,
+]

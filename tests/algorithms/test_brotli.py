@@ -1,0 +1,95 @@
+"""Unit tests for the Brotli-like codec (static dictionary + Huffman)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.brotli import STATIC_DICTIONARY, BrotliCodec
+from repro.algorithms.flate import FlateCodec
+from repro.common.errors import ConfigError, CorruptStreamError
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return BrotliCodec()
+
+
+class TestRoundTrip:
+    def test_sample_inputs(self, codec, sample_inputs):
+        for name, data in sample_inputs.items():
+            assert codec.decompress(codec.compress(data)) == data, name
+
+    @pytest.mark.parametrize("level", [0, 1, 5, 9, 11])
+    def test_levels(self, codec, level):
+        data = b"brotli level ladder content " * 150
+        assert codec.decompress(codec.compress(data, level=level)) == data
+
+    @pytest.mark.parametrize("window", [1 << 15, 1 << 20])
+    def test_windows(self, codec, window):
+        data = b"windowed brotli " * 400
+        assert codec.decompress(codec.compress(data, window_size=window)) == data
+
+    def test_bad_window_rejected(self, codec):
+        with pytest.raises(ConfigError):
+            codec.compress(b"x" * 50, window_size=3000)
+
+    def test_incompressible_bounded(self, codec):
+        import random
+
+        rng = random.Random(5)
+        data = bytes(rng.getrandbits(8) for _ in range(4096))
+        assert len(codec.compress(data)) <= len(data) + 16
+
+
+class TestStaticDictionary:
+    def test_dictionary_built_once_and_nonempty(self):
+        assert len(STATIC_DICTIONARY) > 1000
+
+    def test_small_english_beats_flate(self, codec):
+        """Brotli's niche: short text with no internal repetition still
+        matches the built-in dictionary (§2.2: 'static dictionary')."""
+        text = (
+            b"there would have been more time for them to do what they could "
+            b"about the other one after all"
+        )
+        brotli_size = len(codec.compress(text, level=5))
+        flate_size = len(FlateCodec().compress(text, level=6))
+        assert brotli_size < flate_size
+
+    def test_small_json_benefits(self, codec):
+        record = (
+            b'{"id":991,"name":"frontend","type":"service","status":true,'
+            b'"value":null,"error":false,"timestamp":"1970-01-01"}'
+        ) * 2
+        brotli_size = len(codec.compress(record, level=5))
+        flate_size = len(FlateCodec().compress(record, level=6))
+        assert brotli_size <= flate_size
+
+    def test_dictionary_never_leaks_into_output(self, codec):
+        # Decoding must strip the virtual dictionary prefix exactly.
+        data = b" the of and to in is was"  # pure dictionary content
+        assert codec.decompress(codec.compress(data, level=9)) == data
+
+
+class TestCorruption:
+    def test_bad_magic(self, codec):
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(b"NOPE" + b"\x00" * 16)
+
+    def test_bad_window_log(self, codec):
+        frame = bytearray(codec.compress(b"corrupt me " * 50))
+        frame[4] = 99
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(bytes(frame))
+
+    def test_truncation(self, codec):
+        frame = codec.compress(b"truncate " * 200)
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(frame[: len(frame) // 2])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(max_size=3000), st.sampled_from([0, 3, 7]))
+def test_roundtrip_arbitrary(data, level):
+    codec = BrotliCodec()
+    assert codec.decompress(codec.compress(data, level=level)) == data

@@ -1,0 +1,179 @@
+"""Unit + property tests for canonical length-limited Huffman coding."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.huffman import (
+    HuffmanTable,
+    build_code_lengths,
+    byte_frequencies,
+    canonical_codes,
+    decode_symbols,
+    deserialize_lengths,
+    encode_symbols,
+    serialize_lengths,
+)
+from repro.common.errors import CorruptStreamError
+
+
+def kraft_sum(lengths):
+    return sum(2.0 ** -l for l in lengths.values())
+
+
+class TestCodeLengths:
+    def test_empty_distribution(self):
+        assert build_code_lengths({}) == {}
+
+    def test_single_symbol_gets_length_one(self):
+        assert build_code_lengths({65: 100}) == {65: 1}
+
+    def test_two_symbols(self):
+        lengths = build_code_lengths({0: 9, 1: 1})
+        assert lengths == {0: 1, 1: 1}
+
+    def test_kraft_inequality_holds(self):
+        lengths = build_code_lengths({i: i + 1 for i in range(50)})
+        assert kraft_sum(lengths) <= 1.0 + 1e-9
+
+    def test_max_bits_respected(self):
+        # Fibonacci-ish frequencies force deep trees without limiting.
+        freqs = {}
+        a, b = 1, 1
+        for i in range(30):
+            freqs[i] = a
+            a, b = b, a + b
+        lengths = build_code_lengths(freqs, max_bits=11)
+        assert max(lengths.values()) <= 11
+        assert kraft_sum(lengths) <= 1.0 + 1e-9
+
+    def test_more_frequent_symbols_get_shorter_or_equal_codes(self):
+        lengths = build_code_lengths({0: 1000, 1: 100, 2: 10, 3: 1})
+        assert lengths[0] <= lengths[1] <= lengths[2] <= lengths[3]
+
+    def test_near_optimality_vs_entropy(self):
+        freqs = {i: (i + 1) ** 2 for i in range(32)}
+        total = sum(freqs.values())
+        entropy = -sum(f / total * math.log2(f / total) for f in freqs.values())
+        lengths = build_code_lengths(freqs)
+        avg = sum(freqs[s] * l for s, l in lengths.items()) / total
+        assert avg <= entropy + 1.0  # Huffman's classic bound
+
+    def test_alphabet_too_large_for_max_bits(self):
+        with pytest.raises(ValueError):
+            build_code_lengths({i: 1 for i in range(9)}, max_bits=3)
+
+
+class TestCanonicalCodes:
+    def test_codes_are_prefix_free(self):
+        lengths = build_code_lengths({i: i + 1 for i in range(20)})
+        codes = canonical_codes(lengths)
+        rendered = [format(c, f"0{l}b") for c, l in codes.values()]
+        for a in rendered:
+            for b in rendered:
+                if a is not b:
+                    assert not b.startswith(a) or a == b
+
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_codes({0: 1, 1: 1, 2: 1})  # Kraft violation
+
+    def test_deterministic_ordering(self):
+        lengths = {5: 2, 1: 2, 3: 1}
+        codes = canonical_codes(lengths)
+        assert codes[3] == (0, 1)
+        assert codes[1] == (0b10, 2)
+        assert codes[5] == (0b11, 2)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_bytes(self):
+        data = b"abracadabra" * 50
+        table = HuffmanTable.from_frequencies(byte_frequencies(data))
+        payload = encode_symbols(data, table)
+        assert bytes(decode_symbols(payload, len(data), table)) == data
+        assert len(payload) < len(data)
+
+    def test_single_symbol_stream(self):
+        table = HuffmanTable.from_frequencies({7: 99})
+        payload = encode_symbols([7] * 40, table)
+        assert decode_symbols(payload, 40, table) == [7] * 40
+
+    def test_unknown_symbol_rejected_on_encode(self):
+        table = HuffmanTable.from_frequencies({1: 1, 2: 1})
+        with pytest.raises(ValueError):
+            encode_symbols([3], table)
+
+    def test_corrupt_stream_raises(self):
+        table = HuffmanTable.from_frequencies({i: i + 1 for i in range(5)})
+        with pytest.raises(CorruptStreamError):
+            # Demand more symbols than the payload can contain.
+            decode_symbols(b"", 3, table)
+
+    def test_encoded_bit_length_matches_actual(self):
+        data = b"entropy coding " * 30
+        freqs = byte_frequencies(data)
+        table = HuffmanTable.from_frequencies(freqs)
+        payload = encode_symbols(data, table)
+        bits = table.encoded_bit_length(freqs)
+        assert (bits + 7) // 8 == len(payload)
+
+    def test_decode_table_covers_every_window(self):
+        table = HuffmanTable.from_frequencies({i: i + 1 for i in range(7)})
+        flat = table.decode_table()
+        # Kraft-complete codes: every peek window decodes to some symbol.
+        assert all(entry[0] >= 0 for entry in flat)
+
+
+class TestSerialization:
+    def test_lengths_roundtrip(self):
+        data = b"serialize me " * 40
+        table = HuffmanTable.from_frequencies(byte_frequencies(data))
+        blob = serialize_lengths(table, 256)
+        restored, consumed = deserialize_lengths(blob, 256)
+        assert consumed == len(blob)
+        assert restored.lengths == table.lengths
+
+    def test_decoding_with_deserialized_table(self):
+        data = b"the table header is all a decoder needs" * 10
+        table = HuffmanTable.from_frequencies(byte_frequencies(data))
+        blob = serialize_lengths(table, 256)
+        restored, _ = deserialize_lengths(blob, 256)
+        payload = encode_symbols(data, table)
+        assert bytes(decode_symbols(payload, len(data), restored)) == data
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(CorruptStreamError):
+            deserialize_lengths(b"\x00" * 128, 256)
+
+    def test_invalid_header_lengths_rejected(self):
+        # Three symbols of length 1 violate Kraft.
+        from repro.common.bitio import BitWriter
+
+        writer = BitWriter()
+        for _ in range(3):
+            writer.write(1, 4)
+        writer.write(0, 4)
+        with pytest.raises(CorruptStreamError):
+            deserialize_lengths(writer.getvalue(), 4)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(min_size=1, max_size=2000))
+def test_roundtrip_arbitrary_bytes(data):
+    freqs = byte_frequencies(data)
+    table = HuffmanTable.from_frequencies(freqs)
+    payload = encode_symbols(data, table)
+    assert bytes(decode_symbols(payload, len(data), table)) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(st.integers(0, 255), st.integers(1, 10_000), min_size=1, max_size=64)
+)
+def test_lengths_always_kraft_valid(freqs):
+    lengths = build_code_lengths(freqs)
+    assert kraft_sum(lengths) <= 1.0 + 1e-9
+    assert set(lengths) == {s for s, f in freqs.items() if f > 0}

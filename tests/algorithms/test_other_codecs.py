@@ -1,0 +1,116 @@
+"""Unit tests for the Flate-like, Gipfeli-like and LZO-like codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.flate import FlateCodec
+from repro.algorithms.gipfeli import GipfeliCodec
+from repro.algorithms.lzo import LzoCodec
+from repro.common.errors import CorruptStreamError
+
+CODECS = [FlateCodec, GipfeliCodec, LzoCodec]
+
+
+@pytest.mark.parametrize("codec_cls", CODECS)
+class TestCommonBehaviour:
+    def test_sample_roundtrips(self, codec_cls, sample_inputs):
+        codec = codec_cls()
+        for name, data in sample_inputs.items():
+            assert codec.decompress(codec.compress(data)) == data, name
+
+    def test_compressible_data_shrinks(self, codec_cls):
+        codec = codec_cls()
+        data = b"structured repetitive content here " * 400
+        assert len(codec.compress(data)) < len(data) / 2
+
+    def test_bounded_expansion_on_random(self, codec_cls):
+        import random
+
+        rng = random.Random(8)
+        codec = codec_cls()
+        data = bytes(rng.getrandbits(8) for _ in range(8192))
+        assert len(codec.compress(data)) < len(data) * 1.15 + 64
+
+    def test_bad_magic_rejected(self, codec_cls):
+        with pytest.raises(CorruptStreamError):
+            codec_cls().decompress(b"XXXX" + b"\x00" * 30)
+
+    def test_truncation_rejected_or_detected(self, codec_cls):
+        codec = codec_cls()
+        compressed = codec.compress(b"truncate this payload " * 100)
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(compressed[: len(compressed) // 2])
+
+
+class TestFlate:
+    def test_levels_roundtrip(self):
+        codec = FlateCodec()
+        data = b"flate levels " * 200
+        for level in (1, 3, 6, 9):
+            assert codec.decompress(codec.compress(data, level=level)) == data
+
+    def test_default_window_32k(self):
+        assert FlateCodec().resolve_window(None) == 32 * 1024
+
+    def test_structurally_zstd_minus_fse(self):
+        """§3.4: Flate and ZStd differ by the FSE module only."""
+        from repro.algorithms.flate import FLATE_INFO
+        from repro.algorithms.zstd import ZSTD_INFO
+
+        assert FLATE_INFO.has_entropy_coding and ZSTD_INFO.has_entropy_coding
+        assert FLATE_INFO.weight_class == ZSTD_INFO.weight_class
+
+    def test_stored_fallback_on_incompressible(self):
+        import random
+
+        rng = random.Random(12)
+        data = bytes(rng.getrandbits(8) for _ in range(4000))
+        compressed = FlateCodec().compress(data)
+        assert len(compressed) <= len(data) + 16
+
+
+class TestGipfeli:
+    def test_no_levels(self):
+        assert not GipfeliCodec().info.supports_levels
+
+    def test_simple_entropy_beats_snappy_on_skewed_literals(self):
+        """Gipfeli's niche: literal entropy coding Snappy lacks (§2.2)."""
+        import random
+
+        from repro.algorithms.snappy import SnappyCodec
+
+        rng = random.Random(3)
+        # Mostly a 16-symbol alphabet, no long repeats: entropy coding wins.
+        data = bytes(rng.choice(b"abcdefghijklmnop") for _ in range(20000))
+        assert len(GipfeliCodec().compress(data)) < len(SnappyCodec().compress(data))
+
+    def test_top_set_cap(self):
+        compressed = GipfeliCodec().compress(bytes(range(256)) * 20)
+        assert GipfeliCodec().decompress(compressed) == bytes(range(256)) * 20
+
+
+class TestLzo:
+    def test_levels_change_effort_not_correctness(self):
+        codec = LzoCodec()
+        data = b"lzo level ladder " * 300
+        sizes = [len(codec.compress(data, level=l)) for l in (1, 5, 9)]
+        for level in (1, 5, 9):
+            assert codec.decompress(codec.compress(data, level=level)) == data
+        assert sizes[-1] <= sizes[0]
+
+    def test_no_entropy_coding(self):
+        assert not LzoCodec().info.has_entropy_coding
+
+    def test_zero_length_literal_run_rejected(self):
+        from repro.common.varint import encode_varint
+
+        with pytest.raises(CorruptStreamError):
+            LzoCodec().decompress(b"LZRL" + encode_varint(1) + b"\x00")
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(max_size=3000), st.sampled_from(CODECS))
+def test_roundtrip_arbitrary(data, codec_cls):
+    codec = codec_cls()
+    assert codec.decompress(codec.compress(data)) == data

@@ -1,0 +1,102 @@
+"""Unit tests for the algorithm registry and the §2.2 taxonomy."""
+
+import pytest
+
+from repro.algorithms.base import Operation, WeightClass
+from repro.algorithms.registry import (
+    ALGORITHM_INFOS,
+    available_codecs,
+    get_codec,
+    get_info,
+    heavyweight_algorithms,
+    lightweight_algorithms,
+)
+
+
+class TestRegistry:
+    def test_six_fleet_algorithms_described(self):
+        assert set(ALGORITHM_INFOS) == {"snappy", "zstd", "flate", "brotli", "gipfeli", "lzo"}
+
+    def test_six_codecs_runnable(self):
+        assert available_codecs() == ["brotli", "flate", "gipfeli", "lzo", "snappy", "zstd"]
+
+    def test_brotli_runs_at_fleet_default_low_level(self):
+        info = get_info("brotli")
+        assert info.weight_class is WeightClass.HEAVYWEIGHT
+        assert info.default_level == 1  # §3.3.3: fleet Brotli runs at low levels
+        codec = get_codec("brotli")
+        data = b"registered brotli " * 100
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_case_insensitive_lookup(self):
+        assert get_codec("Snappy").info.name == "snappy"
+        assert get_info("ZSTD").display_name == "ZStd"
+
+    def test_unknown_names_raise_with_suggestions(self):
+        with pytest.raises(KeyError, match="snappy"):
+            get_codec("lz4")
+        with pytest.raises(KeyError, match="brotli"):
+            get_info("lz4")
+
+    def test_fresh_instance_per_call(self):
+        assert get_codec("snappy") is not get_codec("snappy")
+
+
+class TestTaxonomy:
+    """Paper §2.2's heavyweight/lightweight classification."""
+
+    def test_heavyweight_set(self):
+        assert set(heavyweight_algorithms()) == {"zstd", "flate", "brotli"}
+
+    def test_lightweight_set(self):
+        assert set(lightweight_algorithms()) == {"snappy", "gipfeli", "lzo"}
+
+    def test_heavyweights_all_have_entropy_coding_and_windows(self):
+        for name in heavyweight_algorithms():
+            info = get_info(name)
+            assert info.has_entropy_coding
+            assert info.fixed_window_bytes is None  # configurable windows
+
+    def test_snappy_and_gipfeli_fixed_64k_window(self):
+        assert get_info("snappy").fixed_window_bytes == 64 * 1024
+        assert get_info("gipfeli").fixed_window_bytes == 64 * 1024
+
+    def test_snappy_gipfeli_no_levels_lzo_has_levels(self):
+        assert not get_info("snappy").supports_levels
+        assert not get_info("gipfeli").supports_levels
+        assert get_info("lzo").supports_levels
+
+    def test_zstd_level_range_matches_fleet_usage(self):
+        info = get_info("zstd")
+        assert info.min_level < 0  # "negative infinity" levels exist
+        assert info.max_level == 22
+        assert info.default_level == 3
+
+    def test_level_clamping(self):
+        info = get_info("zstd")
+        assert info.clamp_level(None) == 3
+        assert info.clamp_level(99) == 22
+        assert info.clamp_level(-99) == info.min_level
+        assert get_info("snappy").clamp_level(5) == 1
+
+
+class TestCrossCodec:
+    def test_heavyweight_beats_lightweight_on_text(self, sample_inputs):
+        text = sample_inputs["text"]
+        heavy = min(len(get_codec(n).compress(text)) for n in ("zstd", "flate"))
+        light = min(len(get_codec(n).compress(text)) for n in ("snappy", "lzo"))
+        assert heavy < light
+
+    def test_codecs_do_not_share_wire_formats(self, sample_inputs):
+        from repro.common.errors import CorruptStreamError
+
+        data = sample_inputs["text"]
+        zstd_stream = get_codec("zstd").compress(data)
+        for other in ("flate", "gipfeli", "lzo"):
+            with pytest.raises(CorruptStreamError):
+                get_codec(other).decompress(zstd_stream)
+
+    def test_compression_ratio_helper(self):
+        ratio = get_codec("snappy").compression_ratio(b"aaaa" * 1000)
+        assert ratio > 10
+        assert get_codec("snappy").compression_ratio(b"") == 1.0

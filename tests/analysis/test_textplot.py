@@ -1,0 +1,44 @@
+"""Unit tests for the ASCII reporting helpers."""
+
+import pytest
+
+from repro.analysis.textplot import bar_chart, cdf_plot, sparkline
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], title="T")
+        assert "T" in chart and " a |" in chart and "bb |" in chart
+
+    def test_longest_bar_for_max(self):
+        chart = bar_chart(["x", "y"], [1.0, 4.0], width=20)
+        x_line, y_line = chart.splitlines()
+        assert y_line.count("#") > x_line.count("#")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_is_title_only(self):
+        assert bar_chart([], [], title="nothing") == "nothing"
+
+    def test_units_rendered(self):
+        assert "GB/s" in bar_chart(["a"], [3.0], unit="GB/s")
+
+
+class TestCdfPlot:
+    def test_rows_per_bin(self):
+        plot = cdf_plot([10, 11], {"fleet": [0.2, 1.0], "suite": [0.25, 1.0]})
+        assert plot.count("\n") == 2  # header + 2 bins - 1
+        assert "fleet" in plot and "suite" in plot
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_flat_series(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""

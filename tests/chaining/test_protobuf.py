@@ -1,0 +1,124 @@
+"""Unit tests for the protobuf-like serializer substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaining.protobuf import (
+    RPC_LOG_SCHEMA,
+    FieldSpec,
+    MessageSchema,
+    WireType,
+    decode_message,
+    decode_record_batch,
+    encode_message,
+    encode_record_batch,
+    sample_records,
+)
+from repro.common.errors import CorruptStreamError
+
+
+class TestSchema:
+    def test_duplicate_field_numbers_rejected(self):
+        with pytest.raises(ValueError):
+            MessageSchema("m", (FieldSpec(1, WireType.VARINT, "a"), FieldSpec(1, WireType.VARINT, "b")))
+
+    def test_field_number_range(self):
+        with pytest.raises(ValueError):
+            FieldSpec(0, WireType.VARINT, "x")
+
+
+class TestEncodeDecode:
+    def test_roundtrip_full_record(self):
+        record = {
+            "timestamp_us": 1_700_000_000_000_000,
+            "user_id": 42,
+            "method": b"/storage.Read",
+            "status": 0,
+            "latency_us": 812,
+            "payload": b"abcabc",
+            "shard": 7,
+        }
+        blob = encode_message(RPC_LOG_SCHEMA, record)
+        assert decode_message(RPC_LOG_SCHEMA, blob) == record
+
+    def test_missing_fields_skipped(self):
+        blob = encode_message(RPC_LOG_SCHEMA, {"user_id": 1})
+        decoded = decode_message(RPC_LOG_SCHEMA, blob)
+        assert decoded == {"user_id": 1}
+
+    def test_unknown_key_rejected_on_encode(self):
+        with pytest.raises(KeyError):
+            encode_message(RPC_LOG_SCHEMA, {"nope": 1})
+
+    def test_string_values_encoded_as_bytes(self):
+        blob = encode_message(RPC_LOG_SCHEMA, {"method": "/x.Y"})
+        assert decode_message(RPC_LOG_SCHEMA, blob)["method"] == b"/x.Y"
+
+    def test_unknown_fields_skipped_on_decode(self):
+        wide = MessageSchema(
+            "wide", (FieldSpec(1, WireType.VARINT, "a"), FieldSpec(9, WireType.VARINT, "z"))
+        )
+        narrow = MessageSchema("narrow", (FieldSpec(1, WireType.VARINT, "a"),))
+        blob = encode_message(wide, {"a": 5, "z": 6})
+        assert decode_message(narrow, blob) == {"a": 5}
+
+    def test_wire_type_mismatch_rejected(self):
+        a = MessageSchema("a", (FieldSpec(1, WireType.VARINT, "x"),))
+        b = MessageSchema("b", (FieldSpec(1, WireType.FIXED32, "x"),))
+        blob = encode_message(a, {"x": 3})
+        with pytest.raises(CorruptStreamError):
+            decode_message(b, blob)
+
+    def test_truncated_fixed_field_rejected(self):
+        schema = MessageSchema("f", (FieldSpec(1, WireType.FIXED64, "x"),))
+        blob = encode_message(schema, {"x": 1})
+        with pytest.raises(CorruptStreamError):
+            decode_message(schema, blob[:-3])
+
+    def test_overrunning_length_delimited_rejected(self):
+        schema = MessageSchema("s", (FieldSpec(1, WireType.LENGTH_DELIMITED, "x"),))
+        blob = encode_message(schema, {"x": b"hello"})
+        with pytest.raises(CorruptStreamError):
+            decode_message(schema, blob[:-2])
+
+    def test_canonical_field_order(self):
+        blob_a = encode_message(RPC_LOG_SCHEMA, {"user_id": 1, "status": 2})
+        blob_b = encode_message(RPC_LOG_SCHEMA, {"status": 2, "user_id": 1})
+        assert blob_a == blob_b
+
+
+class TestBatches:
+    def test_batch_roundtrip(self):
+        records = sample_records(3, 40)
+        blob = encode_record_batch(RPC_LOG_SCHEMA, records)
+        assert decode_record_batch(RPC_LOG_SCHEMA, blob) == records
+
+    def test_batch_truncation_rejected(self):
+        blob = encode_record_batch(RPC_LOG_SCHEMA, sample_records(3, 10))
+        with pytest.raises(CorruptStreamError):
+            decode_record_batch(RPC_LOG_SCHEMA, blob[:-2])
+
+    def test_sample_records_deterministic(self):
+        assert sample_records(7, 5) == sample_records(7, 5)
+
+    def test_batches_are_compressible(self):
+        """The §3.5.2 premise: serialized record batches compress well."""
+        from repro.algorithms.registry import get_codec
+
+        blob = encode_record_batch(RPC_LOG_SCHEMA, sample_records(1, 400))
+        ratio = len(blob) / len(get_codec("zstd").compress(blob))
+        assert ratio > 1.5
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from(["timestamp_us", "user_id", "status", "latency_us"]),
+        st.integers(0, (1 << 63) - 1),
+        max_size=4,
+    )
+)
+def test_varint_fields_roundtrip(values):
+    blob = encode_message(RPC_LOG_SCHEMA, values)
+    assert decode_message(RPC_LOG_SCHEMA, blob) == values

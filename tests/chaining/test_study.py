@@ -1,0 +1,72 @@
+"""Tests for the §3.5.2 accelerator-chaining study."""
+
+import pytest
+
+from repro.chaining import RPC_LOG_SCHEMA, chaining_study, render_study, run_chain, sample_records
+from repro.soc.placement import Placement
+
+
+@pytest.fixture(scope="module")
+def results():
+    return chaining_study(RPC_LOG_SCHEMA, sample_records(0, 250))
+
+
+class TestChainScenarios:
+    def test_near_core_chain_beats_software_by_a_lot(self, results):
+        software = results["software"].total_cycles
+        near = results[Placement.ROCC.value].total_cycles
+        assert software / near > 5
+
+    def test_pcie_chain_loses_most_of_the_benefit(self, results):
+        """§3.5.2: crossing PCIe incurs 'substantial offload overhead
+        multiple times, making the use of each accelerator less attractive'."""
+        near = results[Placement.ROCC.value].total_cycles
+        pcie = results[Placement.PCIE_NO_CACHE.value].total_cycles
+        assert pcie / near > 3
+
+    def test_pcie_chain_still_beats_software(self, results):
+        assert results[Placement.PCIE_NO_CACHE.value].total_cycles < results["software"].total_cycles
+
+    def test_near_core_has_no_intermediate_transfer(self, results):
+        """§3.8 lesson 4b: the L2 is the intermediate storage near-core."""
+        assert results[Placement.ROCC.value].transfer_cycles == 0.0
+        assert results[Placement.PCIE_NO_CACHE.value].transfer_cycles > 0.0
+
+    def test_chiplet_is_the_middle_ground(self, results):
+        near = results[Placement.ROCC.value].total_cycles
+        chiplet = results[Placement.CHIPLET.value].total_cycles
+        pcie = results[Placement.PCIE_NO_CACHE.value].total_cycles
+        assert near < chiplet < pcie
+
+    def test_all_scenarios_process_identical_data(self, results):
+        wire = {r.wire_bytes for r in results.values()}
+        assert len(wire) == 1  # same functional work everywhere
+
+    def test_render(self, results):
+        text = render_study(results)
+        assert "serialize" in text and "GB/s" in text
+
+
+class TestRunChain:
+    def test_software_serializer_flag(self):
+        records = sample_records(1, 60)
+        hw = run_chain(RPC_LOG_SCHEMA, records, placement=Placement.ROCC)
+        sw = run_chain(
+            RPC_LOG_SCHEMA, records, placement=Placement.ROCC, software_serializer=True
+        )
+        assert sw.serialize_cycles > 5 * hw.serialize_cycles
+
+    def test_snappy_chain_supported(self):
+        records = sample_records(2, 60)
+        result = run_chain(
+            RPC_LOG_SCHEMA, records, placement=Placement.ROCC, algorithm="snappy"
+        )
+        assert result.compressed_bytes < result.wire_bytes
+
+    def test_bookkeeping_always_charged(self):
+        """§3.5.2: 'small, unrelated book-keeping operations between the two
+        accelerated operations' stay on the CPU in every scenario."""
+        records = sample_records(3, 30)
+        for placement in (Placement.ROCC, Placement.PCIE_NO_CACHE):
+            result = run_chain(RPC_LOG_SCHEMA, records, placement=placement)
+            assert result.bookkeeping_cycles > 0

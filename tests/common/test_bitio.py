@@ -1,0 +1,157 @@
+"""Unit tests for the LSB-first bit reader/writer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitio import BitReader, BitWriter
+from repro.common.errors import CorruptStreamError
+
+
+class TestBitWriter:
+    def test_empty_writer_produces_no_bytes(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_bit_sets_lsb(self):
+        writer = BitWriter()
+        writer.write(1, 1)
+        assert writer.getvalue() == b"\x01"
+
+    def test_bits_fill_lsb_first(self):
+        writer = BitWriter()
+        writer.write(0b1, 1)
+        writer.write(0b11, 2)
+        # bit0=1, bits1-2=11 -> 0b00000111
+        assert writer.getvalue() == b"\x07"
+
+    def test_multi_byte_value(self):
+        writer = BitWriter()
+        writer.write(0xABCD, 16)
+        assert writer.getvalue() == b"\xcd\xab"
+
+    def test_bit_length_tracks_written_bits(self):
+        writer = BitWriter()
+        writer.write(0, 3)
+        writer.write(0, 12)
+        assert writer.bit_length == 15
+
+    def test_align_to_byte_pads_with_zeros(self):
+        writer = BitWriter()
+        writer.write(1, 1)
+        writer.align_to_byte()
+        writer.write(0xFF, 8)
+        assert writer.getvalue() == b"\x01\xff"
+
+    def test_align_on_boundary_is_noop(self):
+        writer = BitWriter()
+        writer.write(0xAA, 8)
+        writer.align_to_byte()
+        assert writer.bit_length == 8
+
+    def test_zero_width_write_is_noop(self):
+        writer = BitWriter()
+        writer.write(0, 0)
+        assert writer.bit_length == 0
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(4, 2)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(0, -1)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 4)
+
+    def test_getvalue_does_not_consume_partial_byte(self):
+        writer = BitWriter()
+        writer.write(1, 1)
+        assert writer.getvalue() == b"\x01"
+        writer.write(1, 1)
+        assert writer.getvalue() == b"\x03"
+
+
+class TestBitReader:
+    def test_read_mirrors_write(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        writer.write(0x5A, 8)
+        reader = BitReader(writer.getvalue())
+        assert reader.read(3) == 0b101
+        assert reader.read(8) == 0x5A
+
+    def test_peek_does_not_consume(self):
+        reader = BitReader(b"\xff")
+        assert reader.peek(4) == 0xF
+        assert reader.read(8) == 0xFF
+
+    def test_underflow_raises(self):
+        reader = BitReader(b"\x01")
+        with pytest.raises(CorruptStreamError):
+            reader.read(9)
+
+    def test_peek_padded_zero_extends(self):
+        reader = BitReader(b"\x03")
+        reader.skip(7)
+        # one real bit (0) remains; padding supplies the rest as zeros
+        assert reader.peek_padded(8) == 0
+
+    def test_skip_advances(self):
+        reader = BitReader(b"\xf0")
+        reader.skip(4)
+        assert reader.read(4) == 0xF
+
+    def test_skip_past_end_raises(self):
+        with pytest.raises(CorruptStreamError):
+            BitReader(b"").skip(1)
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\x00\x00")
+        assert reader.bits_remaining == 16
+        reader.read(5)
+        assert reader.bits_remaining == 11
+
+    def test_align_to_byte(self):
+        reader = BitReader(b"\x00\xff")
+        reader.read(3)
+        reader.align_to_byte()
+        assert reader.read(8) == 0xFF
+
+    def test_byte_position_requires_alignment(self):
+        reader = BitReader(b"\x00\x00")
+        reader.read(1)
+        with pytest.raises(ValueError):
+            reader.byte_position()
+
+    def test_byte_position_when_aligned(self):
+        reader = BitReader(b"\x00\x00")
+        reader.read(8)
+        assert reader.byte_position() == 1
+
+    def test_start_bit_offset(self):
+        reader = BitReader(b"\x0f", start_bit=2)
+        assert reader.read(2) == 0b11
+
+    def test_bad_start_bit_rejected(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00", start_bit=9)
+
+
+@given(st.lists(st.tuples(st.integers(0, 2**20 - 1), st.integers(1, 20)), max_size=60))
+def test_roundtrip_arbitrary_field_sequences(fields):
+    """Property: any sequence of (value, width) fields round-trips."""
+    writer = BitWriter()
+    for value, width in fields:
+        writer.write(value & ((1 << width) - 1), width)
+    reader = BitReader(writer.getvalue())
+    for value, width in fields:
+        assert reader.read(width) == value & ((1 << width) - 1)
+
+
+@given(st.binary(max_size=64))
+def test_reader_reproduces_bytes(data):
+    """Property: reading 8-bit fields reproduces the byte string."""
+    reader = BitReader(data)
+    assert bytes(reader.read(8) for _ in range(len(data))) == data

@@ -1,0 +1,63 @@
+"""Unit tests for the LZ77 hash-function registry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.hashing import (
+    HASH_FUNCTIONS,
+    get_hash_function,
+    hash_multiplicative,
+    hash_xor_shift,
+    hash_zstd5,
+    load_u32le,
+)
+
+
+class TestRegistry:
+    def test_all_registered_functions_resolve(self):
+        for name in HASH_FUNCTIONS:
+            assert callable(get_hash_function(name))
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="multiplicative"):
+            get_hash_function("sha256")
+
+
+class TestHashProperties:
+    @pytest.mark.parametrize("fn", [hash_multiplicative, hash_zstd5, hash_xor_shift])
+    @pytest.mark.parametrize("bits", [9, 14, 17])
+    def test_output_range(self, fn, bits):
+        for word in (0, 1, 0xDEADBEEF, 0xFFFFFFFF, 0x12345678):
+            assert 0 <= fn(word, bits) < (1 << bits)
+
+    @pytest.mark.parametrize("fn", [hash_multiplicative, hash_zstd5, hash_xor_shift])
+    def test_deterministic(self, fn):
+        assert fn(0xCAFEBABE, 14) == fn(0xCAFEBABE, 14)
+
+    def test_distinct_functions_disagree_somewhere(self):
+        words = range(0, 4096, 7)
+        assert any(
+            hash_multiplicative(w, 14) != hash_xor_shift(w, 14) for w in words
+        )
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_multiplicative_spreads_within_range(self, word):
+        assert 0 <= hash_multiplicative(word, 14) < (1 << 14)
+
+    def test_dispersion_is_reasonable(self):
+        """Sequential words should not all collide into a few buckets."""
+        buckets = {hash_multiplicative(w, 10) for w in range(2048)}
+        assert len(buckets) > 512
+
+
+class TestLoadU32:
+    def test_little_endian(self):
+        assert load_u32le(b"\x01\x02\x03\x04", 0) == 0x04030201
+
+    def test_offset(self):
+        assert load_u32le(b"\x00\x01\x02\x03\x04", 1) == 0x04030201
+
+    def test_zero_pads_at_end(self):
+        assert load_u32le(b"\xff", 0) == 0xFF
+        assert load_u32le(b"", 0) == 0

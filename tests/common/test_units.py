@@ -1,0 +1,78 @@
+"""Unit tests for size/frequency helpers."""
+
+import pytest
+
+from repro.common.units import (
+    GB,
+    KiB,
+    MiB,
+    bytes_per_cycle_to_gbps,
+    ceil_log2,
+    floor_log2,
+    format_size,
+    gbps_to_bytes_per_cycle,
+    is_power_of_two,
+)
+
+
+class TestLogs:
+    @pytest.mark.parametrize(
+        "value, expected", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (1024, 10), (1025, 11)]
+    )
+    def test_ceil_log2(self, value, expected):
+        assert ceil_log2(value) == expected
+
+    @pytest.mark.parametrize("value, expected", [(1, 0), (2, 1), (3, 1), (4, 2), (1024, 10)])
+    def test_floor_log2(self, value, expected):
+        assert floor_log2(value) == expected
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_non_positive_rejected(self, bad):
+        with pytest.raises(ValueError):
+            ceil_log2(bad)
+        with pytest.raises(ValueError):
+            floor_log2(bad)
+
+
+class TestThroughputConversions:
+    def test_bytes_per_cycle_to_gbps(self):
+        # 5.7 B/cycle at 2 GHz = 11.4 GB/s (the paper's Snappy decomp point).
+        assert bytes_per_cycle_to_gbps(5.7, 2e9) == pytest.approx(11.4)
+
+    def test_inverse(self):
+        assert gbps_to_bytes_per_cycle(11.4, 2e9) == pytest.approx(5.7)
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(ValueError):
+            gbps_to_bytes_per_cycle(1.0, 0)
+
+    def test_roundtrip(self):
+        for gbps in (0.22, 1.1, 3.95, 16.0):
+            back = bytes_per_cycle_to_gbps(gbps_to_bytes_per_cycle(gbps, 2e9), 2e9)
+            assert back == pytest.approx(gbps)
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "num, text",
+        [(64 * KiB, "64K"), (2 * KiB, "2K"), (4 * MiB, "4M"), (512, "512B"), (1536, "1.5K")],
+    )
+    def test_paper_style_labels(self, num, text):
+        assert format_size(num) == text
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-1)
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        assert all(is_power_of_two(1 << k) for k in range(20))
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 6, 1000])
+    def test_non_powers(self, bad):
+        assert not is_power_of_two(bad)
+
+
+def test_gb_is_decimal():
+    assert GB == 10**9

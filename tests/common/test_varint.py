@@ -1,0 +1,80 @@
+"""Unit tests for base-128 varints (the Snappy preamble encoding)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import CorruptStreamError
+from repro.common.varint import decode_varint, encode_varint
+
+
+class TestEncode:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (127, b"\x7f"),
+            (128, b"\x80\x01"),
+            (300, b"\xac\x02"),
+            ((1 << 32) - 1, b"\xff\xff\xff\xff\x0f"),
+        ],
+    )
+    def test_known_encodings(self, value, expected):
+        assert encode_varint(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(1 << 64)
+
+
+class TestDecode:
+    def test_decode_returns_next_position(self):
+        value, pos = decode_varint(b"\xac\x02rest")
+        assert value == 300
+        assert pos == 2
+
+    def test_decode_from_offset(self):
+        value, pos = decode_varint(b"xx\x05", 2)
+        assert value == 5
+        assert pos == 3
+
+    def test_truncated_raises(self):
+        with pytest.raises(CorruptStreamError):
+            decode_varint(b"\x80")
+
+    def test_empty_raises(self):
+        with pytest.raises(CorruptStreamError):
+            decode_varint(b"")
+
+    def test_overlong_raises(self):
+        with pytest.raises(CorruptStreamError):
+            decode_varint(b"\x80" * 11 + b"\x01")
+
+    def test_32bit_limit_enforced(self):
+        encoded = encode_varint(1 << 32)
+        with pytest.raises(CorruptStreamError):
+            decode_varint(encoded, max_bits=32)
+
+    def test_32bit_max_accepted(self):
+        value, _ = decode_varint(encode_varint((1 << 32) - 1), max_bits=32)
+        assert value == (1 << 32) - 1
+
+
+@given(st.integers(0, (1 << 64) - 1))
+def test_roundtrip(value):
+    decoded, pos = decode_varint(encode_varint(value))
+    assert decoded == value
+    assert pos == len(encode_varint(value))
+
+
+@given(st.integers(0, (1 << 64) - 1), st.binary(max_size=8))
+def test_roundtrip_with_trailing_garbage(value, tail):
+    encoded = encode_varint(value)
+    decoded, pos = decode_varint(encoded + tail)
+    assert decoded == value
+    assert pos == len(encoded)

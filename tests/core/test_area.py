@@ -1,0 +1,123 @@
+"""Unit tests for the calibrated silicon-area model (§6)."""
+
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.core import calibration as cal
+from repro.core.area import (
+    fraction_of_xeon_core,
+    hash_table_area_mm2,
+    huffman_expander_area_mm2,
+    pipeline_area_mm2,
+    snappy_compressor_area_mm2,
+    snappy_decompressor_area_mm2,
+    sram_area_mm2,
+    zstd_compressor_area_mm2,
+    zstd_decompressor_area_mm2,
+)
+from repro.core.params import CdpuConfig
+
+FLAGSHIP = CdpuConfig()
+
+
+class TestPublishedAnchors:
+    """The four absolute mm^2 numbers from §6 must be hit exactly."""
+
+    def test_snappy_decompressor_431(self):
+        assert snappy_decompressor_area_mm2(FLAGSHIP) == pytest.approx(0.431, abs=0.001)
+
+    def test_snappy_compressor_851(self):
+        assert snappy_compressor_area_mm2(FLAGSHIP) == pytest.approx(0.851, abs=0.001)
+
+    def test_zstd_decompressor_1_9(self):
+        assert zstd_decompressor_area_mm2(FLAGSHIP) == pytest.approx(1.9, abs=0.01)
+
+    def test_zstd_compressor_3_48(self):
+        assert zstd_compressor_area_mm2(FLAGSHIP) == pytest.approx(3.48, abs=0.01)
+
+    def test_xeon_fraction_claims(self):
+        """Abstract: 'as little as 2.4% to 4.7%' of a Xeon core."""
+        assert fraction_of_xeon_core(snappy_decompressor_area_mm2(FLAGSHIP)) == pytest.approx(
+            0.024, abs=0.001
+        )
+        assert fraction_of_xeon_core(snappy_compressor_area_mm2(FLAGSHIP)) == pytest.approx(
+            0.047, abs=0.002
+        )
+
+
+class TestPublishedDeltas:
+    def test_snappy_decomp_2k_saves_38_percent(self):
+        small = FLAGSHIP.with_(decoder_history_bytes=2048)
+        saving = 1 - snappy_decompressor_area_mm2(small) / snappy_decompressor_area_mm2(FLAGSHIP)
+        assert saving == pytest.approx(0.38, abs=0.01)
+
+    def test_snappy_comp_2k_saves_20_percent(self):
+        small = FLAGSHIP.with_(encoder_history_bytes=2048)
+        saving = 1 - snappy_compressor_area_mm2(small) / snappy_compressor_area_mm2(FLAGSHIP)
+        assert saving == pytest.approx(0.20, abs=0.015)
+
+    def test_snappy_comp_2k_ht9_is_34_percent_of_full(self):
+        tiny = FLAGSHIP.with_(encoder_history_bytes=2048, hash_table_entries=1 << 9)
+        fraction = snappy_compressor_area_mm2(tiny) / snappy_compressor_area_mm2(FLAGSHIP)
+        assert fraction == pytest.approx(0.34, abs=0.015)
+
+    def test_zstd_decomp_2k_saves_only_8_6_percent(self):
+        small = FLAGSHIP.with_(decoder_history_bytes=2048)
+        saving = 1 - zstd_decompressor_area_mm2(small) / zstd_decompressor_area_mm2(FLAGSHIP)
+        assert saving == pytest.approx(0.086, abs=0.005)
+
+    def test_speculation_32_adds_18_percent(self):
+        wide = FLAGSHIP.with_(huffman_speculation=32)
+        premium = zstd_decompressor_area_mm2(wide) / zstd_decompressor_area_mm2(FLAGSHIP) - 1
+        assert premium == pytest.approx(0.18, abs=0.01)
+
+    def test_speculation_4_saves_10_percent(self):
+        narrow = FLAGSHIP.with_(huffman_speculation=4)
+        saving = 1 - zstd_decompressor_area_mm2(narrow) / zstd_decompressor_area_mm2(FLAGSHIP)
+        assert saving == pytest.approx(0.10, abs=0.012)
+
+    def test_spec_4_to_32_cost_is_31_percent(self):
+        """§6.6 lesson 4: 31% area between speculation 4 and 32."""
+        narrow = zstd_decompressor_area_mm2(FLAGSHIP.with_(huffman_speculation=4))
+        wide = zstd_decompressor_area_mm2(FLAGSHIP.with_(huffman_speculation=32))
+        assert wide / narrow - 1 == pytest.approx(0.31, abs=0.02)
+
+
+class TestComponents:
+    def test_sram_linear(self):
+        assert sram_area_mm2(2048) == pytest.approx(2 * cal.SRAM_MM2_PER_KIB)
+
+    def test_hash_table_scales_with_ways(self):
+        assert hash_table_area_mm2(1 << 10, 2) == pytest.approx(
+            2 * hash_table_area_mm2(1 << 10, 1)
+        )
+
+    def test_huffman_superlinear(self):
+        assert huffman_expander_area_mm2(32) > 2 * huffman_expander_area_mm2(16)
+
+    def test_pipeline_dispatch(self):
+        for algo in ("snappy", "zstd"):
+            for op in Operation:
+                assert pipeline_area_mm2(algo, op, FLAGSHIP) > 0
+
+    def test_unknown_pipeline_raises(self):
+        with pytest.raises(KeyError):
+            pipeline_area_mm2("brotli", Operation.COMPRESS, FLAGSHIP)
+
+    def test_monotone_in_history(self):
+        areas = [
+            pipeline_area_mm2("snappy", Operation.DECOMPRESS, FLAGSHIP.with_(decoder_history_bytes=s))
+            for s in (2048, 8192, 65536)
+        ]
+        assert areas[0] < areas[1] < areas[2]
+
+    def test_accuracy_log_knob_changes_zstd_areas(self):
+        low = FLAGSHIP.with_(fse_max_accuracy_log=6)
+        high = FLAGSHIP.with_(fse_max_accuracy_log=12)
+        assert zstd_decompressor_area_mm2(low) < zstd_decompressor_area_mm2(high)
+        assert zstd_compressor_area_mm2(low) < zstd_compressor_area_mm2(high)
+
+    def test_stats_bandwidth_knob_changes_compressor_area(self):
+        slow = FLAGSHIP.with_(huffman_stats_bytes_per_cycle=2.0)
+        fast = FLAGSHIP.with_(huffman_stats_bytes_per_cycle=16.0)
+        assert zstd_compressor_area_mm2(slow) < zstd_compressor_area_mm2(fast)

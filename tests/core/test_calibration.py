@@ -1,0 +1,100 @@
+"""Consistency checks over the calibration constants and their derivations.
+
+Every derived constant in :mod:`repro.core.calibration` claims a derivation
+from published anchors; these tests re-execute the arithmetic so a future
+edit cannot silently break an anchor.
+"""
+
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.core import calibration as cal
+
+
+class TestClocks:
+    def test_cdpu_at_2ghz(self):
+        assert cal.CDPU_CLOCK_HZ == 2.0e9
+
+    def test_xeon_effective_between_base_and_turbo(self):
+        assert cal.XEON_BASE_HZ < cal.XEON_CLOCK_HZ < cal.XEON_TURBO_HZ
+
+
+class TestThroughputAnchors:
+    def test_flagship_speedups_match_paper_ratios(self):
+        """11.4/1.1, 5.84/0.36, 3.95/0.94, 3.5/0.22 (§6.2-§6.5)."""
+        expected = {
+            ("snappy", Operation.DECOMPRESS): 10.36,
+            ("snappy", Operation.COMPRESS): 16.22,
+            ("zstd", Operation.DECOMPRESS): 4.20,
+            ("zstd", Operation.COMPRESS): 15.9,
+        }
+        for key, value in expected.items():
+            assert cal.FLAGSHIP_SPEEDUP[key] == pytest.approx(value, rel=0.01)
+
+    def test_decompressors_faster_than_compressors(self):
+        assert cal.CDPU_FLAGSHIP_GBPS[("snappy", Operation.DECOMPRESS)] > cal.CDPU_FLAGSHIP_GBPS[
+            ("snappy", Operation.COMPRESS)
+        ]
+
+
+class TestAreaDerivations:
+    def test_sram_constant_reproduces_38_percent_claim(self):
+        saving = 62.0 * cal.SRAM_MM2_PER_KIB / cal.AREA_SNAPPY_DECOMP_64K
+        assert saving == pytest.approx(0.38, abs=0.003)
+
+    def test_logic_constants_are_positive(self):
+        for constant in (
+            cal.SNAPPY_DECOMP_LOGIC_MM2,
+            cal.SNAPPY_COMP_LOGIC_MM2,
+            cal.ZSTD_DECOMP_LOGIC_MM2,
+            cal.ZSTD_COMP_LOGIC_MM2,
+        ):
+            assert constant > 0
+
+    def test_huffman_speculation_fit_reproduces_both_paper_deltas(self):
+        up = cal.HUFF_SPEC_COEFF * (32**cal.HUFF_SPEC_EXPONENT - 16**cal.HUFF_SPEC_EXPONENT)
+        down = cal.HUFF_SPEC_COEFF * (16**cal.HUFF_SPEC_EXPONENT - 4**cal.HUFF_SPEC_EXPONENT)
+        assert up / cal.AREA_ZSTD_DECOMP_64K_SPEC16 == pytest.approx(0.18, abs=0.005)
+        assert down / cal.AREA_ZSTD_DECOMP_64K_SPEC16 == pytest.approx(0.10, abs=0.012)
+
+    def test_hash_entry_constant_reproduces_34_percent_claim(self):
+        tiny = (
+            cal.SNAPPY_COMP_LOGIC_MM2
+            + 2 * cal.SRAM_MM2_PER_KIB
+            + (1 << 9) * cal.HASH_ENTRY_MM2
+        )
+        assert tiny / cal.AREA_SNAPPY_COMP_64K_HT14 == pytest.approx(0.34, abs=0.01)
+
+
+class TestLatencyInjections:
+    def test_chiplet_is_25ns(self):
+        assert cal.CHIPLET_EXTRA_CYCLES == pytest.approx(25e-9 * cal.CDPU_CLOCK_HZ)
+
+    def test_pcie_is_200ns(self):
+        assert cal.PCIE_EXTRA_CYCLES == pytest.approx(200e-9 * cal.CDPU_CLOCK_HZ)
+
+    def test_memory_tiers_ordered(self):
+        assert (
+            cal.L2_LATENCY_CYCLES
+            < cal.CARD_CACHE_LATENCY_CYCLES
+            < cal.LLC_LATENCY_CYCLES
+            < cal.DRAM_LATENCY_CYCLES
+        )
+        assert cal.L2_CAPACITY_BYTES < cal.LLC_CAPACITY_BYTES
+
+
+class TestServiceRates:
+    def test_huffman_rate_law_reproduces_speculation_ratios(self):
+        """sqrt(S) scaling must give the paper's 2.11/4.2/5.64 shape when
+        the Huffman stage dominates."""
+        import math
+
+        r4 = cal.HUFF_DECODE_RATE_COEFF * math.sqrt(4)
+        r16 = cal.HUFF_DECODE_RATE_COEFF * math.sqrt(16)
+        r32 = cal.HUFF_DECODE_RATE_COEFF * math.sqrt(32)
+        assert r4 / r16 == pytest.approx(2.11 / 4.2, abs=0.02)
+        assert r32 / r16 == pytest.approx(math.sqrt(2), rel=1e-9)
+
+    def test_port_width_is_256_bits(self):
+        assert cal.BEAT_BYTES == 32
+        assert cal.PORT_BYTES_PER_CYCLE == 32.0

@@ -1,0 +1,111 @@
+"""Unit tests for the CDPU configuration surface (§5.8)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.params import CdpuConfig, ParamKind
+from repro.soc.placement import Placement
+
+
+class TestDefaults:
+    def test_flagship_defaults(self):
+        config = CdpuConfig()
+        assert config.placement is Placement.ROCC
+        assert config.decoder_history_bytes == 64 * 1024
+        assert config.hash_table_entries == 1 << 14
+        assert config.huffman_speculation == 16
+        assert config.algorithms == {"snappy", "zstd"}
+
+    def test_label(self):
+        assert CdpuConfig().label() == "64K14HT-spec16-RoCC"
+        small = CdpuConfig(encoder_history_bytes=2048, hash_table_entries=1 << 9)
+        assert small.label().startswith("2K9HT")
+
+
+class TestValidation:
+    def test_empty_algorithms_rejected(self):
+        with pytest.raises(ConfigError):
+            CdpuConfig(algorithms=frozenset())
+
+    def test_unsupported_algorithm_rejected(self):
+        with pytest.raises(ConfigError, match="Snappy and ZStd"):
+            CdpuConfig(algorithms=frozenset({"brotli"}))
+
+    @pytest.mark.parametrize("field", ["decoder_history_bytes", "encoder_history_bytes"])
+    def test_history_bounds(self, field):
+        with pytest.raises(ConfigError):
+            CdpuConfig(**{field: 512})
+        with pytest.raises(ConfigError):
+            CdpuConfig(**{field: 4 << 20})
+        with pytest.raises(ConfigError):
+            CdpuConfig(**{field: 3000})  # not a power of two
+
+    def test_speculation_must_be_power_of_two(self):
+        with pytest.raises(ConfigError):
+            CdpuConfig(huffman_speculation=12)
+        with pytest.raises(ConfigError):
+            CdpuConfig(huffman_speculation=128)
+
+    def test_accuracy_log_bounds(self):
+        with pytest.raises(ConfigError):
+            CdpuConfig(fse_max_accuracy_log=13)
+        CdpuConfig(fse_max_accuracy_log=12)
+
+    def test_stats_bandwidth_positive(self):
+        with pytest.raises(ConfigError):
+            CdpuConfig(huffman_stats_bytes_per_cycle=0)
+
+    def test_bad_hash_function(self):
+        with pytest.raises(ConfigError):
+            CdpuConfig(hash_function="crc32")
+
+    def test_bad_contents(self):
+        with pytest.raises(ConfigError):
+            CdpuConfig(hash_table_contents="offsets")
+
+
+class TestParameterKinds:
+    """§5.8's RunT/CompileT classification must be queryable."""
+
+    def test_placement_is_compile_time_only(self):
+        config = CdpuConfig()
+        assert "placement" in config.compile_time_parameters()
+        assert "placement" not in config.runtime_parameters()
+
+    def test_history_windows_are_both(self):
+        config = CdpuConfig()
+        assert "decoder_history_bytes" in config.runtime_parameters()
+        assert "decoder_history_bytes" in config.compile_time_parameters()
+
+    def test_speculation_is_compile_time(self):
+        config = CdpuConfig()
+        assert "huffman_speculation" in config.compile_time_parameters()
+        assert "huffman_speculation" not in config.runtime_parameters()
+
+    def test_all_twelve_parameters_classified(self):
+        config = CdpuConfig()
+        union = set(config.runtime_parameters()) | set(config.compile_time_parameters())
+        assert len(union) == 12
+
+
+class TestDerived:
+    def test_with_functional_update(self):
+        base = CdpuConfig()
+        variant = base.with_(placement=Placement.CHIPLET)
+        assert variant.placement is Placement.CHIPLET
+        assert base.placement is Placement.ROCC  # original untouched
+
+    def test_encoder_lz77_params_mirror_config(self):
+        config = CdpuConfig(
+            encoder_history_bytes=8192,
+            hash_table_entries=1 << 10,
+            hash_table_associativity=2,
+            hash_function="xor_shift",
+        )
+        params = config.encoder_lz77_params()
+        assert params.window_size == 8192
+        assert params.hash_table_entries == 1 << 10
+        assert params.associativity == 2
+        assert params.hash_function == "xor_shift"
+        assert params.use_skipping is False  # §6.3: hardware never skips
+        assert params.lazy is False  # §6.5: hardware is greedy

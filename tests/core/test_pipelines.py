@@ -1,0 +1,208 @@
+"""Unit tests for the four CDPU pipelines: functional + cycle behaviour."""
+
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.algorithms.snappy import SnappyCodec
+from repro.algorithms.zstd import ZstdCodec
+from repro.core.generator import CdpuGenerator
+from repro.core.params import CdpuConfig
+from repro.core.pipelines.snappy import SnappyCompressorPipeline, SnappyDecompressorPipeline
+from repro.core.pipelines.zstd import ZstdCompressorPipeline, ZstdDecompressorPipeline
+from repro.soc.memory import MemorySystem
+from repro.soc.placement import Placement
+
+ROCC_MEM = MemorySystem.for_placement(Placement.ROCC)
+
+
+def make(pipeline_cls, config=None, placement=Placement.ROCC):
+    config = config or CdpuConfig()
+    config = config.with_(placement=placement)
+    return pipeline_cls(config, MemorySystem.for_placement(placement))
+
+
+@pytest.fixture(scope="module")
+def payloads(sample_inputs):
+    return {k: v for k, v in sample_inputs.items() if v}
+
+
+class TestSnappyDecompressor:
+    def test_functional_verification(self, payloads):
+        pipeline = make(SnappyDecompressorPipeline)
+        codec = SnappyCodec()
+        for name, data in payloads.items():
+            result = pipeline.run(codec.compress(data), verify=True)
+            assert result.output_bytes == len(data), name
+
+    def test_corrupt_input_raises(self):
+        from repro.common.errors import CorruptStreamError
+
+        pipeline = make(SnappyDecompressorPipeline)
+        with pytest.raises(CorruptStreamError):
+            pipeline.run(b"\xff\xff\xff garbage")
+
+    def test_placement_slows_calls(self, payloads):
+        codec = SnappyCodec()
+        stream = codec.compress(payloads["text"])
+        near = make(SnappyDecompressorPipeline).run(stream)
+        far = make(SnappyDecompressorPipeline, placement=Placement.PCIE_NO_CACHE).run(stream)
+        assert far.cycles > 2 * near.cycles
+
+    def test_small_sram_adds_fallback_cycles_on_chiplet(self):
+        import random
+
+        rng = random.Random(33)
+        # Long-range structure: repeats at ~8 KiB distance force copy
+        # offsets far beyond a 2 KiB history SRAM.
+        block_a = bytes(rng.getrandbits(8) for _ in range(4096))
+        block_b = bytes(rng.getrandbits(8) for _ in range(4096))
+        data = (block_a + block_b) * 6
+        stream = SnappyCodec().compress(data)
+        big = make(
+            SnappyDecompressorPipeline,
+            CdpuConfig(decoder_history_bytes=64 * 1024),
+            Placement.CHIPLET,
+        ).run(stream)
+        small = make(
+            SnappyDecompressorPipeline,
+            CdpuConfig(decoder_history_bytes=2048),
+            Placement.CHIPLET,
+        ).run(stream)
+        assert small.cycles > big.cycles
+
+    def test_throughput_in_plausible_range(self, payloads):
+        result = make(SnappyDecompressorPipeline).run(SnappyCodec().compress(payloads["text"]))
+        assert 1.0 < result.throughput_gbps < 40.0
+
+    def test_requires_snappy_support(self):
+        with pytest.raises(ValueError):
+            make(SnappyDecompressorPipeline, CdpuConfig(algorithms=frozenset({"zstd"})))
+
+
+class TestSnappyCompressor:
+    def test_output_decodable_by_software(self, payloads):
+        pipeline = make(SnappyCompressorPipeline)
+        for name, data in payloads.items():
+            pipeline.run(data, verify=True)  # verify asserts SW decodability
+
+    def test_hw_ratio_at_64k_not_worse_than_sw(self, payloads):
+        """§6.3: no skipping heuristic -> HW >= SW ratio on mixed data."""
+        pipeline = make(SnappyCompressorPipeline)
+        data = payloads["mixed"] * 4
+        hw_size = pipeline.compressed_size(data)
+        sw_size = len(SnappyCodec().compress(data))
+        assert hw_size <= sw_size * 1.005
+
+    def test_small_history_degrades_ratio(self, payloads):
+        data = payloads["text"] * 8
+        big = make(SnappyCompressorPipeline, CdpuConfig(encoder_history_bytes=64 * 1024))
+        small = make(SnappyCompressorPipeline, CdpuConfig(encoder_history_bytes=1024))
+        assert small.compressed_size(data) >= big.compressed_size(data)
+
+    def test_small_hash_table_degrades_ratio(self, payloads):
+        data = payloads["mixed"] * 4
+        big = make(SnappyCompressorPipeline, CdpuConfig(hash_table_entries=1 << 14))
+        small = make(SnappyCompressorPipeline, CdpuConfig(hash_table_entries=1 << 6))
+        assert small.compressed_size(data) >= big.compressed_size(data)
+
+    def test_compression_less_placement_sensitive_than_decompression(self, payloads):
+        """§6.6 lesson 2."""
+        data = payloads["text"] * 4
+        comp_near = make(SnappyCompressorPipeline).run(data)
+        comp_far = make(SnappyCompressorPipeline, placement=Placement.PCIE_NO_CACHE).run(data)
+        stream = SnappyCodec().compress(data)
+        dec_near = make(SnappyDecompressorPipeline).run(stream)
+        dec_far = make(SnappyDecompressorPipeline, placement=Placement.PCIE_NO_CACHE).run(stream)
+        comp_penalty = comp_far.cycles / comp_near.cycles
+        dec_penalty = dec_far.cycles / dec_near.cycles
+        assert comp_penalty < dec_penalty
+
+
+class TestZstdDecompressor:
+    def test_functional_verification(self, payloads):
+        pipeline = make(ZstdDecompressorPipeline)
+        codec = ZstdCodec()
+        for name, data in payloads.items():
+            result = pipeline.run(codec.compress(data), verify=True)
+            assert result.output_bytes == len(data), name
+
+    def test_more_speculation_is_faster_on_literal_heavy_data(self):
+        import random
+
+        rng = random.Random(21)
+        data = bytes(rng.choice(b"abcdefghijklmnop") for _ in range(60_000))
+        stream = ZstdCodec().compress(data)
+        slow = make(ZstdDecompressorPipeline, CdpuConfig(huffman_speculation=4)).run(stream)
+        fast = make(ZstdDecompressorPipeline, CdpuConfig(huffman_speculation=32)).run(stream)
+        assert fast.cycles < slow.cycles
+
+    def test_slower_than_snappy_decomp_per_byte(self, payloads):
+        """§6.4: the entropy stages cost throughput vs the Snappy pipeline."""
+        data = payloads["text"] * 4
+        z = make(ZstdDecompressorPipeline).run(ZstdCodec().compress(data))
+        s = make(SnappyDecompressorPipeline).run(SnappyCodec().compress(data))
+        assert z.cycles > s.cycles
+
+
+class TestZstdCompressor:
+    def test_output_decodable_by_software(self, payloads):
+        pipeline = make(ZstdCompressorPipeline)
+        for name, data in payloads.items():
+            pipeline.run(data, verify=True)
+
+    def test_hw_ratio_at_most_software(self, payloads):
+        """§6.5: greedy Snappy-configured matcher trails software levels."""
+        data = payloads["text"] * 8
+        hw = make(ZstdCompressorPipeline).compressed_size(data)
+        sw = len(ZstdCodec().compress(data, level=3))
+        assert hw >= sw * 0.98
+
+    def test_entropy_stages_are_serial_cost(self, payloads):
+        data = payloads["text"] * 4
+        result = make(ZstdCompressorPipeline).run(data)
+        assert "huffman-stats" in result.report.serial
+        assert "fse-encoder" in result.report.serial
+
+
+class TestCycleReports:
+    def test_breakdown_totals(self, payloads):
+        result = make(SnappyDecompressorPipeline).run(SnappyCodec().compress(payloads["text"]))
+        report = result.report
+        assert report.total_cycles == pytest.approx(
+            max(report.pipelined.values()) + sum(report.serial.values())
+        )
+        assert report.bottleneck in report.pipelined
+
+    def test_seconds_conversion(self, payloads):
+        result = make(SnappyDecompressorPipeline).run(SnappyCodec().compress(payloads["text"]))
+        assert result.seconds == pytest.approx(result.cycles / 2e9)
+
+
+class TestGeneratorStructure:
+    def test_generates_requested_pipelines(self):
+        instance = CdpuGenerator().generate(CdpuConfig(algorithms=frozenset({"snappy"})))
+        assert ("snappy", Operation.COMPRESS) in instance.pipelines
+        assert ("zstd", Operation.COMPRESS) not in instance.pipelines
+        with pytest.raises(KeyError):
+            instance.pipeline("zstd", Operation.COMPRESS)
+
+    def test_block_inventory_mirrors_figures_9_and_10(self):
+        instance = CdpuGenerator().generate(CdpuConfig())
+        zstd_decomp = instance.block_inventory("zstd", Operation.DECOMPRESS)
+        assert "fse-table-builder" in zstd_decomp
+        assert "huff-table-builder" in zstd_decomp
+        snappy_decomp = instance.block_inventory("snappy", Operation.DECOMPRESS)
+        assert "fse-table-builder" not in snappy_decomp
+        # The LZ77 decoder blocks are shared between the two (§6.4).
+        from repro.core.generator import SHARED_BLOCKS
+
+        for block in SHARED_BLOCKS[Operation.DECOMPRESS]:
+            assert block in zstd_decomp and block in snappy_decomp
+
+    def test_zstd_compressor_has_seq_to_code(self):
+        instance = CdpuGenerator().generate(CdpuConfig())
+        assert "seq-to-code-converter" in instance.block_inventory("zstd", Operation.COMPRESS)
+
+    def test_area_accessor(self):
+        instance = CdpuGenerator().generate(CdpuConfig())
+        assert instance.area_mm2("snappy", Operation.DECOMPRESS) == pytest.approx(0.431, abs=0.001)

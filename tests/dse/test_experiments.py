@@ -1,0 +1,205 @@
+"""Shape assertions for the reproduced Figures 11-15 (paper §6.2-§6.5).
+
+Per DESIGN.md, absolute cycle counts are not expected to match the FPGA
+numbers; *shapes* — who wins, by roughly what factor, where crossovers fall —
+must. Each test quotes the paper statement it checks.
+"""
+
+import pytest
+
+from repro.dse.experiments import speculation_study
+from repro.dse.sweeps import SRAM_SIZES, sram_labels
+
+
+class TestFigure11SnappyDecompression:
+    def test_flagship_speedup_near_10x(self, figures):
+        """'over 10x faster than the Xeon' at 64K RoCC."""
+        assert figures["fig11"].speedup("RoCC", "64K") == pytest.approx(10.4, rel=0.12)
+
+    def test_rocc_barely_degrades_with_small_sram(self, figures):
+        """§6.2: 38% area saving for only ~4.3% speedup reduction at 2K."""
+        fig = figures["fig11"]
+        loss = 1 - fig.speedup("RoCC", "2K") / fig.speedup("RoCC", "64K")
+        assert 0.0 < loss < 0.10
+        assert 1 - fig.area_normalized[-1] == pytest.approx(0.38, abs=0.02)
+
+    def test_chiplet_close_to_rocc_at_64k(self, figures):
+        """§6.2: chiplet '9.5x speedup ... only 1.1x worse' at 64K."""
+        fig = figures["fig11"]
+        penalty = fig.speedup("RoCC", "64K") / fig.speedup("Chiplet", "64K")
+        assert penalty == pytest.approx(1.1, abs=0.08)
+
+    def test_chiplet_collapses_at_small_sram(self, figures):
+        """§6.2: at the smallest windows chiplet drops to PCIe levels."""
+        fig = figures["fig11"]
+        assert fig.speedup("Chiplet", "2K") < fig.speedup("PCIeLocalCache", "64K")
+
+    def test_pcie_5_6x_slower_than_near_core(self, figures):
+        """§6.2: PCIe incurs 'a significant (5.6x) slowdown vs the near-core
+        CDPU' at 64K."""
+        fig = figures["fig11"]
+        slowdown = fig.speedup("RoCC", "64K") / fig.speedup("PCIeNoCache", "64K")
+        assert slowdown == pytest.approx(5.6, rel=0.25)
+
+    def test_pcie_variants_identical_at_64k(self, figures):
+        """§6.2: PCIeLocalCache has 'an identical starting speedup' at 64K
+        (no off-accelerator history lookups at the full window)."""
+        fig = figures["fig11"]
+        assert fig.speedup("PCIeLocalCache", "64K") == pytest.approx(
+            fig.speedup("PCIeNoCache", "64K"), rel=0.02
+        )
+
+    def test_local_cache_preserves_sram_scaling_better(self, figures):
+        """§6.2: with a card-local cache the SRAM optimization 'continues to
+        work', unlike PCIeNoCache."""
+        fig = figures["fig11"]
+        local_loss = 1 - fig.speedup("PCIeLocalCache", "2K") / fig.speedup("PCIeLocalCache", "64K")
+        remote_loss = 1 - fig.speedup("PCIeNoCache", "2K") / fig.speedup("PCIeNoCache", "64K")
+        assert local_loss < remote_loss
+
+    def test_area_monotone_with_sram(self, figures):
+        areas = figures["fig11"].area_normalized
+        assert all(a >= b for a, b in zip(areas, areas[1:]))
+
+
+class TestFigure12SnappyCompression:
+    def test_flagship_speedup_near_16x(self, figures):
+        assert figures["fig12"].speedup("RoCC", "64K") == pytest.approx(16.3, rel=0.12)
+
+    def test_hw_beats_sw_ratio_at_64k(self, figures):
+        """§6.3: '1.1% higher compression ratio than Snappy SW' (skipping)."""
+        assert figures["fig12"].ratio_vs_sw[0] >= 0.998
+
+    def test_ratio_loss_grows_as_history_shrinks(self, figures):
+        ratios = figures["fig12"].ratio_vs_sw
+        assert all(a >= b - 1e-9 for a, b in zip(ratios, ratios[1:]))
+        assert 0.90 <= ratios[-1] <= 0.97  # ~8% loss at 2K in the paper
+
+    def test_chiplet_loss_small(self, figures):
+        """§6.3: 'less than 1.7% loss of speedup vs the near core design'."""
+        fig = figures["fig12"]
+        for label in sram_labels():
+            loss = 1 - fig.speedup("Chiplet", label) / fig.speedup("RoCC", label)
+            assert loss < 0.05
+
+    def test_pcie_compression_still_worthwhile(self, figures):
+        """§6.3: PCIe 'fares much better than in the decompression case'."""
+        assert figures["fig12"].speedup("PCIeNoCache", "64K") > 3.0
+
+    def test_speedup_dips_only_modestly_at_small_sram(self, figures):
+        fig = figures["fig12"]
+        loss = 1 - fig.speedup("RoCC", "2K") / fig.speedup("RoCC", "64K")
+        assert 0.0 <= loss < 0.12  # paper: 16.3x -> 14.8-15.5x
+
+    def test_area_20_percent_saving_at_2k(self, figures):
+        assert 1 - figures["fig12"].area_normalized[-1] == pytest.approx(0.20, abs=0.03)
+
+
+class TestFigure13SmallHashTable:
+    def test_area_34_percent_of_full_design_at_2k(self, figures):
+        """§6.3: 2^9 entries + 2K history = 34% of the full-size area."""
+        assert figures["fig13"].area_normalized[-1] == pytest.approx(0.34, abs=0.02)
+
+    def test_negligible_speedup_loss_vs_fig12(self, figures):
+        """§6.3: 'a negligible loss of speedup'."""
+        for label in sram_labels():
+            full = figures["fig12"].speedup("RoCC", label)
+            small = figures["fig13"].speedup("RoCC", label)
+            assert small > 0.85 * full
+
+    def test_extra_ratio_loss_of_a_few_percent(self, figures):
+        """§6.3: '~3% compared to the 2K history, 2^14 entry design'."""
+        extra = figures["fig12"].ratio_vs_sw[-1] - figures["fig13"].ratio_vs_sw[-1]
+        assert 0.0 < extra < 0.09
+
+    def test_area_normalization_uses_full_design(self, figures):
+        assert figures["fig13"].area_normalized[0] < 0.60  # 64K9HT well below 1
+
+
+class TestFigure14ZstdDecompression:
+    def test_flagship_speedup_near_4_2x(self, figures):
+        assert figures["fig14"].speedup("RoCC", "64K") == pytest.approx(4.2, rel=0.1)
+
+    def test_slower_than_snappy_decompression(self, figures):
+        """§6.4: entropy stages reduce throughput vs the Snappy CDPU."""
+        assert figures["fig14"].speedup("RoCC", "64K") < figures["fig11"].speedup("RoCC", "64K")
+
+    def test_sram_area_swing_only_8_6_percent(self, figures):
+        assert 1 - figures["fig14"].area_normalized[-1] == pytest.approx(0.086, abs=0.01)
+
+    def test_speculation_dominates_design_quality(self, dse_runner, figures):
+        """§6.6 lesson 4: speculation swings results more than history SRAM."""
+        spec = {p.speculation: p.speedup for p in speculation_study(dse_runner)}
+        sram_swing = figures["fig14"].speedup("RoCC", "64K") / figures["fig14"].speedup(
+            "RoCC", "2K"
+        )
+        spec_swing = spec[32] / spec[4]
+        assert spec_swing > 2 * sram_swing
+
+    def test_speculation_sweep_matches_paper(self, dse_runner):
+        """§6.4: 2.11x / 4.2x / 5.64x for speculation 4 / 16 / 32."""
+        spec = {p.speculation: p.speedup for p in speculation_study(dse_runner)}
+        assert spec[4] == pytest.approx(2.11, rel=0.15)
+        assert spec[16] == pytest.approx(4.2, rel=0.1)
+        assert spec[32] == pytest.approx(5.64, rel=0.15)
+
+    def test_speculation_area_tradeoff(self, dse_runner):
+        spec = {p.speculation: p.area_mm2 for p in speculation_study(dse_runner)}
+        assert spec[32] / spec[16] == pytest.approx(1.18, abs=0.02)
+        assert spec[4] / spec[16] == pytest.approx(0.90, abs=0.02)
+
+
+class TestFigure15ZstdCompression:
+    def test_flagship_speedup_near_15_8x(self, figures):
+        assert figures["fig15"].speedup("RoCC", "64K") == pytest.approx(15.8, rel=0.12)
+
+    def test_hw_ratio_below_software(self, figures):
+        """§6.5: the greedy Snappy-configured encoder trails software (the
+        paper reports 84%; our software ZStd's matcher is closer to greedy,
+        so the measured gap is smaller — see EXPERIMENTS.md)."""
+        assert figures["fig15"].ratio_vs_sw[0] < 1.0
+
+    def test_ratio_decays_with_history(self, figures):
+        ratios = figures["fig15"].ratio_vs_sw
+        assert ratios[-1] < ratios[0]
+
+    def test_pcie_speedup_still_large(self, figures):
+        """§6.6 lesson 2: 'over ... 8.2x speedup (ZStd) in the PCIe case'."""
+        assert figures["fig15"].speedup("PCIeNoCache", "64K") > 4.5
+
+
+class TestCrossFigure:
+    def test_every_figure_has_six_sram_points(self, figures):
+        for fig in figures.values():
+            assert fig.x_labels == sram_labels()
+            for series in fig.series.values():
+                assert len(series) == len(SRAM_SIZES)
+
+    def test_rocc_dominates_every_figure(self, figures):
+        for fig in figures.values():
+            for i, _ in enumerate(fig.x_labels):
+                rocc = fig.series["RoCC"][i]
+                assert all(fig.series[s][i] <= rocc * 1.001 for s in fig.series)
+
+    def test_speedup_range_spans_more_than_40x(self, figures):
+        """Abstract: 'a 46x range in CDPU speedup' across the exploration."""
+        speedups = [p.speedup for f in figures.values() for p in f.points]
+        assert max(speedups) / min(speedups) > 40
+
+    def test_single_pipeline_area_range_about_3x(self, figures):
+        """Abstract: '3x range in silicon area (for a single pipeline)'."""
+        snappy_comp_areas = [p.area_mm2 for p in figures["fig12"].points] + [
+            p.area_mm2 for p in figures["fig13"].points
+        ]
+        assert max(snappy_comp_areas) / min(snappy_comp_areas) == pytest.approx(2.9, abs=0.4)
+
+    def test_tables_render(self, figures):
+        for fig in figures.values():
+            table = fig.to_table()
+            assert fig.figure_id in table
+            csv_text = fig.to_csv()
+            assert csv_text.count("\n") >= len(fig.x_labels) * len(fig.series)
+
+    def test_best_and_worst_points(self, figures):
+        fig = figures["fig11"]
+        assert fig.best_point().speedup >= fig.worst_point().speedup

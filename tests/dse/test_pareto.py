@@ -1,0 +1,91 @@
+"""Unit tests for Pareto-frontier extraction over DSE points."""
+
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.core.params import CdpuConfig
+from repro.dse.pareto import (
+    best_within_area,
+    knee_point,
+    pareto_frontier,
+    render_frontier,
+    smallest_meeting_speedup,
+)
+from repro.dse.runner import DesignPointResult
+
+
+def _point(area: float, speedup: float, label_bytes: int = 2048) -> DesignPointResult:
+    return DesignPointResult(
+        algorithm="snappy",
+        operation=Operation.COMPRESS,
+        config=CdpuConfig(encoder_history_bytes=label_bytes),
+        accel_seconds=1.0 / speedup,
+        xeon_seconds=1.0,
+        area_mm2=area,
+    )
+
+
+POINTS = [
+    _point(0.3, 10.0),
+    _point(0.4, 9.0),  # dominated (bigger and slower than 0.3/10)
+    _point(0.5, 12.0),
+    _point(0.6, 12.0),  # dominated (same speedup, bigger)
+    _point(0.8, 15.0),
+]
+
+
+class TestFrontier:
+    def test_dominated_points_removed(self):
+        frontier = pareto_frontier(POINTS)
+        pairs = [(f.area_mm2, f.speedup) for f in frontier]
+        assert pairs == [(0.3, 10.0), (0.5, 12.0), (0.8, 15.0)]
+
+    def test_frontier_sorted_and_strictly_improving(self):
+        frontier = pareto_frontier(POINTS)
+        areas = [f.area_mm2 for f in frontier]
+        speeds = [f.speedup for f in frontier]
+        assert areas == sorted(areas)
+        assert all(a < b for a, b in zip(speeds, speeds[1:]))
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == []
+        assert knee_point([]) is None
+
+    def test_single_point(self):
+        frontier = pareto_frontier([_point(0.3, 5.0)])
+        assert len(frontier) == 1
+        assert knee_point(frontier) is frontier[0]
+
+    def test_knee_prefers_marginal_value(self):
+        frontier = pareto_frontier(
+            [_point(0.1, 1.0), _point(0.2, 10.0), _point(1.0, 11.0)]
+        )
+        knee = knee_point(frontier)
+        assert knee.area_mm2 == pytest.approx(0.2)
+
+    def test_render(self):
+        text = render_frontier(pareto_frontier(POINTS))
+        assert "knee" in text and "mm^2" in text
+
+
+class TestBudgetQueries:
+    def test_best_within_area(self):
+        assert best_within_area(POINTS, 0.55).speedup == 12.0
+        assert best_within_area(POINTS, 0.25) is None
+
+    def test_smallest_meeting_speedup(self):
+        assert smallest_meeting_speedup(POINTS, 11.0).area_mm2 == 0.5
+        assert smallest_meeting_speedup(POINTS, 99.0) is None
+
+
+class TestOnRealSweep:
+    def test_frontier_from_figure_points(self, figures):
+        points = figures["fig12"].points + figures["fig13"].points
+        frontier = pareto_frontier(points)
+        assert 2 <= len(frontier) <= len(points)
+        # The paper's tiny 2K/2^9 design must be on the frontier: nothing
+        # smaller exists and nothing as small is faster.
+        smallest = min(points, key=lambda p: p.area_mm2)
+        assert any(f.point is smallest for f in frontier) or any(
+            f.area_mm2 <= smallest.area_mm2 for f in frontier
+        )

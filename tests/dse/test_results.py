@@ -1,0 +1,85 @@
+"""Unit tests for the FigureResult container and its renderings."""
+
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.core.params import CdpuConfig
+from repro.dse.results import FigureResult
+from repro.dse.runner import DesignPointResult
+
+
+def _figure():
+    points = [
+        DesignPointResult(
+            algorithm="snappy",
+            operation=Operation.DECOMPRESS,
+            config=CdpuConfig(),
+            accel_seconds=0.1,
+            xeon_seconds=1.0,
+            area_mm2=0.4,
+        ),
+        DesignPointResult(
+            algorithm="snappy",
+            operation=Operation.DECOMPRESS,
+            config=CdpuConfig(decoder_history_bytes=2048),
+            accel_seconds=0.2,
+            xeon_seconds=1.0,
+            area_mm2=0.25,
+        ),
+    ]
+    return FigureResult(
+        figure_id="Figure T",
+        title="test figure",
+        x_labels=["64K", "2K"],
+        series={"RoCC": [10.0, 5.0], "PCIe": [2.0, 1.0]},
+        area_normalized=[1.0, 0.625],
+        ratio_vs_sw=[1.0, 0.95],
+        points=points,
+    )
+
+
+class TestSpeedupLookup:
+    def test_by_series_and_label(self):
+        assert _figure().speedup("RoCC", "2K") == 5.0
+
+    def test_unknown_series_raises(self):
+        with pytest.raises(KeyError):
+            _figure().speedup("Chiplet", "2K")
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(ValueError):
+            _figure().speedup("RoCC", "128K")
+
+
+class TestRendering:
+    def test_table_has_all_columns(self):
+        table = _figure().to_table()
+        assert "Figure T" in table
+        assert "Area(norm)" in table and "Ratio vs SW" in table
+        assert "64K" in table and "2K" in table
+
+    def test_table_without_secondary_axes(self):
+        fig = _figure()
+        fig.area_normalized = []
+        fig.ratio_vs_sw = []
+        table = fig.to_table()
+        assert "Area(norm)" not in table
+
+    def test_notes_appended(self):
+        fig = _figure()
+        fig.notes.append("scaled suite")
+        assert "note: scaled suite" in fig.to_table()
+
+    def test_csv_rows(self):
+        csv_text = _figure().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("figure,")
+        assert len(lines) == 1 + 2 * 2  # header + labels x series
+        assert "Figure T,64K,RoCC,10.0000" in csv_text
+
+
+class TestBestWorst:
+    def test_best_and_worst(self):
+        fig = _figure()
+        assert fig.best_point().speedup == pytest.approx(10.0)
+        assert fig.worst_point().speedup == pytest.approx(5.0)

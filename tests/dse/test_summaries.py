@@ -1,0 +1,34 @@
+"""Tests for the regenerated FINAL_TEXT_SUMMARIES report."""
+
+import pytest
+
+from repro.dse.experiments import speculation_study
+from repro.dse.summaries import claim_checks, final_text_summaries
+
+
+@pytest.fixture(scope="module")
+def checks(figures, dse_runner):
+    return claim_checks(figures, speculation_study(dse_runner))
+
+
+class TestClaimChecks:
+    def test_every_check_has_both_sides(self, checks):
+        for check in checks:
+            assert check.paper_value
+            assert check.measured_value
+            assert "measured" in check.render()
+
+    def test_flagship_claim_present(self, checks):
+        claims = [c.claim for c in checks]
+        assert any("Flagship speedups" in c for c in claims)
+        assert any("speculation" in c.lower() for c in claims)
+
+    def test_at_least_a_dozen_claims(self, checks):
+        assert len(checks) >= 12
+
+
+def test_full_report_renders(dse_runner):
+    text = final_text_summaries(dse_runner)
+    assert "FINAL TEXT SUMMARIES" in text
+    assert "Figure 11" in text and "Figure 15" in text
+    assert "spec=32" in text

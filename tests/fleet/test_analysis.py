@@ -1,0 +1,141 @@
+"""The §3 analyses must recover the paper's published statistics from samples."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.fleet import analysis as A
+
+
+class TestFigure1:
+    def test_cycle_shares_track_legend(self, fleet_profile):
+        from repro.fleet.distributions import CYCLE_SHARES
+
+        shares = A.cycle_share_by_algorithm(fleet_profile)
+        for key, expected in CYCLE_SHARES.items():
+            assert shares[key] == pytest.approx(expected, abs=2.5), key
+
+    def test_decompression_fraction_56(self, fleet_profile):
+        assert A.decompression_cycle_fraction(fleet_profile) == pytest.approx(0.56, abs=0.035)
+
+
+class TestFigure2a:
+    def test_byte_shares_sum_to_100(self, fleet_profile):
+        assert sum(A.bytes_by_algorithm(fleet_profile).values()) == pytest.approx(100.0)
+
+    def test_lightweight_handles_64_percent_of_compressed_bytes(self, fleet_profile):
+        """§3.8 lesson 1a."""
+        assert A.lightweight_compress_byte_share(fleet_profile) == pytest.approx(0.64, abs=0.05)
+
+    def test_heavyweight_produces_49_percent_of_decompressed_bytes(self, fleet_profile):
+        """§3.3.1."""
+        assert A.heavyweight_decompress_byte_share(fleet_profile) == pytest.approx(0.49, abs=0.05)
+
+    def test_each_byte_decompressed_3_3_times(self, fleet_profile):
+        """§3.3.1: 'each byte that is compressed ... is decompressed 3.3x'."""
+        assert A.decompression_reuse_factor(fleet_profile) == pytest.approx(3.3, abs=0.45)
+
+
+class TestFigure2b:
+    def test_88_percent_at_level_3_or_lower(self, fleet_profile):
+        assert A.zstd_level_cdf_at(fleet_profile, 3) == pytest.approx(0.88, abs=0.05)
+
+    def test_95_percent_at_level_5_or_lower(self, fleet_profile):
+        assert A.zstd_level_cdf_at(fleet_profile, 5) == pytest.approx(0.95, abs=0.04)
+
+    def test_levels_12_plus_negligible(self, fleet_profile):
+        assert 1.0 - A.zstd_level_cdf_at(fleet_profile, 11) < 0.002
+
+    def test_distribution_sums_to_one(self, fleet_profile):
+        assert sum(A.zstd_level_distribution(fleet_profile).values()) == pytest.approx(1.0)
+
+
+class TestFigure2c:
+    def test_ratio_relations(self, fleet_profile):
+        ratios = A.compression_ratio_by_bin(fleet_profile)
+        assert ratios["zstd_low"] / ratios["snappy"] == pytest.approx(1.46, rel=0.12)
+        assert ratios["zstd_high"] / ratios["zstd_low"] == pytest.approx(1.35, rel=0.15)
+
+    def test_all_major_bins_at_least_two(self, fleet_profile):
+        ratios = A.compression_ratio_by_bin(fleet_profile)
+        for name in ("snappy", "zstd_low", "zstd_high", "flate"):
+            assert ratios[name] >= 1.8, name
+
+
+class TestCostPerByte:
+    def test_cost_relations(self, fleet_profile):
+        costs = A.cost_per_byte_by_bin(fleet_profile)
+        assert costs[("zstd_low", "compress")] / costs[("snappy", "compress")] == pytest.approx(
+            1.55, rel=0.1
+        )
+        assert costs[("zstd_high", "compress")] / costs[("zstd_low", "compress")] == pytest.approx(
+            2.39, rel=0.15
+        )
+        assert costs[("zstd", "decompress")] / costs[("snappy", "decompress")] == pytest.approx(
+            1.63, rel=0.1
+        )
+
+    def test_migration_increase_67_percent(self, fleet_profile):
+        """§3.3.4's 'non-starter' scenario."""
+        assert A.migration_cycle_increase(fleet_profile) == pytest.approx(0.67, abs=0.12)
+
+    def test_heavyweight_costlier_per_byte(self, fleet_profile):
+        costs = A.cost_per_byte_by_bin(fleet_profile)
+        assert costs[("zstd_low", "compress")] > costs[("snappy", "compress")]
+        assert costs[("flate", "compress")] > costs[("snappy", "compress")]
+        assert costs[("zstd", "decompress")] > costs[("snappy", "decompress")]
+
+
+class TestFigure3:
+    @pytest.mark.parametrize(
+        "algo, op, median_bins",
+        [
+            ("snappy", Operation.COMPRESS, (16, 17)),
+            ("zstd", Operation.COMPRESS, (16, 17)),
+            ("snappy", Operation.DECOMPRESS, (16, 17)),
+            ("zstd", Operation.DECOMPRESS, (21, 22)),
+        ],
+    )
+    def test_median_bins(self, fleet_profile, algo, op, median_bins):
+        assert A.median_call_size_bin(fleet_profile, algo, op) in median_bins
+
+    def test_cdf_monotone_and_complete(self, fleet_profile):
+        bins, cdf = A.call_size_cdf(fleet_profile, "snappy", Operation.COMPRESS)
+        assert (np.diff(cdf) >= -1e-12).all()
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_snappy_decomp_more_small_biased_than_comp(self, fleet_profile):
+        _, comp = A.call_size_cdf(fleet_profile, "snappy", Operation.COMPRESS)
+        bins, decomp = A.call_size_cdf(fleet_profile, "snappy", Operation.DECOMPRESS)
+        at_128k = bins.index(17)
+        assert decomp[at_128k] > comp[at_128k]
+
+    def test_unknown_pair_raises(self, fleet_profile):
+        with pytest.raises(Exception):
+            A.call_size_cdf(fleet_profile, "nonexistent", Operation.COMPRESS)
+
+
+class TestFigure4:
+    def test_caller_shares_track_figure(self, fleet_profile):
+        from repro.fleet.distributions import CALLER_SHARES
+
+        breakdown = A.caller_breakdown(fleet_profile)
+        for caller, expected in CALLER_SHARES.items():
+            assert breakdown[caller] == pytest.approx(expected, abs=1.5), caller
+
+    def test_file_format_share_49(self, fleet_profile):
+        assert A.file_format_cycle_share(fleet_profile) == pytest.approx(0.492, abs=0.03)
+
+
+class TestFigure5:
+    def test_comp_window_median_32k(self, fleet_profile):
+        bins, cdf = A.window_size_cdf(fleet_profile, Operation.COMPRESS)
+        assert cdf[bins.index(15)] > 0.5  # slightly over 50% at <= 32 KiB
+
+    def test_decomp_window_median_1mib(self, fleet_profile):
+        bins, cdf = A.window_size_cdf(fleet_profile, Operation.DECOMPRESS)
+        assert cdf[bins.index(19)] < 0.5 <= cdf[bins.index(20)] + 0.05
+
+    def test_tails_reach_16mib(self, fleet_profile):
+        bins, cdf = A.window_size_cdf(fleet_profile, Operation.COMPRESS)
+        assert cdf[bins.index(23)] < 1.0  # mass exists in the 16 MiB bin

@@ -1,0 +1,65 @@
+"""Unit tests for the §3.3.4 software cost-per-byte model."""
+
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.fleet import costmodel
+
+
+class TestRelations:
+    def test_zstd_low_vs_snappy(self):
+        """§3.3.4: ZStd low-level compression costs 1.55x Snappy per byte."""
+        low, high, decomp = costmodel.relation_checkpoints()
+        assert low == pytest.approx(1.55, abs=0.08)
+
+    def test_zstd_high_vs_low(self):
+        """§3.3.4: high levels cost an additional 2.39x per byte."""
+        _, high, _ = costmodel.relation_checkpoints()
+        assert high == pytest.approx(2.39, abs=0.15)
+
+    def test_zstd_decomp_vs_snappy(self):
+        """§3.3.4: ZStd decompression is 1.63x Snappy decompression."""
+        _, _, decomp = costmodel.relation_checkpoints()
+        assert decomp == pytest.approx(1.63, abs=0.02)
+
+    def test_migration_scenario_67_percent(self):
+        """§3.3.4: 25% Snappy-comp service -> highest ZStd = +67% cycles."""
+        low, high, _ = costmodel.relation_checkpoints()
+        increase = 0.25 * (low * high - 1.0)
+        assert increase == pytest.approx(0.67, abs=0.08)
+
+
+class TestCostFunctions:
+    def test_heavyweights_cost_more_than_lightweights(self):
+        for op in Operation:
+            heavy = min(
+                costmodel.cost_per_byte(a, op) for a in ("zstd", "flate", "brotli")
+            )
+            light = max(
+                costmodel.cost_per_byte(a, op) for a in ("snappy", "gipfeli", "lzo")
+            )
+            assert heavy > light * 0.6  # overlapping but shifted upward
+
+    def test_zstd_level_monotone(self):
+        costs = [costmodel.zstd_compress_cost(l) for l in range(-5, 23)]
+        assert all(a <= b for a, b in zip(costs, costs[1:]))
+
+    def test_level_passed_through_for_zstd_compression(self):
+        cheap = costmodel.cost_per_byte("zstd", Operation.COMPRESS, level=1)
+        pricey = costmodel.cost_per_byte("zstd", Operation.COMPRESS, level=19)
+        assert pricey > 2 * cheap
+
+    def test_level_ignored_for_decompression(self):
+        a = costmodel.cost_per_byte("zstd", Operation.DECOMPRESS, level=1)
+        b = costmodel.cost_per_byte("zstd", Operation.DECOMPRESS, level=19)
+        assert a == b
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            costmodel.cost_per_byte("lz4", Operation.COMPRESS)
+
+    def test_call_cycles_includes_overhead(self):
+        base = costmodel.call_cycles("snappy", Operation.COMPRESS, 0)
+        assert base == costmodel.PER_CALL_OVERHEAD_CYCLES
+        bigger = costmodel.call_cycles("snappy", Operation.COMPRESS, 10_000)
+        assert bigger > base

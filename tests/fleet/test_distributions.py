@@ -1,0 +1,155 @@
+"""Unit tests for the calibrated fleet distribution tables."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.common.rng import make_rng
+from repro.fleet.distributions import (
+    CALL_SIZE_BINS,
+    CALL_SIZE_BYTE_MASS,
+    CALLER_SHARES,
+    CYCLE_SHARES,
+    FILE_FORMAT_CALLERS,
+    FLEET_RATIO_BY_BIN,
+    WINDOW_SIZE_BINS,
+    ZSTD_LEVEL_PMF,
+    ZSTD_WINDOW_BYTE_MASS,
+    expected_bytes_per_call,
+    sample_from_byte_mass,
+    sample_levels,
+    sample_windows,
+)
+
+
+class TestCycleShares:
+    def test_shares_sum_to_100(self):
+        assert sum(CYCLE_SHARES.values()) == pytest.approx(100.0, abs=0.1)
+
+    def test_decompression_is_56_percent(self):
+        """§3.2: 56% of (de)compression cycles are decompression."""
+        decomp = sum(v for (a, o), v in CYCLE_SHARES.items() if o is Operation.DECOMPRESS)
+        assert decomp == pytest.approx(56.0, abs=1.0)
+
+    def test_figure1_legend_values(self):
+        assert CYCLE_SHARES[("snappy", Operation.COMPRESS)] == 19.5
+        assert CYCLE_SHARES[("zstd", Operation.DECOMPRESS)] == 25.8
+        assert CYCLE_SHARES[("gipfeli", Operation.COMPRESS)] == 0.1
+
+
+class TestLevelDistribution:
+    def test_pmf_sums_to_one(self):
+        assert sum(ZSTD_LEVEL_PMF.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_figure2b_checkpoints(self):
+        at_or_below_3 = sum(p for l, p in ZSTD_LEVEL_PMF.items() if l <= 3)
+        at_or_below_5 = sum(p for l, p in ZSTD_LEVEL_PMF.items() if l <= 5)
+        above_11 = sum(p for l, p in ZSTD_LEVEL_PMF.items() if l >= 12)
+        assert at_or_below_3 == pytest.approx(0.88, abs=0.01)
+        assert at_or_below_5 == pytest.approx(0.95, abs=0.01)
+        assert above_11 < 0.00002  # "fewer than 0.002% of bytes"
+
+    def test_default_level_dominates(self):
+        assert ZSTD_LEVEL_PMF[3] == max(ZSTD_LEVEL_PMF.values())
+
+
+class TestRatioBins:
+    def test_figure2c_relations(self):
+        """ZStd low = 1.46x Snappy; ZStd high = 1.35x ZStd low (§3.3.3)."""
+        assert FLEET_RATIO_BY_BIN["zstd_low"] / FLEET_RATIO_BY_BIN["snappy"] == pytest.approx(
+            1.46, abs=0.02
+        )
+        assert FLEET_RATIO_BY_BIN["zstd_high"] / FLEET_RATIO_BY_BIN["zstd_low"] == pytest.approx(
+            1.35, abs=0.02
+        )
+
+    def test_no_bin_below_two(self):
+        """'no algorithm having an aggregate compression ratio less than 2'."""
+        assert all(r >= 2.0 for r in FLEET_RATIO_BY_BIN.values())
+
+
+class TestCallSizeMasses:
+    @pytest.mark.parametrize("key", sorted(CALL_SIZE_BYTE_MASS, key=str))
+    def test_normalized(self, key):
+        assert CALL_SIZE_BYTE_MASS[key].sum() == pytest.approx(1.0)
+
+    def test_snappy_comp_quantiles(self):
+        mass = CALL_SIZE_BYTE_MASS[("snappy", Operation.COMPRESS)]
+        cdf = np.cumsum(mass)
+        # 24% of bytes <= 32 KiB (bin 15); median between 64 and 128 KiB.
+        assert cdf[CALL_SIZE_BINS.index(15)] == pytest.approx(0.24, abs=0.02)
+        assert cdf[CALL_SIZE_BINS.index(16)] < 0.5 <= cdf[CALL_SIZE_BINS.index(17)]
+
+    def test_zstd_comp_quantiles(self):
+        mass = CALL_SIZE_BYTE_MASS[("zstd", Operation.COMPRESS)]
+        cdf = np.cumsum(mass)
+        assert cdf[CALL_SIZE_BINS.index(15)] == pytest.approx(0.08, abs=0.02)
+        assert mass[CALL_SIZE_BINS.index(16)] == pytest.approx(0.28, abs=0.02)
+
+    def test_snappy_decomp_quantiles(self):
+        cdf = np.cumsum(CALL_SIZE_BYTE_MASS[("snappy", Operation.DECOMPRESS)])
+        assert cdf[CALL_SIZE_BINS.index(17)] == pytest.approx(0.62, abs=0.02)
+        assert cdf[CALL_SIZE_BINS.index(18)] == pytest.approx(0.80, abs=0.02)
+
+    def test_zstd_decomp_median_in_1_2_mib(self):
+        cdf = np.cumsum(CALL_SIZE_BYTE_MASS[("zstd", Operation.DECOMPRESS)])
+        assert cdf[CALL_SIZE_BINS.index(20)] < 0.5 <= cdf[CALL_SIZE_BINS.index(21)]
+
+
+class TestWindowMasses:
+    def test_comp_median_at_32k(self):
+        """§3.6: slightly over 50% of ZStd-compressed bytes use <= 32 KiB."""
+        mass = ZSTD_WINDOW_BYTE_MASS[Operation.COMPRESS]
+        assert mass[WINDOW_SIZE_BINS.index(15)] > 0.5
+
+    def test_decomp_median_at_1mib(self):
+        cdf = np.cumsum(ZSTD_WINDOW_BYTE_MASS[Operation.DECOMPRESS])
+        assert cdf[WINDOW_SIZE_BINS.index(19)] < 0.5 <= cdf[WINDOW_SIZE_BINS.index(20)]
+
+    def test_tails_reach_16mib(self):
+        for mass in ZSTD_WINDOW_BYTE_MASS.values():
+            assert mass[WINDOW_SIZE_BINS.index(24)] > 0
+
+
+class TestCallerShares:
+    def test_figure4_values_sum(self):
+        assert sum(CALLER_SHARES.values()) == pytest.approx(99.9, abs=0.2)
+
+    def test_file_formats_are_49_percent(self):
+        """§3.5.2: 49% of cycles derive from file formats."""
+        share = sum(CALLER_SHARES[c] for c in FILE_FORMAT_CALLERS)
+        assert share == pytest.approx(49.1, abs=0.5)
+
+    def test_rpc_is_largest_single_caller(self):
+        assert max(CALLER_SHARES, key=CALLER_SHARES.get) == "RPC"
+
+
+class TestSamplers:
+    def test_byte_mass_sampling_reproduces_distribution(self):
+        rng = make_rng(0, "test")
+        mass = CALL_SIZE_BYTE_MASS[("snappy", Operation.COMPRESS)]
+        sizes = sample_from_byte_mass(rng, CALL_SIZE_BINS, mass, 60_000)
+        from repro.common.units import ceil_log2
+
+        bins = np.array([ceil_log2(int(s)) for s in sizes])
+        weights = sizes.astype(float)
+        observed = np.array(
+            [weights[bins == b].sum() for b in CALL_SIZE_BINS]
+        )
+        observed /= observed.sum()
+        # Byte-weighted histogram must track the mass table.
+        assert np.abs(np.cumsum(observed) - np.cumsum(mass)).max() < 0.06
+
+    def test_level_sampler_range(self):
+        levels = sample_levels(make_rng(1, "lvl"), 5000)
+        assert levels.min() >= -7 and levels.max() <= 22
+
+    def test_window_sampler_powers_of_two(self):
+        windows = sample_windows(make_rng(1, "win"), Operation.COMPRESS, 2000)
+        assert all((w & (w - 1)) == 0 for w in windows)
+
+    def test_expected_bytes_per_call_ordering(self):
+        """ZStd decompression calls are much larger than Snappy's (Fig. 3)."""
+        assert expected_bytes_per_call("zstd", Operation.DECOMPRESS) > 3 * expected_bytes_per_call(
+            "snappy", Operation.DECOMPRESS
+        )

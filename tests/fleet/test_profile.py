@@ -1,0 +1,81 @@
+"""Unit tests for the GWP-like fleet sampler."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.fleet.profile import ALGORITHMS, NO_LEVEL, generate_fleet_profile, timeline_shares
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_fleet_profile(seed=3, num_calls=5000)
+        b = generate_fleet_profile(seed=3, num_calls=5000)
+        assert (a.uncompressed_bytes == b.uncompressed_bytes).all()
+        assert (a.cycles == b.cycles).all()
+
+    def test_seed_changes_samples(self):
+        a = generate_fleet_profile(seed=3, num_calls=5000)
+        b = generate_fleet_profile(seed=4, num_calls=5000)
+        assert (a.uncompressed_bytes != b.uncompressed_bytes).any()
+
+    def test_too_few_calls_rejected(self):
+        with pytest.raises(ValueError):
+            generate_fleet_profile(num_calls=10)
+
+    def test_all_algorithms_present(self, fleet_profile):
+        assert set(np.unique(fleet_profile.algo)) == set(range(len(ALGORITHMS)))
+
+    def test_compressed_never_exceeds_uncompressed_much(self, fleet_profile):
+        assert (fleet_profile.compressed_bytes <= fleet_profile.uncompressed_bytes).all()
+
+    def test_levels_only_for_zstd(self, fleet_profile):
+        zstd_idx = ALGORITHMS.index("zstd")
+        non_zstd = fleet_profile.algo != zstd_idx
+        assert (fleet_profile.level[non_zstd] == NO_LEVEL).all()
+        zstd_comp = (fleet_profile.algo == zstd_idx) & (fleet_profile.operation == 0)
+        assert (fleet_profile.level[zstd_comp] >= -7).all()
+        assert (fleet_profile.level[zstd_comp] <= 22).all()
+
+    def test_windows_only_for_zstd(self, fleet_profile):
+        zstd_idx = ALGORITHMS.index("zstd")
+        non_zstd = fleet_profile.algo != zstd_idx
+        assert (fleet_profile.window_size[non_zstd] == 0).all()
+        assert (fleet_profile.window_size[fleet_profile.algo == zstd_idx] >= 1 << 15).all()
+
+    def test_cycles_positive(self, fleet_profile):
+        assert (fleet_profile.cycles > 0).all()
+
+    def test_mask_composition(self, fleet_profile):
+        mask = fleet_profile.mask("snappy", Operation.COMPRESS)
+        assert mask.sum() > 0
+        assert fleet_profile.total_cycles("snappy", Operation.COMPRESS) <= fleet_profile.total_cycles()
+
+
+class TestTimeline:
+    def test_each_slice_normalized_to_100(self):
+        labels, shares = timeline_shares()
+        totals = sum(np.asarray(curve) for curve in shares.values())
+        assert np.allclose(totals, 100.0)
+
+    def test_final_slice_matches_figure1_legend(self):
+        from repro.fleet.distributions import CYCLE_SHARES
+
+        _, shares = timeline_shares()
+        for key, value in CYCLE_SHARES.items():
+            assert shares[key][-1] == pytest.approx(value, abs=0.5)
+
+    def test_zstd_starts_at_zero_and_ramps_within_a_year(self):
+        """§3.4: ZStd went 0% -> 10% of fleet (de)compression in ~1 year."""
+        labels, shares = timeline_shares(num_years=8, slices_per_year=3)
+        zstd = shares[("zstd", Operation.COMPRESS)] + shares[("zstd", Operation.DECOMPRESS)]
+        last_zero = int(np.max(np.flatnonzero(zstd < 1e-9)))
+        first_at_ten = int(np.argmax(zstd >= 10.0))
+        assert first_at_ten > last_zero
+        # Crosses 10% within ~1.5 years (<= 5 slices at 3 slices/year).
+        assert first_at_ten - last_zero <= 5
+
+    def test_label_format(self):
+        labels, _ = timeline_shares(num_years=2, slices_per_year=3)
+        assert labels[0].startswith("Y1-")
+        assert len(labels) == 6

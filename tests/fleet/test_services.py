@@ -1,0 +1,34 @@
+"""Unit tests for the §3.2 service-intensity structure."""
+
+import pytest
+
+from repro.fleet.services import ALL_SERVICES, LONG_TAIL, TOP_SERVICES, top_sixteen_share
+
+
+def test_sixteen_named_services():
+    assert len(TOP_SERVICES) == 16
+
+
+def test_top_sixteen_are_about_half_of_fleet_cycles():
+    """§3.2: 'sixteen services constitute around half of all fleet-wide
+    cycles' for Snappy/ZStd (de)compression."""
+    assert top_sixteen_share() == pytest.approx(0.5, abs=0.1)
+
+
+def test_one_service_near_50_percent_own_cycles():
+    assert max(s.own_cycle_fraction for s in TOP_SERVICES) == pytest.approx(0.5, abs=0.02)
+
+
+def test_another_service_over_35_percent():
+    fractions = sorted((s.own_cycle_fraction for s in TOP_SERVICES), reverse=True)
+    assert fractions[1] >= 0.35
+
+
+def test_eight_services_in_10_to_25_percent_band():
+    band = [s for s in TOP_SERVICES if 0.10 <= s.own_cycle_fraction <= 0.25]
+    assert len(band) == 8
+
+
+def test_shares_partition_the_fleet():
+    assert sum(s.fleet_share for s in ALL_SERVICES) == pytest.approx(1.0)
+    assert LONG_TAIL.fleet_share > 0

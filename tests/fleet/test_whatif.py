@@ -1,0 +1,70 @@
+"""Unit tests for the §3.3 what-if / resource-trade-off model."""
+
+import pytest
+
+from repro.fleet.whatif import ResourceWeights, migration_what_if
+
+
+class TestMigrationScenario:
+    def test_full_adoption_hits_target_ratio(self, fleet_profile):
+        report = migration_what_if(fleet_profile)
+        # Almost all compression traffic migrates to the high bin (3.94x);
+        # the residue (already-high calls) keeps it a touch below/above.
+        assert report.accelerated.aggregate_ratio == pytest.approx(3.94, rel=0.05)
+
+    def test_baseline_matches_fleet_aggregate(self, fleet_profile):
+        report = migration_what_if(fleet_profile)
+        # Fleet-wide aggregate (Figure 2c blend) sits between Snappy's 2.0
+        # and the heavyweight bins.
+        assert 2.0 < report.baseline.aggregate_ratio < 3.0
+
+    def test_bytes_and_cycles_both_shrink(self, fleet_profile):
+        report = migration_what_if(fleet_profile)
+        assert report.compressed_byte_reduction > 0.3
+        assert report.cpu_cycle_reduction > 0.5
+        assert report.cost_reduction > 0.0
+
+    def test_zero_adoption_is_identity(self, fleet_profile):
+        report = migration_what_if(fleet_profile, adoption=0.0)
+        assert report.compressed_byte_reduction == pytest.approx(0.0, abs=1e-9)
+        assert report.cpu_cycle_reduction == pytest.approx(0.0, abs=1e-9)
+
+    def test_adoption_monotone(self, fleet_profile):
+        quarter = migration_what_if(fleet_profile, adoption=0.25)
+        half = migration_what_if(fleet_profile, adoption=0.5)
+        full = migration_what_if(fleet_profile, adoption=1.0)
+        assert (
+            quarter.compressed_byte_reduction
+            < half.compressed_byte_reduction
+            < full.compressed_byte_reduction
+        )
+
+    def test_bad_adoption_rejected(self, fleet_profile):
+        with pytest.raises(ValueError):
+            migration_what_if(fleet_profile, adoption=1.5)
+
+    def test_custom_ratio_target(self, fleet_profile):
+        modest = migration_what_if(fleet_profile, accelerated_ratio=2.5)
+        aggressive = migration_what_if(fleet_profile, accelerated_ratio=5.0)
+        assert aggressive.compressed_byte_reduction > modest.compressed_byte_reduction
+
+    def test_expensive_offload_reduces_cycle_savings(self, fleet_profile):
+        cheap = migration_what_if(fleet_profile, cdpu_cycles_per_byte=0.1)
+        costly = migration_what_if(fleet_profile, cdpu_cycles_per_byte=3.0)
+        assert cheap.cpu_cycle_reduction > costly.cpu_cycle_reduction
+
+    def test_weights_shift_cost_but_not_physics(self, fleet_profile):
+        storage_heavy = migration_what_if(
+            fleet_profile, weights=ResourceWeights(stored_byte=500.0)
+        )
+        cycle_heavy = migration_what_if(
+            fleet_profile, weights=ResourceWeights(cpu_cycle=100.0, stored_byte=0.1, network_byte=0.1, memory_byte=0.1)
+        )
+        assert storage_heavy.compressed_byte_reduction == pytest.approx(
+            cycle_heavy.compressed_byte_reduction
+        )
+        assert storage_heavy.cost_reduction != pytest.approx(cycle_heavy.cost_reduction)
+
+    def test_report_renders(self, fleet_profile):
+        text = migration_what_if(fleet_profile).render()
+        assert "aggregate ratio" in text and "reduction" in text

@@ -1,0 +1,94 @@
+"""Unit tests for the HyperCompressBench generator pipeline (§4)."""
+
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.hcbench.generator import SUITE_PAIRS, GeneratorConfig, HcBenchGenerator
+
+
+@pytest.fixture(scope="module")
+def tiny_generator():
+    # A deliberately small configuration so generation stays fast in tests.
+    return HcBenchGenerator(
+        GeneratorConfig(seed=5, files_per_suite=6, corpus_file_size=16 * 1024)
+    )
+
+
+class TestConfig:
+    def test_size_scale_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(size_scale=3)
+
+    def test_positive_file_count(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(files_per_suite=0)
+
+    def test_four_suite_pairs(self):
+        assert set(SUITE_PAIRS) == {
+            ("snappy", Operation.COMPRESS),
+            ("zstd", Operation.COMPRESS),
+            ("snappy", Operation.DECOMPRESS),
+            ("zstd", Operation.DECOMPRESS),
+        }
+
+
+class TestGeneration:
+    def test_suite_has_requested_file_count(self, tiny_generator):
+        files = tiny_generator.generate_suite("snappy", Operation.COMPRESS)
+        assert len(files) == 6
+
+    def test_files_carry_usage_parameters(self, tiny_generator):
+        files = tiny_generator.generate_suite("zstd", Operation.COMPRESS)
+        for file in files:
+            assert file.algorithm == "zstd"
+            assert file.level is not None
+            assert file.window_size is not None and file.window_size >= 1 << 15
+            assert file.target_ratio > 1.0
+
+    def test_snappy_files_have_no_level(self, tiny_generator):
+        files = tiny_generator.generate_suite("snappy", Operation.DECOMPRESS)
+        assert all(f.level is None for f in files)
+
+    def test_min_file_size_respected(self, tiny_generator):
+        for algo, op in SUITE_PAIRS:
+            files = tiny_generator.generate_suite(algo, op)
+            assert all(len(f.data) >= tiny_generator.config.min_file_bytes for f in files)
+
+    def test_deterministic_given_seed(self):
+        config = GeneratorConfig(seed=9, files_per_suite=3, corpus_file_size=8 * 1024)
+        a = HcBenchGenerator(config).generate_suite("snappy", Operation.COMPRESS)
+        b = HcBenchGenerator(config).generate_suite("snappy", Operation.COMPRESS)
+        assert [f.data for f in a] == [f.data for f in b]
+
+    def test_unknown_algorithm_rejected(self, tiny_generator):
+        with pytest.raises(ValueError):
+            tiny_generator.generate_suite("lz4", Operation.COMPRESS)
+
+    def test_file_names_unique_across_suites(self, tiny_generator):
+        everything = tiny_generator.generate_all()
+        names = [f.name for files in everything.values() for f in files]
+        assert len(names) == len(set(names))
+
+    def test_assembled_files_are_not_pathological_repeats(self, tiny_generator):
+        """§4: random shuffles guard against pathological sequences; an
+        assembled file must not be one chunk repeated verbatim."""
+        from repro.algorithms.snappy import SnappyCodec
+
+        files = tiny_generator.generate_suite("snappy", Operation.COMPRESS)
+        big = max(files, key=len)
+        if len(big.data) >= 4096:
+            ratio = len(big.data) / len(SnappyCodec().compress(big.data))
+            assert ratio < 50
+
+    def test_achieved_ratio_tracks_target_for_large_files(self, tiny_generator):
+        from repro.algorithms.snappy import SnappyCodec
+
+        codec = SnappyCodec()
+        files = [
+            f
+            for f in tiny_generator.generate_suite("snappy", Operation.COMPRESS)
+            if len(f.data) >= 16384
+        ]
+        for file in files:
+            achieved = len(file.data) / len(codec.compress(file.data))
+            assert achieved == pytest.approx(file.target_ratio, rel=0.5)

@@ -1,0 +1,87 @@
+"""Unit tests for the ratio-indexed chunk lookup tables (§4)."""
+
+import pytest
+
+from repro.corpus import build_corpus, chunk_corpus
+from repro.hcbench.lut import (
+    LutKey,
+    RatedChunk,
+    RatioLut,
+    build_luts,
+    default_lut_keys,
+    lut_for_call,
+)
+
+
+@pytest.fixture(scope="module")
+def small_luts():
+    corpus = build_corpus(0, 8192)
+    chunks = chunk_corpus(corpus, 1024)
+    return build_luts(chunks, [LutKey("snappy"), LutKey("zstd", level=3, window_size=1 << 16)])
+
+
+class TestBuild:
+    def test_all_chunks_rated(self, small_luts):
+        sizes = {len(lut) for lut in small_luts.values()}
+        assert len(sizes) == 1  # every config rated the same pool
+
+    def test_ratio_range_spans_incompressible_to_structured(self, small_luts):
+        lut = small_luts[LutKey("snappy")]
+        assert lut.min_ratio < 1.1
+        assert lut.max_ratio > 3.0
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            RatioLut(LutKey("snappy"), [])
+
+    def test_default_keys_cover_snappy_and_zstd(self):
+        keys = default_lut_keys()
+        assert {k.algorithm for k in keys} == {"snappy", "zstd"}
+        assert len([k for k in keys if k.algorithm == "zstd"]) >= 2
+
+
+class TestNearest:
+    def test_exact_hit(self, small_luts):
+        lut = small_luts[LutKey("snappy")]
+        target = lut.nearest(2.0).ratio
+        assert lut.nearest(target).ratio == target
+
+    def test_clamps_to_extremes(self, small_luts):
+        lut = small_luts[LutKey("snappy")]
+        assert lut.nearest(0.01).ratio == lut.min_ratio
+        assert lut.nearest(1000.0).ratio == lut.max_ratio
+
+    def test_exclusion_avoids_reuse(self, small_luts):
+        lut = small_luts[LutKey("snappy")]
+        used = set()
+        picks = []
+        for _ in range(10):
+            rated = lut.nearest(2.0, exclude=used)
+            picks.append(rated.chunk.chunk_id)
+            used.add(rated.chunk.chunk_id)
+        assert len(set(picks)) == 10
+
+    def test_exclusion_of_everything_falls_back(self, small_luts):
+        lut = small_luts[LutKey("snappy")]
+        everything = {r.chunk.chunk_id for r in lut._rated}
+        rated = lut.nearest(2.0, exclude=everything)
+        assert rated is not None
+
+    def test_skip_shifts_pick(self, small_luts):
+        lut = small_luts[LutKey("snappy")]
+        base = lut.nearest(2.0, skip=0)
+        shifted = lut.nearest(2.0, skip=3)
+        assert shifted.ratio >= base.ratio
+
+
+class TestLutForCall:
+    def test_level_matching_picks_closest(self, small_luts):
+        chosen = lut_for_call(small_luts, "zstd", level=2)
+        assert chosen.key.level == 3
+
+    def test_levelless_algorithms(self, small_luts):
+        assert lut_for_call(small_luts, "snappy", None).key.algorithm == "snappy"
+
+    def test_unknown_algorithm_raises(self, small_luts):
+        with pytest.raises(KeyError):
+            lut_for_call(small_luts, "brotli", 1)

@@ -1,0 +1,82 @@
+"""Unit tests for the suite container and benchmark caching."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.hcbench import default_benchmark
+from repro.hcbench.suite import GENERATOR_VERSION
+
+
+class TestBenchmarkStructure:
+    def test_four_suites(self, bench):
+        assert len(bench.suites) == 4
+        assert bench.total_files == sum(len(s) for s in bench.suites.values())
+
+    def test_suite_lookup(self, bench):
+        suite = bench.suite("snappy", Operation.COMPRESS)
+        assert suite.algorithm == "snappy"
+        assert suite.operation is Operation.COMPRESS
+
+    def test_unknown_suite_raises(self, bench):
+        with pytest.raises(KeyError, match="available"):
+            bench.suite("brotli", Operation.COMPRESS)
+
+    def test_total_bytes_positive(self, bench):
+        for suite in bench.suites.values():
+            assert suite.total_uncompressed_bytes > 10_000
+
+
+class TestCompressedForms:
+    def test_cached_and_stable(self, bench):
+        suite = bench.suite("snappy", Operation.DECOMPRESS)
+        file = suite.files[0]
+        first = suite.compressed_form(file)
+        assert suite.compressed_form(file) is first
+
+    def test_decompresses_back(self, bench):
+        from repro.algorithms.registry import get_codec
+
+        suite = bench.suite("zstd", Operation.DECOMPRESS)
+        file = suite.files[0]
+        codec = get_codec("zstd")
+        assert codec.decompress(suite.compressed_form(file)) == file.data
+
+    def test_software_ratio_above_one(self, bench):
+        for suite in bench.suites.values():
+            assert suite.software_compression_ratio() > 1.0
+
+
+class TestCallSizeCdf:
+    def test_monotone_complete(self, bench):
+        suite = bench.suite("snappy", Operation.COMPRESS)
+        cdf = suite.call_size_cdf(list(range(4, 21)))
+        assert (np.diff(cdf) >= -1e-12).all()
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_weighting_modes(self, bench):
+        suite = bench.suite("zstd", Operation.DECOMPRESS)
+        bins = list(range(4, 21))
+        by_file = suite.call_size_cdf(bins, weighting="file")
+        by_bytes = suite.call_size_cdf(bins, weighting="bytes")
+        # Byte weighting shifts mass toward larger bins.
+        assert by_bytes[len(bins) // 2] <= by_file[len(bins) // 2] + 1e-9
+
+    def test_bad_weighting_rejected(self, bench):
+        suite = bench.suite("snappy", Operation.COMPRESS)
+        with pytest.raises(ValueError):
+            suite.call_size_cdf([10, 11], weighting="calls")
+
+
+class TestDiskCache:
+    def test_memoized_instance(self, bench):
+        assert default_benchmark() is bench
+
+    def test_cache_file_exists(self, bench):
+        import os
+        from pathlib import Path
+
+        root = os.environ.get("REPRO_CACHE_DIR")
+        cache_dir = Path(root) if root else Path.home() / ".cache" / "repro_cdpu"
+        expected = cache_dir / f"hcbench-v{GENERATOR_VERSION}-s0-f48.pkl"
+        assert expected.exists()

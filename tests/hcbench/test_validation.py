@@ -1,0 +1,72 @@
+"""HyperCompressBench validation against fleet statistics (§4.1, Figs 6-7)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.hcbench.validation import (
+    OPEN_SOURCE_FILE_SIZES,
+    median_bin_gap_vs_fleet,
+    opensource_call_size_cdf,
+    opensource_median_bin,
+    suite_call_size_cdf,
+    validate_call_sizes,
+    validate_ratios,
+)
+
+
+class TestFigure7:
+    def test_call_size_cdfs_match_fleet(self, bench, fleet_profile):
+        """Figure 7: suite distributions 'line up very well' with Figure 3."""
+        deviations = validate_call_sizes(bench, fleet_profile)
+        for key, ks in deviations.items():
+            # 48 byte-weighted draws per suite: KS ~ 1.36/sqrt(48) ~ 0.20.
+            assert ks < 0.25, (key, ks)
+
+    def test_suite_cdf_bins_are_fleet_scale(self, bench):
+        suite = bench.suite("snappy", Operation.COMPRESS)
+        bins, cdf = suite_call_size_cdf(suite, bench.config.size_scale)
+        assert bins[0] == 10 and bins[-1] == 26
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_zstd_decomp_suite_biased_to_large_calls(self, bench, fleet_profile):
+        """The four suites keep their distinct shapes (Fig. 7a-7d)."""
+        snappy_d = bench.suite("snappy", Operation.DECOMPRESS)
+        zstd_d = bench.suite("zstd", Operation.DECOMPRESS)
+        _, s_cdf = suite_call_size_cdf(snappy_d, bench.config.size_scale)
+        _, z_cdf = suite_call_size_cdf(zstd_d, bench.config.size_scale)
+        # At 256 KiB (bin 18) Snappy decompression has far more of its mass.
+        assert s_cdf[8] > z_cdf[8] + 0.2
+
+
+class TestRatioValidation:
+    def test_assembly_controller_accuracy(self, bench, fleet_profile):
+        """Achieved aggregate ratio tracks the sampled targets within ~20%."""
+        for algo, (achieved, implied, _fleet) in validate_ratios(bench, fleet_profile).items():
+            assert achieved == pytest.approx(implied, rel=0.20), algo
+
+    def test_fleet_ballpark(self, bench, fleet_profile):
+        """§4.1 reports 5-10% at full scale; the scaled suite stays within
+        ~40% of the fleet aggregate (sampling variance of 48 draws)."""
+        for algo, (achieved, _implied, fleet) in validate_ratios(bench, fleet_profile).items():
+            assert achieved == pytest.approx(fleet, rel=0.4), algo
+
+
+class TestFigure6:
+    def test_corpora_recorded(self):
+        assert set(OPEN_SOURCE_FILE_SIZES) == {"silesia", "canterbury", "calgary", "snappyfiles"}
+        assert len(OPEN_SOURCE_FILE_SIZES["silesia"]) == 12
+
+    def test_opensource_cdf_monotone(self):
+        bins, cdf = opensource_call_size_cdf()
+        assert (np.diff(cdf) >= -1e-12).all()
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_median_gap_is_about_256x(self, fleet_profile):
+        """§3.7: open-source median call size ~256x the fleet median."""
+        gap = median_bin_gap_vs_fleet(fleet_profile)
+        assert 7 <= gap <= 9  # 128x .. 512x; 8 bins = 256x
+
+    def test_opensource_median_dominated_by_silesia(self):
+        # Byte-weighted: the multi-MB Silesia files dominate the median.
+        assert opensource_median_bin() >= 24  # >= 8 MiB

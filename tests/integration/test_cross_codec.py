@@ -1,0 +1,108 @@
+"""Cross-codec differential tests over the synthetic corpora.
+
+Every codec must round-trip every corpus source, and the §2.2 taxonomy must
+hold *behaviourally*: heavyweight codecs buy ratio with effort, lightweight
+codecs stay cheap, and relative orderings match the fleet's Figure 2c
+structure on compressible data.
+"""
+
+import pytest
+
+from repro.algorithms.base import Operation, WeightClass
+from repro.algorithms.registry import available_codecs, get_codec, get_info
+from repro.corpus.sources import SOURCES
+
+
+@pytest.fixture(scope="module")
+def corpus_samples():
+    return {name: fn(11, 12_000) for name, fn in SOURCES.items()}
+
+
+@pytest.mark.parametrize("codec_name", available_codecs())
+@pytest.mark.parametrize("source_name", sorted(SOURCES))
+def test_every_codec_roundtrips_every_source(codec_name, source_name, corpus_samples):
+    codec = get_codec(codec_name)
+    data = corpus_samples[source_name]
+    assert codec.decompress(codec.compress(data)) == data
+
+
+class TestTaxonomyBehaviour:
+    def test_best_heavyweight_beats_best_lightweight_on_text(self, corpus_samples):
+        data = corpus_samples["text"]
+        heavy = min(
+            len(get_codec(n).compress(data))
+            for n in available_codecs()
+            if get_info(n).weight_class is WeightClass.HEAVYWEIGHT
+        )
+        light = min(
+            len(get_codec(n).compress(data))
+            for n in available_codecs()
+            if get_info(n).weight_class is WeightClass.LIGHTWEIGHT
+        )
+        assert heavy < light
+
+    def test_ratio_ordering_on_logs_matches_fleet_structure(self, corpus_samples):
+        """Fig 2c structure: zstd >= snappy on structured data."""
+        data = corpus_samples["log"]
+        zstd = len(get_codec("zstd").compress(data, level=3))
+        snappy = len(get_codec("snappy").compress(data))
+        assert zstd < snappy
+
+    def test_gipfeli_entropy_stage_pays_off_on_literal_heavy_data(self):
+        """§2.2: Gipfeli adds simple entropy coding over Snappy's design; on
+        match-poor low-entropy data (wide alphabet, no repeats) that stage is
+        the difference, while heavyweight entropy coding does at least as
+        well."""
+        import random
+
+        rng = random.Random(13)
+        data = bytes(rng.choice(b"abcdefghijklmnopqrstuvwx") for _ in range(12_000))
+        sizes = {
+            n: len(get_codec(n).compress(data)) for n in ("snappy", "gipfeli", "zstd")
+        }
+        assert sizes["gipfeli"] < sizes["snappy"]
+        assert sizes["zstd"] <= sizes["gipfeli"] * 1.05
+
+    def test_no_codec_expands_structured_data(self, corpus_samples):
+        for name in available_codecs():
+            for source in ("text", "log", "json", "repetitive"):
+                data = corpus_samples[source]
+                assert len(get_codec(name).compress(data)) < len(data), (name, source)
+
+    def test_random_data_bounded_expansion_everywhere(self, corpus_samples):
+        data = corpus_samples["random"]
+        for name in available_codecs():
+            assert len(get_codec(name).compress(data)) <= len(data) * 1.16 + 64, name
+
+
+class TestOutputsAreDisjoint:
+    def test_magic_bytes_unique(self, corpus_samples):
+        data = corpus_samples["text"][:2000]
+        headers = {
+            name: get_codec(name).compress(data)[:4] for name in available_codecs()
+        }
+        assert len(set(headers.values())) == len(headers)
+
+
+class TestHardwarePipelinesOnCorpus:
+    @pytest.mark.parametrize("source_name", ["text", "log", "random", "repetitive"])
+    def test_snappy_pipeline_verifies_on_all_sources(self, corpus_samples, source_name):
+        from repro.core.generator import CdpuGenerator
+        from repro.core.params import CdpuConfig
+
+        cdpu = CdpuGenerator().generate(CdpuConfig())
+        data = corpus_samples[source_name]
+        cdpu.pipeline("snappy", Operation.COMPRESS).run(data, verify=True)
+        stream = get_codec("snappy").compress(data)
+        cdpu.pipeline("snappy", Operation.DECOMPRESS).run(stream, verify=True)
+
+    @pytest.mark.parametrize("source_name", ["json", "dna", "mixed"])
+    def test_zstd_pipeline_verifies_on_all_sources(self, corpus_samples, source_name):
+        from repro.core.generator import CdpuGenerator
+        from repro.core.params import CdpuConfig
+
+        cdpu = CdpuGenerator().generate(CdpuConfig())
+        data = corpus_samples[source_name]
+        cdpu.pipeline("zstd", Operation.COMPRESS).run(data, verify=True)
+        stream = get_codec("zstd").compress(data)
+        cdpu.pipeline("zstd", Operation.DECOMPRESS).run(stream, verify=True)

@@ -1,0 +1,89 @@
+"""Integration tests across package boundaries.
+
+These exercise the flows a downstream user runs: codecs under the HW model,
+fleet statistics feeding the benchmark generator, benchmark suites feeding
+the DSE, and the public API surface.
+"""
+
+import pytest
+
+import repro
+from repro.algorithms.base import Operation
+from repro.core.params import CdpuConfig
+
+
+class TestPublicApi:
+    def test_quickstart_flow(self):
+        codec = repro.get_codec("snappy")
+        payload = codec.compress(b"hyperscale " * 1000)
+        cdpu = repro.CdpuGenerator().generate(repro.CdpuConfig())
+        result = cdpu.pipeline("snappy", repro.Operation.DECOMPRESS).run(payload, verify=True)
+        assert result.throughput_gbps > 1.0
+
+    def test_version_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestFleetToBenchmark:
+    def test_suite_statistics_derive_from_fleet(self, bench, fleet_profile):
+        """The generated suites must carry fleet-shaped parameters."""
+        zstd_comp = bench.suite("zstd", Operation.COMPRESS)
+        levels = [f.level for f in zstd_comp.files]
+        assert all(l is not None for l in levels)
+        # The dominant fleet level (3) must dominate the suite too.
+        assert levels.count(3) >= len(levels) * 0.3
+
+    def test_windows_are_fleet_sampled(self, bench):
+        zstd_comp = bench.suite("zstd", Operation.COMPRESS)
+        windows = {f.window_size for f in zstd_comp.files}
+        assert windows <= {1 << b for b in range(15, 25)}
+
+
+class TestHardwareSoftwareAgreement:
+    """Every hardware pipeline's functional output must agree with the
+    software codecs — the invariant FireSim verifies implicitly."""
+
+    @pytest.mark.parametrize("algo", ["snappy", "zstd"])
+    def test_decompressors_verify_suite_files(self, bench, algo):
+        cdpu = repro.CdpuGenerator().generate(CdpuConfig())
+        suite = bench.suite(algo, Operation.DECOMPRESS)
+        pipeline = cdpu.pipeline(algo, Operation.DECOMPRESS)
+        for file in suite.files[:5]:
+            result = pipeline.run(suite.compressed_form(file), verify=True)
+            assert result.output_bytes == len(file.data)
+
+    @pytest.mark.parametrize("algo", ["snappy", "zstd"])
+    def test_compressors_verify_suite_files(self, bench, algo):
+        cdpu = repro.CdpuGenerator().generate(CdpuConfig())
+        suite = bench.suite(algo, Operation.COMPRESS)
+        pipeline = cdpu.pipeline(algo, Operation.COMPRESS)
+        for file in sorted(suite.files, key=len)[:5]:
+            pipeline.run(file.data, verify=True)
+
+
+class TestRuntimeReconfiguration:
+    def test_runtime_history_shrink_without_rebuild(self):
+        """§5.8: history window is RunT-configurable — shrinking it on the
+        same 'hardware' only changes behaviour, never correctness."""
+        cdpu = repro.CdpuGenerator()
+        data = b"runtime reconfig " * 500
+        for sram in (65536, 8192, 2048):
+            config = CdpuConfig(encoder_history_bytes=sram)
+            pipeline = cdpu.generate(config).pipeline("snappy", Operation.COMPRESS)
+            pipeline.run(data, verify=True)
+
+    def test_algorithm_subset_instances(self):
+        snappy_only = repro.CdpuGenerator().generate(
+            CdpuConfig(algorithms=frozenset({"snappy"}))
+        )
+        assert len(snappy_only.pipelines) == 2
+
+
+class TestXeonVsCdpuConsistency:
+    def test_speedups_are_end_to_end_times(self, dse_runner):
+        point = dse_runner.evaluate(CdpuConfig(), "snappy", Operation.DECOMPRESS)
+        assert point.speedup == pytest.approx(point.accel_gbps / point.xeon_gbps, rel=1e-6)

@@ -1,0 +1,131 @@
+"""Unit tests for the service-level queueing simulation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.sim.arrivals import CallArrival, poisson_trace
+from repro.sim.queueing import ServiceModel, simulate
+
+
+def _uniform_trace(count, gap, size=1000):
+    return [
+        CallArrival(
+            arrival_time=i * gap,
+            algorithm="snappy",
+            operation=Operation.DECOMPRESS,
+            uncompressed_bytes=size,
+            compressed_bytes=size // 2,
+        )
+        for i in range(count)
+    ]
+
+
+def _flat_service(rate_bps=1e9, overhead=0.0):
+    rates = {
+        (a, o): rate_bps for a in ("snappy", "zstd") for o in Operation
+    }
+    return ServiceModel(rates=rates, per_call_seconds=overhead)
+
+
+class TestArrivals:
+    def test_trace_sorted_and_sized(self, fleet_profile):
+        trace = poisson_trace(fleet_profile, num_calls=500)
+        assert len(trace) == 500
+        times = [c.arrival_time for c in trace]
+        assert times == sorted(times)
+
+    def test_offered_load_matches(self, fleet_profile):
+        offered = 1.5e9
+        trace = poisson_trace(fleet_profile, num_calls=4000, offered_bytes_per_second=offered)
+        total_bytes = sum(c.uncompressed_bytes for c in trace)
+        duration = trace[-1].arrival_time
+        assert total_bytes / duration == pytest.approx(offered, rel=0.3)
+
+    def test_algorithm_filter(self, fleet_profile):
+        trace = poisson_trace(fleet_profile, num_calls=200, algorithms=["snappy"])
+        assert all(c.algorithm == "snappy" for c in trace)
+
+    def test_bad_load_rejected(self, fleet_profile):
+        with pytest.raises(ValueError):
+            poisson_trace(fleet_profile, offered_bytes_per_second=0)
+
+
+class TestSimulator:
+    def test_unloaded_station_has_no_waiting(self):
+        # Service takes 1 us; arrivals 1 ms apart.
+        trace = _uniform_trace(50, gap=1e-3, size=1000)
+        result = simulate(trace, _flat_service(1e9))
+        assert result.mean_waiting == pytest.approx(0.0, abs=1e-12)
+        assert result.mean_sojourn == pytest.approx(1e-6, rel=1e-6)
+
+    def test_saturated_station_queues(self):
+        # Service 1 us; arrivals 0.5 us apart: queue grows linearly.
+        trace = _uniform_trace(200, gap=0.5e-6, size=1000)
+        result = simulate(trace, _flat_service(1e9))
+        assert result.sojourn_percentile(99) > 10 * result.sojourn_percentile(1)
+        assert result.utilization > 0.9
+
+    def test_utilization_is_work_over_capacity(self):
+        trace = _uniform_trace(100, gap=2e-6, size=1000)
+        result = simulate(trace, _flat_service(1e9))
+        expected = 100 * 1e-6 / (result.lanes * result.makespan_seconds)
+        assert result.utilization == pytest.approx(expected)
+
+    def test_littles_law_under_poisson(self, fleet_profile):
+        """L = lambda * W must hold approximately for a stable station."""
+        trace = poisson_trace(
+            fleet_profile,
+            num_calls=3000,
+            offered_bytes_per_second=1.0e9,
+            seed=4,
+            algorithms=["snappy", "zstd"],
+        )
+        result = simulate(trace, _flat_service(4e9), lanes=1)
+        lam = len(trace) / trace[-1].arrival_time
+        mean_in_system = lam * result.mean_sojourn
+        # Time-average number in system, measured by integrating sojourns.
+        integral = result.sojourn_seconds.sum() / result.makespan_seconds
+        assert mean_in_system == pytest.approx(integral, rel=0.15)
+
+    def test_more_lanes_cut_tail_latency(self):
+        trace = _uniform_trace(300, gap=0.6e-6, size=1000)
+        one = simulate(trace, _flat_service(1e9), lanes=1)
+        four = simulate(trace, _flat_service(1e9), lanes=4)
+        assert four.sojourn_percentile(99) < one.sojourn_percentile(99) / 2
+        assert four.utilization < one.utilization
+
+    def test_per_call_overhead_dominates_small_calls(self):
+        trace = _uniform_trace(20, gap=1.0, size=100)
+        cheap = simulate(trace, _flat_service(1e9, overhead=0.0))
+        pricey = simulate(trace, _flat_service(1e9, overhead=1e-3))
+        assert pricey.mean_sojourn > 100 * cheap.mean_sojourn
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            simulate([], _flat_service())
+
+    def test_bad_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            simulate(_uniform_trace(5, 1.0), _flat_service(), lanes=0)
+
+    def test_missing_rate_raises(self):
+        service = ServiceModel(rates={}, per_call_seconds=0.0)
+        with pytest.raises(KeyError):
+            simulate(_uniform_trace(1, 1.0), service)
+
+
+class TestServiceModels:
+    def test_software_baseline_uses_paper_anchors(self):
+        service = ServiceModel.software_baseline()
+        call = CallArrival(0.0, "snappy", Operation.DECOMPRESS, 1_100_000, 500_000)
+        # 1.1 MB at 1.1 GB/s = ~1 ms plus small overhead.
+        assert service.service_seconds(call) == pytest.approx(1e-3, rel=0.05)
+
+    def test_dse_model_faster_than_software(self, dse_runner):
+        from repro.core.params import CdpuConfig
+
+        accel = ServiceModel.from_dse(dse_runner, CdpuConfig())
+        software = ServiceModel.software_baseline()
+        call = CallArrival(0.0, "snappy", Operation.DECOMPRESS, 100_000, 50_000)
+        assert accel.service_seconds(call) < software.service_seconds(call) / 5

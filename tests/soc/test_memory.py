@@ -1,0 +1,52 @@
+"""Unit tests for the memory-system model."""
+
+import pytest
+
+from repro.soc.memory import MemorySystem
+from repro.soc.placement import Placement
+
+
+class TestStreaming:
+    def test_zero_bytes_is_free(self):
+        memory = MemorySystem.for_placement(Placement.ROCC)
+        assert memory.streaming_cycles(0, 0) == 0.0
+
+    def test_linear_in_bytes(self):
+        memory = MemorySystem.for_placement(Placement.ROCC)
+        assert memory.streaming_cycles(2000, 0) == pytest.approx(
+            2 * memory.streaming_cycles(1000, 0)
+        )
+
+    def test_input_and_output_share_the_port(self):
+        memory = MemorySystem.for_placement(Placement.ROCC)
+        combined = memory.streaming_cycles(1000, 1000)
+        assert combined == pytest.approx(memory.streaming_cycles(2000, 0))
+
+    def test_pcie_much_slower(self):
+        near = MemorySystem.for_placement(Placement.ROCC)
+        far = MemorySystem.for_placement(Placement.PCIE_NO_CACHE)
+        assert far.streaming_cycles(10_000, 0) > 5 * near.streaming_cycles(10_000, 0)
+
+
+class TestBlockingReads:
+    def test_linear_in_requests(self):
+        memory = MemorySystem.for_placement(Placement.CHIPLET)
+        assert memory.blocking_read_cycles(10) == pytest.approx(
+            10 * memory.blocking_read_cycles(1)
+        )
+
+    def test_latency_ordering(self):
+        per_request = {
+            p: MemorySystem.for_placement(p).blocking_read_cycles(1)
+            for p in (Placement.ROCC, Placement.CHIPLET, Placement.PCIE_NO_CACHE)
+        }
+        assert (
+            per_request[Placement.ROCC]
+            < per_request[Placement.CHIPLET]
+            < per_request[Placement.PCIE_NO_CACHE]
+        )
+
+    def test_card_cache_is_cheap_for_pcie_local(self):
+        local = MemorySystem.for_placement(Placement.PCIE_LOCAL_CACHE)
+        remote = MemorySystem.for_placement(Placement.PCIE_NO_CACHE)
+        assert local.blocking_read_cycles(1) < remote.blocking_read_cycles(1) / 5

@@ -1,0 +1,65 @@
+"""Unit tests for the placement latency/bandwidth models (§3.5, §5.8)."""
+
+import pytest
+
+from repro.core import calibration as cal
+from repro.soc.placement import ALL_PLACEMENTS, Placement, placement_model
+
+
+class TestLatencyInjection:
+    def test_rocc_has_no_injection(self):
+        model = placement_model(Placement.ROCC)
+        assert model.edge_extra_cycles == 0
+        assert model.edge_request_latency == cal.L2_LATENCY_CYCLES
+
+    def test_chiplet_injects_25ns(self):
+        model = placement_model(Placement.CHIPLET)
+        assert model.edge_extra_cycles == pytest.approx(50.0)  # 25 ns at 2 GHz
+
+    def test_pcie_injects_200ns(self):
+        for placement in (Placement.PCIE_LOCAL_CACHE, Placement.PCIE_NO_CACHE):
+            assert placement_model(placement).edge_extra_cycles == pytest.approx(400.0)
+
+    def test_pcie_local_cache_serves_intermediates_locally(self):
+        """§5.8: PCIeLocalCache injects nothing on intermediate accesses."""
+        local = placement_model(Placement.PCIE_LOCAL_CACHE)
+        remote = placement_model(Placement.PCIE_NO_CACHE)
+        assert local.intermediate_request_latency == cal.CARD_CACHE_LATENCY_CYCLES
+        assert remote.intermediate_request_latency > 400.0
+
+    def test_chiplet_intermediates_cross_the_link(self):
+        model = placement_model(Placement.CHIPLET)
+        assert model.intermediate_request_latency == pytest.approx(
+            cal.L2_LATENCY_CYCLES + 50.0
+        )
+
+
+class TestStreamingBandwidth:
+    def test_ordering(self):
+        """Near-core streams fastest; PCIe is latency-starved."""
+        bw = {p: placement_model(p).streaming_bytes_per_cycle() for p in ALL_PLACEMENTS}
+        assert bw[Placement.ROCC] > bw[Placement.CHIPLET] > bw[Placement.PCIE_NO_CACHE]
+
+    def test_port_cap(self):
+        assert placement_model(Placement.ROCC).streaming_bytes_per_cycle() <= cal.PORT_BYTES_PER_CYCLE
+
+    def test_pcie_bandwidth_latency_product(self):
+        model = placement_model(Placement.PCIE_NO_CACHE)
+        expected = cal.BEAT_BYTES * model.outstanding_requests / model.edge_request_latency
+        assert model.streaming_bytes_per_cycle() == pytest.approx(expected)
+
+
+class TestPerCallOverhead:
+    def test_rocc_is_cheap(self):
+        assert placement_model(Placement.ROCC).per_call_overhead_cycles() == pytest.approx(
+            cal.ROCC_CALL_OVERHEAD_CYCLES
+        )
+
+    def test_pcie_pays_round_trips(self):
+        overhead = placement_model(Placement.PCIE_NO_CACHE).per_call_overhead_cycles()
+        assert overhead >= cal.PCIE_CALL_ROUND_TRIPS * 400.0
+
+    def test_monotone_with_distance(self):
+        values = [placement_model(p).per_call_overhead_cycles() for p in ALL_PLACEMENTS]
+        rocc, chiplet, pcie_lc, pcie_nc = values
+        assert rocc < chiplet < pcie_lc == pcie_nc

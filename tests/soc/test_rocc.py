@@ -1,0 +1,89 @@
+"""Unit tests for the RoCC custom-instruction interface model (§5)."""
+
+import pytest
+
+from repro.common.errors import CorruptStreamError
+from repro.soc.rocc import (
+    CUSTOM_OPCODES,
+    CdpuFunct,
+    RoccFrontend,
+    RoccInstruction,
+    call_command_sequence,
+    cdpu_command,
+)
+
+
+class TestEncoding:
+    def test_encode_decode_roundtrip(self):
+        original = cdpu_command(CdpuFunct.SET_SOURCE, 0x1000, 4096)
+        decoded = RoccInstruction.decode(original.encode(), 0x1000, 4096)
+        assert decoded.funct == int(CdpuFunct.SET_SOURCE)
+        assert decoded.opcode == CUSTOM_OPCODES[0]
+        assert decoded.xs1 and decoded.xs2
+        assert decoded.rs1_value == 0x1000
+
+    def test_opcode_field_is_low_7_bits(self):
+        word = cdpu_command(CdpuFunct.START, 0, 0).encode()
+        assert word & 0x7F == CUSTOM_OPCODES[0]
+
+    def test_funct_field_is_top_7_bits(self):
+        word = cdpu_command(CdpuFunct.POLL).encode()
+        assert (word >> 25) & 0x7F == int(CdpuFunct.POLL)
+
+    def test_poll_sets_xd(self):
+        assert cdpu_command(CdpuFunct.POLL).xd
+        assert not cdpu_command(CdpuFunct.START).xd
+
+    def test_non_custom_opcode_rejected(self):
+        with pytest.raises(CorruptStreamError):
+            RoccInstruction.decode(0b0110011)  # plain OP opcode
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            RoccInstruction(
+                funct=200, rd=0, rs1=0, rs2=0, xd=False, xs1=False, xs2=False,
+                opcode=CUSTOM_OPCODES[0],
+            ).encode()
+
+    def test_all_custom_opcodes_decode(self):
+        for custom in CUSTOM_OPCODES:
+            word = cdpu_command(CdpuFunct.START, custom=custom).encode()
+            assert RoccInstruction.decode(word).opcode == CUSTOM_OPCODES[custom]
+
+
+class TestCommandSequence:
+    def test_sequence_is_five_instructions(self):
+        """'Within a few cycles': the per-call command path is 5 instructions."""
+        sequence = call_command_sequence(0x1000, 100, 0x2000, 200, operation_code=0)
+        assert len(sequence) == 5
+        assert RoccFrontend().dispatch_instruction_count == 5
+
+    def test_frontend_accepts_valid_sequence(self):
+        sequence = call_command_sequence(
+            0x1000, 100, 0x2000, 200, operation_code=1, window_size=65536, algorithm_id=1
+        )
+        frontend = RoccFrontend().run_sequence(sequence)
+        assert frontend.src == (0x1000, 100)
+        assert frontend.dst == (0x2000, 200)
+        assert frontend.window_size == 65536
+        assert frontend.started_operation == 1
+
+    def test_start_without_source_rejected(self):
+        frontend = RoccFrontend()
+        with pytest.raises(CorruptStreamError):
+            frontend.execute(cdpu_command(CdpuFunct.START, 0))
+
+    def test_poll_without_start_rejected(self):
+        with pytest.raises(CorruptStreamError):
+            RoccFrontend().execute(cdpu_command(CdpuFunct.POLL))
+
+    def test_zero_length_source_rejected(self):
+        with pytest.raises(CorruptStreamError):
+            RoccFrontend().execute(cdpu_command(CdpuFunct.SET_SOURCE, 0x1000, 0))
+
+    def test_bad_operation_code_rejected(self):
+        frontend = RoccFrontend()
+        frontend.execute(cdpu_command(CdpuFunct.SET_SOURCE, 0x1000, 10))
+        frontend.execute(cdpu_command(CdpuFunct.SET_DESTINATION, 0x2000, 20))
+        with pytest.raises(CorruptStreamError):
+            frontend.execute(cdpu_command(CdpuFunct.START, 7))

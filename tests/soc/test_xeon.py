@@ -1,0 +1,62 @@
+"""Unit tests for the lzbench-like Xeon software baseline (§6.1)."""
+
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.core import calibration as cal
+from repro.soc.xeon import XeonBaseline
+
+
+@pytest.fixture(scope="module")
+def xeon():
+    return XeonBaseline()
+
+
+class TestAnchors:
+    @pytest.mark.parametrize("key", sorted(cal.XEON_GBPS, key=str))
+    def test_cycles_per_byte_match_published_throughput(self, xeon, key):
+        algo, op = key
+        per_byte = xeon.cycles_per_byte(algo, op)  # at the reference ratio
+        implied_gbps = cal.XEON_CLOCK_HZ / per_byte / cal.GB_PER_SECOND
+        assert implied_gbps == pytest.approx(cal.XEON_GBPS[key], rel=1e-6)
+
+    def test_unsupported_algorithm_raises(self, xeon):
+        with pytest.raises(KeyError, match="Snappy and ZStd"):
+            xeon.cycles_per_byte("flate", Operation.COMPRESS)
+
+
+class TestDataDependence:
+    def test_compressible_data_decodes_faster(self, xeon):
+        fast = xeon.cycles_per_byte("snappy", Operation.DECOMPRESS, ratio=4.0)
+        slow = xeon.cycles_per_byte("snappy", Operation.DECOMPRESS, ratio=1.1)
+        assert fast < slow
+
+    def test_compressible_data_compresses_faster(self, xeon):
+        fast = xeon.cycles_per_byte("zstd", Operation.COMPRESS, ratio=4.0)
+        slow = xeon.cycles_per_byte("zstd", Operation.COMPRESS, ratio=1.1)
+        assert fast < slow
+
+    def test_zstd_level_scales_compression_cost(self, xeon):
+        cheap = xeon.cycles_per_byte("zstd", Operation.COMPRESS, level=1)
+        pricey = xeon.cycles_per_byte("zstd", Operation.COMPRESS, level=19)
+        assert pricey > 2 * cheap
+
+    def test_level_ignored_for_decompression(self, xeon):
+        assert xeon.cycles_per_byte("zstd", Operation.DECOMPRESS, level=1) == xeon.cycles_per_byte(
+            "zstd", Operation.DECOMPRESS, level=19
+        )
+
+
+class TestSuiteAggregates:
+    def test_suite_throughput_near_anchor(self, xeon, bench):
+        """§6.1 aggregate throughput should land near the published GB/s
+        (data-dependence factors perturb it modestly)."""
+        for (algo, op), anchor in cal.XEON_GBPS.items():
+            suite = bench.suite(algo, op)
+            measured = xeon.suite_throughput_gbps(suite)
+            assert measured == pytest.approx(anchor, rel=0.35), (algo, op)
+
+    def test_call_time_positive_and_monotone_in_size(self, xeon):
+        small = xeon.call_seconds("snappy", Operation.COMPRESS, 1000)
+        large = xeon.call_seconds("snappy", Operation.COMPRESS, 100_000)
+        assert 0 < small < large

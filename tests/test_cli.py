@@ -1,0 +1,75 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCompressDecompress:
+    @pytest.mark.parametrize("algorithm", ["snappy", "zstd", "lzo"])
+    def test_roundtrip_via_files(self, tmp_path, capsys, algorithm):
+        source = tmp_path / "in.bin"
+        packed = tmp_path / "out.cmp"
+        restored = tmp_path / "back.bin"
+        payload = b"cli roundtrip payload " * 500
+        source.write_bytes(payload)
+
+        assert main(["compress", str(source), str(packed), "-a", algorithm]) == 0
+        assert packed.stat().st_size < len(payload)
+        assert main(["decompress", str(packed), str(restored), "-a", algorithm]) == 0
+        assert restored.read_bytes() == payload
+
+    def test_level_and_window_flags(self, tmp_path):
+        source = tmp_path / "in.bin"
+        source.write_bytes(b"windowed " * 1000)
+        out = tmp_path / "out.z"
+        code = main(
+            ["compress", str(source), str(out), "-a", "zstd", "-l", "9", "--window-log", "16"]
+        )
+        assert code == 0
+        back = tmp_path / "back.bin"
+        assert main(["decompress", str(out), str(back), "-a", "zstd"]) == 0
+        assert back.read_bytes() == source.read_bytes()
+
+    def test_corrupt_input_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cmp"
+        bad.write_bytes(b"\xff\xff\xffnot a stream")
+        out = tmp_path / "out.bin"
+        assert main(["decompress", str(bad), str(out), "-a", "zstd"]) == 1
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_ratio_reported_on_stderr(self, tmp_path, capsys):
+        source = tmp_path / "in.bin"
+        source.write_bytes(b"report " * 400)
+        assert main(["compress", str(source), str(tmp_path / "o"), "-a", "snappy"]) == 0
+        assert "x)" in capsys.readouterr().err
+
+
+class TestFleetCommand:
+    def test_summary_prints_key_statistics(self, capsys):
+        assert main(["fleet", "--calls", "20000", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "decompression cycle share" in out
+        assert "ZStd bytes at level" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explode"])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compress", "a", "b", "-a", "lz4"])
+
+    def test_dse_requires_valid_figure(self):
+        with pytest.raises(SystemExit):
+            main(["dse", "fig99"])
+
+
+class TestDseCommand:
+    def test_fig11_table_printed(self, capsys, bench):
+        # `bench` fixture ensures the disk cache is warm, keeping this fast.
+        assert main(["dse", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out and "RoCC" in out
