@@ -28,6 +28,7 @@ Quick start::
 """
 
 from repro.algorithms import Operation, available_codecs, get_codec, get_info
+from repro.common.errors import CorruptStreamError, ReproError
 from repro.core import CdpuConfig, CdpuGenerator, CdpuInstance
 from repro.dse import DseRunner
 from repro.fleet import generate_fleet_profile
@@ -40,7 +41,9 @@ __all__ = [
     "CdpuConfig",
     "CdpuGenerator",
     "CdpuInstance",
+    "CorruptStreamError",
     "DseRunner",
+    "ReproError",
     "Operation",
     "Placement",
     "XeonBaseline",

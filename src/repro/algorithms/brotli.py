@@ -17,6 +17,11 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.algorithms.base import Codec, CodecInfo, WeightClass
+from repro.algorithms.container import (
+    append_content_checksum,
+    split_content_checksum,
+    verify_content_checksum,
+)
 from repro.algorithms.flate import _decode_codes_huffman, _encode_codes_huffman
 from repro.algorithms.huffman import (
     HuffmanTable,
@@ -256,9 +261,15 @@ class BrotliCodec(Codec):
         else:
             out.append(1)
             out += body
-        return bytes(out)
+        return append_content_checksum(bytes(out), data)
 
     def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+        frame, stored_crc = split_content_checksum(data)
+        out = self._decompress_frame(frame)
+        verify_content_checksum(out, stored_crc)
+        return out
+
+    def _decompress_frame(self, data: bytes) -> bytes:
         if len(data) < 6 or data[:4] != MAGIC:
             raise CorruptStreamError("bad magic: not a Brotli-like stream")
         window_log = data[4]

@@ -1,0 +1,55 @@
+"""Content-integrity trailer shared by the repo's "-like" containers.
+
+The five custom containers (ZStd-, Flate-, LZO-, Gipfeli- and Brotli-like,
+plus the dictionary frame) end with a CRC-32C of the *decoded* content,
+little-endian, mirroring zstd's optional content checksum and the Snappy
+framing format's per-chunk CRCs. Structural checks (magic, declared lengths,
+element bounds) catch truncation and most corruption; the content checksum
+closes the remaining gap — a flipped literal byte decodes "successfully" to
+wrong bytes in any LZ format, and CRC-32C detects every single-byte change.
+Raw Snappy deliberately does not get a trailer: its wire format is the
+open-source ``format_description.txt`` one, which carries no checksum (use
+the framed codec for integrity).
+
+Decoders split the trailer off *before* structural parsing and verify it
+after, so corruption is always reported as
+:class:`~repro.common.errors.CorruptStreamError`, never silent garbage.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.common.crc32c import crc32c
+from repro.common.errors import CorruptStreamError
+
+#: Width of the little-endian CRC-32C content trailer.
+CHECKSUM_BYTES = 4
+
+
+def append_content_checksum(stream: bytes, content: bytes) -> bytes:
+    """Append the CRC-32C of ``content`` (the *decoded* bytes) to ``stream``."""
+    return stream + crc32c(content).to_bytes(CHECKSUM_BYTES, "little")
+
+
+def split_content_checksum(data: bytes) -> Tuple[bytes, int]:
+    """Split a stream into (frame body, stored checksum).
+
+    Raises :class:`CorruptStreamError` when the stream is too short to carry
+    a trailer at all.
+    """
+    if len(data) < CHECKSUM_BYTES:
+        raise CorruptStreamError(
+            f"stream of {len(data)} bytes is too short for a content checksum"
+        )
+    return data[:-CHECKSUM_BYTES], int.from_bytes(data[-CHECKSUM_BYTES:], "little")
+
+
+def verify_content_checksum(content: bytes, stored: int) -> None:
+    """Check decoded ``content`` against the trailer value from the stream."""
+    actual = crc32c(content)
+    if actual != stored:
+        raise CorruptStreamError(
+            f"content checksum mismatch: stream carries {stored:#010x}, "
+            f"decoded {len(content)} bytes give {actual:#010x}"
+        )

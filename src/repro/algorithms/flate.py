@@ -13,6 +13,11 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.algorithms.base import Codec, CodecInfo, WeightClass
+from repro.algorithms.container import (
+    append_content_checksum,
+    split_content_checksum,
+    verify_content_checksum,
+)
 from repro.algorithms.huffman import (
     HuffmanTable,
     byte_frequencies,
@@ -169,9 +174,15 @@ class FlateCodec(Codec):
         else:
             out.append(1)  # compressed body
             out += body
-        return bytes(out)
+        return append_content_checksum(bytes(out), data)
 
     def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+        frame, stored_crc = split_content_checksum(data)
+        out = self._decompress_frame(frame)
+        verify_content_checksum(out, stored_crc)
+        return out
+
+    def _decompress_frame(self, data: bytes) -> bytes:
         if len(data) < 6 or data[:4] != MAGIC:
             raise CorruptStreamError("bad magic: not a Flate-like stream")
         if not 10 <= data[4] <= 27:

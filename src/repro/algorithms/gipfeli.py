@@ -14,6 +14,11 @@ from collections import Counter
 from typing import List, Optional
 
 from repro.algorithms.base import Codec, CodecInfo, WeightClass
+from repro.algorithms.container import (
+    append_content_checksum,
+    split_content_checksum,
+    verify_content_checksum,
+)
 from repro.algorithms.lz77 import (
     Copy,
     Literal,
@@ -111,10 +116,16 @@ class GipfeliCodec(Codec):
             fallback += encode_varint(len(data))
             fallback.append(255)
             fallback += data
-            return bytes(fallback)
-        return result
+            return append_content_checksum(bytes(fallback), data)
+        return append_content_checksum(result, data)
 
     def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+        frame, stored_crc = split_content_checksum(data)
+        out = self._decompress_frame(frame)
+        verify_content_checksum(out, stored_crc)
+        return out
+
+    def _decompress_frame(self, data: bytes) -> bytes:
         if len(data) < 5 or data[:4] != MAGIC:
             raise CorruptStreamError("bad magic: not a Gipfeli-like stream")
         pos = 4

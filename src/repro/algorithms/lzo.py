@@ -10,6 +10,11 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.algorithms.base import Codec, CodecInfo, WeightClass
+from repro.algorithms.container import (
+    append_content_checksum,
+    split_content_checksum,
+    verify_content_checksum,
+)
 from repro.algorithms.lz77 import (
     Copy,
     Literal,
@@ -84,9 +89,15 @@ class LzoCodec(Codec):
                 out.append(0x80 | (token.length - 4) // 16)  # coarse length hint
                 out.append((token.length - 4) % 16 * 16 | (token.offset >> 16))
                 out += (token.offset & 0xFFFF).to_bytes(2, "little")
-        return bytes(out)
+        return append_content_checksum(bytes(out), data)
 
     def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+        frame, stored_crc = split_content_checksum(data)
+        out = self._decompress_frame(frame)
+        verify_content_checksum(out, stored_crc)
+        return out
+
+    def _decompress_frame(self, data: bytes) -> bytes:
         if len(data) < 5 or data[:4] != MAGIC:
             raise CorruptStreamError("bad magic: not an LZO-like stream")
         pos = 4

@@ -17,6 +17,7 @@ from repro.algorithms.flate import FLATE_INFO, FlateCodec
 from repro.algorithms.gipfeli import GIPFELI_INFO, GipfeliCodec
 from repro.algorithms.lzo import LZO_INFO, LzoCodec
 from repro.algorithms.snappy import SNAPPY_INFO, SnappyCodec
+from repro.algorithms.snappy_framing import SnappyFramedCodec
 from repro.algorithms.zstd import ZSTD_INFO, ZstdCodec
 
 #: Fleet algorithm descriptions, in the paper's Figure 1 legend order.
@@ -29,9 +30,13 @@ ALGORITHM_INFOS: Dict[str, CodecInfo] = {
     "lzo": LZO_INFO,
 }
 
+#: Runnable codecs. ``snappy-framed`` is the integrity-checked streaming
+#: variant of Snappy (framing_format.txt); it is not a Figure 1 fleet
+#: algorithm, so it appears here but not in :data:`ALGORITHM_INFOS`.
 _CODEC_FACTORIES = {
     "brotli": BrotliCodec,
     "snappy": SnappyCodec,
+    "snappy-framed": SnappyFramedCodec,
     "zstd": ZstdCodec,
     "flate": FlateCodec,
     "gipfeli": GipfeliCodec,

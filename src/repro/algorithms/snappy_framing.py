@@ -15,11 +15,13 @@ chunks without unbounded state.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
+from repro.algorithms.base import Codec, CodecInfo, WeightClass
 from repro.algorithms.snappy import SnappyCodec
 from repro.common.crc32c import masked_crc32c
 from repro.common.errors import CorruptStreamError
+from repro.common.units import KiB
 
 #: Chunk type bytes from framing_format.txt.
 CHUNK_COMPRESSED = 0x00
@@ -138,3 +140,36 @@ def decompress_framed(stream: bytes) -> bytes:
     if not saw_identifier:
         raise CorruptStreamError("empty stream (no identifier)")
     return bytes(out)
+
+
+SNAPPY_FRAMED_INFO = CodecInfo(
+    name="snappy-framed",
+    display_name="Snappy (framed)",
+    weight_class=WeightClass.LIGHTWEIGHT,
+    has_entropy_coding=False,
+    supports_levels=False,
+    fixed_window_bytes=64 * KiB,
+)
+
+
+class SnappyFramedCodec(Codec):
+    """Buffer-in/buffer-out adapter over the framing format.
+
+    Unlike raw Snappy, every chunk carries a masked CRC-32C, so this is the
+    integrity-checked variant of the codec pair — corruption anywhere in a
+    data chunk surfaces as :class:`CorruptStreamError`.
+    """
+
+    info = SNAPPY_FRAMED_INFO
+
+    def compress(
+        self,
+        data: bytes,
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> bytes:
+        return compress_framed(data)
+
+    def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+        return decompress_framed(data)

@@ -41,13 +41,19 @@ from repro.algorithms.lz77 import (
     Token,
     TokenStream,
 )
+from repro.algorithms.container import (
+    append_content_checksum,
+    split_content_checksum,
+    verify_content_checksum,
+)
 from repro.common.bitio import BitReader, BitWriter
 from repro.common.errors import ConfigError, CorruptStreamError
 from repro.common.units import KiB, MiB, is_power_of_two
 from repro.common.varint import decode_varint, encode_varint
 
 MAGIC = b"ZSRL"
-FORMAT_VERSION = 1
+#: Version 2 added the CRC-32C content trailer (see algorithms.container).
+FORMAT_VERSION = 2
 
 #: zstd's real level range (§3.3.2: "levels from negative infinity to 22").
 MIN_LEVEL = -7
@@ -172,6 +178,21 @@ class LevelParams:
     #: One-step lazy parsing, enabled from level 3 up (zstd's dfast/greedy
     #: split); the hardware encoder stays greedy (§6.5).
     lazy: bool = False
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.hash_table_log <= 24:
+            raise ConfigError(f"hash_table_log {self.hash_table_log} outside [1, 24]")
+        if self.associativity < 1:
+            raise ConfigError(f"associativity must be >= 1, got {self.associativity}")
+        if not is_power_of_two(self.default_window) or not (
+            1 << 10 <= self.default_window <= 1 << 27
+        ):
+            raise ConfigError(
+                f"default_window {self.default_window} must be a power of two "
+                "in [2^10, 2^27] (the container's window-log range)"
+            )
+        if not 5 <= self.accuracy_log <= 12:
+            raise ConfigError(f"accuracy_log {self.accuracy_log} outside [5, 12]")
 
     def lz77_params(self, window_size: int) -> Lz77Params:
         return Lz77Params(
@@ -414,13 +435,13 @@ class ZstdCodec(Codec):
         if not data:
             out.append(_BLOCK_RAW | 0x80)
             out += encode_varint(0)
-            return bytes(out)
+            return append_content_checksum(bytes(out), data)
 
         for start in range(0, len(data), BLOCK_SIZE):
             block = data[start : start + BLOCK_SIZE]
             last = start + BLOCK_SIZE >= len(data)
             out += self._compress_block(block, matcher, coder, last)
-        return bytes(out)
+        return append_content_checksum(bytes(out), data)
 
     def _compress_block(
         self, block: bytes, matcher: Lz77Encoder, coder: SequenceCoder, last: bool
@@ -449,6 +470,12 @@ class ZstdCodec(Codec):
         return bytes(header) + bytes(body)
 
     def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+        frame, stored_crc = split_content_checksum(data)
+        out = self._decompress_frame(frame)
+        verify_content_checksum(out, stored_crc)
+        return out
+
+    def _decompress_frame(self, data: bytes) -> bytes:
         if len(data) < 6 or data[:4] != MAGIC:
             raise CorruptStreamError("bad magic: not a ZStd-like frame")
         if data[4] != FORMAT_VERSION:

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-from repro.algorithms.lz77 import Copy, Literal, Token, TokenStream
+from repro.algorithms.container import split_content_checksum, verify_content_checksum
+from repro.algorithms.lz77 import Copy, Literal, Token, TokenStream, decode_tokens
 from repro.algorithms.zstd import (
     FORMAT_VERSION,
     MAGIC,
@@ -76,6 +77,8 @@ def analyze_frame(data: bytes) -> FrameStats:
     (offsets are frame-relative: blocks are matched independently, so every
     offset stays within its block — consistent with the encoder).
     """
+    total_bytes = len(data)
+    data, stored_crc = split_content_checksum(data)
     if len(data) < 6 or data[:4] != MAGIC:
         raise CorruptStreamError("bad magic: not a ZStd-like frame")
     if data[4] != FORMAT_VERSION:
@@ -128,10 +131,13 @@ def analyze_frame(data: bytes) -> FrameStats:
         raise CorruptStreamError("frame missing last block")
     if produced != expected:
         raise CorruptStreamError("frame size mismatch")
+    # Execute the tokens once so the content trailer is actually checked —
+    # the analyzer upholds the same integrity contract as the decoder.
+    verify_content_checksum(decode_tokens(tokens, expected_length=expected), stored_crc)
     return FrameStats(
         window_log=window_log,
         content_bytes=expected,
-        compressed_bytes=len(data),
+        compressed_bytes=total_bytes,
         blocks=blocks,
         tokens=TokenStream(tokens, expected),
     )

@@ -18,6 +18,11 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.algorithms.container import (
+    append_content_checksum,
+    split_content_checksum,
+    verify_content_checksum,
+)
 from repro.algorithms.lz77 import Copy, Literal, Lz77Encoder, Token
 from repro.algorithms.zstd import (
     BLOCK_SIZE,
@@ -32,10 +37,12 @@ from repro.algorithms.zstd import (
 )
 from repro.common.crc32c import crc32c
 from repro.common.errors import CorruptStreamError
+from repro.common.units import KiB
 from repro.common.varint import decode_varint, encode_varint
 
 DICT_MAGIC = b"ZSRD"
-DICT_FORMAT_VERSION = 1
+#: Version 2 added the CRC-32C content trailer (see algorithms.container).
+DICT_FORMAT_VERSION = 2
 
 
 def strip_prefix_tokens(tokens: List[Token], prefix_length: int) -> List[Token]:
@@ -99,7 +106,7 @@ class ZstdDictCodec:
         if not data:
             out.append(0x80)  # empty last block
             out += encode_varint(0)
-            return bytes(out)
+            return append_content_checksum(bytes(out), data)
 
         for start in range(0, len(data), BLOCK_SIZE):
             block = data[start : start + BLOCK_SIZE]
@@ -109,7 +116,7 @@ class ZstdDictCodec:
             else:
                 # Later blocks: standard independent matching.
                 out += self._compress_plain_block(block, matcher, coder, last)
-        return bytes(out)
+        return append_content_checksum(bytes(out), data)
 
     def _compress_first_block(
         self,
@@ -142,6 +149,12 @@ class ZstdDictCodec:
         return self._compress_first_block(block, b"", matcher, coder, last)
 
     def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+        frame, stored_crc = split_content_checksum(data)
+        out = self._decompress_frame(frame)
+        verify_content_checksum(out, stored_crc)
+        return out
+
+    def _decompress_frame(self, data: bytes) -> bytes:
         if len(data) < 10 or data[:4] != DICT_MAGIC:
             raise CorruptStreamError("bad magic: not a dictionary frame")
         if data[4] != DICT_FORMAT_VERSION:
@@ -225,7 +238,7 @@ class ZstdDictCodec:
         out += scratch[base:]
 
 
-def train_dictionary(samples: List[bytes], max_size: int = 4096) -> bytes:
+def train_dictionary(samples: List[bytes], max_size: int = 4 * KiB) -> bytes:
     """Build a simple shared dictionary from sample payloads.
 
     A lightweight stand-in for ``zstd --train``: concatenates the most common

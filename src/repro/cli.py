@@ -1,12 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands expose the library's main surfaces:
+Six subcommands expose the library's main surfaces:
 
 * ``compress`` / ``decompress`` — run any of the from-scratch codecs on a
   file (buffer-in/buffer-out, §3.4's stable API).
 * ``fleet`` — print the §3 fleet-profiling summary from a synthetic sample.
 * ``dse`` — run one of the Figure 11-15 sweeps and print its table.
 * ``summaries`` — regenerate FINAL_TEXT_SUMMARIES from a full exploration.
+* ``lint`` — run the codec-aware static-analysis pass (rules R001-R005).
 """
 
 from __future__ import annotations
@@ -49,6 +50,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("summaries", help="regenerate FINAL_TEXT_SUMMARIES (full DSE)")
+
+    # ``lint`` owns its own argparse (repro.lint.cli); capture everything
+    # after the subcommand and forward it verbatim.
+    lint = sub.add_parser(
+        "lint",
+        help="run the static-analysis pass (R001-R005)",
+        add_help=False,
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER)
     return parser
 
 
@@ -144,16 +154,31 @@ def _cmd_summaries(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
     "fleet": _cmd_fleet,
     "dse": _cmd_dse,
     "summaries": _cmd_summaries,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Dispatch ``lint`` before argparse: REMAINDER does not reliably capture
+    # leading options after a subcommand (python bug bpo-17050), and lint
+    # owns its own parser anyway.
+    if argv[:1] == ["lint"]:
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

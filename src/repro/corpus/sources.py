@@ -15,6 +15,7 @@ from typing import Callable, Dict, List
 import numpy as np
 
 from repro.common.rng import make_rng
+from repro.common.units import KiB
 
 # A compact vocabulary gives natural-language-like repeat distances without
 # shipping a dictionary file.
@@ -172,7 +173,7 @@ def mixed_source(seed: int, size: int) -> bytes:
                binary_source, dna_source, random_source, repetitive_source]
     while produced < size:
         fn = sources[int(rng.integers(0, len(sources)))]
-        seg = fn(int(rng.integers(0, 1 << 30)), int(rng.integers(2048, 16384)))
+        seg = fn(int(rng.integers(0, 1 << 30)), int(rng.integers(2 * KiB, 16 * KiB)))
         parts.append(seg)
         produced += len(seg)
     return b"".join(parts)[:size]

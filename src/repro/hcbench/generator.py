@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.algorithms.base import Operation
 from repro.common.rng import make_rng
+from repro.common.units import KiB
 from repro.corpus import build_corpus, chunk_corpus
 from repro.fleet.profile import ALGORITHMS, FleetProfile, generate_fleet_profile
 from repro.hcbench.lut import LutKey, RatioLut, build_luts, default_lut_keys, lut_for_call
@@ -175,7 +176,7 @@ class HcBenchGenerator:
         # matches), so start the aim below the target.
         aim = min(max(target_ratio * 0.7, lut.min_ratio), lut.max_ratio)
         checkpoints = sorted(
-            {max(4096, int(target_size * f)) for f in (0.12, 0.25, 0.4, 0.55, 0.7, 0.85)}
+            {max(4 * KiB, int(target_size * f)) for f in (0.12, 0.25, 0.4, 0.55, 0.7, 0.85)}
         )
         while assembled < target_size:
             skip = int(rng.integers(-2, 3))  # random shuffle within the LUT walk

@@ -116,7 +116,7 @@ def generate_hypercompressbench(config: GeneratorConfig = GeneratorConfig()) -> 
 
 
 #: Bump when generator behaviour changes so stale disk caches are ignored.
-GENERATOR_VERSION = 7
+GENERATOR_VERSION = 8  # v8: CRC-32C content trailers change codec output bytes
 
 
 def _cache_dir() -> "os.PathLike[str]":

@@ -1,0 +1,50 @@
+"""``repro.lint``: codec-aware static analysis for the reproduction.
+
+The reproduction's credibility rests on properties that ordinary linters do
+not check: seed-determinism of every sampled artifact, loud decoder failure
+on corrupt input, and physical constants living in
+:mod:`repro.core.calibration` / :mod:`repro.common.units` instead of being
+scattered as magic numbers. This package enforces them mechanically.
+
+Rules
+-----
+
+* **R001 determinism** — no ``random``/``numpy.random`` use outside
+  ``common/rng.py``; no time-derived seeds.
+* **R002 decoder safety** — stream-reading functions in ``algorithms/``,
+  ``core/blocks/`` and ``common/{bitio,varint}.py`` must signal corruption
+  with :class:`~repro.common.errors.CorruptStreamError`; no swallowed broad
+  exception handlers.
+* **R003 calibration hygiene** — frequency/latency/size magic numbers belong
+  in ``core/calibration.py`` or ``common/units.py``.
+* **R004 API hygiene** — mutable default arguments, float ``==`` in asserts,
+  ``Params``/``Config`` dataclasses without ``__post_init__`` validation.
+* **R005 registry completeness** — every codec in ``algorithms/registry.py``
+  has an encoder, a decoder, and a round-trip test file.
+
+Findings can be suppressed on a line with ``# repro: noqa[R001]`` (or a bare
+``# repro: noqa`` for all rules), or grandfathered in a checked-in baseline
+file (``.repro-lint-baseline.json``) with a one-line justification.
+
+Run it as ``python -m repro lint [paths]`` or ``python -m repro.lint``.
+"""
+
+from repro.lint.baseline import Baseline, load_baseline, write_baseline
+from repro.lint.engine import LintResult, run_lint
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import all_rules, get_rule
+
+# Importing the rule modules registers them.
+from repro.lint import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "load_baseline",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,133 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline file is JSON: a list of entries, each carrying the finding's
+fingerprint ingredients (rule, path, snippet) plus a mandatory one-line
+``justification``. Matching is positional-drift-proof: a finding matches a
+baseline entry when rule, path, and stripped source line agree, so pure
+line-number movement never invalidates the baseline. Entries that no longer
+match anything are reported as *stale* so the file shrinks as debt is paid.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.lint.findings import Finding
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    snippet: str
+    justification: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "snippet": self.snippet,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split ``findings`` into (new, grandfathered) and list stale entries.
+
+        Each baseline entry absorbs at most as many findings as it was
+        recorded for (multiplicity-aware), so adding a second copy of a
+        grandfathered pattern still surfaces as new.
+        """
+        budget: Counter = Counter(entry.key for entry in self.entries)
+        new: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.snippet)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        stale = [entry for entry in self.entries if budget.get(entry.key, 0) > 0]
+        # Consume budget so N stale copies of one key report N times.
+        for entry in stale:
+            budget[entry.key] -= 1
+        return new, grandfathered, stale
+
+    def justification_for(self, finding: Finding) -> str:
+        for entry in self.entries:
+            if entry.key == (finding.rule, finding.path, finding.snippet):
+                return entry.justification
+        return ""
+
+
+def load_baseline(path: Union[str, Path]) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return Baseline()
+    payload = json.loads(file_path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported baseline format in {file_path}")
+    entries = [
+        BaselineEntry(
+            rule=str(item["rule"]),
+            path=str(item["path"]),
+            snippet=str(item.get("snippet", "")),
+            justification=str(item.get("justification", "")),
+        )
+        for item in payload.get("findings", [])
+    ]
+    return Baseline(entries=entries)
+
+
+def write_baseline(
+    findings: Sequence[Finding],
+    path: Union[str, Path],
+    *,
+    previous: Baseline = None,
+) -> Baseline:
+    """Serialize ``findings`` as the new baseline.
+
+    Justifications are carried over from ``previous`` where the finding key
+    matches; new entries get a placeholder that a human must replace.
+    """
+    carried: Dict[Tuple[str, str, str], str] = {}
+    if previous is not None:
+        for entry in previous.entries:
+            carried.setdefault(entry.key, entry.justification)
+    entries = [
+        BaselineEntry(
+            rule=finding.rule,
+            path=finding.path,
+            snippet=finding.snippet,
+            justification=carried.get(
+                (finding.rule, finding.path, finding.snippet),
+                "TODO: justify or fix",
+            ),
+        )
+        for finding in sorted(findings, key=lambda f: f.sort_key)
+    ]
+    baseline = Baseline(entries=entries)
+    payload = {
+        "version": _FORMAT_VERSION,
+        "findings": [entry.to_json() for entry in baseline.entries],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return baseline

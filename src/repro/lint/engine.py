@@ -1,0 +1,200 @@
+"""Lint engine: file discovery, AST parsing, suppressions, rule dispatch."""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, all_rules
+
+#: ``# repro: noqa`` or ``# repro: noqa[R001,R003]`` suppresses findings on
+#: the annotated line (the line the finding is reported at).
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[^\]]*)\])?", re.IGNORECASE)
+
+#: Suppress-everything marker used in the per-line suppression map.
+_ALL_RULES = "*"
+
+
+@dataclass
+class ModuleContext:
+    """One parsed Python module plus helpers for rules."""
+
+    path: Path  # absolute
+    rel: str  # project-root-relative, POSIX separators
+    source: str
+    lines: List[str]
+    tree: ast.Module
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self,
+        rule: Rule,
+        node: Union[ast.AST, int],
+        message: str,
+        *,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule.code,
+            path=self.rel,
+            line=line,
+            col=col,
+            severity=severity if severity is not None else rule.default_severity,
+            message=message,
+            snippet=self.snippet(line),
+        )
+
+
+@dataclass
+class ProjectContext:
+    """Everything a rule may inspect: the root and all parsed modules."""
+
+    root: Path
+    modules: List[ModuleContext] = field(default_factory=list)
+
+    def module(self, rel: str) -> Optional[ModuleContext]:
+        for ctx in self.modules:
+            if ctx.rel == rel:
+                return ctx
+        return None
+
+
+@dataclass
+class LintResult:
+    findings: List[Finding]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        return max((f.severity for f in self.findings), default=None)
+
+
+def find_project_root(start: Path) -> Path:
+    """Ascend from ``start`` to the nearest directory with ``pyproject.toml``."""
+    probe = start if start.is_dir() else start.parent
+    for candidate in (probe, *probe.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return probe
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic list of ``.py`` files."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts or candidate.suffix != ".py":
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield resolved
+
+
+def parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Per-line suppression sets; ``{_ALL_RULES}`` means every rule."""
+    table: Dict[int, Set[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        if "#" not in text:
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        spec = match.group("rules")
+        if spec is None:
+            table[number] = {_ALL_RULES}
+        else:
+            codes = {code.strip().upper() for code in spec.split(",") if code.strip()}
+            table[number] = codes or {_ALL_RULES}
+    return table
+
+
+def load_module(path: Path, root: Path) -> Union[ModuleContext, Finding]:
+    """Parse one file; an unparsable file is itself a finding, not a crash."""
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        return Finding(
+            rule="R000",
+            path=rel,
+            line=getattr(exc, "lineno", 1) or 1,
+            col=0,
+            severity=Severity.ERROR,
+            message=f"could not parse file: {exc}",
+        )
+    return ModuleContext(
+        path=path, rel=rel, source=source, lines=source.splitlines(), tree=tree
+    )
+
+
+def run_lint(
+    paths: Sequence[Union[str, Path]],
+    *,
+    root: Optional[Union[str, Path]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Lint ``paths`` and return findings sorted by location.
+
+    ``root`` anchors repo-relative paths and project-structural rules; it is
+    auto-detected (nearest ``pyproject.toml``) when omitted. ``rules``
+    defaults to every registered rule.
+    """
+    if not paths:
+        raise ValueError("run_lint needs at least one path")
+    files = list(iter_python_files(paths))
+    resolved_root = (
+        Path(root).resolve() if root is not None else find_project_root(Path(paths[0]).resolve())
+    )
+    active_rules = list(rules) if rules is not None else all_rules()
+
+    project = ProjectContext(root=resolved_root)
+    findings: List[Finding] = []
+    for path in files:
+        loaded = load_module(path, resolved_root)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+        else:
+            project.modules.append(loaded)
+
+    for rule in active_rules:
+        findings.extend(rule.check(project))
+
+    suppression_tables = {
+        ctx.rel: parse_suppressions(ctx.lines) for ctx in project.modules
+    }
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        table = suppression_tables.get(finding.path, {})
+        codes = table.get(finding.line)
+        if codes is not None and (_ALL_RULES in codes or finding.rule in codes):
+            suppressed += 1
+        else:
+            kept.append(finding)
+
+    kept.sort(key=lambda f: f.sort_key)
+    return LintResult(findings=kept, files_checked=len(files), suppressed=suppressed)

@@ -1,0 +1,76 @@
+"""Finding and severity types shared by the lint engine and its rules."""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels; ``--strict`` gates on WARNING and above."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            known = ", ".join(s.name.lower() for s in cls)
+            raise ValueError(f"unknown severity {text!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``snippet`` is the stripped source line; it anchors the baseline
+    fingerprint so grandfathered findings survive line-number drift from
+    unrelated edits.
+    """
+
+    rule: str
+    path: str  # repo-relative, POSIX separators
+    line: int
+    col: int
+    severity: Severity
+    message: str
+    snippet: str = ""
+
+    # Sort key: path, then position, then rule. Computed, not stored.
+    sort_key: tuple = field(init=False, repr=False, compare=False, default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sort_key", (self.path, self.line, self.col, self.rule))
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line numbers excluded)."""
+        digest = hashlib.sha256(
+            f"{self.rule}|{self.path}|{self.snippet}".encode("utf-8")
+        ).hexdigest()
+        return digest[:16]
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": str(self.severity),
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )

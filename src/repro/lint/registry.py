@@ -1,0 +1,56 @@
+"""Rule registry: rules self-register at import time via :func:`register`."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Type, TYPE_CHECKING
+
+from repro.lint.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import ProjectContext
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``code``/``name``/``summary``/``default_severity`` and
+    implement :meth:`check`, yielding findings for the whole project. Most
+    rules simply iterate ``project.modules``; project-structural rules (like
+    R005) inspect the tree layout directly.
+    """
+
+    code: str = "R000"
+    name: str = "unnamed"
+    summary: str = ""
+    default_severity: Severity = Severity.ERROR
+
+    def check(self, project: "ProjectContext") -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if cls.code in _RULES and _RULES[cls.code] is not cls:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _RULES[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    return [_RULES[code]() for code in sorted(_RULES)]
+
+
+def get_rule(code: str) -> Rule:
+    try:
+        return _RULES[code.upper()]()
+    except KeyError:
+        known = ", ".join(sorted(_RULES))
+        raise KeyError(f"unknown rule {code!r}; known: {known}") from None
+
+
+def rule_codes() -> List[str]:
+    return sorted(_RULES)

@@ -1,0 +1,58 @@
+"""Human and JSON renderings of a lint run."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from repro.lint.baseline import BaselineEntry
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
+
+
+def render_human(
+    result: LintResult,
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    stale: Sequence[BaselineEntry],
+) -> str:
+    lines: List[str] = []
+    for finding in new:
+        lines.append(finding.render())
+    for entry in stale:
+        lines.append(
+            f"{entry.path}: stale baseline entry for {entry.rule} "
+            f"({entry.snippet!r} no longer matches) — remove it"
+        )
+    by_rule = Counter(f.rule for f in new)
+    summary = (
+        f"{result.files_checked} files checked: "
+        f"{len(new)} finding{'s' if len(new) != 1 else ''}"
+    )
+    if by_rule:
+        summary += " (" + ", ".join(f"{r}×{n}" for r, n in sorted(by_rule.items())) + ")"
+    if grandfathered:
+        summary += f", {len(grandfathered)} baselined"
+    if stale:
+        summary += f", {len(stale)} stale baseline entr{'ies' if len(stale) != 1 else 'y'}"
+    if result.suppressed:
+        summary += f", {result.suppressed} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    result: LintResult,
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    stale: Sequence[BaselineEntry],
+) -> str:
+    payload = {
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "findings": [f.to_json() for f in new],
+        "grandfathered": [f.to_json() for f in grandfathered],
+        "stale_baseline": [entry.to_json() for entry in stale],
+    }
+    return json.dumps(payload, indent=2)

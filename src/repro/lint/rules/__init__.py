@@ -1,0 +1,9 @@
+"""Rule implementations; importing this package registers them all."""
+
+from repro.lint.rules import (  # noqa: F401
+    api_hygiene,
+    calibration,
+    decoder_safety,
+    determinism,
+    registry_completeness,
+)

@@ -1,0 +1,40 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Sequence
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render a ``Name``/``Attribute`` chain as ``"a.b.c"``, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def function_defs(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def path_matches(rel: str, prefixes: Sequence[str]) -> bool:
+    """True when the project-relative path lives under any of ``prefixes``.
+
+    Prefixes are matched against the path with any leading ``src/`` stripped,
+    so rules behave identically for flat and src-layout checkouts.
+    """
+    norm = rel[4:] if rel.startswith("src/") else rel
+    norm = norm[6:] if norm.startswith("repro/") else norm
+    return any(norm == p or norm.startswith(p.rstrip("/") + "/") for p in prefixes)
+
+
+def is_test_path(rel: str) -> bool:
+    parts = rel.split("/")
+    return "tests" in parts or parts[-1].startswith("test_")

@@ -1,0 +1,139 @@
+"""R001: every stochastic artifact must be derived from an explicit seed.
+
+The fleet model, HCBench generator, corpus synthesizers and DSE sweeps are
+all sampled; identical seeds must give identical suites. The only sanctioned
+entropy source is :func:`repro.common.rng.make_rng`, so this rule flags:
+
+* importing the stdlib ``random`` module (or names from it),
+* importing or calling ``numpy.random`` APIs directly (type annotations such
+  as ``np.random.Generator`` are fine — only *calls* draw entropy),
+* wall-clock time flowing into anything seed-shaped (``time.time()`` & co.
+  in a statement that mentions a seed or feeds a known seeding sink).
+
+``common/rng.py`` is the one module allowed to touch ``numpy.random``. Test
+files are exempt wholesale: ad-hoc randomness in tests is a test-quality
+question, not a reproducibility bug in the library.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List
+
+from repro.lint.engine import ModuleContext, ProjectContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+from repro.lint.rules.common import dotted_name, is_test_path, path_matches
+
+#: The module that owns entropy; everything else must call into it.
+_ALLOWED = ("common/rng.py",)
+
+_TIME_SOURCES = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+#: Call targets whose arguments are seed material.
+_SEED_SINKS = re.compile(r"(make_rng|default_rng|SeedSequence|RandomState|Random|seed)$")
+
+_SEEDISH_LINE = re.compile(r"seed", re.IGNORECASE)
+
+
+@register
+class DeterminismRule(Rule):
+    code = "R001"
+    name = "determinism"
+    summary = "randomness must flow through repro.common.rng with explicit seeds"
+    default_severity = Severity.ERROR
+
+    def check(self, project: ProjectContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for ctx in project.modules:
+            if path_matches(ctx.rel, _ALLOWED) or is_test_path(ctx.rel):
+                continue
+            findings.extend(self._check_module(ctx))
+        return findings
+
+    def _check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "random":
+                        yield ctx.finding(
+                            self,
+                            node,
+                            "import of stdlib 'random': use repro.common.rng.make_rng "
+                            "so runs are seed-deterministic",
+                        )
+                    elif alias.name.startswith("numpy.random"):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            "direct numpy.random import: derive generators via "
+                            "repro.common.rng.make_rng",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "random" or module.startswith("random."):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "import from stdlib 'random': use repro.common.rng.make_rng",
+                    )
+                elif module == "numpy.random" or module.startswith("numpy.random."):
+                    names = {alias.name for alias in node.names}
+                    if names - {"Generator", "SeedSequence", "BitGenerator"}:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            "import from numpy.random: only type names may be "
+                            "imported; draw entropy via repro.common.rng.make_rng",
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(self, ctx: ModuleContext, node: ast.Call) -> Iterable[Finding]:
+        name = dotted_name(node.func) or ""
+        # Calls into numpy.random (np.random.default_rng(), np.random.seed(),
+        # numpy.random.choice(), ...). Attribute *access* for annotations
+        # (np.random.Generator) is deliberately not a Call and stays legal.
+        parts = name.split(".")
+        if "random" in parts and parts[0] in ("np", "numpy"):
+            yield ctx.finding(
+                self,
+                node,
+                f"call to {name}(): numpy.random must not be used directly; "
+                "derive a Generator from repro.common.rng.make_rng",
+            )
+        if name in _TIME_SOURCES or name.endswith(".now") and "datetime" in name:
+            line_text = ctx.snippet(node.lineno)
+            if _SEEDISH_LINE.search(line_text) or self._feeds_seed_sink(ctx, node):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"time-derived seed via {name}(): seeds must be explicit "
+                    "integers so identical seeds give identical runs",
+                )
+
+    def _feeds_seed_sink(self, ctx: ModuleContext, call: ast.Call) -> bool:
+        """True when ``call``'s result is an argument of a seeding call."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = dotted_name(node.func) or ""
+            if not _SEED_SINKS.search(target):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if call in ast.walk(arg):
+                    return True
+        return False

@@ -1,0 +1,171 @@
+"""R005: every registered codec has an encoder, a decoder, and a test.
+
+The codec registry (``algorithms/registry.py``) is the contract surface the
+fleet model, HCBench and the CLI all dispatch through. A registry entry
+whose class is missing ``compress``/``decompress``, or that has no
+round-trip test file, is an un-exercised format that will drift from spec.
+This rule statically cross-checks, for each ``_CODEC_FACTORIES`` entry:
+
+* the factory class is imported from a resolvable ``algorithms/`` module,
+* that class defines both ``compress`` and ``decompress``,
+* a ``tests/algorithms/test_<module>.py`` file exists and mentions
+  ``decompress`` (i.e. it round-trips, not just constructs).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.engine import ModuleContext, ProjectContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+_REGISTRY_CANDIDATES = (
+    "src/repro/algorithms/registry.py",
+    "repro/algorithms/registry.py",
+    "algorithms/registry.py",
+)
+
+
+@register
+class RegistryCompletenessRule(Rule):
+    code = "R005"
+    name = "registry-completeness"
+    summary = "registered codecs need an encoder, a decoder, and a round-trip test"
+    default_severity = Severity.ERROR
+
+    def check(self, project: ProjectContext) -> Iterable[Finding]:
+        registry_ctx = self._find_registry(project)
+        if registry_ctx is None:
+            return []  # tree without a registry (e.g. rule fixtures): nothing to check
+        findings: List[Finding] = []
+        imports = self._class_imports(registry_ctx.tree)
+        factories = self._codec_factories(registry_ctx.tree)
+        if factories is None:
+            return []
+        algorithms_dir = registry_ctx.path.parent
+        tests_dir = project.root / "tests" / "algorithms"
+        for name_node, codec_name, class_name in factories:
+            module_stem = imports.get(class_name)
+            if module_stem is None:
+                findings.append(
+                    registry_ctx.finding(
+                        self,
+                        name_node,
+                        f"codec {codec_name!r}: factory {class_name} is not "
+                        "imported from an algorithms module",
+                    )
+                )
+                continue
+            module_path = algorithms_dir / f"{module_stem}.py"
+            if not module_path.exists():
+                findings.append(
+                    registry_ctx.finding(
+                        self,
+                        name_node,
+                        f"codec {codec_name!r}: module {module_stem}.py not found "
+                        "next to the registry",
+                    )
+                )
+                continue
+            missing = self._missing_methods(module_path, class_name)
+            if missing is None:
+                findings.append(
+                    registry_ctx.finding(
+                        self,
+                        name_node,
+                        f"codec {codec_name!r}: class {class_name} not defined in "
+                        f"{module_stem}.py",
+                    )
+                )
+            elif missing:
+                what = " and ".join(sorted(missing))
+                findings.append(
+                    registry_ctx.finding(
+                        self,
+                        name_node,
+                        f"codec {codec_name!r}: {class_name} is missing {what} — "
+                        "a registry entry must both encode and decode",
+                    )
+                )
+            test_path = tests_dir / f"test_{module_stem}.py"
+            if not test_path.exists():
+                findings.append(
+                    registry_ctx.finding(
+                        self,
+                        name_node,
+                        f"codec {codec_name!r}: no round-trip test file "
+                        f"tests/algorithms/test_{module_stem}.py",
+                    )
+                )
+            elif "decompress" not in test_path.read_text(encoding="utf-8"):
+                findings.append(
+                    registry_ctx.finding(
+                        self,
+                        name_node,
+                        f"codec {codec_name!r}: test_{module_stem}.py never calls "
+                        "decompress, so the format does not round-trip under test",
+                        severity=Severity.WARNING,
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _find_registry(project: ProjectContext) -> Optional[ModuleContext]:
+        for candidate in _REGISTRY_CANDIDATES:
+            ctx = project.module(candidate)
+            if ctx is not None:
+                return ctx
+        return None
+
+    @staticmethod
+    def _class_imports(tree: ast.Module) -> Dict[str, str]:
+        """Map imported class name -> source module stem (snappy, zstd, ...)."""
+        imports: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                stem = node.module.split(".")[-1]
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = stem
+        return imports
+
+    @staticmethod
+    def _codec_factories(
+        tree: ast.Module,
+    ) -> Optional[List[Tuple[ast.AST, str, str]]]:
+        """(key node, codec name, factory class name) per registry entry."""
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "_CODEC_FACTORIES" not in targets or not isinstance(node.value, ast.Dict):
+                continue
+            entries: List[Tuple[ast.AST, str, str]] = []
+            for key, value in zip(node.value.keys, node.value.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(value, ast.Name)
+                ):
+                    entries.append((key, key.value, value.id))
+            return entries
+        return None
+
+    @staticmethod
+    def _missing_methods(module_path: Path, class_name: str) -> Optional[set]:
+        """Methods missing from {compress, decompress}; None if class absent."""
+        try:
+            tree = ast.parse(module_path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError):
+            return None
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == class_name:
+                methods = {
+                    b.name
+                    for b in node.body
+                    if isinstance(b, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                return {"compress", "decompress"} - methods
+        return None

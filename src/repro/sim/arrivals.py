@@ -15,7 +15,12 @@ import numpy as np
 
 from repro.algorithms.base import Operation
 from repro.common.rng import make_rng
+from repro.common.units import GB
 from repro.fleet.profile import ALGORITHMS, FleetProfile
+
+#: Default offered load for traces: 2 GB/s of uncompressed data, the order
+#: of one flagship CDPU's worth of traffic (calibration.CDPU_FLAGSHIP_GBPS).
+DEFAULT_OFFERED_BYTES_PER_SECOND = 2.0 * GB
 
 
 @dataclass(frozen=True)
@@ -38,7 +43,7 @@ def poisson_trace(
     *,
     seed: int = 0,
     num_calls: int = 2000,
-    offered_bytes_per_second: float = 2.0e9,
+    offered_bytes_per_second: float = DEFAULT_OFFERED_BYTES_PER_SECOND,
     algorithms: Optional[List[str]] = None,
 ) -> List[CallArrival]:
     """Sample an open-loop Poisson arrival trace from fleet call statistics.

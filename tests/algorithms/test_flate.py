@@ -1,0 +1,100 @@
+"""Dedicated round-trip and integrity tests for the Flate-like codec.
+
+Cross-codec comparisons live in ``test_other_codecs.py``; this file is the
+per-codec coverage the registry-completeness rule (R005) requires: every
+registered codec owns a test file exercising compress/decompress round trips
+and corruption detection.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.container import CHECKSUM_BYTES
+from repro.algorithms.flate import DEFAULT_WINDOW, MAGIC, FlateCodec
+from repro.common.errors import ConfigError, CorruptStreamError
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        codec = FlateCodec()
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    def test_single_byte(self):
+        codec = FlateCodec()
+        assert codec.decompress(codec.compress(b"x")) == b"x"
+
+    def test_sample_inputs(self, sample_inputs):
+        codec = FlateCodec()
+        for name, data in sample_inputs.items():
+            assert codec.decompress(codec.compress(data)) == data, name
+
+    def test_all_levels(self):
+        codec = FlateCodec()
+        data = b"flate per-level round trip " * 150
+        for level in range(1, 10):
+            assert codec.decompress(codec.compress(data, level=level)) == data
+
+    def test_explicit_window(self):
+        codec = FlateCodec()
+        data = b"windowed content " * 500
+        stream = codec.compress(data, window_size=4096)
+        assert codec.decompress(stream) == data
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigError):
+            FlateCodec().compress(b"x", window_size=3000)  # not a power of two
+        assert FlateCodec().resolve_window(None) == DEFAULT_WINDOW
+
+    def test_stream_starts_with_magic(self):
+        assert FlateCodec().compress(b"abc").startswith(MAGIC)
+
+
+class TestIntegrity:
+    def test_content_trailer_catches_literal_flips(self):
+        """Any byte flip in the body is detected, not just structural ones."""
+        codec = FlateCodec()
+        compressed = bytearray(codec.compress(b"checksum coverage " * 120))
+        for position in range(len(MAGIC), len(compressed), 7):
+            mutated = bytearray(compressed)
+            mutated[position] ^= 0x40
+            try:
+                out = codec.decompress(bytes(mutated))
+            except CorruptStreamError:
+                continue
+            assert out == b"checksum coverage " * 120
+
+    def test_trailer_flip_detected(self):
+        codec = FlateCodec()
+        compressed = bytearray(codec.compress(b"trailer " * 64))
+        compressed[-1] ^= 0x01
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(bytes(compressed))
+
+    def test_missing_trailer_detected(self):
+        codec = FlateCodec()
+        compressed = codec.compress(b"short " * 64)
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(compressed[:-CHECKSUM_BYTES])
+
+    def test_truncations(self):
+        codec = FlateCodec()
+        compressed = codec.compress(b"truncate me " * 200)
+        for cut in range(1, len(compressed), max(1, len(compressed) // 16)):
+            with pytest.raises(CorruptStreamError):
+                codec.decompress(compressed[:cut])
+
+    def test_bad_magic(self):
+        with pytest.raises(CorruptStreamError):
+            FlateCodec().decompress(b"NOPE" + b"\x00" * 40)
+
+    def test_empty_stream(self):
+        with pytest.raises(CorruptStreamError):
+            FlateCodec().decompress(b"")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(max_size=4000))
+def test_roundtrip_arbitrary(data):
+    codec = FlateCodec()
+    assert codec.decompress(codec.compress(data)) == data

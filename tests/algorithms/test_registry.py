@@ -17,8 +17,17 @@ class TestRegistry:
     def test_six_fleet_algorithms_described(self):
         assert set(ALGORITHM_INFOS) == {"snappy", "zstd", "flate", "brotli", "gipfeli", "lzo"}
 
-    def test_six_codecs_runnable(self):
-        assert available_codecs() == ["brotli", "flate", "gipfeli", "lzo", "snappy", "zstd"]
+    def test_registered_codecs_runnable(self):
+        assert available_codecs() == [
+            "brotli", "flate", "gipfeli", "lzo", "snappy", "snappy-framed", "zstd",
+        ]
+
+    def test_snappy_framed_is_not_a_fleet_algorithm(self):
+        # The framed variant is runnable but sits outside Figure 1's six.
+        assert "snappy-framed" not in ALGORITHM_INFOS
+        codec = get_codec("snappy-framed")
+        data = b"framed snappy round trip " * 64
+        assert codec.decompress(codec.compress(data)) == data
 
     def test_brotli_runs_at_fleet_default_low_level(self):
         info = get_info("brotli")

@@ -9,7 +9,7 @@ structure on compressible data.
 import pytest
 
 from repro.algorithms.base import Operation, WeightClass
-from repro.algorithms.registry import available_codecs, get_codec, get_info
+from repro.algorithms.registry import available_codecs, get_codec
 from repro.corpus.sources import SOURCES
 
 
@@ -32,12 +32,12 @@ class TestTaxonomyBehaviour:
         heavy = min(
             len(get_codec(n).compress(data))
             for n in available_codecs()
-            if get_info(n).weight_class is WeightClass.HEAVYWEIGHT
+            if get_codec(n).info.weight_class is WeightClass.HEAVYWEIGHT
         )
         light = min(
             len(get_codec(n).compress(data))
             for n in available_codecs()
-            if get_info(n).weight_class is WeightClass.LIGHTWEIGHT
+            if get_codec(n).info.weight_class is WeightClass.LIGHTWEIGHT
         )
         assert heavy < light
 

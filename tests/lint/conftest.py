@@ -1,0 +1,37 @@
+"""Fixtures for the lint-framework tests: tiny synthetic projects on disk."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+
+
+class FakeProject:
+    """A throwaway project tree the linter can be pointed at."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        (root / "pyproject.toml").write_text("[project]\nname = 'fixture'\n")
+
+    def write(self, rel: str, source: str) -> Path:
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return path
+
+    def lint(self, *paths, rules=None):
+        targets = [self.root / p for p in paths] or [self.root / "src"]
+        return run_lint(targets, root=self.root, rules=rules)
+
+    def findings(self, *paths, rule=None, rules=None):
+        result = self.lint(*paths, rules=rules)
+        if rule is None:
+            return result.findings
+        return [f for f in result.findings if f.rule == rule]
+
+
+@pytest.fixture
+def project(tmp_path):
+    return FakeProject(tmp_path)

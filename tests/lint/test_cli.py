@@ -1,0 +1,72 @@
+"""CLI behaviour: exit codes, formats, baseline flags, repro-CLI wiring."""
+
+import json
+
+from repro.lint.cli import main
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, project, capsys):
+        project.write("src/repro/clean.py", "X = 1\n")
+        assert main([str(project.root / "src")]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_error_finding_exits_one(self, project, capsys):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        assert main([str(project.root / "src")]) == 1
+        assert "R001" in capsys.readouterr().out
+
+    def test_warning_passes_by_default_fails_strict(self, project, capsys):
+        project.write(
+            "src/repro/sim/clock.py",
+            "def period(cycles):\n    return cycles / 2.1e9\n",
+        )
+        assert main([str(project.root / "src")]) == 0
+        assert main([str(project.root / "src"), "--strict"]) == 1
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["/definitely/not/a/path"]) == 2
+
+    def test_baselined_finding_passes(self, project, capsys):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        src = str(project.root / "src")
+        assert main([src, "--update-baseline"]) == 0
+        assert main([src, "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_no_baseline_flag_resurfaces_findings(self, project):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        src = str(project.root / "src")
+        assert main([src, "--update-baseline"]) == 0
+        assert main([src, "--no-baseline"]) == 1
+
+    def test_stale_baseline_fails_only_under_strict(self, project):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        src = str(project.root / "src")
+        assert main([src, "--update-baseline"]) == 0
+        project.write("src/repro/fleet/sampler.py", "X = 1\n")  # fixed
+        assert main([src]) == 0
+        assert main([src, "--strict"]) == 1
+
+
+class TestJsonFormat:
+    def test_json_output_parses_and_carries_findings(self, project, capsys):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        main([str(project.root / "src"), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] >= 1
+        assert [f["rule"] for f in payload["findings"]] == ["R001"]
+
+
+class TestReproCliWiring:
+    def test_lint_subcommand_forwards(self, project, capsys):
+        from repro.cli import main as repro_main
+
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        rc = repro_main(["lint", str(project.root / "src")])
+        assert rc == 1
+        assert "R001" in capsys.readouterr().out
+
+    def test_module_entry_point_exists(self):
+        import repro.lint.__main__  # noqa: F401

@@ -1,0 +1,376 @@
+"""Positive (fires) and negative (stays quiet) fixtures for every rule."""
+
+from repro.lint import Severity, get_rule
+
+
+def codes(findings):
+    return [f.rule for f in findings]
+
+
+class TestR001Determinism:
+    def test_stdlib_random_import_fires(self, project):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        found = project.findings("src", rule="R001")
+        assert len(found) == 1
+        assert found[0].severity is Severity.ERROR
+        assert "random" in found[0].message
+
+    def test_from_random_import_fires(self, project):
+        project.write("src/repro/fleet/sampler.py", "from random import choice\n")
+        assert len(project.findings("src", rule="R001")) == 1
+
+    def test_numpy_random_call_fires(self, project):
+        project.write(
+            "src/repro/fleet/sampler.py",
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.default_rng().random()
+            """,
+        )
+        assert len(project.findings("src", rule="R001")) == 1
+
+    def test_numpy_random_type_import_is_quiet(self, project):
+        project.write(
+            "src/repro/fleet/sampler.py",
+            "from numpy.random import Generator, SeedSequence\n",
+        )
+        assert project.findings("src", rule="R001") == []
+
+    def test_time_derived_seed_fires(self, project):
+        project.write(
+            "src/repro/fleet/sampler.py",
+            """
+            import time
+            from repro.common.rng import make_rng
+
+            def fresh():
+                return make_rng(int(time.time()), "fleet")
+            """,
+        )
+        found = project.findings("src", rule="R001")
+        assert len(found) == 1
+        assert "time-derived" in found[0].message
+
+    def test_rng_module_itself_is_exempt(self, project):
+        project.write("src/repro/common/rng.py", "import numpy.random\n")
+        assert project.findings("src", rule="R001") == []
+
+    def test_tests_are_exempt(self, project):
+        project.write("tests/test_sampler.py", "import random\n")
+        assert project.findings("tests", rule="R001") == []
+
+
+class TestR002DecoderSafety:
+    def test_decoder_without_corrupt_path_fires(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            def decode_header(data):
+                return data[0] | (data[1] << 8)
+            """,
+        )
+        found = project.findings("src", rule="R002")
+        assert len(found) == 1
+        assert "decode_header" in found[0].message
+
+    def test_decoder_raising_corrupt_is_quiet(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            from repro.common.errors import CorruptStreamError
+
+            def decode_header(data):
+                if len(data) < 2:
+                    raise CorruptStreamError("underflow")
+                return data[0] | (data[1] << 8)
+            """,
+        )
+        assert project.findings("src", rule="R002") == []
+
+    def test_untranslated_index_error_fires(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            def decode_tag(data):
+                try:
+                    return data[0]
+                except IndexError:
+                    return None
+            """,
+        )
+        found = project.findings("src", rule="R002")
+        assert any("IndexError" in f.message for f in found)
+
+    def test_translated_index_error_is_quiet(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            from repro.common.errors import CorruptStreamError
+
+            def decode_tag(data):
+                try:
+                    return data[0]
+                except IndexError:
+                    raise CorruptStreamError("truncated at tag byte")
+            """,
+        )
+        assert project.findings("src", rule="R002") == []
+
+    def test_broad_except_is_error_in_codec_tree(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            def helper(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    return None
+            """,
+        )
+        found = project.findings("src", rule="R002")
+        assert len(found) == 1
+        assert found[0].severity is Severity.ERROR
+
+    def test_broad_except_is_warning_outside_codec_tree(self, project):
+        project.write(
+            "src/repro/analysis/report.py",
+            """
+            def helper(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    return None
+            """,
+        )
+        found = project.findings("src", rule="R002")
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+
+    def test_broad_except_with_reraise_is_quiet(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            def helper(path):
+                try:
+                    return open(path).read()
+                except Exception:
+                    raise
+            """,
+        )
+        assert project.findings("src", rule="R002") == []
+
+    def test_encoder_functions_are_quiet(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            def encode_header(data):
+                return data[0] | (data[1] << 8)
+            """,
+        )
+        assert project.findings("src", rule="R002") == []
+
+
+class TestR003CalibrationHygiene:
+    def test_frequency_literal_fires(self, project):
+        project.write(
+            "src/repro/sim/clock.py",
+            """
+            def period(cycles):
+                return cycles / 2.1e9
+            """,
+        )
+        found = project.findings("src", rule="R003")
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+
+    def test_paper_anchor_is_error(self, project):
+        project.write(
+            "src/repro/sim/area.py",
+            """
+            def area():
+                return 17.98
+            """,
+        )
+        found = project.findings("src", rule="R003")
+        assert len(found) == 1
+        assert found[0].severity is Severity.ERROR
+
+    def test_nanosecond_literal_fires(self, project):
+        project.write(
+            "src/repro/sim/lat.py",
+            """
+            def latency():
+                return 25e-9
+            """,
+        )
+        assert len(project.findings("src", rule="R003")) == 1
+
+    def test_numerical_epsilon_is_quiet(self, project):
+        project.write(
+            "src/repro/analysis/stats.py",
+            """
+            def safe_div(a, b):
+                return a / (b + 1e-12)
+            """,
+        )
+        assert project.findings("src", rule="R003") == []
+
+    def test_inline_power_of_two_size_fires(self, project):
+        project.write(
+            "src/repro/sim/buffers.py",
+            """
+            def capacity():
+                return 16384
+            """,
+        )
+        assert len(project.findings("src", rule="R003")) == 1
+
+    def test_all_caps_module_constant_is_quiet(self, project):
+        project.write("src/repro/sim/buffers.py", "BUFFER_BYTES = 16384\n")
+        assert project.findings("src", rule="R003") == []
+
+    def test_calibration_module_is_exempt(self, project):
+        project.write("src/repro/core/calibration.py", "XEON_HZ = 2.45e9\nAREA = 17.98\n")
+        assert project.findings("src", rule="R003") == []
+
+
+class TestR004ApiHygiene:
+    def test_mutable_default_fires_as_error(self, project):
+        project.write(
+            "src/repro/fleet/api.py",
+            """
+            def collect(into=[]):
+                return into
+            """,
+        )
+        found = project.findings("src", rule="R004")
+        assert len(found) == 1
+        assert found[0].severity is Severity.ERROR
+
+    def test_immutable_default_is_quiet(self, project):
+        project.write(
+            "src/repro/fleet/api.py",
+            """
+            def collect(into=(), label=None):
+                return list(into)
+            """,
+        )
+        assert project.findings("src", rule="R004") == []
+
+    def test_float_equality_assert_fires(self, project):
+        project.write(
+            "src/repro/fleet/api.py",
+            """
+            def check(ratio):
+                assert ratio == 2.5
+            """,
+        )
+        found = project.findings("src", rule="R004")
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+
+    def test_params_dataclass_without_validation_fires(self, project):
+        project.write(
+            "src/repro/core/knobs.py",
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class WidgetParams:
+                lanes: int = 4
+            """,
+        )
+        found = project.findings("src", rule="R004")
+        assert len(found) == 1
+        assert "WidgetParams" in found[0].message
+
+    def test_params_dataclass_with_post_init_is_quiet(self, project):
+        project.write(
+            "src/repro/core/knobs.py",
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class WidgetParams:
+                lanes: int = 4
+
+                def __post_init__(self):
+                    if self.lanes < 1:
+                        raise ValueError("lanes must be positive")
+            """,
+        )
+        assert project.findings("src", rule="R004") == []
+
+
+class TestR005RegistryCompleteness:
+    def _registry(self, project, *, test_body="def test_rt():\n    c.decompress(b'')\n"):
+        project.write(
+            "src/repro/algorithms/registry.py",
+            """
+            from repro.algorithms.mycodec import MyCodec
+
+            _CODEC_FACTORIES = {
+                "mycodec": MyCodec,
+            }
+            """,
+        )
+        project.write(
+            "src/repro/algorithms/mycodec.py",
+            """
+            class MyCodec:
+                def compress(self, data):
+                    return data
+
+                def decompress(self, data):
+                    return data
+            """,
+        )
+        if test_body is not None:
+            project.write("tests/algorithms/test_mycodec.py", test_body)
+
+    def test_complete_registration_is_quiet(self, project):
+        self._registry(project)
+        assert project.findings("src", rule="R005") == []
+
+    def test_missing_test_file_fires(self, project):
+        self._registry(project, test_body=None)
+        found = project.findings("src", rule="R005")
+        assert len(found) == 1
+        assert "test_mycodec.py" in found[0].message
+        assert found[0].severity is Severity.ERROR
+
+    def test_test_without_decompress_is_warning(self, project):
+        self._registry(project, test_body="def test_construct():\n    pass\n")
+        found = project.findings("src", rule="R005")
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+
+    def test_missing_decoder_method_fires(self, project):
+        self._registry(project)
+        project.write(
+            "src/repro/algorithms/mycodec.py",
+            """
+            class MyCodec:
+                def compress(self, data):
+                    return data
+            """,
+        )
+        found = project.findings("src", rule="R005")
+        assert len(found) == 1
+        assert "decompress" in found[0].message
+
+    def test_no_registry_means_no_findings(self, project):
+        project.write("src/repro/fleet/api.py", "X = 1\n")
+        assert project.findings("src", rule="R005") == []
+
+
+class TestRuleRegistry:
+    def test_all_five_rules_registered(self):
+        from repro.lint import all_rules
+
+        assert [r.code for r in all_rules()] == ["R001", "R002", "R003", "R004", "R005"]
+
+    def test_get_rule_by_code(self):
+        assert get_rule("R001").name == "determinism"
