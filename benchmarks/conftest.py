@@ -13,6 +13,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.dse.cache import DseCache
 from repro.dse.runner import DseRunner
 from repro.fleet import generate_fleet_profile
 from repro.hcbench import default_benchmark
@@ -37,8 +38,15 @@ def bench_suite():
 
 
 @pytest.fixture(scope="session")
-def dse_runner(bench_suite):
-    return DseRunner(bench_suite)
+def dse_cache(results_dir) -> DseCache:
+    """One persistent design-point store shared by every figure benchmark."""
+    return DseCache(results_dir / ".dse-cache")
+
+
+@pytest.fixture(scope="session")
+def dse_runner(bench_suite, dse_cache):
+    """DSE runner with the warm on-disk cache; REPRO_JOBS sets parallelism."""
+    return DseRunner(bench_suite, cache=dse_cache)
 
 
 def save_figure(results_dir: Path, figure) -> None:

@@ -1,0 +1,48 @@
+"""Wall-clock check of the persistent DSE cache: warm must beat cold >= 3x.
+
+This is the acceptance criterion for the cache layer: a Figure 11-sized
+sweep served from a warm ``results/.dse-cache`` store must cost at most a
+third of the cold evaluation, while returning bit-identical results. Lives
+under ``benchmarks/`` (outside the default ``testpaths``) and carries the
+``bench`` marker because it measures time, which the functional suite must
+not depend on.
+"""
+
+import time
+
+import pytest
+
+from repro.dse.cache import DseCache
+from repro.dse.parallel import evaluate_points
+from repro.dse.runner import DseRunner
+from repro.dse.sweeps import decoder_points
+
+REQUIRED_SPEEDUP = 3.0
+
+
+@pytest.mark.bench
+def test_warm_cache_at_least_3x_faster_than_cold(bench_suite, tmp_path):
+    # A private runner + store: the shared session fixtures must not pre-warm
+    # the timing baseline.
+    runner = DseRunner(bench_suite)
+    cache = DseCache(tmp_path / "dse-cache")
+    points = decoder_points("snappy")
+
+    start = time.perf_counter()
+    cold = evaluate_points(runner, points, cache=cache)
+    cold_seconds = time.perf_counter() - start
+    assert cache.stores == len(points)
+
+    # A fresh runner drops the in-process workload memos, so the warm pass
+    # measures the disk cache, not Python-object reuse.
+    rewarmed = DseRunner(bench_suite)
+    start = time.perf_counter()
+    warm = evaluate_points(rewarmed, points, cache=cache)
+    warm_seconds = time.perf_counter() - start
+
+    assert warm == cold
+    assert cache.hits == len(points)
+    assert cold_seconds >= REQUIRED_SPEEDUP * warm_seconds, (
+        f"warm cache not fast enough: cold={cold_seconds:.3f}s "
+        f"warm={warm_seconds:.3f}s ({cold_seconds / max(warm_seconds, 1e-9):.1f}x)"
+    )

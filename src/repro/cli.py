@@ -5,8 +5,11 @@ Six subcommands expose the library's main surfaces:
 * ``compress`` / ``decompress`` — run any of the from-scratch codecs on a
   file (buffer-in/buffer-out, §3.4's stable API).
 * ``fleet`` — print the §3 fleet-profiling summary from a synthetic sample.
-* ``dse`` — run one of the Figure 11-15 sweeps and print its table.
-* ``summaries`` — regenerate FINAL_TEXT_SUMMARIES from a full exploration.
+* ``dse`` — run one of the Figure 11-15 sweeps and print its table
+  (``--jobs N`` fans design points over worker processes; ``--cache`` /
+  ``--no-cache`` controls the persistent store under ``results/.dse-cache``).
+* ``summaries`` — regenerate FINAL_TEXT_SUMMARIES from a full exploration
+  (same ``--jobs``/``--cache`` engine options).
 * ``lint`` — run the codec-aware static-analysis pass (rules R001-R005).
 """
 
@@ -48,8 +51,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "figure", choices=["fig11", "fig12", "fig13", "fig14", "fig15"],
         help="which figure's sweep to run",
     )
+    _add_engine_options(dse)
 
-    sub.add_parser("summaries", help="regenerate FINAL_TEXT_SUMMARIES (full DSE)")
+    summaries = sub.add_parser(
+        "summaries", help="regenerate FINAL_TEXT_SUMMARIES (full DSE)"
+    )
+    _add_engine_options(summaries)
 
     # ``lint`` owns its own argparse (repro.lint.cli); capture everything
     # after the subcommand and forward it verbatim.
@@ -60,6 +67,39 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("lint_args", nargs=argparse.REMAINDER)
     return parser
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """Sweep-engine knobs shared by the DSE-driven subcommands."""
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: $REPRO_JOBS, else serial)",
+    )
+    cache = parser.add_mutually_exclusive_group()
+    cache.add_argument(
+        "--cache",
+        dest="cache",
+        action="store_true",
+        default=True,
+        help="reuse/populate the on-disk result cache under results/.dse-cache (default)",
+    )
+    cache.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="evaluate every design point from scratch",
+    )
+
+
+def _build_runner(args: argparse.Namespace):
+    """A DseRunner honouring the --jobs/--cache engine options."""
+    from repro.dse import DseCache, DseRunner
+
+    cache = DseCache() if args.cache else None
+    return DseRunner(jobs=args.jobs, cache=cache)
 
 
 def _read(path: str) -> bytes:
@@ -131,10 +171,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
 
 def _cmd_dse(args: argparse.Namespace) -> int:
-    from repro.dse import DseRunner
     from repro.dse import experiments
 
-    runner = DseRunner()
+    runner = _build_runner(args)
     figure = {
         "fig11": experiments.fig11_snappy_decompression,
         "fig12": experiments.fig12_snappy_compression,
@@ -146,11 +185,10 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_summaries(_args: argparse.Namespace) -> int:
-    from repro.dse import DseRunner
+def _cmd_summaries(args: argparse.Namespace) -> int:
     from repro.dse.summaries import final_text_summaries
 
-    print(final_text_summaries(DseRunner()))
+    print(final_text_summaries(_build_runner(args)))
     return 0
 
 

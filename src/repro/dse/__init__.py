@@ -1,14 +1,21 @@
 """Design-space exploration harness (paper §6)."""
 
+from repro.dse.cache import DseCache, runner_fingerprint
+from repro.dse.parallel import evaluate_points, resolve_jobs
 from repro.dse.pareto import best_within_area, pareto_frontier, smallest_meeting_speedup
 from repro.dse.results import FigureResult
-from repro.dse.runner import DesignPointResult, DseRunner
+from repro.dse.runner import DesignPoint, DesignPointResult, DseRunner
 
 __all__ = [
+    "DesignPoint",
     "DesignPointResult",
+    "DseCache",
     "DseRunner",
     "FigureResult",
     "best_within_area",
+    "evaluate_points",
     "pareto_frontier",
+    "resolve_jobs",
+    "runner_fingerprint",
     "smallest_meeting_speedup",
 ]

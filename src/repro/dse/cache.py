@@ -1,0 +1,245 @@
+"""Persistent on-disk memo store for DSE design-point evaluations.
+
+A cold ``benchmarks/`` run re-derives every matcher token stream and frame
+analysis from scratch; this cache makes the second and every later sweep a
+sequence of disk reads instead. Entries are :class:`DesignPointResult`
+pickles keyed by a SHA-256 content hash over everything that can change an
+evaluation's bytes:
+
+* the benchmark identity — :data:`repro.hcbench.suite.GENERATOR_VERSION`,
+  the :class:`~repro.hcbench.generator.GeneratorConfig`, and a digest of
+  every suite file's actual payload and usage parameters (so a custom bench
+  with the same config cannot alias the default one);
+* every calibration constant in :mod:`repro.core.calibration` (the cycle
+  model's entire parameterization);
+* the Xeon baseline's parameters;
+* the design point itself — algorithm, operation, and the full
+  :class:`~repro.core.params.CdpuConfig` (which subsumes the
+  encoder-relevant LZ77 parameters).
+
+Writes are atomic (temp file + ``os.replace``) so concurrent sweeps sharing
+one cache directory never observe torn entries, and the key schema is
+versioned: bumping :data:`CACHE_SCHEMA_VERSION` evicts every stale entry the
+first time the new schema opens the directory. A corrupt or unreadable entry
+is deleted and treated as a miss — the point is recomputed, never raised.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.dse.runner import DesignPoint, DesignPointResult, DseRunner
+
+#: Bump whenever the key material or entry layout changes; the first open
+#: under a new schema evicts every entry written under an old one.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache location, as documented in README/DESIGN (relative to the
+#: working directory, i.e. the repo root in normal use). Override with the
+#: ``REPRO_DSE_CACHE_DIR`` environment variable or an explicit ``root``.
+DEFAULT_CACHE_DIRNAME = os.path.join("results", ".dse-cache")
+
+_SCHEMA_FILENAME = "SCHEMA"
+_ENTRY_SUFFIX = ".pkl"
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert key material into a canonical JSON-serializable form."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        converted = {}
+        for key, val in value.items():
+            if isinstance(key, tuple):
+                name = "/".join(str(_jsonable(k)) for k in key)
+            elif isinstance(key, enum.Enum):
+                name = str(key.value)
+            else:
+                name = str(key)
+            converted[name] = _jsonable(val)
+        return converted
+    if isinstance(value, (frozenset, set)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, bytes):
+        return hashlib.sha256(value).hexdigest()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for cache key")
+
+
+def _digest(material: Any) -> str:
+    payload = json.dumps(_jsonable(material), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _calibration_snapshot() -> dict:
+    """Every public constant of the calibration module, by name."""
+    from repro.core import calibration
+
+    snapshot = {}
+    for name in dir(calibration):
+        if not name.isupper():
+            continue
+        value = getattr(calibration, name)
+        if isinstance(value, (bool, int, float, str, dict, tuple, list)):
+            snapshot[name] = value
+    return snapshot
+
+
+def _bench_digest(bench) -> str:
+    """Content digest of every suite file (payload + usage parameters)."""
+    sha = hashlib.sha256()
+    for (algorithm, operation), suite in sorted(
+        bench.suites.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+    ):
+        sha.update(f"{algorithm}/{operation.value}".encode("utf-8"))
+        for file in suite.files:
+            sha.update(
+                f"{file.name}|{file.level}|{file.window_size}|{len(file.data)}".encode("utf-8")
+            )
+            sha.update(file.data)
+    return sha.hexdigest()
+
+
+def runner_fingerprint(runner: "DseRunner") -> str:
+    """Hash of everything evaluation-relevant that is *not* the design point.
+
+    Memoized on the runner instance: the benchmark and baseline a runner is
+    bound to never change after construction.
+    """
+    cached = getattr(runner, "_cache_fingerprint", None)
+    if cached is not None:
+        return cached
+    from repro.hcbench.suite import GENERATOR_VERSION
+
+    fingerprint = _digest(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "generator_version": GENERATOR_VERSION,
+            "generator_config": runner.bench.config,
+            "bench_content": _bench_digest(runner.bench),
+            "calibration": _calibration_snapshot(),
+            "xeon": runner.xeon,
+        }
+    )
+    runner._cache_fingerprint = fingerprint
+    return fingerprint
+
+
+class DseCache:
+    """Disk-backed memo store mapping design-point keys to results."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_DSE_CACHE_DIR") or DEFAULT_CACHE_DIRNAME
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._opened = False
+
+    # ------------------------------------------------------------------
+    # Directory lifecycle
+    # ------------------------------------------------------------------
+
+    def _open(self) -> None:
+        """Create the directory and evict entries from older key schemas."""
+        if self._opened:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        schema_file = self.root / _SCHEMA_FILENAME
+        current = str(CACHE_SCHEMA_VERSION)
+        stale = True
+        try:
+            stale = schema_file.read_text().strip() != current
+        except OSError:
+            pass  # no schema marker yet: treat all entries as stale
+        if stale:
+            for entry in self.root.glob(f"*{_ENTRY_SUFFIX}"):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass  # concurrent eviction: another process got it first
+            schema_file.write_text(current + "\n")
+        self._opened = True
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+
+    def key(self, fingerprint: str, point: "DesignPoint") -> str:
+        """Content key for one design point under a runner fingerprint."""
+        return _digest(
+            {
+                "fingerprint": fingerprint,
+                "algorithm": point.algorithm,
+                "operation": point.operation,
+                "config": point.config,
+            }
+        )
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / f"{key}{_ENTRY_SUFFIX}"
+
+    # ------------------------------------------------------------------
+    # Entry IO
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional["DesignPointResult"]:
+        """Load a cached result, or ``None`` on miss/corruption.
+
+        A damaged entry (truncated pickle, stale class layout, wrong type)
+        is deleted and reported as a miss so the caller recomputes.
+        """
+        from repro.dse.runner import DesignPointResult
+
+        self._open()
+        path = self._entry_path(key)
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+            if not isinstance(result, DesignPointResult):
+                raise TypeError(f"cache entry holds {type(result).__name__}")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:  # repro: noqa[R002] - any unpickling failure means a corrupt entry; it is evicted and recomputed, never silently decoded
+            try:
+                path.unlink()
+            except OSError:
+                pass  # already evicted by a concurrent reader
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: "DesignPointResult") -> None:
+        """Store a result atomically (best-effort: IO failure is not fatal)."""
+        self._open()
+        path = self._entry_path(key)
+        tmp = path.with_suffix(f"{_ENTRY_SUFFIX}.tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(result, handle)
+            os.replace(tmp, path)
+            self.stores += 1
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass  # temp file never materialized

@@ -19,11 +19,9 @@ from repro.dse.runner import DesignPointResult, DseRunner
 from repro.dse.sweeps import (
     HASH_TABLE_ENTRIES_DEFAULT,
     HASH_TABLE_ENTRIES_SMALL,
-    SPECULATION_WIDTHS,
-    SRAM_SIZES,
-    decoder_sweep,
-    encoder_sweep,
-    speculation_sweep,
+    decoder_points,
+    encoder_points,
+    speculation_points,
     sram_labels,
 )
 from repro.soc.placement import ALL_PLACEMENTS, Placement
@@ -46,9 +44,9 @@ def _decoder_figure(
     series: Dict[str, List[float]] = {p.value: [] for p in ALL_PLACEMENTS}
     points: List[DesignPointResult] = []
     areas: List[float] = []
-    for placement, sram, config in decoder_sweep(base=base):
-        point = runner.evaluate(config, algorithm, Operation.DECOMPRESS)
+    for point in runner.evaluate_many(decoder_points(algorithm, base=base)):
         points.append(point)
+        placement = point.config.placement
         series[placement.value].append(point.speedup)
         if placement is Placement.ROCC:
             areas.append(point.area_mm2)
@@ -77,11 +75,13 @@ def _encoder_figure(
     points: List[DesignPointResult] = []
     areas: List[float] = []
     ratios: List[float] = []
-    for placement, sram, config in encoder_sweep(
-        COMPRESSION_PLACEMENTS, hash_table_entries=hash_table_entries
+    for point in runner.evaluate_many(
+        encoder_points(
+            algorithm, COMPRESSION_PLACEMENTS, hash_table_entries=hash_table_entries
+        )
     ):
-        point = runner.evaluate(config, algorithm, Operation.COMPRESS)
         points.append(point)
+        placement = point.config.placement
         series[placement.value].append(point.speedup)
         if placement is Placement.ROCC:
             areas.append(point.area_mm2)
@@ -169,13 +169,15 @@ class SpeculationPoint:
 
 def speculation_study(runner: DseRunner) -> List[SpeculationPoint]:
     """§6.4: ZStd decompression vs Huffman speculation width (4/16/32)."""
-    points = []
-    for width, config in speculation_sweep():
-        result = runner.evaluate(config, "zstd", Operation.DECOMPRESS)
-        points.append(
-            SpeculationPoint(speculation=width, speedup=result.speedup, area_mm2=result.area_mm2)
+    results = runner.evaluate_many(speculation_points())
+    return [
+        SpeculationPoint(
+            speculation=result.config.huffman_speculation,
+            speedup=result.speedup,
+            area_mm2=result.area_mm2,
         )
-    return points
+        for result in results
+    ]
 
 
 def all_figures(runner: DseRunner) -> Dict[str, FigureResult]:

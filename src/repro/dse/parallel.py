@@ -1,0 +1,111 @@
+"""Process-pool fan-out for DSE sweeps (with optional persistent caching).
+
+The paper's exploration (§6, Figures 11-15) evaluates hundreds of
+(algorithm, operation, placement, SRAM, hash-table, speculation) points per
+suite. Each point is a pure function of (benchmark, calibration, config), so
+sweeps parallelize perfectly: :func:`evaluate_points` fans a point list out
+over a :class:`concurrent.futures.ProcessPoolExecutor` and reassembles
+results in sweep order, guaranteeing a **bit-identical**
+:class:`~repro.dse.runner.DesignPointResult` sequence regardless of worker
+count (enforced by ``tests/dse/test_parallel.py``).
+
+Worker count resolution: an explicit ``jobs`` argument wins, then the
+``REPRO_JOBS`` environment variable, then 1 — the default stays serial so
+library behaviour is unchanged unless a caller opts in.
+
+When a :class:`~repro.dse.cache.DseCache` is supplied, cached points are
+served before any worker is spawned and fresh results are written back
+atomically, so `repro dse`, the benchmark suite, and ad-hoc sweeps all share
+one warm store.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, List, Optional, Sequence
+
+from repro.common.errors import ConfigError
+from repro.dse.cache import DseCache, runner_fingerprint
+from repro.dse.runner import DesignPoint, DesignPointResult, DseRunner
+
+#: Environment variable consulted when no explicit ``jobs`` is given.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+# Per-worker runner, built once by the pool initializer so every task in a
+# worker shares the in-process workload memos (token streams, frame stats).
+_WORKER_RUNNER: Optional[DseRunner] = None
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit arg, then ``REPRO_JOBS``, then 1."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ConfigError(f"{JOBS_ENV_VAR} must be an integer, got {raw!r}") from None
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _init_worker(bench, xeon) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = DseRunner(bench, xeon)
+
+
+def _evaluate_in_worker(point: DesignPoint) -> DesignPointResult:
+    assert _WORKER_RUNNER is not None, "worker initializer did not run"
+    return _WORKER_RUNNER.evaluate_point(point)
+
+
+def evaluate_points(
+    runner: DseRunner,
+    points: Iterable[DesignPoint],
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[DseCache] = None,
+) -> List[DesignPointResult]:
+    """Evaluate design points, in order, with caching and parallelism.
+
+    The result list is positionally aligned with ``points`` and bit-identical
+    across ``jobs`` values and cache states: every evaluation is a
+    deterministic pure function, and IEEE-754 arithmetic does not depend on
+    the process it runs in.
+    """
+    points = list(points)
+    jobs = resolve_jobs(jobs)
+    results: List[Optional[DesignPointResult]] = [None] * len(points)
+    keys: Optional[List[str]] = None
+    if cache is not None and points:
+        fingerprint = runner_fingerprint(runner)
+        keys = [cache.key(fingerprint, point) for point in points]
+        for index, key in enumerate(keys):
+            results[index] = cache.get(key)
+
+    missing = [index for index, result in enumerate(results) if result is None]
+    if missing:
+        fresh = _compute(runner, [points[i] for i in missing], jobs)
+        for index, result in zip(missing, fresh):
+            results[index] = result
+            if cache is not None and keys is not None:
+                cache.put(keys[index], result)
+    return [result for result in results if result is not None]
+
+
+def _compute(
+    runner: DseRunner, points: Sequence[DesignPoint], jobs: int
+) -> List[DesignPointResult]:
+    """Run the uncached points — serially, or across a process pool."""
+    if jobs == 1 or len(points) <= 1:
+        return [runner.evaluate_point(point) for point in points]
+    workers = min(jobs, len(points))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(runner.bench, runner.xeon),
+    ) as pool:
+        return list(pool.map(_evaluate_in_worker, points))

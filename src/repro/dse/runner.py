@@ -11,12 +11,20 @@ The runner memoizes the config-independent part of each evaluation:
 * compression workloads — matcher token streams and hardware-achieved
   compressed sizes — are keyed by the encoder-relevant parameters only, so
   all four placements of one SRAM/HT point share one matcher run.
+
+On top of the in-process memos, a sweep is a list of :class:`DesignPoint`
+work units — picklable (algorithm, operation, config) triples — that
+:meth:`DseRunner.evaluate_many` fans out through
+:mod:`repro.dse.parallel` (``ProcessPoolExecutor`` workers) and memoizes
+persistently through :mod:`repro.dse.cache` when the runner is constructed
+with ``jobs``/``cache``. The defaults (serial, no cache) keep single-point
+behaviour exactly as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.algorithms.base import Operation
 from repro.algorithms.lz77 import Lz77Params, MatcherStats, TokenStream
@@ -28,6 +36,22 @@ from repro.core.generator import CdpuGenerator
 from repro.core.params import CdpuConfig
 from repro.hcbench.suite import HyperCompressBench, Suite, default_benchmark
 from repro.soc.xeon import XeonBaseline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.dse.cache import DseCache
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One sweep work unit: a picklable (algorithm, operation, config) triple.
+
+    Everything a worker process needs to evaluate the point — the benchmark
+    and baseline travel separately, once, via the pool initializer.
+    """
+
+    algorithm: str
+    operation: Operation
+    config: CdpuConfig
 
 
 @dataclass(frozen=True)
@@ -91,9 +115,17 @@ class DseRunner:
         self,
         bench: Optional[HyperCompressBench] = None,
         xeon: Optional[XeonBaseline] = None,
+        *,
+        jobs: Optional[int] = None,
+        cache: Optional["DseCache"] = None,
     ) -> None:
         self.bench = bench if bench is not None else default_benchmark()
         self.xeon = xeon if xeon is not None else XeonBaseline()
+        #: Worker processes for :meth:`evaluate_many` (None: ``REPRO_JOBS``
+        #: environment variable, defaulting to serial).
+        self.jobs = jobs
+        #: Optional persistent result store shared across runs/processes.
+        self.cache = cache
         self._decode_cache: Dict[str, List[_DecodeWorkItem]] = {}
         self._encode_cache: Dict[Tuple, List[_EncodeWorkItem]] = {}
         self._xeon_cache: Dict[Tuple[str, Operation], float] = {}
@@ -205,3 +237,18 @@ class DseRunner:
         )
         object.__setattr__(result, "_suite_bytes", suite.total_uncompressed_bytes)
         return result
+
+    def evaluate_point(self, point: DesignPoint) -> DesignPointResult:
+        """Evaluate one sweep work unit (the worker-side entry point)."""
+        return self.evaluate(point.config, point.algorithm, point.operation)
+
+    def evaluate_many(self, points: Iterable[DesignPoint]) -> List[DesignPointResult]:
+        """Evaluate a sweep's point list, in order.
+
+        Honours the runner's ``jobs``/``cache`` settings; with the defaults
+        this is exactly a serial loop over :meth:`evaluate_point`. Results
+        are bit-identical across worker counts and cache states.
+        """
+        from repro.dse.parallel import evaluate_points
+
+        return evaluate_points(self, points, jobs=self.jobs, cache=self.cache)

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from typing import Iterator, List, Sequence, Tuple
 
+from repro.algorithms.base import Operation
 from repro.common.units import KiB, format_size
 from repro.core.params import CdpuConfig
+from repro.dse.runner import DesignPoint
 from repro.soc.placement import ALL_PLACEMENTS, Placement
 
 #: Figure 11-15 x-axis, largest first (the paper plots 64K on the left).
@@ -69,3 +71,51 @@ def speculation_sweep(
     """Huffman speculation sweep at fixed 64K history (§6.4)."""
     for width in widths:
         yield width, base.with_(huffman_speculation=width)
+
+
+# ---------------------------------------------------------------------------
+# Materialized work-unit lists (inputs to DseRunner.evaluate_many)
+# ---------------------------------------------------------------------------
+
+
+def decoder_points(
+    algorithm: str,
+    placements: Sequence[Placement] = tuple(ALL_PLACEMENTS),
+    sram_sizes: Sequence[int] = tuple(SRAM_SIZES),
+    *,
+    base: CdpuConfig = CdpuConfig(),
+) -> List[DesignPoint]:
+    """The decoder grid as picklable work units, in figure order."""
+    return [
+        DesignPoint(algorithm, Operation.DECOMPRESS, config)
+        for _, _, config in decoder_sweep(placements, sram_sizes, base=base)
+    ]
+
+
+def encoder_points(
+    algorithm: str,
+    placements: Sequence[Placement],
+    sram_sizes: Sequence[int] = tuple(SRAM_SIZES),
+    *,
+    hash_table_entries: int = HASH_TABLE_ENTRIES_DEFAULT,
+    base: CdpuConfig = CdpuConfig(),
+) -> List[DesignPoint]:
+    """The encoder grid as picklable work units, in figure order."""
+    return [
+        DesignPoint(algorithm, Operation.COMPRESS, config)
+        for _, _, config in encoder_sweep(
+            placements, sram_sizes, hash_table_entries=hash_table_entries, base=base
+        )
+    ]
+
+
+def speculation_points(
+    widths: Sequence[int] = tuple(SPECULATION_WIDTHS),
+    *,
+    base: CdpuConfig = CdpuConfig(),
+) -> List[DesignPoint]:
+    """The §6.4 speculation study as work units (ZStd decompression)."""
+    return [
+        DesignPoint("zstd", Operation.DECOMPRESS, config)
+        for _, config in speculation_sweep(widths, base=base)
+    ]

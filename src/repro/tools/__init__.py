@@ -1,0 +1,6 @@
+"""Maintenance tools run as modules (``python -m repro.tools.<name>``).
+
+These are developer-facing utilities, not library API: they regenerate
+checked-in artifacts (golden wire-format vectors) that the test suite
+verifies byte-exactly.
+"""

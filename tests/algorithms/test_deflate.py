@@ -1,0 +1,144 @@
+"""Unit tests for the raw-DEFLATE wire-format module.
+
+Differential tests against stdlib zlib live in
+``test_flate_differential.py``; this file covers the module's own contract:
+block-type selection, header validation, and corruption detection.
+"""
+
+import zlib
+
+import pytest
+
+from repro.algorithms.deflate import (
+    DEFLATE_INFO,
+    MAX_MATCH,
+    MAX_WINDOW,
+    DeflateCodec,
+    deflate_raw,
+    inflate_raw,
+)
+from repro.common.bitio import BitWriter
+from repro.common.errors import ConfigError, CorruptStreamError
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        assert inflate_raw(deflate_raw(b"")) == b""
+
+    def test_single_byte(self):
+        assert inflate_raw(deflate_raw(b"z")) == b"z"
+
+    def test_all_levels(self):
+        data = b"deflate per-level round trip " * 120
+        for level in range(DEFLATE_INFO.min_level, DEFLATE_INFO.max_level + 1):
+            assert inflate_raw(deflate_raw(data, level=level)) == data
+
+    def test_max_length_matches(self):
+        # Runs longer than MAX_MATCH force length-258 copies (symbol 285,
+        # zero extra bits) plus follow-up matches.
+        data = b"\xaa" * (MAX_MATCH * 4 + 7)
+        assert inflate_raw(deflate_raw(data)) == data
+
+    def test_long_range_matches(self):
+        # A repeat just inside the 32 KiB window exercises the largest
+        # distance codes.
+        unit = bytes(range(256)) * 120  # 30720 bytes < MAX_WINDOW
+        data = unit + unit
+        assert len(unit) < MAX_WINDOW
+        assert inflate_raw(deflate_raw(data)) == data
+
+
+class TestBlockSelection:
+    def test_incompressible_data_uses_stored_blocks(self):
+        state = 0x9E3779B97F4A7C15
+        chunks = []
+        for _ in range(1024):
+            state = (state * 6364136223846793005 + 1442695040888963407) % 2**64
+            chunks.append(state.to_bytes(8, "little"))
+        data = b"".join(chunks)
+        stream = deflate_raw(data)
+        # Stored framing costs 5 bytes per 64 KiB block.
+        assert len(stream) <= len(data) + 10
+        # First header bits: BFINAL=1 (or 0 for a split), BTYPE=00.
+        assert stream[0] & 0b110 == 0
+
+    def test_compressible_data_beats_stored(self):
+        data = b"entropy coding wins here " * 400
+        assert len(deflate_raw(data)) < len(data) // 4
+
+
+class TestCorruption:
+    def test_reserved_block_type(self):
+        writer = BitWriter()
+        writer.write(1, 1)  # BFINAL
+        writer.write(3, 2)  # BTYPE=11: reserved
+        with pytest.raises(CorruptStreamError):
+            inflate_raw(writer.getvalue())
+
+    def test_truncated_stored_header(self):
+        writer = BitWriter()
+        writer.write(1, 1)
+        writer.write(0, 2)  # stored, but LEN/NLEN missing
+        with pytest.raises(CorruptStreamError):
+            inflate_raw(writer.getvalue())
+
+    def test_stored_length_check_mismatch(self):
+        stream = bytearray(deflate_raw(bytes(range(251)) * 40))  # stored block
+        if stream[0] & 0b110 == 0:  # only meaningful if stored was chosen
+            stream[2] ^= 0xFF  # break NLEN
+            with pytest.raises(CorruptStreamError):
+                inflate_raw(bytes(stream))
+
+    def test_empty_input_raises(self):
+        with pytest.raises(CorruptStreamError):
+            inflate_raw(b"")
+
+    def test_distance_before_stream_start(self):
+        # A dynamic stream whose first symbol is a match cannot reference
+        # history; build one via zlib on data with an early repeat, then
+        # check that chopping the literal prefix is caught. Simpler: flip
+        # bits across a valid stream and require decode-or-raise.
+        reference = deflate_raw(b"abcdabcdabcd" * 300, level=9)
+        payload = inflate_raw(reference)
+        for position in range(min(len(reference), 40)):
+            corrupted = bytearray(reference)
+            corrupted[position] ^= 0x10
+            try:
+                decoded = inflate_raw(bytes(corrupted))
+            except CorruptStreamError:
+                continue
+            # Raw DEFLATE has no checksum, so a flip may still decode; it
+            # must never crash with anything but CorruptStreamError though.
+            assert isinstance(decoded, bytes)
+        assert payload == b"abcdabcdabcd" * 300
+
+    def test_truncation_matrix(self):
+        stream = deflate_raw(b"truncation target " * 200)
+        for keep in range(len(stream)):
+            try:
+                inflate_raw(stream[:keep])
+            except CorruptStreamError:
+                continue
+
+
+class TestCodecContract:
+    def test_info(self):
+        assert DEFLATE_INFO.name == "deflate"
+        assert DEFLATE_INFO.fixed_window_bytes == MAX_WINDOW
+        assert DEFLATE_INFO.clamp_level(None) == DEFLATE_INFO.default_level
+        assert DEFLATE_INFO.clamp_level(99) == DEFLATE_INFO.max_level
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigError):
+            DeflateCodec().compress(b"x", window_size=2 * MAX_WINDOW)
+
+    def test_not_registered(self):
+        # Raw DEFLATE carries no integrity trailer, so it must stay out of
+        # the registry (whose fuzz matrix demands corruption detection).
+        from repro.algorithms.registry import available_codecs
+
+        assert "deflate" not in available_codecs()
+
+    def test_interop_is_the_point(self):
+        data = b"the registry exclusion does not stop interop " * 30
+        assert zlib.decompress(DeflateCodec().compress(data), -15) == data

@@ -1,0 +1,139 @@
+"""Property-based invariants of the FSE (tANS) coder.
+
+Complements the concrete cases in ``test_fse.py`` with the algebraic
+contract, exercised over skewed, uniform and degenerate distributions:
+
+* ``normalize_counts`` always produces a distribution summing to exactly
+  ``2**accuracy_log`` with every present symbol kept encodable (count >= 1);
+* ``spread_symbols`` is a permutation-with-multiplicity of the normalized
+  counts over the whole state table;
+* every decode-table entry covers a valid ``[baseline, baseline+2^bits)``
+  sub-interval of the state space;
+* encode→decode is the identity for any symbol sequence, at any accuracy;
+* truncating the payload is always detected (sentinel-state check).
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.fse import (
+    MAX_ACCURACY_LOG,
+    MIN_ACCURACY_LOG,
+    FseTable,
+    normalize_counts,
+    spread_symbols,
+)
+from repro.common.errors import CorruptStreamError
+
+ACCURACY_LOGS = st.integers(MIN_ACCURACY_LOG, MAX_ACCURACY_LOG)
+
+
+@st.composite
+def skewed_frequencies(draw, min_symbols=1, max_symbols=30):
+    """Raw counts with heavy skew, uniform and degenerate shapes."""
+    count = draw(st.integers(min_symbols, max_symbols))
+    symbols = draw(
+        st.lists(st.integers(0, 63), min_size=count, max_size=count, unique=True)
+    )
+    shape = draw(st.sampled_from(["uniform", "skewed", "mixed"]))
+    if shape == "uniform":
+        weight = draw(st.integers(1, 5000))
+        return {s: weight for s in symbols}
+    exponents = draw(st.lists(st.integers(0, 14), min_size=count, max_size=count))
+    if shape == "skewed":
+        return {s: 1 << e for s, e in zip(symbols, exponents)}
+    extras = draw(st.lists(st.integers(1, 999), min_size=count, max_size=count))
+    return {s: (1 << e) + x for s, e, x in zip(symbols, exponents, extras)}
+
+
+@settings(max_examples=60, deadline=None)
+@given(skewed_frequencies(), ACCURACY_LOGS)
+def test_normalize_counts_invariants(freqs, accuracy_log):
+    assume(len(freqs) <= 1 << accuracy_log)
+    normalized = normalize_counts(freqs, accuracy_log)
+    assert sum(normalized.values()) == 1 << accuracy_log
+    assert set(normalized) == set(freqs)
+    assert all(count >= 1 for count in normalized.values())
+
+
+@settings(max_examples=60, deadline=None)
+@given(skewed_frequencies(), ACCURACY_LOGS)
+def test_normalization_is_idempotent(freqs, accuracy_log):
+    # A distribution already summing to the table size passes through
+    # untouched, so re-normalizing a stored header never drifts.
+    assume(len(freqs) <= 1 << accuracy_log)
+    normalized = normalize_counts(freqs, accuracy_log)
+    assert normalize_counts(normalized, accuracy_log) == normalized
+
+
+@settings(max_examples=60, deadline=None)
+@given(skewed_frequencies(), ACCURACY_LOGS)
+def test_spread_covers_table_with_exact_multiplicity(freqs, accuracy_log):
+    assume(len(freqs) <= 1 << accuracy_log)
+    normalized = normalize_counts(freqs, accuracy_log)
+    spread = spread_symbols(normalized, accuracy_log)
+    assert len(spread) == 1 << accuracy_log
+    for symbol, count in normalized.items():
+        assert spread.count(symbol) == count
+
+
+@settings(max_examples=60, deadline=None)
+@given(skewed_frequencies(), ACCURACY_LOGS)
+def test_decode_entries_partition_state_space(freqs, accuracy_log):
+    assume(len(freqs) <= 1 << accuracy_log)
+    table = FseTable.from_frequencies(freqs, accuracy_log)
+    size = table.table_size
+    for entry in table.decode_entries:
+        assert 0 <= entry.num_bits <= accuracy_log
+        assert 0 <= entry.baseline
+        assert entry.baseline + (1 << entry.num_bits) <= size
+    # Per symbol, the covered sub-intervals tile the state space exactly once.
+    covered = {s: 0 for s in table.normalized}
+    for entry in table.decode_entries:
+        covered[entry.symbol] += 1 << entry.num_bits
+    assert all(covered[s] == size for s in covered)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(0, 31), min_size=1, max_size=400),
+    st.sampled_from([5, 7, 9, 12]),
+)
+def test_roundtrip_any_sequence(symbols, accuracy_log):
+    freqs = {s: symbols.count(s) for s in set(symbols)}
+    table = FseTable.from_frequencies(freqs, accuracy_log)
+    payload, state, bit_length = table.encode(symbols)
+    assert len(payload) * 8 - bit_length in range(8)
+    assert table.decode(payload, state, len(symbols)) == symbols
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 15), min_size=8, max_size=300))
+def test_truncated_payload_is_detected(symbols):
+    # At least two distinct symbols so some states consume bits.
+    assume(len(set(symbols)) >= 2)
+    freqs = {s: symbols.count(s) for s in set(symbols)}
+    table = FseTable.from_frequencies(freqs, 7)
+    payload, state, _ = table.encode(symbols)
+    assume(len(payload) >= 1)
+    try:
+        decoded = table.decode(payload[:-1], state, len(symbols))
+    except CorruptStreamError:
+        return
+    # Dropping a byte can only go unnoticed if the tail carried no
+    # information; then the decode must still be exact.
+    assert decoded == symbols
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 15), min_size=1, max_size=200), ACCURACY_LOGS)
+def test_header_roundtrip_rebuilds_identical_tables(symbols, accuracy_log):
+    freqs = {s: symbols.count(s) for s in set(symbols)}
+    table = FseTable.from_frequencies(freqs, accuracy_log)
+    header = table.serialize_counts(alphabet_size=16)
+    rebuilt, consumed = FseTable.deserialize_counts(header, 16, accuracy_log)
+    assert consumed == len(header)
+    assert rebuilt.normalized == table.normalized
+    assert rebuilt.decode_entries == table.decode_entries
+    payload, state, _ = table.encode(symbols)
+    assert rebuilt.decode(payload, state, len(symbols)) == symbols

@@ -1,0 +1,105 @@
+"""Byte-exact golden wire-format vectors for every codec.
+
+The frames under ``tests/data/golden/`` pin each codec's output bytes: any
+change to headers, match heuristics, entropy coding or checksums shows up
+here as a byte diff, forcing a deliberate ``GENERATOR_VERSION`` bump plus
+``python -m repro.tools.regen_golden`` rather than a silent format drift
+(which would also invalidate the benchmark disk cache without anyone
+noticing).
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms.registry import available_codecs
+from repro.hcbench.suite import GENERATOR_VERSION
+from repro.tools.regen_golden import (
+    EXTRA_CODECS,
+    MANIFEST_SCHEMA,
+    _codec_factories,
+    golden_inputs,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "data" / "golden"
+
+REGEN_HINT = (
+    "codec output changed: bump GENERATOR_VERSION in repro.hcbench.suite and "
+    "run `python -m repro.tools.regen_golden`"
+)
+
+
+@pytest.fixture(scope="module")
+def manifest() -> dict:
+    path = GOLDEN_DIR / "manifest.json"
+    assert path.is_file(), "golden vectors missing; run repro.tools.regen_golden"
+    return json.loads(path.read_text())
+
+
+@pytest.fixture(scope="module")
+def codecs() -> dict:
+    return _codec_factories()
+
+
+@pytest.fixture(scope="module")
+def inputs() -> dict:
+    return golden_inputs()
+
+
+class TestManifest:
+    def test_schema(self, manifest):
+        assert manifest["manifest_schema"] == MANIFEST_SCHEMA
+
+    def test_tied_to_generator_version(self, manifest):
+        assert manifest["generator_version"] == GENERATOR_VERSION, REGEN_HINT
+
+    def test_covers_every_registered_codec(self, manifest):
+        assert manifest["registered_codecs"] == available_codecs(), REGEN_HINT
+        covered = {v["codec"] for v in manifest["vectors"]}
+        assert covered == set(available_codecs()) | set(EXTRA_CODECS)
+
+    def test_every_input_covered_per_codec(self, manifest, inputs):
+        by_codec: dict = {}
+        for vector in manifest["vectors"]:
+            by_codec.setdefault(vector["codec"], set()).add(vector["input"])
+        for codec, seen in by_codec.items():
+            assert seen == set(inputs), codec
+
+    def test_inputs_regenerate_identically(self, manifest, inputs):
+        # The synthesized inputs are part of the contract: if make_rng or
+        # the seed drifts, every frame comparison below would mislead.
+        digests = {
+            v["input"]: v["input_sha256"] for v in manifest["vectors"]
+        }
+        for name, data in inputs.items():
+            assert hashlib.sha256(data).hexdigest() == digests[name], name
+
+
+class TestFrames:
+    def test_encoders_reproduce_frames_byte_exactly(self, manifest, codecs, inputs):
+        for vector in manifest["vectors"]:
+            stored = (GOLDEN_DIR / vector["path"]).read_bytes()
+            assert len(stored) == vector["frame_bytes"], vector["path"]
+            assert hashlib.sha256(stored).hexdigest() == vector["frame_sha256"], (
+                vector["path"]
+            )
+            fresh = codecs[vector["codec"]].compress(
+                inputs[vector["input"]], level=vector["level"]
+            )
+            assert fresh == stored, f"{vector['path']}: {REGEN_HINT}"
+
+    def test_decoders_roundtrip_stored_frames(self, manifest, codecs, inputs):
+        for vector in manifest["vectors"]:
+            stored = (GOLDEN_DIR / vector["path"]).read_bytes()
+            decoded = codecs[vector["codec"]].decompress(stored)
+            assert decoded == inputs[vector["input"]], vector["path"]
+
+    def test_no_orphan_frames_on_disk(self, manifest):
+        listed = {v["path"] for v in manifest["vectors"]}
+        on_disk = {
+            str(p.relative_to(GOLDEN_DIR))
+            for p in GOLDEN_DIR.rglob("*.bin")
+        }
+        assert on_disk == listed

@@ -1,0 +1,113 @@
+"""Bit-identical parallel + cached sweeps — the tentpole's core guarantee.
+
+``DesignPointResult`` is a frozen dataclass, so ``==`` compares every float
+field exactly: the assertions below demand *bit-identical* results across
+worker counts and cache states, not approximate agreement.
+"""
+
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.common.errors import ConfigError
+from repro.core.params import CdpuConfig
+from repro.dse.cache import DseCache
+from repro.dse.parallel import JOBS_ENV_VAR, evaluate_points, resolve_jobs
+from repro.dse.runner import DesignPoint, DseRunner
+from repro.soc.placement import Placement
+
+
+def small_sweep():
+    """Four quick points spanning placements, SRAM sizes and operations."""
+    return [
+        DesignPoint("snappy", Operation.DECOMPRESS, CdpuConfig()),
+        DesignPoint(
+            "snappy",
+            Operation.DECOMPRESS,
+            CdpuConfig(placement=Placement.CHIPLET, decoder_history_bytes=4096),
+        ),
+        DesignPoint("snappy", Operation.COMPRESS, CdpuConfig()),
+        DesignPoint(
+            "snappy",
+            Operation.COMPRESS,
+            CdpuConfig(
+                placement=Placement.PCIE_NO_CACHE, encoder_history_bytes=16 * 1024
+            ),
+        ),
+    ]
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "8")
+        assert resolve_jobs(2) == 2
+
+    def test_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert resolve_jobs(None) == 3
+
+    @pytest.mark.parametrize("bad", ["zero", "1.5", ""])
+    def test_malformed_environment_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv(JOBS_ENV_VAR, bad)
+        if bad == "":
+            assert resolve_jobs(None) == 1  # unset-equivalent
+        else:
+            with pytest.raises(ConfigError):
+                resolve_jobs(None)
+
+    @pytest.mark.parametrize("bad", [0, -4])
+    def test_nonpositive_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            resolve_jobs(bad)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self, dse_runner):
+        points = small_sweep()
+        serial = evaluate_points(dse_runner, points, jobs=1)
+        parallel = evaluate_points(dse_runner, points, jobs=4)
+        assert parallel == serial
+
+    def test_results_align_with_point_order(self, dse_runner):
+        points = small_sweep()
+        results = evaluate_points(dse_runner, points, jobs=4)
+        for point, result in zip(points, results):
+            assert result.algorithm == point.algorithm
+            assert result.operation == point.operation
+            assert result.config == point.config
+
+    def test_cold_and_warm_cache_match_uncached(self, dse_runner, tmp_path):
+        points = small_sweep()
+        cache = DseCache(tmp_path / "cache")
+        uncached = evaluate_points(dse_runner, points)
+        cold = evaluate_points(dse_runner, points, cache=cache)
+        assert cache.stores == len(points)
+        warm = evaluate_points(dse_runner, points, cache=cache)
+        assert cache.hits == len(points)
+        assert cold == uncached
+        assert warm == uncached
+
+    def test_partial_cache_mixes_correctly(self, dse_runner, tmp_path):
+        points = small_sweep()
+        cache = DseCache(tmp_path / "cache")
+        evaluate_points(dse_runner, points[:2], cache=cache)
+        mixed = evaluate_points(dse_runner, points, cache=cache)
+        assert mixed == evaluate_points(dse_runner, points)
+        assert cache.hits == 2 and cache.stores == len(points)
+
+
+class TestRunnerIntegration:
+    def test_evaluate_many_honours_runner_engine_options(self, bench, tmp_path):
+        points = small_sweep()[:2]
+        cache = DseCache(tmp_path / "cache")
+        runner = DseRunner(bench, jobs=2, cache=cache)
+        results = runner.evaluate_many(points)
+        assert cache.stores == len(points)
+        baseline = DseRunner(bench)
+        assert results == [baseline.evaluate_point(p) for p in points]
+
+    def test_empty_sweep(self, dse_runner):
+        assert evaluate_points(dse_runner, []) == []
