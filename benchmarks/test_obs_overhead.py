@@ -1,0 +1,57 @@
+"""Wall-clock check of the observability layer's disabled-path cost.
+
+Acceptance criterion for the obs layer: with observability *disabled*, an
+instrumented codec round-trip must cost within 5% of calling the raw,
+unwrapped implementation directly. The wrapper keeps the original function
+as ``__wrapped__``, so both paths run the identical codec body — the only
+difference is the instrumentation shim's flag check. Lives under
+``benchmarks/`` (outside the default ``testpaths``) and carries the
+``bench`` marker because it measures time, which the functional suite must
+not depend on.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.algorithms.registry import get_codec
+from repro.corpus.sources import mixed_source
+
+#: Allowed disabled-path slowdown of wrapped vs raw round-trips.
+MAX_OVERHEAD_FRACTION = 0.05
+
+PAYLOAD = mixed_source(11, 256 * 1024)
+ROUNDS = 5
+
+
+def _roundtrip_seconds(compress, decompress, codec) -> float:
+    """Best-of-N timing of one compress+decompress pass (min filters noise)."""
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        compressed = compress(codec, PAYLOAD)
+        decompress(codec, compressed)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.bench
+def test_disabled_instrumentation_overhead_under_5_percent():
+    obs.disable()
+    codec = get_codec("snappy")
+    cls = type(codec)
+    wrapped_c, wrapped_d = cls.compress, cls.decompress
+    assert getattr(wrapped_c, "_obs_wrapped", False), "codec is not instrumented"
+    raw_c, raw_d = wrapped_c.__wrapped__, wrapped_d.__wrapped__
+
+    # Interleave-free warmup, then measure each path.
+    _roundtrip_seconds(raw_c, raw_d, codec)
+    raw = _roundtrip_seconds(raw_c, raw_d, codec)
+    wrapped = _roundtrip_seconds(wrapped_c, wrapped_d, codec)
+
+    overhead = wrapped / raw - 1.0
+    assert overhead <= MAX_OVERHEAD_FRACTION, (
+        f"disabled obs path too slow: raw={raw * 1e3:.2f}ms "
+        f"wrapped={wrapped * 1e3:.2f}ms ({100 * overhead:.2f}% overhead)"
+    )

@@ -9,9 +9,11 @@ through this interface.
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.common.units import KiB
 
 
@@ -67,6 +69,32 @@ class CodecInfo:
         return max(self.min_level, min(self.max_level, level))
 
 
+def _instrumented(fn, operation: str):
+    """Wrap a codec entry point with spans + byte counters.
+
+    The wrapper is a near-no-op while observability is disabled (one flag
+    check, then a tail call into the original function); enabled, it opens a
+    ``codec.<name>.<op>`` span and records call/byte counters under the
+    ``codec.<name>.<op>.*`` names.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, data, *args, **kwargs):
+        if not obs.enabled():
+            return fn(self, data, *args, **kwargs)
+        name = f"codec.{self.info.name}.{operation}"
+        with obs.span(name, category="codec"):
+            out = fn(self, data, *args, **kwargs)
+        obs.counter_add(f"{name}.calls", 1)
+        obs.counter_add(f"{name}.bytes_in", len(data))
+        obs.counter_add(f"{name}.bytes_out", len(out))
+        return out
+
+    wrapper._obs_wrapped = True
+    wrapper.__wrapped__ = fn
+    return wrapper
+
+
 class Codec:
     """Abstract buffer-in/buffer-out codec (the stable API from §3.4).
 
@@ -74,9 +102,21 @@ class Codec:
     :meth:`decompress`. ``level`` and ``window_size`` are accepted by all
     codecs; those without the corresponding knob ignore them (after
     validation), mirroring the real libraries' behaviour.
+
+    Every concrete subclass is transparently instrumented: registering the
+    class wraps its ``compress``/``decompress`` with observability hooks
+    (see :mod:`repro.obs`), so per-codec call counts, byte totals and spans
+    come for free for current and future codecs alike.
     """
 
     info: CodecInfo
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        for operation in ("compress", "decompress"):
+            fn = cls.__dict__.get(operation)
+            if fn is not None and not getattr(fn, "_obs_wrapped", False):
+                setattr(cls, operation, _instrumented(fn, operation))
 
     def compress(
         self,

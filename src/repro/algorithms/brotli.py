@@ -277,7 +277,7 @@ class BrotliCodec(Codec):
             raise CorruptStreamError(f"window log {window_log} out of range")
         window = 1 << window_log
         pos = 5
-        expected, pos = decode_varint(data, pos)
+        expected, pos = decode_varint(data, pos, max_bits=32)
         if pos >= len(data):
             raise CorruptStreamError("missing body marker")
         mode = data[pos]

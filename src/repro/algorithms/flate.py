@@ -189,7 +189,7 @@ class FlateCodec(Codec):
             raise CorruptStreamError(f"window log {data[4]} out of range")
         window = 1 << data[4]
         pos = 5
-        expected, pos = decode_varint(data, pos)
+        expected, pos = decode_varint(data, pos, max_bits=32)
         if pos >= len(data):
             raise CorruptStreamError("missing body marker")
         mode = data[pos]

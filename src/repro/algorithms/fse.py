@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from repro import obs
 from repro.common.bitio import BitReader, BitWriter
 from repro.common.errors import CorruptStreamError
 
@@ -143,14 +144,16 @@ class FseTable:
         starting from ``final_state`` reads bits forward and emits symbols in
         the original order.
         """
-        state = self.table_size  # lowest valid state as the sentinel start
-        ops: List[Tuple[int, int]] = []
-        for symbol in reversed(symbols):
-            state, bits_value, num_bits = self._encode_step(state, symbol)
-            ops.append((bits_value, num_bits))
-        writer = BitWriter()
-        for bits_value, num_bits in reversed(ops):
-            writer.write(bits_value, num_bits)
+        with obs.stage("stage.fse.encode"):
+            state = self.table_size  # lowest valid state as the sentinel start
+            ops: List[Tuple[int, int]] = []
+            for symbol in reversed(symbols):
+                state, bits_value, num_bits = self._encode_step(state, symbol)
+                ops.append((bits_value, num_bits))
+            writer = BitWriter()
+            for bits_value, num_bits in reversed(ops):
+                writer.write(bits_value, num_bits)
+        obs.counter_add("stage.fse.encode.symbols", len(symbols))
         return writer.getvalue(), state, writer.bit_length
 
     def decode(self, payload: bytes, initial_state: int, count: int) -> List[int]:
@@ -161,16 +164,18 @@ class FseTable:
         """
         if not self.table_size <= initial_state < 2 * self.table_size:
             raise CorruptStreamError(f"FSE initial state {initial_state} out of range")
-        reader = BitReader(payload)
-        state = initial_state
-        out: List[int] = []
-        for _ in range(count):
-            entry = self.decode_entries[state - self.table_size]
-            out.append(entry.symbol)
-            bits = reader.read(entry.num_bits) if entry.num_bits else 0
-            state = self.table_size + entry.baseline + bits
-        if state != self.table_size:
-            raise CorruptStreamError("FSE stream did not terminate on sentinel state")
+        with obs.stage("stage.fse.decode"):
+            reader = BitReader(payload)
+            state = initial_state
+            out: List[int] = []
+            for _ in range(count):
+                entry = self.decode_entries[state - self.table_size]
+                out.append(entry.symbol)
+                bits = reader.read(entry.num_bits) if entry.num_bits else 0
+                state = self.table_size + entry.baseline + bits
+            if state != self.table_size:
+                raise CorruptStreamError("FSE stream did not terminate on sentinel state")
+        obs.counter_add("stage.fse.decode.symbols", count)
         return out
 
     def serialize_counts(self, alphabet_size: int) -> bytes:

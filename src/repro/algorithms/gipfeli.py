@@ -129,7 +129,7 @@ class GipfeliCodec(Codec):
         if len(data) < 5 or data[:4] != MAGIC:
             raise CorruptStreamError("bad magic: not a Gipfeli-like stream")
         pos = 4
-        expected, pos = decode_varint(data, pos)
+        expected, pos = decode_varint(data, pos, max_bits=32)
         if pos >= len(data):
             raise CorruptStreamError("missing top-set header")
         top_size = data[pos]

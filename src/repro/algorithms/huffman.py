@@ -17,6 +17,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from repro import obs
 from repro.common.bitio import BitReader, BitWriter
 from repro.common.errors import CorruptStreamError
 
@@ -178,15 +179,18 @@ def deserialize_lengths(
 
 def encode_symbols(symbols: Sequence[int], table: HuffmanTable) -> bytes:
     """Entropy-code ``symbols`` with ``table`` (LSB-first bitstream)."""
-    writer = BitWriter()
-    codes = table.codes
-    for symbol in symbols:
-        try:
-            code, length = codes[symbol]
-        except KeyError:
-            raise ValueError(f"symbol {symbol} not present in table") from None
-        writer.write(_reverse_bits(code, length), length)
-    return writer.getvalue()
+    with obs.stage("stage.huffman.encode"):
+        writer = BitWriter()
+        codes = table.codes
+        for symbol in symbols:
+            try:
+                code, length = codes[symbol]
+            except KeyError:
+                raise ValueError(f"symbol {symbol} not present in table") from None
+            writer.write(_reverse_bits(code, length), length)
+        out = writer.getvalue()
+    obs.counter_add("stage.huffman.encode.symbols", len(symbols))
+    return out
 
 
 def decode_symbols(data: bytes, count: int, table: HuffmanTable) -> List[int]:
@@ -195,17 +199,19 @@ def decode_symbols(data: bytes, count: int, table: HuffmanTable) -> List[int]:
     The serial dependence here (next code position depends on previous code
     length) is precisely what the hardware expander speculates around (§5.3).
     """
-    flat = table.decode_table()
-    reader = BitReader(data)
-    out: List[int] = []
-    max_bits = table.max_bits
-    for _ in range(count):
-        window = reader.peek_padded(max_bits)
-        symbol, length = flat[window]
-        if symbol < 0 or length > reader.bits_remaining:
-            raise CorruptStreamError("invalid huffman code in stream")
-        reader.skip(length)
-        out.append(symbol)
+    with obs.stage("stage.huffman.decode"):
+        flat = table.decode_table()
+        reader = BitReader(data)
+        out: List[int] = []
+        max_bits = table.max_bits
+        for _ in range(count):
+            window = reader.peek_padded(max_bits)
+            symbol, length = flat[window]
+            if symbol < 0 or length > reader.bits_remaining:
+                raise CorruptStreamError("invalid huffman code in stream")
+            reader.skip(length)
+            out.append(symbol)
+    obs.counter_add("stage.huffman.decode.symbols", count)
     return out
 
 

@@ -28,6 +28,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.common.errors import ConfigError, CorruptStreamError
 from repro.common.hashing import get_hash_function, load_u32le
 from repro.common.units import is_power_of_two
@@ -215,12 +216,20 @@ class Lz77Encoder:
 
     def encode(self, data: bytes, *, collect_stats: bool = False) -> TokenStream:
         """Produce the token stream for ``data`` (never raises on any input)."""
-        stream, _ = self.encode_with_stats(data) if collect_stats else (self._encode(data, None), None)
+        if collect_stats:
+            stream, _ = self.encode_with_stats(data)
+            return stream
+        with obs.stage("stage.lz77.encode"):
+            stream = self._encode(data, None)
+        obs.counter_add("stage.lz77.encode.bytes", len(data))
         return stream
 
     def encode_with_stats(self, data: bytes) -> Tuple[TokenStream, MatcherStats]:
         stats = MatcherStats()
-        return self._encode(data, stats), stats
+        with obs.stage("stage.lz77.encode"):
+            stream = self._encode(data, stats)
+        obs.counter_add("stage.lz77.encode.bytes", len(data))
+        return stream, stats
 
     def _encode(self, data: bytes, stats: Optional[MatcherStats]) -> TokenStream:
         params = self.params
@@ -354,23 +363,25 @@ def decode_tokens(tokens: Iterable[Token], *, expected_length: Optional[int] = N
     when given, the expected output length. Overlapping copies (offset <
     length) replicate bytes, as in all LZ77 formats.
     """
-    out = bytearray()
-    for token in tokens:
-        if isinstance(token, Literal):
-            out.extend(token.data)
-        else:
-            if token.offset > len(out):
-                raise CorruptStreamError(
-                    f"copy offset {token.offset} reaches before start of output "
-                    f"(only {len(out)} bytes produced)"
-                )
-            start = len(out) - token.offset
-            for i in range(token.length):
-                out.append(out[start + i])
-    if expected_length is not None and len(out) != expected_length:
-        raise CorruptStreamError(
-            f"decoded length {len(out)} != expected {expected_length}"
-        )
+    with obs.stage("stage.lz77.decode"):
+        out = bytearray()
+        for token in tokens:
+            if isinstance(token, Literal):
+                out.extend(token.data)
+            else:
+                if token.offset > len(out):
+                    raise CorruptStreamError(
+                        f"copy offset {token.offset} reaches before start of output "
+                        f"(only {len(out)} bytes produced)"
+                    )
+                start = len(out) - token.offset
+                for i in range(token.length):
+                    out.append(out[start + i])
+        if expected_length is not None and len(out) != expected_length:
+            raise CorruptStreamError(
+                f"decoded length {len(out)} != expected {expected_length}"
+            )
+    obs.counter_add("stage.lz77.decode.bytes", len(out))
     return bytes(out)
 
 

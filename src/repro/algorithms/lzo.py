@@ -101,7 +101,7 @@ class LzoCodec(Codec):
         if len(data) < 5 or data[:4] != MAGIC:
             raise CorruptStreamError("bad magic: not an LZO-like stream")
         pos = 4
-        expected, pos = decode_varint(data, pos)
+        expected, pos = decode_varint(data, pos, max_bits=32)
         tokens: List = []
         n = len(data)
         while pos < n:

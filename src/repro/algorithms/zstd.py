@@ -485,7 +485,7 @@ class ZstdCodec(Codec):
             raise CorruptStreamError(f"window log {window_log} out of range")
         window = 1 << window_log
         pos = 6
-        expected, pos = decode_varint(data, pos)
+        expected, pos = decode_varint(data, pos, max_bits=32)
         out = bytearray()
         saw_last = False
         while pos < len(data):

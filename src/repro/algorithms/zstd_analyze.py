@@ -85,7 +85,7 @@ def analyze_frame(data: bytes) -> FrameStats:
         raise CorruptStreamError(f"unsupported format version {data[4]}")
     window_log = data[5]
     pos = 6
-    expected, pos = decode_varint(data, pos)
+    expected, pos = decode_varint(data, pos, max_bits=32)
 
     blocks: List[BlockStats] = []
     tokens: List[Token] = []

@@ -170,7 +170,7 @@ class ZstdDictCodec:
             )
         dict_tail = self.dictionary[-window:]
         pos = 10
-        expected, pos = decode_varint(data, pos)
+        expected, pos = decode_varint(data, pos, max_bits=32)
         out = bytearray()
         saw_last = False
         first = True

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands expose the library's main surfaces:
+Seven subcommands expose the library's main surfaces:
 
 * ``compress`` / ``decompress`` — run any of the from-scratch codecs on a
   file (buffer-in/buffer-out, §3.4's stable API).
@@ -10,7 +10,13 @@ Six subcommands expose the library's main surfaces:
   ``--no-cache`` controls the persistent store under ``results/.dse-cache``).
 * ``summaries`` — regenerate FINAL_TEXT_SUMMARIES from a full exploration
   (same ``--jobs``/``--cache`` engine options).
+* ``stats`` — run an instrumented workload (codec round-trips, or a fig11
+  smoke sweep) and print the metric snapshot (see :mod:`repro.obs`).
 * ``lint`` — run the codec-aware static-analysis pass (rules R001-R005).
+
+The global ``--trace <file>`` flag (before the subcommand) enables the
+observability layer for any command and writes a Chrome trace-event JSON on
+exit — load it in ``chrome://tracing`` or https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
@@ -27,6 +33,13 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="CDPU (ISCA'23) reproduction: codecs, fleet study, benchmark "
         "generation and CDPU design-space exploration.",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="enable observability and write a Chrome trace-event JSON "
+        "(viewable in chrome://tracing or Perfetto) when the command exits",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -57,6 +70,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "summaries", help="regenerate FINAL_TEXT_SUMMARIES (full DSE)"
     )
     _add_engine_options(summaries)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run an instrumented workload and print the metrics snapshot",
+    )
+    stats.add_argument(
+        "--workload",
+        choices=["roundtrip", "fig11", "sim"],
+        default="roundtrip",
+        help="what to instrument: every codec's round-trip on a small payload "
+        "(default), a Figure 11 smoke sweep (2 design points, cache-backed), "
+        "or a short queueing-simulator run",
+    )
+    stats.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        dest="stats_format",
+        help="snapshot rendering (json is deterministic for a given workload state)",
+    )
 
     # ``lint`` owns its own argparse (repro.lint.cli); capture everything
     # after the subcommand and forward it verbatim.
@@ -192,6 +225,90 @@ def _cmd_summaries(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stats_workload_roundtrip() -> None:
+    """Round-trip every registered codec on a small mixed payload."""
+    from repro.common.errors import ReproError
+
+    payload = (b"the quick brown fox jumps over the lazy dog. " * 40) + bytes(
+        range(256)
+    )
+    for name in available_codecs():
+        codec = get_codec(name)
+        try:
+            compressed = codec.compress(payload)
+            codec.decompress(compressed)
+        except ReproError as exc:  # pragma: no cover - registry codecs round-trip
+            print(f"warning: {name} failed round-trip: {exc}", file=sys.stderr)
+
+
+def _stats_workload_fig11() -> None:
+    """A 2-point cache-backed slice of the Figure 11 sweep.
+
+    Runs the same points twice through one fresh cache so the snapshot shows
+    the full cache life-cycle — ``dse.cache.miss``/``store`` on the cold pass,
+    ``dse.cache.hit`` on the warm one — plus codec/stage activity from the
+    evaluations themselves. Uses a reduced benchmark (4 files per suite) so
+    the smoke run stays interactive.
+    """
+    import tempfile
+
+    from repro.algorithms.base import Operation
+    from repro.core.params import CdpuConfig
+    from repro.dse.cache import DseCache
+    from repro.dse.parallel import evaluate_points
+    from repro.dse.runner import DesignPoint, DseRunner
+    from repro.hcbench.suite import default_benchmark
+    from repro.soc.placement import Placement
+
+    runner = DseRunner(default_benchmark(seed=0, files_per_suite=4))
+    points = [
+        DesignPoint(
+            algorithm="snappy",
+            operation=Operation.DECOMPRESS,
+            config=CdpuConfig(placement=placement),
+        )
+        for placement in (Placement.ROCC, Placement.PCIE_NO_CACHE)
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-stats-cache-") as tmp:
+        cache = DseCache(tmp)
+        evaluate_points(runner, points, cache=cache)
+        evaluate_points(runner, points, cache=cache)
+
+
+def _stats_workload_sim() -> None:
+    """A short queueing run against the software-baseline service model."""
+    from repro.fleet import generate_fleet_profile
+    from repro.sim.arrivals import poisson_trace
+    from repro.sim.queueing import ServiceModel, simulate
+
+    profile = generate_fleet_profile(seed=0, num_calls=2000)
+    service = ServiceModel.software_baseline()
+    trace = poisson_trace(
+        profile, seed=0, num_calls=500, algorithms=["snappy", "zstd"]
+    )
+    simulate(trace, service, lanes=2)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    obs.enable()
+    obs.reset()  # only this workload's activity in the report
+    workload = {
+        "roundtrip": _stats_workload_roundtrip,
+        "fig11": _stats_workload_fig11,
+        "sim": _stats_workload_sim,
+    }[args.workload]
+    with obs.span(f"stats.{args.workload}", category="cli"):
+        workload()
+    snap = obs.snapshot()
+    if args.stats_format == "json":
+        print(snap.to_json())
+    else:
+        print(snap.render_human())
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -204,6 +321,7 @@ _COMMANDS = {
     "fleet": _cmd_fleet,
     "dse": _cmd_dse,
     "summaries": _cmd_summaries,
+    "stats": _cmd_stats,
     "lint": _cmd_lint,
 }
 
@@ -218,7 +336,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         return lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    if args.trace is None:
+        return _COMMANDS[args.command](args)
+
+    from repro import obs
+
+    obs.enable()
+    try:
+        status = _COMMANDS[args.command](args)
+    finally:
+        written = obs.export_chrome_trace(args.trace)
+        print(f"trace: {written} spans -> {args.trace}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

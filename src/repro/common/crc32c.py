@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import List
 
+from repro import obs
+
 _POLY = 0x82F63B78  # reflected 0x1EDC6F41
 _MASK_DELTA = 0xA282EAD8
 
@@ -28,9 +30,11 @@ _TABLE = _build_table()
 
 def crc32c(data: bytes, crc: int = 0) -> int:
     """Compute (or continue) a CRC-32C over ``data``."""
-    crc = ~crc & 0xFFFFFFFF
-    for byte in data:
-        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    with obs.stage("stage.crc32c"):
+        crc = ~crc & 0xFFFFFFFF
+        for byte in data:
+            crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    obs.counter_add("stage.crc32c.bytes", len(data))
     return ~crc & 0xFFFFFFFF
 
 

@@ -20,6 +20,12 @@ GiB = 1024 * MiB
 #: One decimal gigabyte, used for GB/s throughput reporting (lzbench style).
 GB = 1_000_000_000
 
+#: Time-unit multipliers for the observability layer's clock conversions
+#: (``time.perf_counter_ns`` readings -> trace microseconds / seconds).
+NS_PER_SECOND = 1_000_000_000
+NS_PER_MICROSECOND = 1_000
+MICROSECONDS_PER_SECOND = 1_000_000
+
 
 def bytes_per_cycle_to_gbps(bytes_per_cycle: float, clock_hz: float) -> float:
     """Convert a per-cycle processing rate into decimal GB/s."""

@@ -35,6 +35,8 @@ import pickle
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Optional, Union
 
+from repro import obs
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.dse.runner import DesignPoint, DesignPointResult, DseRunner
 
@@ -173,6 +175,7 @@ class DseCache:
             for entry in self.root.glob(f"*{_ENTRY_SUFFIX}"):
                 try:
                     entry.unlink()
+                    obs.counter_add("dse.cache.evict", 1)
                 except OSError:
                     pass  # concurrent eviction: another process got it first
             schema_file.write_text(current + "\n")
@@ -217,15 +220,19 @@ class DseCache:
                 raise TypeError(f"cache entry holds {type(result).__name__}")
         except FileNotFoundError:
             self.misses += 1
+            obs.counter_add("dse.cache.miss", 1)
             return None
         except Exception:  # repro: noqa[R002] - any unpickling failure means a corrupt entry; it is evicted and recomputed, never silently decoded
             try:
                 path.unlink()
+                obs.counter_add("dse.cache.evict", 1)
             except OSError:
                 pass  # already evicted by a concurrent reader
             self.misses += 1
+            obs.counter_add("dse.cache.miss", 1)
             return None
         self.hits += 1
+        obs.counter_add("dse.cache.hit", 1)
         return result
 
     def put(self, key: str, result: "DesignPointResult") -> None:
@@ -238,6 +245,7 @@ class DseCache:
                 pickle.dump(result, handle)
             os.replace(tmp, path)
             self.stores += 1
+            obs.counter_add("dse.cache.store", 1)
         except OSError:
             try:
                 tmp.unlink()

@@ -22,9 +22,11 @@ one warm store.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.common.errors import ConfigError
 from repro.dse.cache import DseCache, runner_fingerprint
 from repro.dse.runner import DesignPoint, DesignPointResult, DseRunner
@@ -57,9 +59,18 @@ def _init_worker(bench, xeon) -> None:
     _WORKER_RUNNER = DseRunner(bench, xeon)
 
 
-def _evaluate_in_worker(point: DesignPoint) -> DesignPointResult:
+def _evaluate_in_worker(point: DesignPoint) -> Tuple[int, float, DesignPointResult]:
+    """Evaluate one point, reporting (worker pid, compute seconds, result).
+
+    The timing rides back with the result so the parent process can account
+    per-worker wall-clock in its metric registry — worker-local metrics
+    would die with the worker. The result object itself is untouched, which
+    preserves the bit-identical-across-jobs guarantee.
+    """
     assert _WORKER_RUNNER is not None, "worker initializer did not run"
-    return _WORKER_RUNNER.evaluate_point(point)
+    begin = time.perf_counter()
+    result = _WORKER_RUNNER.evaluate_point(point)
+    return os.getpid(), time.perf_counter() - begin, result
 
 
 def evaluate_points(
@@ -78,21 +89,27 @@ def evaluate_points(
     """
     points = list(points)
     jobs = resolve_jobs(jobs)
-    results: List[Optional[DesignPointResult]] = [None] * len(points)
-    keys: Optional[List[str]] = None
-    if cache is not None and points:
-        fingerprint = runner_fingerprint(runner)
-        keys = [cache.key(fingerprint, point) for point in points]
-        for index, key in enumerate(keys):
-            results[index] = cache.get(key)
+    with obs.span("dse.evaluate_points", category="dse", args={"points": len(points), "jobs": jobs}):
+        results: List[Optional[DesignPointResult]] = [None] * len(points)
+        keys: Optional[List[str]] = None
+        if cache is not None and points:
+            fingerprint = runner_fingerprint(runner)
+            keys = [cache.key(fingerprint, point) for point in points]
+            with obs.span("dse.cache.probe", category="dse"):
+                for index, key in enumerate(keys):
+                    results[index] = cache.get(key)
 
-    missing = [index for index, result in enumerate(results) if result is None]
-    if missing:
-        fresh = _compute(runner, [points[i] for i in missing], jobs)
-        for index, result in zip(missing, fresh):
-            results[index] = result
-            if cache is not None and keys is not None:
-                cache.put(keys[index], result)
+        missing = [index for index, result in enumerate(results) if result is None]
+        obs.gauge_set("dse.queue.depth", len(missing))
+        if missing:
+            fresh = _compute(runner, [points[i] for i in missing], jobs)
+            for index, result in zip(missing, fresh):
+                results[index] = result
+                if cache is not None and keys is not None:
+                    cache.put(keys[index], result)
+        obs.gauge_set("dse.queue.depth", 0)
+        obs.counter_add("dse.points.evaluated", len(missing))
+        obs.counter_add("dse.points.from_cache", len(points) - len(missing))
     return [result for result in results if result is not None]
 
 
@@ -101,11 +118,26 @@ def _compute(
 ) -> List[DesignPointResult]:
     """Run the uncached points — serially, or across a process pool."""
     if jobs == 1 or len(points) <= 1:
-        return [runner.evaluate_point(point) for point in points]
+        results = []
+        begin = time.perf_counter()
+        for point in points:
+            with obs.span(
+                f"dse.point.{point.algorithm}.{point.operation.value}", category="dse"
+            ):
+                results.append(runner.evaluate_point(point))
+        obs.counter_add(f"dse.worker.pid{os.getpid()}.seconds", time.perf_counter() - begin)
+        return results
     workers = min(jobs, len(points))
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
         initargs=(runner.bench, runner.xeon),
     ) as pool:
-        return list(pool.map(_evaluate_in_worker, points))
+        with obs.span("dse.pool.compute", category="dse", args={"workers": workers}):
+            timed = list(pool.map(_evaluate_in_worker, points))
+    results = []
+    for pid, seconds, result in timed:
+        obs.counter_add(f"dse.worker.pid{pid}.seconds", seconds)
+        obs.histogram_observe("dse.point.seconds", seconds)
+        results.append(result)
+    return results

@@ -97,32 +97,73 @@ def load_baseline(path: Union[str, Path]) -> Baseline:
     return Baseline(entries=entries)
 
 
+def validate_justification(text: str) -> str:
+    """Check a human-supplied justification; returns it stripped.
+
+    A justification must be a non-empty sentence and must not be a deferral
+    ("TODO", "FIXME", ...): the baseline exists to record *why* a finding is
+    acceptable, and a placeholder defeats that record permanently — nothing
+    ever forces a revisit once the entry silences the finding.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise ValueError("baseline justification must not be empty")
+    upper = stripped.upper()
+    if "TODO" in upper or "FIXME" in upper or "XXX" in upper:
+        raise ValueError(
+            f"baseline justification {stripped!r} is a deferral, not a "
+            "justification: state why the finding is acceptable, or fix it"
+        )
+    return stripped
+
+
 def write_baseline(
     findings: Sequence[Finding],
     path: Union[str, Path],
     *,
     previous: Baseline = None,
+    justification: str = None,
 ) -> Baseline:
     """Serialize ``findings`` as the new baseline.
 
     Justifications are carried over from ``previous`` where the finding key
-    matches; new entries get a placeholder that a human must replace.
+    matches. Entries without a carried justification require ``justification``
+    (one shared reason for everything newly grandfathered in this update);
+    omitting it raises ``ValueError`` listing the uncovered findings, so a
+    baseline can never be written with placeholder or empty justifications.
     """
     carried: Dict[Tuple[str, str, str], str] = {}
     if previous is not None:
         for entry in previous.entries:
             carried.setdefault(entry.key, entry.justification)
+    ordered = sorted(findings, key=lambda f: f.sort_key)
+    uncovered = [
+        finding
+        for finding in ordered
+        if (finding.rule, finding.path, finding.snippet) not in carried
+    ]
+    if uncovered:
+        if justification is None:
+            listing = ", ".join(
+                f"{f.rule} at {f.path}:{f.line}" for f in uncovered[:5]
+            )
+            if len(uncovered) > 5:
+                listing += f", ... ({len(uncovered) - 5} more)"
+            raise ValueError(
+                f"{len(uncovered)} finding(s) have no carried justification "
+                f"({listing}); pass one explaining why they are acceptable"
+            )
+        justification = validate_justification(justification)
     entries = [
         BaselineEntry(
             rule=finding.rule,
             path=finding.path,
             snippet=finding.snippet,
             justification=carried.get(
-                (finding.rule, finding.path, finding.snippet),
-                "TODO: justify or fix",
+                (finding.rule, finding.path, finding.snippet), justification
             ),
         )
-        for finding in sorted(findings, key=lambda f: f.sort_key)
+        for finding in ordered
     ]
     baseline = Baseline(entries=entries)
     payload = {

@@ -4,7 +4,8 @@ Exit codes: 0 — clean (every finding baselined or below the gate);
 1 — findings at/above the gate (ERROR by default, WARNING with
 ``--strict``), or stale baseline entries under ``--strict``; 2 — usage
 error. ``--update-baseline`` rewrites the baseline from the current
-findings, preserving existing justifications.
+findings, preserving existing justifications; findings not already in the
+baseline need a real ``--justification`` (placeholders are rejected).
 """
 
 from __future__ import annotations
@@ -57,7 +58,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--update-baseline",
         action="store_true",
-        help="rewrite the baseline from current findings (keeps justifications)",
+        help="rewrite the baseline from current findings (keeps justifications; "
+        "newly grandfathered findings require --justification)",
+    )
+    parser.add_argument(
+        "--justification",
+        default=None,
+        metavar="TEXT",
+        help="with --update-baseline: why any *newly* baselined findings are "
+        "acceptable (placeholders like TODO are rejected)",
     )
     return parser
 
@@ -84,7 +93,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
 
     if args.update_baseline:
-        write_baseline(result.findings, baseline_path, previous=baseline)
+        try:
+            write_baseline(
+                result.findings,
+                baseline_path,
+                previous=baseline,
+                justification=args.justification,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(
             f"baseline updated: {len(result.findings)} entr"
             f"{'ies' if len(result.findings) != 1 else 'y'} -> {baseline_path}"

@@ -1,0 +1,67 @@
+"""Observability layer: tracing spans + process-local metrics.
+
+The paper's contribution is *measurement* — per-call cycle accounting from
+fleet profiling (§3) and per-design-point throughput from the DSE (§6) — so
+the reproduction carries its own runtime instrumentation: hierarchical
+wall-clock spans over the codec stages, counters/gauges/histograms for the
+DSE engine and cache, and simulated-time spans for the queueing simulator.
+Everything is stdlib-only and off by default; the disabled path is a single
+flag check per instrumentation point.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    codec.compress(payload)            # spans + counters recorded
+    print(obs.snapshot().render_human())
+    obs.export_chrome_trace("trace.json")   # open in Perfetto
+
+``python -m repro stats`` and the global ``repro --trace <file>`` flag wrap
+exactly this sequence around the CLI workloads.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    MetricsSnapshot,
+    counter_add,
+    gauge_set,
+    histogram_observe,
+    reset_metrics,
+    snapshot,
+)
+from repro.obs.spans import (
+    current_span_name,
+    reset_spans,
+    span,
+    stage,
+    virtual_span,
+)
+from repro.obs.state import disable, enable, enabled
+from repro.obs.trace import export_chrome_trace
+
+__all__ = [
+    "MetricsSnapshot",
+    "counter_add",
+    "current_span_name",
+    "disable",
+    "enable",
+    "enabled",
+    "export_chrome_trace",
+    "gauge_set",
+    "histogram_observe",
+    "reset",
+    "reset_metrics",
+    "reset_spans",
+    "snapshot",
+    "span",
+    "stage",
+    "virtual_span",
+]
+
+
+def reset() -> None:
+    """Clear all recorded metrics and spans (the enable flag is untouched)."""
+    reset_metrics()
+    reset_spans()

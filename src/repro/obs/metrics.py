@@ -1,0 +1,223 @@
+"""Process-local metric registry: counters, gauges, histograms.
+
+Zero-dependency (stdlib only) so the codec tree, the DSE engine and the
+queueing simulator can all import it without cycles. All mutation goes
+through module-level helpers (:func:`counter_add`, :func:`gauge_set`,
+:func:`histogram_observe`) that are near-no-ops while observability is
+disabled: one attribute load and a falsy check, no allocation.
+
+Naming convention (documented in README "Observability"): dotted lowercase
+``<subsystem>.<object>.<metric>`` — e.g. ``codec.snappy.compress.bytes_in``,
+``dse.cache.hit``, ``sim.lane0.busy_seconds``. No label system: the label is
+part of the name, which keeps the registry a flat, deterministically
+serializable map.
+
+Thread safety: every registry mutation happens under one lock; snapshots are
+deep copies, so a snapshot taken while workers are running is internally
+consistent.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.state import OBS_STATE
+
+#: Histogram buckets are powers of two: bucket ``i`` counts observations in
+#: ``[2^(i-1), 2^i)``, with *negative* indices for sub-unit values (so
+#: microsecond-scale stage timings, recorded in seconds, still spread across
+#: buckets instead of collapsing into one). Values are recorded in the
+#: caller's unit (seconds for stage timers, bytes for sizes); log2 bucketing
+#: spans both scales without per-metric configuration. Indices are clamped to
+#: ``[-_BUCKET_CLAMP, _BUCKET_CLAMP]``; non-positive and non-finite values
+#: share the underflow bucket.
+_BUCKET_CLAMP = 1 << 10
+
+
+@dataclass
+class HistogramData:
+    """Aggregate of one histogram metric: moments plus log2 buckets."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = 0.0
+    maximum: float = 0.0
+    #: Sparse log2 bucket counts: bucket index -> observation count.
+    buckets: Dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        if self.count == 0:
+            self.minimum = value
+            self.maximum = value
+        else:
+            self.minimum = min(self.minimum, value)
+            self.maximum = max(self.maximum, value)
+        self.count += 1
+        self.total += value
+        self.buckets[_bucket_index(value)] = self.buckets.get(_bucket_index(value), 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+def _bucket_index(value: float) -> int:
+    """Log2 bucket of ``value``: the ``e`` with ``value`` in [2^(e-1), 2^e).
+
+    Non-positive and non-finite observations land in the underflow bucket;
+    the exponent is clamped so denormals and astronomically large values
+    cannot mint unbounded bucket keys.
+    """
+    if value <= 0.0 or not math.isfinite(value):
+        return -_BUCKET_CLAMP
+    exponent = math.frexp(value)[1]
+    return max(-_BUCKET_CLAMP, min(_BUCKET_CLAMP, exponent))
+
+
+class MetricsRegistry:
+    """The process-local store behind the module-level helpers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, HistogramData] = {}
+
+    def counter_add(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge_set(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def histogram_observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = HistogramData()
+            hist.observe(value)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def snapshot(self) -> "MetricsSnapshot":
+        with self._lock:
+            return MetricsSnapshot(
+                counters=dict(self._counters),
+                gauges=dict(self._gauges),
+                histograms={
+                    name: HistogramData(
+                        count=h.count,
+                        total=h.total,
+                        minimum=h.minimum,
+                        maximum=h.maximum,
+                        buckets=dict(h.buckets),
+                    )
+                    for name, h in self._histograms.items()
+                },
+            )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable, thread-safe view of the registry at one instant.
+
+    Serializes to *deterministic* JSON: keys are sorted, separators fixed,
+    and no timestamps are embedded, so two snapshots of identical registry
+    state produce byte-identical documents.
+    """
+
+    counters: Dict[str, float]
+    gauges: Dict[str, float]
+    histograms: Dict[str, HistogramData]
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    def to_json(self) -> str:
+        payload = {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].to_json() for k in sorted(self.histograms)
+            },
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+    def render_human(self) -> str:
+        """Aligned text report (the body of ``repro stats``)."""
+        lines: List[str] = []
+        if self.counters:
+            lines.append("counters:")
+            width = max(len(name) for name in self.counters)
+            for name in sorted(self.counters):
+                value = self.counters[name]
+                printed = f"{value:.6g}" if isinstance(value, float) and value != int(value) else f"{int(value)}"
+                lines.append(f"  {name:<{width}s}  {printed}")
+        if self.gauges:
+            lines.append("gauges:")
+            width = max(len(name) for name in self.gauges)
+            for name in sorted(self.gauges):
+                lines.append(f"  {name:<{width}s}  {self.gauges[name]:.6g}")
+        if self.histograms:
+            lines.append("histograms:")
+            width = max(len(name) for name in self.histograms)
+            for name in sorted(self.histograms):
+                hist = self.histograms[name]
+                lines.append(
+                    f"  {name:<{width}s}  count={hist.count} total={hist.total:.6g} "
+                    f"mean={hist.mean:.6g} min={hist.minimum:.6g} max={hist.maximum:.6g}"
+                )
+        if not lines:
+            lines.append("no metrics recorded (is observability enabled?)")
+        return "\n".join(lines)
+
+
+#: The process-wide registry instance the helpers below write to.
+REGISTRY = MetricsRegistry()
+
+
+def counter_add(name: str, value: float = 1) -> None:
+    """Increment a counter (no-op while observability is disabled)."""
+    if OBS_STATE.enabled:
+        REGISTRY.counter_add(name, value)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set a gauge to its latest value (no-op while disabled)."""
+    if OBS_STATE.enabled:
+        REGISTRY.gauge_set(name, value)
+
+
+def histogram_observe(name: str, value: float) -> None:
+    """Record one histogram observation (no-op while disabled)."""
+    if OBS_STATE.enabled:
+        REGISTRY.histogram_observe(name, value)
+
+
+def snapshot() -> MetricsSnapshot:
+    """Consistent copy of every metric recorded so far."""
+    return REGISTRY.snapshot()
+
+
+def reset_metrics() -> None:
+    """Clear the registry (tests and the CLI's per-run isolation)."""
+    REGISTRY.reset()

@@ -1,0 +1,239 @@
+"""Hierarchical tracing spans over the monotonic clock.
+
+``span("snappy.compress")`` is a context manager: on exit it records a
+completed span (name, category, wall-clock begin/duration, thread, nesting
+depth) into a process-local buffer that :mod:`repro.obs.trace` serializes as
+Chrome trace-event JSON. Spans nest per thread — a thread-local stack tracks
+the current depth, so a Perfetto/``about:tracing`` load shows the codec's
+stage structure (LZ77 under compress, Huffman under the block coder, ...)
+as stacked slices.
+
+Two clock domains coexist in one trace:
+
+* **wall spans** (:func:`span`, :func:`stage`) are timed with
+  ``time.perf_counter_ns`` relative to the first enablement, and
+* **virtual spans** (:func:`virtual_span`) carry caller-supplied timestamps
+  in *simulated* seconds — the queueing simulator uses them for
+  arrival/departure events. They are exported under a separate trace ``pid``
+  so the two time bases never interleave on one track.
+
+While observability is disabled, :func:`span` returns a shared no-op context
+manager: the hot path costs one flag check and no allocation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.units import (
+    MICROSECONDS_PER_SECOND,
+    NS_PER_MICROSECOND,
+    NS_PER_SECOND,
+)
+from repro.obs.state import OBS_STATE
+
+#: Hard cap on buffered span records; beyond it spans are counted but
+#: dropped, so a long sweep cannot exhaust memory through tracing.
+MAX_BUFFERED_SPANS = 1 << 20
+
+#: Trace-process ids for the two clock domains (Chrome trace ``pid``).
+WALL_PID = 1
+VIRTUAL_PID = 2
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span, ready for trace export."""
+
+    name: str
+    category: str
+    #: Begin time in microseconds (wall: since first enable; virtual: sim time).
+    begin_us: float
+    duration_us: float
+    #: Chrome trace pid: WALL_PID or VIRTUAL_PID.
+    pid: int
+    #: Track id: thread ident for wall spans, caller-chosen for virtual ones.
+    tid: int
+    depth: int = 0
+    args: Optional[Dict[str, float]] = None
+
+
+class SpanBuffer:
+    """Thread-safe accumulator of completed spans."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self.dropped = 0
+
+    def add(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._records) >= MAX_BUFFERED_SPANS:
+                self.dropped += 1
+                return
+            self._records.append(record)
+
+    def drain_view(self) -> List[SpanRecord]:
+        """Copy of the buffered records (the buffer keeps them)."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+SPAN_BUFFER = SpanBuffer()
+
+#: perf_counter_ns at first use; wall timestamps are relative to this so the
+#: exported trace starts near t=0 rather than at an arbitrary boot offset.
+_EPOCH_NS: Optional[int] = None
+_EPOCH_LOCK = threading.Lock()
+
+_TLS = threading.local()
+
+
+def _epoch_ns() -> int:
+    global _EPOCH_NS
+    if _EPOCH_NS is None:
+        with _EPOCH_LOCK:
+            if _EPOCH_NS is None:
+                _EPOCH_NS = time.perf_counter_ns()
+    return _EPOCH_NS
+
+
+def _stack() -> List[str]:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    return stack
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live wall-clock span; records itself on ``__exit__``."""
+
+    __slots__ = ("name", "category", "args", "_begin_ns", "_depth", "_observe")
+
+    def __init__(self, name: str, category: str, args: Optional[Dict[str, float]], observe: bool) -> None:
+        self.name = name
+        self.category = category
+        self.args = args
+        self._begin_ns = 0
+        self._depth = 0
+        self._observe = observe
+
+    def __enter__(self) -> "_Span":
+        stack = _stack()
+        self._depth = len(stack)
+        stack.append(self.name)
+        _epoch_ns()  # pin the trace epoch no later than the first span begin
+        self._begin_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end_ns = time.perf_counter_ns()
+        stack = _stack()
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        duration_ns = end_ns - self._begin_ns
+        SPAN_BUFFER.add(
+            SpanRecord(
+                name=self.name,
+                category=self.category,
+                begin_us=(self._begin_ns - _epoch_ns()) / NS_PER_MICROSECOND,
+                duration_us=duration_ns / NS_PER_MICROSECOND,
+                pid=WALL_PID,
+                tid=threading.get_ident() & 0x7FFFFFFF,
+                depth=self._depth,
+                args=self.args,
+            )
+        )
+        if self._observe:
+            from repro.obs.metrics import REGISTRY
+
+            REGISTRY.histogram_observe(
+                f"{self.name}.seconds", duration_ns / NS_PER_SECOND
+            )
+        return False
+
+
+def span(name: str, category: str = "", args: Optional[Dict[str, float]] = None):
+    """Open a hierarchical wall-clock span; a no-op while disabled."""
+    if not OBS_STATE.enabled:
+        return _NULL_SPAN
+    return _Span(name, category, args, observe=False)
+
+
+def stage(name: str, category: str = "stage"):
+    """A span that also feeds the ``<name>.seconds`` timing histogram.
+
+    Used at pipeline-stage boundaries (LZ77, Huffman, FSE, CRC) so that
+    aggregate stage timings appear in ``repro stats`` even without a trace
+    file.
+    """
+    if not OBS_STATE.enabled:
+        return _NULL_SPAN
+    return _Span(name, category, None, observe=True)
+
+
+def virtual_span(
+    name: str,
+    begin_seconds: float,
+    end_seconds: float,
+    *,
+    track: int = 0,
+    category: str = "sim",
+    args: Optional[Dict[str, float]] = None,
+) -> None:
+    """Record a span in *simulated* time (no clock involved).
+
+    ``track`` selects the trace row (e.g. one per simulated lane). A no-op
+    while disabled.
+    """
+    if not OBS_STATE.enabled:
+        return
+    SPAN_BUFFER.add(
+        SpanRecord(
+            name=name,
+            category=category,
+            begin_us=begin_seconds * MICROSECONDS_PER_SECOND,
+            duration_us=(end_seconds - begin_seconds) * MICROSECONDS_PER_SECOND,
+            pid=VIRTUAL_PID,
+            tid=track,
+            args=args,
+        )
+    )
+
+
+def current_span_name() -> Optional[str]:
+    """Innermost open span on this thread (None outside any span)."""
+    stack = getattr(_TLS, "stack", None)
+    return stack[-1] if stack else None
+
+
+def reset_spans() -> None:
+    """Drop every buffered span (tests and per-run CLI isolation)."""
+    SPAN_BUFFER.clear()

@@ -1,0 +1,36 @@
+"""The global observability switch.
+
+Kept in its own leaf module so that both the metric registry and the span
+tracer (and any instrumented call site) can check one shared flag without
+import cycles. The flag read is a single attribute load, which keeps every
+disabled-path instrumentation hook a near-no-op.
+"""
+
+from __future__ import annotations
+
+
+class _ObsState:
+    """Mutable holder for the process-wide enable flag."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+OBS_STATE = _ObsState()
+
+
+def enabled() -> bool:
+    """Whether tracing and metrics collection are currently on."""
+    return OBS_STATE.enabled
+
+
+def enable() -> None:
+    """Turn on span recording and metric collection for this process."""
+    OBS_STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn collection back off (already-recorded data is retained)."""
+    OBS_STATE.enabled = False

@@ -1,0 +1,68 @@
+"""Chrome trace-event export (``about:tracing`` / Perfetto).
+
+Serializes the span buffer as the JSON object form of the Trace Event
+Format: ``{"traceEvents": [...]}`` with complete (``"ph": "X"``) events.
+Each event carries ``ts``/``dur`` in microseconds, a ``pid`` selecting the
+clock domain (wall vs simulated time) and a ``tid`` selecting the track
+(OS thread for wall spans, simulator lane for virtual ones). Metadata
+events name the processes/threads so the viewer shows readable tracks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.obs.spans import SPAN_BUFFER, VIRTUAL_PID, WALL_PID, SpanRecord
+
+
+def chrome_trace_events(records: List[SpanRecord]) -> List[dict]:
+    """Map span records to Chrome trace-event dicts (deterministic order)."""
+    events: List[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": WALL_PID,
+            "tid": 0,
+            "args": {"name": "wall-clock"},
+        },
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": VIRTUAL_PID,
+            "tid": 0,
+            "args": {"name": "simulated-time"},
+        },
+    ]
+    for record in sorted(records, key=lambda r: (r.pid, r.tid, r.begin_us, -r.duration_us)):
+        event = {
+            "ph": "X",
+            "name": record.name,
+            "cat": record.category or "default",
+            "ts": record.begin_us,
+            "dur": record.duration_us,
+            "pid": record.pid,
+            "tid": record.tid,
+        }
+        if record.args:
+            event["args"] = dict(record.args)
+        events.append(event)
+    return events
+
+
+def export_chrome_trace(path: Union[str, Path]) -> int:
+    """Write the buffered spans to ``path`` as Chrome trace JSON.
+
+    Returns the number of span events written (metadata excluded). The file
+    loads directly in ``chrome://tracing`` and https://ui.perfetto.dev.
+    """
+    records = SPAN_BUFFER.drain_view()
+    payload = {
+        "traceEvents": chrome_trace_events(records),
+        "displayTimeUnit": "ms",
+    }
+    if SPAN_BUFFER.dropped:
+        payload["otherData"] = {"droppedSpans": SPAN_BUFFER.dropped}
+    Path(path).write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    return len(records)

@@ -16,24 +16,47 @@ operation) from the DSE evaluation, or supplied directly).
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.base import Operation
+from repro.common.errors import ConfigError
 from repro.core import calibration as cal
 from repro.sim.arrivals import CallArrival
 
 
 @dataclass(frozen=True)
 class ServiceModel:
-    """Maps a call to its service time on one lane (seconds)."""
+    """Maps a call to its service time on one lane (seconds).
+
+    Rates are validated at construction: a zero, negative, or non-finite
+    effective rate (possible from a degenerate DSE configuration) would
+    otherwise surface as a bare ``ZeroDivisionError`` deep inside a
+    simulation run.
+    """
 
     #: Effective uncompressed-bytes/second per (algorithm, operation).
     rates: Dict[Tuple[str, Operation], float]
     #: Fixed per-call overhead, seconds.
     per_call_seconds: float
+
+    def __post_init__(self) -> None:
+        for (algorithm, operation), rate in self.rates.items():
+            if not math.isfinite(rate) or rate <= 0:
+                op_name = operation.value if isinstance(operation, Operation) else operation
+                raise ConfigError(
+                    f"service rate for {algorithm}/{op_name} must be a positive, "
+                    f"finite bytes/second figure, got {rate!r} (degenerate DSE "
+                    "config or bad calibration?)"
+                )
+        if not math.isfinite(self.per_call_seconds) or self.per_call_seconds < 0:
+            raise ConfigError(
+                f"per_call_seconds must be finite and >= 0, got {self.per_call_seconds!r}"
+            )
 
     def service_seconds(self, call: CallArrival) -> float:
         try:
@@ -74,7 +97,13 @@ class ServiceModel:
 
 @dataclass
 class SimulationResult:
-    """Aggregate outcome of one queueing run."""
+    """Aggregate outcome of one queueing run.
+
+    All aggregate accessors are total functions: an empty run (zero calls,
+    e.g. a saturation sweep over an offered load that produced no arrivals)
+    reports 0.0 utilization and 0.0 latency statistics instead of raising
+    ``ZeroDivisionError`` or propagating numpy NaN warnings.
+    """
 
     num_calls: int
     lanes: int
@@ -85,18 +114,27 @@ class SimulationResult:
 
     @property
     def utilization(self) -> float:
-        """Mean fraction of lane capacity in use."""
-        return self.busy_lane_seconds / (self.lanes * self.makespan_seconds)
+        """Mean fraction of lane capacity in use (0.0 for an empty run)."""
+        capacity = self.lanes * self.makespan_seconds
+        if capacity <= 0.0:
+            return 0.0
+        return self.busy_lane_seconds / capacity
 
     def sojourn_percentile(self, q: float) -> float:
+        if self.num_calls == 0:
+            return 0.0
         return float(np.percentile(self.sojourn_seconds, q))
 
     @property
     def mean_sojourn(self) -> float:
+        if self.num_calls == 0:
+            return 0.0
         return float(self.sojourn_seconds.mean())
 
     @property
     def mean_waiting(self) -> float:
+        if self.num_calls == 0:
+            return 0.0
         return float(self.waiting_seconds.mean())
 
     def summary(self, name: str) -> str:
@@ -117,18 +155,25 @@ def simulate(
     """Run the multi-lane FIFO simulation over an arrival trace.
 
     Deterministic given the trace: ties go to the lowest-numbered lane.
+    An empty trace is a valid (zero-call, zero-makespan) run — saturation
+    sweeps can legitimately offer no arrivals at the lowest loads.
+
+    With observability enabled (:mod:`repro.obs`), every call becomes a
+    *simulated-time* span on its lane's trace track (service slice, plus a
+    ``sim.wait`` slice when the call queued), and per-lane busy time /
+    arrival-departure counters land in the metric registry.
     """
     if lanes < 1:
         raise ValueError(f"lanes must be >= 1, got {lanes}")
-    if not trace:
-        raise ValueError("empty arrival trace")
     # Min-heap of (free_at_time, lane_id).
     free_at: List[Tuple[float, int]] = [(0.0, lane) for lane in range(lanes)]
     heapq.heapify(free_at)
     sojourn = np.empty(len(trace))
     waiting = np.empty(len(trace))
     busy = 0.0
+    busy_per_lane = [0.0] * lanes
     completion_max = 0.0
+    observing = obs.enabled()
     for index, call in enumerate(trace):
         lane_free, lane = heapq.heappop(free_at)
         start = max(call.arrival_time, lane_free)
@@ -138,7 +183,29 @@ def simulate(
         sojourn[index] = end - call.arrival_time
         waiting[index] = start - call.arrival_time
         busy += service_time
+        busy_per_lane[lane] += service_time
         completion_max = max(completion_max, end)
+        if observing:
+            name = f"sim.{call.algorithm}.{call.operation.value}"
+            obs.virtual_span(
+                name,
+                start,
+                end,
+                track=lane,
+                args={"bytes": call.uncompressed_bytes},
+            )
+            if start > call.arrival_time:
+                # Queueing delay renders as its own slice on a wait track
+                # (one per lane, offset to keep track ids distinct).
+                obs.virtual_span(
+                    "sim.wait", call.arrival_time, start, track=lanes + lane
+                )
+            obs.counter_add("sim.arrivals", 1)
+            obs.counter_add("sim.departures", 1)
+            obs.counter_add("sim.bytes_offered", call.uncompressed_bytes)
+    if observing:
+        for lane, lane_busy in enumerate(busy_per_lane):
+            obs.counter_add(f"sim.lane{lane}.busy_seconds", lane_busy)
     return SimulationResult(
         num_calls=len(trace),
         lanes=lanes,

@@ -117,6 +117,41 @@ class TestRandomMutations:
                 codec.decompress(compressed[:cut])
 
 
+#: Byte offset of each frame's uncompressed-length varint preamble (after
+#: magic / window-log header bytes). All of these mirror Snappy's spec, which
+#: limits the declared length to 32 bits. ``snappy-framed`` carries raw Snappy
+#: frames inside chunks rather than a frame-level preamble, so it is covered
+#: through the raw codec's entry.
+PREAMBLE_OFFSET = {
+    "snappy": 0,
+    "gipfeli": 4,
+    "lzo": 4,
+    "flate": 5,
+    "brotli": 5,
+    "zstd": 6,
+}
+
+
+class TestOversizedPreamble:
+    """A declared length beyond the 32-bit preamble limit is structural
+    corruption: it must raise, not be honoured as a multi-GiB promise that
+    only fails at the produced-vs-promised check (or an allocation)."""
+
+    @pytest.mark.parametrize("codec_name", sorted(PREAMBLE_OFFSET))
+    def test_oversized_length_preamble_rejected(self, codec_name):
+        from repro.common.varint import MAX_VARINT32, decode_varint, encode_varint
+
+        compressed = get_codec(codec_name).compress(PAYLOAD)
+        offset = PREAMBLE_OFFSET[codec_name]
+        declared, end = decode_varint(compressed, offset, max_bits=32)
+        assert declared == len(PAYLOAD), "preamble offset map is stale"
+        spliced = (
+            compressed[:offset] + encode_varint(MAX_VARINT32 + 1) + compressed[end:]
+        )
+        with pytest.raises(CorruptStreamError):
+            get_codec(codec_name).decompress(spliced)
+
+
 @pytest.mark.parametrize("codec_name", available_codecs())
 @settings(max_examples=20, deadline=None)
 @given(junk=st.binary(min_size=1, max_size=200))

@@ -56,17 +56,31 @@ class TestPartition:
 class TestFileRoundTrip:
     def test_write_then_load(self, tmp_path):
         path = tmp_path / "baseline.json"
-        write_baseline([make_finding()], path)
+        write_baseline([make_finding()], path, justification="seed-era sampler")
         loaded = load_baseline(path)
         assert len(loaded.entries) == 1
         entry = loaded.entries[0]
         assert entry.key == ("R001", "src/repro/x.py", "import random")
-        assert entry.justification == "TODO: justify or fix"
+        assert entry.justification == "seed-era sampler"
+
+    def test_new_entry_without_justification_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        with pytest.raises(ValueError, match="no carried justification"):
+            write_baseline([make_finding()], path)
+        assert not path.exists()
+
+    def test_placeholder_justification_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        for placeholder in ("TODO: justify or fix", "   ", "fixme later"):
+            with pytest.raises(ValueError):
+                write_baseline([make_finding()], path, justification=placeholder)
+        assert not path.exists()
 
     def test_justifications_carried_over(self, tmp_path):
         path = tmp_path / "baseline.json"
-        previous = write_baseline([make_finding()], path)
-        object.__setattr__(previous.entries[0], "justification", "because history")
+        previous = write_baseline(
+            [make_finding()], path, justification="because history"
+        )
         write_baseline([make_finding(line=7)], path, previous=previous)
         assert load_baseline(path).entries[0].justification == "because history"
 

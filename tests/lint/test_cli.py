@@ -30,21 +30,34 @@ class TestExitCodes:
     def test_baselined_finding_passes(self, project, capsys):
         project.write("src/repro/fleet/sampler.py", "import random\n")
         src = str(project.root / "src")
-        assert main([src, "--update-baseline"]) == 0
+        assert main([src, "--update-baseline", "--justification", "legacy rng"]) == 0
         assert main([src, "--strict"]) == 0
         out = capsys.readouterr().out
         assert "baselined" in out
 
+    def test_update_baseline_requires_justification(self, project, capsys):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        src = str(project.root / "src")
+        assert main([src, "--update-baseline"]) == 2
+        assert "justification" in capsys.readouterr().err
+
+    def test_update_baseline_rejects_placeholder(self, project, capsys):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        src = str(project.root / "src")
+        rc = main([src, "--update-baseline", "--justification", "TODO: fix"])
+        assert rc == 2
+        assert "deferral" in capsys.readouterr().err
+
     def test_no_baseline_flag_resurfaces_findings(self, project):
         project.write("src/repro/fleet/sampler.py", "import random\n")
         src = str(project.root / "src")
-        assert main([src, "--update-baseline"]) == 0
+        assert main([src, "--update-baseline", "--justification", "legacy rng"]) == 0
         assert main([src, "--no-baseline"]) == 1
 
     def test_stale_baseline_fails_only_under_strict(self, project):
         project.write("src/repro/fleet/sampler.py", "import random\n")
         src = str(project.root / "src")
-        assert main([src, "--update-baseline"]) == 0
+        assert main([src, "--update-baseline", "--justification", "legacy rng"]) == 0
         project.write("src/repro/fleet/sampler.py", "X = 1\n")  # fixed
         assert main([src]) == 0
         assert main([src, "--strict"]) == 1

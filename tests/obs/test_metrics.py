@@ -1,0 +1,129 @@
+"""Metric registry semantics: counters, gauges, histograms, snapshots."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import REGISTRY, HistogramData, _bucket_index
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    obs.disable()
+    yield
+    obs.reset()
+    obs.disable()
+
+
+class TestDisabledPath:
+    def test_disabled_helpers_record_nothing(self):
+        obs.counter_add("c", 1)
+        obs.gauge_set("g", 2.0)
+        obs.histogram_observe("h", 3.0)
+        snap = obs.snapshot()
+        assert snap.counters == {} and snap.gauges == {} and snap.histograms == {}
+
+    def test_disabled_human_rendering_explains_itself(self):
+        assert "enabled" in obs.snapshot().render_human()
+
+
+class TestCounters:
+    def test_accumulate(self):
+        obs.enable()
+        obs.counter_add("codec.x.calls", 1)
+        obs.counter_add("codec.x.calls", 4)
+        assert obs.snapshot().counter("codec.x.calls") == 5
+
+    def test_missing_counter_reads_zero(self):
+        obs.enable()
+        assert obs.snapshot().counter("nope") == 0
+
+    def test_gauge_overwrites(self):
+        obs.enable()
+        obs.gauge_set("dse.queue.depth", 7)
+        obs.gauge_set("dse.queue.depth", 0)
+        assert obs.snapshot().gauges["dse.queue.depth"] == 0
+
+
+class TestHistograms:
+    def test_observe_tracks_count_total_extremes(self):
+        obs.enable()
+        for value in (1.0, 2.0, 4.0):
+            obs.histogram_observe("h", value)
+        snap = obs.snapshot()
+        hist = snap.histograms["h"]
+        assert hist.count == 3
+        assert hist.total == pytest.approx(7.0)
+        assert hist.minimum == pytest.approx(1.0)
+        assert hist.maximum == pytest.approx(4.0)
+        assert hist.mean == pytest.approx(7.0 / 3.0)
+
+    def test_bucket_index_is_log2_monotone(self):
+        values = [1e-9, 1e-6, 1e-3, 1.0, 1e3]
+        indices = [_bucket_index(v) for v in values]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert HistogramData().mean == 0.0
+
+
+class TestSnapshot:
+    def test_json_is_deterministic_and_sorted(self):
+        obs.enable()
+        obs.counter_add("b", 2)
+        obs.counter_add("a", 1)
+        obs.histogram_observe("h", 0.5)
+        first = obs.snapshot().to_json()
+        second = obs.snapshot().to_json()
+        assert first == second
+        payload = json.loads(first)
+        assert list(payload["counters"]) == ["a", "b"]
+
+    def test_snapshot_is_a_point_in_time_copy(self):
+        obs.enable()
+        obs.counter_add("c", 1)
+        snap = obs.snapshot()
+        obs.counter_add("c", 1)
+        assert snap.counter("c") == 1
+
+    def test_reset_clears_everything(self):
+        obs.enable()
+        obs.counter_add("c", 1)
+        obs.histogram_observe("h", 1.0)
+        obs.reset()
+        snap = obs.snapshot()
+        assert snap.counters == {} and snap.histograms == {}
+
+    def test_human_rendering_mentions_each_metric(self):
+        obs.enable()
+        obs.counter_add("codec.zstd.compress.calls", 3)
+        obs.gauge_set("dse.queue.depth", 1)
+        obs.histogram_observe("stage.lz77.encode.seconds", 0.25)
+        text = obs.snapshot().render_human()
+        for name in (
+            "codec.zstd.compress.calls",
+            "dse.queue.depth",
+            "stage.lz77.encode.seconds",
+        ):
+            assert name in text
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_adds_do_not_lose_updates(self):
+        obs.enable()
+        per_thread = 2000
+
+        def work():
+            for _ in range(per_thread):
+                REGISTRY.counter_add("t", 1)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert obs.snapshot().counter("t") == 4 * per_thread

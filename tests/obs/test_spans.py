@@ -1,0 +1,136 @@
+"""Span semantics: nesting, clock domains, disabled no-op, trace export."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import (
+    _NULL_SPAN,
+    SPAN_BUFFER,
+    VIRTUAL_PID,
+    WALL_PID,
+)
+from repro.obs.trace import chrome_trace_events
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    obs.disable()
+    yield
+    obs.reset()
+    obs.disable()
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_null_singleton(self):
+        assert obs.span("x") is _NULL_SPAN
+        assert obs.stage("y") is _NULL_SPAN
+
+    def test_nothing_buffered_while_disabled(self):
+        with obs.span("x"):
+            pass
+        obs.virtual_span("v", 0.0, 1.0)
+        assert len(SPAN_BUFFER) == 0
+
+
+class TestWallSpans:
+    def test_span_records_on_exit(self):
+        obs.enable()
+        with obs.span("codec.snappy.compress", category="codec"):
+            pass
+        records = SPAN_BUFFER.drain_view()
+        assert len(records) == 1
+        record = records[0]
+        assert record.name == "codec.snappy.compress"
+        assert record.category == "codec"
+        assert record.pid == WALL_PID
+        assert record.duration_us >= 0.0
+        assert record.begin_us >= 0.0
+
+    def test_nesting_tracks_depth_and_current_name(self):
+        obs.enable()
+        with obs.span("outer"):
+            assert obs.current_span_name() == "outer"
+            with obs.span("inner"):
+                assert obs.current_span_name() == "inner"
+            assert obs.current_span_name() == "outer"
+        assert obs.current_span_name() is None
+        by_name = {r.name: r for r in SPAN_BUFFER.drain_view()}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+
+    def test_inner_span_is_contained_in_outer(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        by_name = {r.name: r for r in SPAN_BUFFER.drain_view()}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert inner.begin_us >= outer.begin_us
+        assert inner.begin_us + inner.duration_us <= (
+            outer.begin_us + outer.duration_us
+        )
+
+    def test_span_survives_exceptions_without_swallowing(self):
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            with obs.span("failing"):
+                raise RuntimeError("boom")
+        assert [r.name for r in SPAN_BUFFER.drain_view()] == ["failing"]
+        assert obs.current_span_name() is None
+
+    def test_stage_also_feeds_timing_histogram(self):
+        obs.enable()
+        with obs.stage("stage.lz77.encode"):
+            pass
+        hist = obs.snapshot().histograms["stage.lz77.encode.seconds"]
+        assert hist.count == 1
+        assert hist.total >= 0.0
+
+
+class TestVirtualSpans:
+    def test_virtual_span_uses_sim_time_verbatim(self):
+        obs.enable()
+        obs.virtual_span("sim.snappy.decompress", 1.5, 2.0, track=3)
+        (record,) = SPAN_BUFFER.drain_view()
+        assert record.pid == VIRTUAL_PID
+        assert record.tid == 3
+        assert record.begin_us == pytest.approx(1.5e6)
+        assert record.duration_us == pytest.approx(0.5e6)
+
+
+class TestChromeTraceExport:
+    def test_export_structure_loads_as_trace_json(self, tmp_path):
+        obs.enable()
+        with obs.span("wall.work", category="codec"):
+            pass
+        obs.virtual_span("sim.work", 0.0, 1.0, track=1)
+        out = tmp_path / "trace.json"
+        written = obs.export_chrome_trace(out)
+        assert written == 2
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in complete} == {WALL_PID, VIRTUAL_PID}
+        for event in complete:
+            for key in ("name", "cat", "ts", "dur", "pid", "tid"):
+                assert key in event
+
+    def test_event_order_is_deterministic(self):
+        obs.enable()
+        obs.virtual_span("b", 2.0, 3.0, track=0)
+        obs.virtual_span("a", 0.0, 1.0, track=0)
+        events = chrome_trace_events(SPAN_BUFFER.drain_view())
+        names = [e["name"] for e in events if e["ph"] == "X"]
+        assert names == ["a", "b"]
+
+    def test_args_are_exported(self):
+        obs.enable()
+        obs.virtual_span("sized", 0.0, 1.0, args={"bytes": 42})
+        events = chrome_trace_events(SPAN_BUFFER.drain_view())
+        (event,) = [e for e in events if e["ph"] == "X"]
+        assert event["args"] == {"bytes": 42}

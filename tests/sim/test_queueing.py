@@ -101,9 +101,24 @@ class TestSimulator:
         pricey = simulate(trace, _flat_service(1e9, overhead=1e-3))
         assert pricey.mean_sojourn > 100 * cheap.mean_sojourn
 
-    def test_empty_trace_rejected(self):
-        with pytest.raises(ValueError):
-            simulate([], _flat_service())
+    def test_empty_trace_is_a_valid_zero_run(self):
+        """Regression: an empty trace used to raise; now it is a total,
+        NaN-free zero-call result (saturation sweeps can produce one)."""
+        result = simulate([], _flat_service())
+        assert result.num_calls == 0
+        assert result.utilization == 0.0
+        assert result.mean_sojourn == 0.0
+        assert result.mean_waiting == 0.0
+        assert result.sojourn_percentile(50) == 0.0
+        assert result.sojourn_percentile(99) == 0.0
+        for value in (
+            result.utilization,
+            result.mean_sojourn,
+            result.mean_waiting,
+            result.makespan_seconds,
+        ):
+            assert not np.isnan(value)
+        assert "nan" not in result.summary("empty")
 
     def test_bad_lanes_rejected(self):
         with pytest.raises(ValueError):
@@ -113,6 +128,74 @@ class TestSimulator:
         service = ServiceModel(rates={}, per_call_seconds=0.0)
         with pytest.raises(KeyError):
             simulate(_uniform_trace(1, 1.0), service)
+
+    @pytest.mark.parametrize("bad_rate", [0.0, -1.0, float("nan"), float("inf")])
+    def test_degenerate_rate_rejected_at_construction(self, bad_rate):
+        """Regression: a zero/negative/non-finite rate used to surface as a
+        ZeroDivisionError (or silent nonsense) mid-simulation."""
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="snappy"):
+            ServiceModel(
+                rates={("snappy", Operation.DECOMPRESS): bad_rate},
+                per_call_seconds=0.0,
+            )
+
+    @pytest.mark.parametrize("bad_overhead", [-1e-6, float("nan"), float("inf")])
+    def test_degenerate_overhead_rejected_at_construction(self, bad_overhead):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="per_call_seconds"):
+            ServiceModel(rates={}, per_call_seconds=bad_overhead)
+
+
+class TestConservationProperties:
+    """Structural invariants that must hold on any trace/service pairing."""
+
+    def _traces(self, fleet_profile):
+        yield _uniform_trace(100, gap=1e-6, size=1000)
+        yield _uniform_trace(1, gap=1.0, size=10)
+        yield poisson_trace(fleet_profile, num_calls=400, seed=9)
+
+    def _service(self):
+        rates = {
+            (a, o): 1e9 for a in ("snappy", "zstd", "flate", "brotli", "gipfeli", "lzo")
+            for o in Operation
+        }
+        return ServiceModel(rates=rates, per_call_seconds=1e-7)
+
+    def test_time_conservation(self, fleet_profile):
+        """sojourn >= service >= 0 and waiting == sojourn - service, per call."""
+        service = self._service()
+        for trace in self._traces(fleet_profile):
+            result = simulate(trace, service, lanes=2)
+            services = np.array([service.service_seconds(c) for c in trace])
+            assert np.all(result.waiting_seconds >= 0.0)
+            assert np.all(result.sojourn_seconds >= services - 1e-15)
+            np.testing.assert_allclose(
+                result.sojourn_seconds - result.waiting_seconds,
+                services,
+                rtol=1e-12,
+                atol=1e-15,
+            )
+
+    def test_utilization_bounded(self, fleet_profile):
+        for trace in self._traces(fleet_profile):
+            for lanes in (1, 2, 4):
+                result = simulate(trace, self._service(), lanes=lanes)
+                assert 0.0 <= result.utilization <= 1.0 + 1e-12
+
+    def test_more_lanes_never_increase_mean_waiting(self, fleet_profile):
+        """On a fixed trace, mean waiting is monotonically non-increasing in
+        the lane count: extra FIFO capacity can only start calls earlier."""
+        trace = poisson_trace(fleet_profile, num_calls=600, seed=3)
+        service = self._service()
+        waits = [
+            simulate(trace, service, lanes=lanes).mean_waiting
+            for lanes in (1, 2, 3, 4, 8)
+        ]
+        for tighter, looser in zip(waits[1:], waits[:-1]):
+            assert tighter <= looser + 1e-12
 
 
 class TestServiceModels:
