@@ -30,13 +30,21 @@ from repro.algorithms.registry import (
 )
 from repro.algorithms.snappy import SnappyCodec
 from repro.algorithms.snappy_framing import compress_framed, decompress_framed
+from repro.algorithms.streaming import (
+    CompressContext,
+    DecompressContext,
+    StreamContext,
+)
 from repro.algorithms.zstd import ZstdCodec
 
 __all__ = [
     "ALGORITHM_INFOS",
     "Codec",
     "CodecInfo",
+    "CompressContext",
     "Copy",
+    "DecompressContext",
+    "StreamContext",
     "FlateCodec",
     "FseTable",
     "GipfeliCodec",

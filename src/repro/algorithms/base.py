@@ -14,6 +14,12 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro import obs
+from repro.algorithms.streaming import (
+    BufferedCompressContext,
+    BufferedDecompressContext,
+    CompressContext,
+    DecompressContext,
+)
 from repro.common.units import KiB
 
 
@@ -96,17 +102,25 @@ def _instrumented(fn, operation: str):
 
 
 class Codec:
-    """Abstract buffer-in/buffer-out codec (the stable API from §3.4).
+    """Abstract codec: streaming contexts plus the stable one-shot API (§3.4).
 
-    Subclasses must set :attr:`info` and implement :meth:`compress` and
-    :meth:`decompress`. ``level`` and ``window_size`` are accepted by all
-    codecs; those without the corresponding knob ignore them (after
-    validation), mirroring the real libraries' behaviour.
+    Subclasses must set :attr:`info` and implement the whole-buffer block
+    transforms :meth:`_compress_buffer` / :meth:`_decompress_buffer`; codecs
+    whose frame layout permits it additionally override
+    :meth:`compress_context` / :meth:`decompress_context` with truly
+    incremental state machines (see :mod:`repro.algorithms.streaming`). The
+    public one-shot :meth:`compress` / :meth:`decompress` are thin wrappers
+    over the streaming path — one ``feed`` plus one ``flush`` — so there is a
+    single execution core, and streaming output at any chunking is
+    byte-identical to one-shot output. ``level`` and ``window_size`` are
+    accepted by all codecs; those without the corresponding knob ignore them
+    (after validation), mirroring the real libraries' behaviour.
 
-    Every concrete subclass is transparently instrumented: registering the
-    class wraps its ``compress``/``decompress`` with observability hooks
-    (see :mod:`repro.obs`), so per-codec call counts, byte totals and spans
-    come for free for current and future codecs alike.
+    Every codec is transparently instrumented: the base entry points are
+    wrapped with observability hooks (see :mod:`repro.obs`), as is any
+    subclass that overrides ``compress``/``decompress`` directly, so
+    per-codec call counts, byte totals and spans come for free for current
+    and future codecs alike.
     """
 
     info: CodecInfo
@@ -118,6 +132,41 @@ class Codec:
             if fn is not None and not getattr(fn, "_obs_wrapped", False):
                 setattr(cls, operation, _instrumented(fn, operation))
 
+    # -- streaming core ------------------------------------------------------
+
+    def compress_context(
+        self,
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> CompressContext:
+        """A fresh incremental compressor for one stream."""
+        return BufferedCompressContext(self, level=level, window_size=window_size)
+
+    def decompress_context(
+        self, *, window_size: Optional[int] = None
+    ) -> DecompressContext:
+        """A fresh incremental decompressor for one stream."""
+        return BufferedDecompressContext(self, window_size=window_size)
+
+    def _compress_buffer(
+        self,
+        data: bytes,
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> bytes:
+        """Whole-buffer block transform (raw bytes -> one complete frame)."""
+        raise NotImplementedError
+
+    def _decompress_buffer(
+        self, data: bytes, *, window_size: Optional[int] = None
+    ) -> bytes:
+        """Whole-buffer block transform (one complete frame -> raw bytes)."""
+        raise NotImplementedError
+
+    # -- one-shot wrappers ---------------------------------------------------
+
     def compress(
         self,
         data: bytes,
@@ -125,10 +174,12 @@ class Codec:
         level: Optional[int] = None,
         window_size: Optional[int] = None,
     ) -> bytes:
-        raise NotImplementedError
+        ctx = self.compress_context(level=level, window_size=window_size)
+        return ctx.feed(data) + ctx.flush()
 
     def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
-        raise NotImplementedError
+        ctx = self.decompress_context(window_size=window_size)
+        return ctx.feed(data) + ctx.flush()
 
     def compression_ratio(
         self,
@@ -150,3 +201,11 @@ class Codec:
         if window_size is None:
             raise ValueError(f"{self.info.name} requires a window_size")
         return window_size
+
+
+# The one-shot wrappers live on the base class, so instrument them here
+# (``__init_subclass__`` only sees subclasses that override them directly).
+# ``_instrumented`` resolves ``self.info.name`` per call, so the shared
+# wrapper still reports per-codec ``codec.<name>.<op>.*`` metrics.
+Codec.compress = _instrumented(Codec.compress, "compress")
+Codec.decompress = _instrumented(Codec.decompress, "decompress")

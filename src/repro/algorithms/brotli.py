@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from repro.algorithms.base import Codec, CodecInfo, WeightClass
 from repro.algorithms.container import (
+    FrameSpec,
     append_content_checksum,
     split_content_checksum,
     verify_content_checksum,
@@ -45,6 +46,17 @@ from repro.common.units import KiB, is_power_of_two
 from repro.common.varint import decode_varint, encode_varint
 
 MAGIC = b"BRRL"
+
+#: Frame layout: magic, window-log byte, varint content length, one body
+#: mode byte (stored/compressed) and the monolithic body, CRC trailer.
+BROTLI_FRAME = FrameSpec(
+    display="Brotli-like stream",
+    magic=MAGIC,
+    has_window_log=True,
+    has_length=True,
+    length_bits=32,
+    has_checksum=True,
+)
 
 BROTLI_INFO = CodecInfo(
     name="brotli",
@@ -216,7 +228,7 @@ class BrotliCodec(Codec):
             )
         return window_size
 
-    def compress(
+    def _compress_buffer(
         self,
         data: bytes,
         *,
@@ -227,10 +239,11 @@ class BrotliCodec(Codec):
         window = self.resolve_window(window_size)
         matcher = Lz77Encoder(_level_lz77(resolved, window))
 
-        out = bytearray()
-        out += MAGIC
-        out.append(window.bit_length() - 1)
-        out += encode_varint(len(data))
+        out = bytearray(
+            BROTLI_FRAME.encode_preamble(
+                content_length=len(data), window_log=window.bit_length() - 1
+            )
+        )
 
         # Match against the static dictionary as virtual history, then strip
         # the dictionary region so only payload tokens are emitted.
@@ -263,21 +276,18 @@ class BrotliCodec(Codec):
             out += body
         return append_content_checksum(bytes(out), data)
 
-    def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+    def _decompress_buffer(
+        self, data: bytes, *, window_size: Optional[int] = None
+    ) -> bytes:
         frame, stored_crc = split_content_checksum(data)
         out = self._decompress_frame(frame)
         verify_content_checksum(out, stored_crc)
         return out
 
     def _decompress_frame(self, data: bytes) -> bytes:
-        if len(data) < 6 or data[:4] != MAGIC:
-            raise CorruptStreamError("bad magic: not a Brotli-like stream")
-        window_log = data[4]
-        if not 10 <= window_log <= 27:
-            raise CorruptStreamError(f"window log {window_log} out of range")
-        window = 1 << window_log
-        pos = 5
-        expected, pos = decode_varint(data, pos, max_bits=32)
+        preamble, pos = BROTLI_FRAME.decode_preamble(data)
+        window = preamble.window
+        expected = preamble.content_length
         if pos >= len(data):
             raise CorruptStreamError("missing body marker")
         mode = data[pos]

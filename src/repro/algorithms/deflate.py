@@ -473,7 +473,7 @@ class DeflateCodec(Codec):
 
     info = DEFLATE_INFO
 
-    def compress(
+    def _compress_buffer(
         self,
         data: bytes,
         *,
@@ -486,5 +486,5 @@ class DeflateCodec(Codec):
             )
         return deflate_raw(data, level=level)
 
-    def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+    def _decompress_buffer(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
         return inflate_raw(data)

@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 
 from repro.algorithms.base import Codec, CodecInfo, WeightClass
 from repro.algorithms.container import (
+    FrameSpec,
     append_content_checksum,
     split_content_checksum,
     verify_content_checksum,
@@ -40,6 +41,17 @@ from repro.common.units import KiB, is_power_of_two
 from repro.common.varint import decode_varint, encode_varint
 
 MAGIC = b"FLRL"
+
+#: Frame layout: magic, window-log byte, varint content length, one body
+#: mode byte (stored/compressed) and the monolithic body, CRC trailer.
+FLATE_FRAME = FrameSpec(
+    display="Flate-like stream",
+    magic=MAGIC,
+    has_window_log=True,
+    has_length=True,
+    length_bits=32,
+    has_checksum=True,
+)
 
 FLATE_INFO = CodecInfo(
     name="flate",
@@ -123,7 +135,7 @@ class FlateCodec(Codec):
             )
         return window_size
 
-    def compress(
+    def _compress_buffer(
         self,
         data: bytes,
         *,
@@ -134,10 +146,11 @@ class FlateCodec(Codec):
         stream = self.tokenize(data, level=level, window_size=window)
         sequences, literals, trailing = tokens_to_sequences(stream.tokens)
 
-        out = bytearray()
-        out += MAGIC
-        out.append(window.bit_length() - 1)
-        out += encode_varint(len(data))
+        out = bytearray(
+            FLATE_FRAME.encode_preamble(
+                content_length=len(data), window_log=window.bit_length() - 1
+            )
+        )
 
         body = bytearray()
         # Literals: Huffman when profitable, else raw.
@@ -176,20 +189,18 @@ class FlateCodec(Codec):
             out += body
         return append_content_checksum(bytes(out), data)
 
-    def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+    def _decompress_buffer(
+        self, data: bytes, *, window_size: Optional[int] = None
+    ) -> bytes:
         frame, stored_crc = split_content_checksum(data)
         out = self._decompress_frame(frame)
         verify_content_checksum(out, stored_crc)
         return out
 
     def _decompress_frame(self, data: bytes) -> bytes:
-        if len(data) < 6 or data[:4] != MAGIC:
-            raise CorruptStreamError("bad magic: not a Flate-like stream")
-        if not 10 <= data[4] <= 27:
-            raise CorruptStreamError(f"window log {data[4]} out of range")
-        window = 1 << data[4]
-        pos = 5
-        expected, pos = decode_varint(data, pos, max_bits=32)
+        preamble, pos = FLATE_FRAME.decode_preamble(data)
+        window = preamble.window
+        expected = preamble.content_length
         if pos >= len(data):
             raise CorruptStreamError("missing body marker")
         mode = data[pos]

@@ -15,6 +15,7 @@ from typing import List, Optional
 
 from repro.algorithms.base import Codec, CodecInfo, WeightClass
 from repro.algorithms.container import (
+    FrameSpec,
     append_content_checksum,
     split_content_checksum,
     verify_content_checksum,
@@ -34,6 +35,20 @@ from repro.common.varint import decode_varint, encode_varint
 
 MAGIC = b"GPRL"
 _TOP_SET_SIZE = 32
+#: Frame overhead allowed before the stored fallback kicks in (magic +
+#: varint length + marker byte headroom).
+_STORED_FALLBACK_MARGIN = 10
+
+#: Frame layout: magic, varint content length, body, CRC trailer. The body
+#: (top set, token plan, bit payload) is monolithic, so streaming contexts
+#: for this codec are whole-stream buffered.
+GIPFELI_FRAME = FrameSpec(
+    display="Gipfeli-like stream",
+    magic=MAGIC,
+    has_length=True,
+    length_bits=32,
+    has_checksum=True,
+)
 
 GIPFELI_INFO = CodecInfo(
     name="gipfeli",
@@ -65,7 +80,7 @@ class GipfeliCodec(Codec):
     def tokenize(self, data: bytes) -> TokenStream:
         return _matcher().encode(data)
 
-    def compress(
+    def _compress_buffer(
         self,
         data: bytes,
         *,
@@ -73,9 +88,7 @@ class GipfeliCodec(Codec):
         window_size: Optional[int] = None,
     ) -> bytes:
         stream = self.tokenize(data)
-        out = bytearray()
-        out += MAGIC
-        out += encode_varint(len(data))
+        out = bytearray(GIPFELI_FRAME.encode_preamble(content_length=len(data)))
 
         literal_bytes = b"".join(t.data for t in stream.tokens if isinstance(t, Literal))
         top = [sym for sym, _ in Counter(literal_bytes).most_common(_TOP_SET_SIZE)]
@@ -110,26 +123,27 @@ class GipfeliCodec(Codec):
         out += encode_varint(bits.bit_length)
         out += payload
         result = bytes(out)
-        if len(result) >= len(data) + len(MAGIC) + 6:
+        if len(result) >= len(data) + _STORED_FALLBACK_MARGIN:
             # Stored fallback: marker top-set size 255.
-            fallback = bytearray(MAGIC)
-            fallback += encode_varint(len(data))
+            fallback = bytearray(
+                GIPFELI_FRAME.encode_preamble(content_length=len(data))
+            )
             fallback.append(255)
             fallback += data
             return append_content_checksum(bytes(fallback), data)
         return append_content_checksum(result, data)
 
-    def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+    def _decompress_buffer(
+        self, data: bytes, *, window_size: Optional[int] = None
+    ) -> bytes:
         frame, stored_crc = split_content_checksum(data)
         out = self._decompress_frame(frame)
         verify_content_checksum(out, stored_crc)
         return out
 
     def _decompress_frame(self, data: bytes) -> bytes:
-        if len(data) < 5 or data[:4] != MAGIC:
-            raise CorruptStreamError("bad magic: not a Gipfeli-like stream")
-        pos = 4
-        expected, pos = decode_varint(data, pos, max_bits=32)
+        preamble, pos = GIPFELI_FRAME.decode_preamble(data)
+        expected = preamble.content_length
         if pos >= len(data):
             raise CorruptStreamError("missing top-set header")
         top_size = data[pos]

@@ -3,35 +3,59 @@
 LZO is byte-oriented LZ77 with no entropy coding but *with* compression
 levels. We mirror that: a tag-byte element stream (distinct from Snappy's) and
 levels 1-9 that scale the match-finder's hash table and search depth.
+
+The frame is not self-terminating (elements run to the end of the frame
+body), so the streaming decoder withholds the last ``CHECKSUM_BYTES`` of
+every feed — they may be the CRC-32C trailer — and parses one complete
+element at a time, retaining only the format's structural maximum offset of
+output history.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.algorithms.base import Codec, CodecInfo, WeightClass
 from repro.algorithms.container import (
+    CHECKSUM_BYTES,
+    FrameSpec,
     append_content_checksum,
     split_content_checksum,
     verify_content_checksum,
+    verify_running_checksum,
 )
 from repro.algorithms.lz77 import (
     Copy,
     Literal,
     Lz77Encoder,
     Lz77Params,
+    Token,
     TokenStream,
     decode_tokens,
     split_long_copies,
 )
+from repro.algorithms.streaming import DecompressContext
+from repro.common.crc32c import crc32c
 from repro.common.errors import CorruptStreamError
 from repro.common.units import KiB
-from repro.common.varint import decode_varint, encode_varint
 
 MAGIC = b"LZRL"
 
 #: Copy elements carry a 3-byte (offset16, len8) body; lengths cap at 255+4.
 _MAX_COPY_LEN = 259
+#: Largest offset the 20-bit copy encoding can express: the streaming
+#: decoder retains this much output history for structural parity with the
+#: one-shot decoder (the encoder itself never exceeds its 64 KiB window).
+_MAX_COPY_OFFSET = 0xFFFFF
+
+#: Frame layout: magic, varint content length, element stream, CRC trailer.
+LZO_FRAME = FrameSpec(
+    display="LZO-like stream",
+    magic=MAGIC,
+    has_length=True,
+    length_bits=32,
+    has_checksum=True,
+)
 
 LZO_INFO = CodecInfo(
     name="lzo",
@@ -56,6 +80,127 @@ def _level_lz77(level: int) -> Lz77Params:
     )
 
 
+def _try_parse_element(data, pos: int, end: int) -> Optional[Tuple[Token, int]]:
+    """Parse one element from ``data[pos:end]``; ``None`` if incomplete."""
+    if pos >= end:
+        return None
+    tag = data[pos]
+    pos += 1
+    if tag < 0x80:
+        if tag == 0:
+            raise CorruptStreamError("zero-length literal run")
+        if pos + tag > end:
+            return None
+        return Literal(bytes(data[pos : pos + tag])), pos + tag
+    if pos + 3 > end:
+        return None
+    hi = tag & 0x7F
+    second = data[pos]
+    pos += 1
+    length = hi * 16 + (second >> 4) + 4
+    offset = ((second & 0x0F) << 16) | int.from_bytes(data[pos : pos + 2], "little")
+    pos += 2
+    if offset == 0:
+        raise CorruptStreamError("copy with zero offset")
+    return Copy(offset=offset, length=length), pos
+
+
+class _LzoDecompressContext(DecompressContext):
+    """Element-at-a-time LZO decoder with bounded history and running CRC.
+
+    Withholds the final ``CHECKSUM_BYTES`` of input at all times (the frame
+    body is only delimited by the trailer), verifies the CRC-32C from a
+    running digest at flush, and retains at most the structural maximum
+    copy offset of decoded history — O(window + chunk) buffering.
+    """
+
+    bounded = True
+
+    def __init__(self, codec: "LzoCodec") -> None:
+        super().__init__(codec)
+        self._pending = bytearray()
+        self._history = bytearray()
+        self._expected: Optional[int] = None
+        self._produced = 0
+        self._crc = 0
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._pending) + len(self._history)
+
+    def _feed(self, chunk: bytes) -> bytes:
+        self._pending += chunk
+        if len(self._pending) <= CHECKSUM_BYTES:
+            return b""
+        return self._parse(len(self._pending) - CHECKSUM_BYTES)
+
+    def _parse(self, avail: int) -> bytes:
+        data = self._pending
+        pos = 0
+        if self._expected is None:
+            parsed = LZO_FRAME.try_decode_preamble(bytes(data[:avail]))
+            if parsed is None:
+                return b""
+            preamble, pos = parsed
+            self._expected = preamble.content_length
+        work = self._history
+        base = len(work)
+        while True:
+            element = _try_parse_element(data, pos, avail)
+            if element is None:
+                break
+            token, pos = element
+            if isinstance(token, Literal):
+                work += token.data
+                self._produced += len(token.data)
+            else:
+                start = len(work) - token.offset
+                if token.offset > self._produced:
+                    raise CorruptStreamError(
+                        f"copy offset {token.offset} reaches before start of "
+                        f"output (only {self._produced} bytes produced)"
+                    )
+                if start < 0:
+                    raise CorruptStreamError(
+                        f"copy offset {token.offset} reaches beyond the "
+                        f"retained {_MAX_COPY_OFFSET}-byte streaming window"
+                    )
+                if token.length <= token.offset:
+                    work += work[start : start + token.length]
+                else:  # overlapping copy replicates bytes
+                    for i in range(token.length):
+                        work.append(work[start + i])
+                self._produced += token.length
+            if self._produced > self._expected:
+                raise CorruptStreamError(
+                    f"decoded length exceeds expected {self._expected}"
+                )
+        del data[:pos]
+        out = bytes(work[base:])
+        if len(work) > _MAX_COPY_OFFSET:
+            del work[: len(work) - _MAX_COPY_OFFSET]
+        self._crc = crc32c(out, self._crc)
+        return out
+
+    def _flush(self, end: bool) -> bytes:
+        if not end:
+            return b""
+        body, stored = split_content_checksum(bytes(self._pending))
+        self._pending = bytearray(body)
+        out = self._parse(len(self._pending))
+        if self._expected is None:
+            LZO_FRAME.decode_preamble(bytes(self._pending))  # raises: truncated
+        if self._pending:
+            raise CorruptStreamError("truncated element at end of stream")
+        if self._produced != self._expected:
+            raise CorruptStreamError(
+                f"decoded length {self._produced} != expected {self._expected}"
+            )
+        verify_running_checksum(self._crc, self._produced, stored)
+        self._history.clear()
+        return out
+
+
 class LzoCodec(Codec):
     """Byte-oriented lightweight codec with levels, no entropy stage."""
 
@@ -65,7 +210,12 @@ class LzoCodec(Codec):
         resolved = self.info.clamp_level(level)
         return Lz77Encoder(_level_lz77(resolved)).encode(data)
 
-    def compress(
+    def decompress_context(
+        self, *, window_size: Optional[int] = None
+    ) -> DecompressContext:
+        return _LzoDecompressContext(self)
+
+    def _compress_buffer(
         self,
         data: bytes,
         *,
@@ -73,9 +223,7 @@ class LzoCodec(Codec):
         window_size: Optional[int] = None,
     ) -> bytes:
         stream = self.tokenize(data, level=level)
-        out = bytearray()
-        out += MAGIC
-        out += encode_varint(len(data))
+        out = bytearray(LZO_FRAME.encode_preamble(content_length=len(data)))
         for token in split_long_copies(stream.tokens, _MAX_COPY_LEN):
             if isinstance(token, Literal):
                 run = token.data
@@ -91,40 +239,19 @@ class LzoCodec(Codec):
                 out += (token.offset & 0xFFFF).to_bytes(2, "little")
         return append_content_checksum(bytes(out), data)
 
-    def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+    def _decompress_buffer(
+        self, data: bytes, *, window_size: Optional[int] = None
+    ) -> bytes:
         frame, stored_crc = split_content_checksum(data)
-        out = self._decompress_frame(frame)
+        preamble, pos = LZO_FRAME.decode_preamble(frame)
+        tokens: List[Token] = []
+        n = len(frame)
+        while pos < n:
+            parsed = _try_parse_element(frame, pos, n)
+            if parsed is None:
+                raise CorruptStreamError("truncated element at end of stream")
+            token, pos = parsed
+            tokens.append(token)
+        out = decode_tokens(tokens, expected_length=preamble.content_length)
         verify_content_checksum(out, stored_crc)
         return out
-
-    def _decompress_frame(self, data: bytes) -> bytes:
-        if len(data) < 5 or data[:4] != MAGIC:
-            raise CorruptStreamError("bad magic: not an LZO-like stream")
-        pos = 4
-        expected, pos = decode_varint(data, pos, max_bits=32)
-        tokens: List = []
-        n = len(data)
-        while pos < n:
-            tag = data[pos]
-            pos += 1
-            if tag < 0x80:
-                if tag == 0:
-                    raise CorruptStreamError("zero-length literal run")
-                if pos + tag > n:
-                    raise CorruptStreamError("truncated literal run")
-                tokens.append(Literal(data[pos : pos + tag]))
-                pos += tag
-            else:
-                if pos + 3 > n:
-                    raise CorruptStreamError("truncated copy element")
-                hi = tag & 0x7F
-                second = data[pos]
-                pos += 1
-                length = hi * 16 + (second >> 4) + 4
-                offset_hi = second & 0x0F
-                offset = (offset_hi << 16) | int.from_bytes(data[pos : pos + 2], "little")
-                pos += 2
-                if offset == 0:
-                    raise CorruptStreamError("copy with zero offset")
-                tokens.append(Copy(offset=offset, length=length))
-        return decode_tokens(tokens, expected_length=expected)

@@ -9,7 +9,9 @@ which §6.3 identifies as the reason hardware can beat software ratio.
 
 The element parser is shared with the hardware model
 (:func:`parse_elements` returns the LZ77 token stream a decompressor CDPU
-would execute).
+would execute), and the streaming decompress context consumes the same
+element grammar one complete element at a time, retaining only the format's
+64 KiB history window.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.algorithms.base import Codec, CodecInfo, WeightClass
+from repro.algorithms.container import FrameSpec
 from repro.algorithms.lz77 import (
     Copy,
     Literal,
@@ -27,9 +30,9 @@ from repro.algorithms.lz77 import (
     decode_tokens,
     split_long_copies,
 )
+from repro.algorithms.streaming import DecompressContext
 from repro.common.errors import CorruptStreamError, UnsupportedInputError
 from repro.common.units import KiB
-from repro.common.varint import decode_varint, encode_varint
 
 #: Snappy's fixed history window (§2.2, §3.6).
 SNAPPY_WINDOW = 64 * KiB
@@ -37,13 +40,21 @@ SNAPPY_WINDOW = 64 * KiB
 _MAX_COPY2_OFFSET = 65535
 #: Copy elements encode at most 64 bytes; longer matches are split.
 _MAX_COPY_LEN = 64
-#: Snappy's uncompressed length preamble is a 32-bit varint.
-_MAX_INPUT = (1 << 32) - 1
 
 _TAG_LITERAL = 0b00
 _TAG_COPY1 = 0b01
 _TAG_COPY2 = 0b10
 _TAG_COPY4 = 0b11
+
+#: Raw Snappy's whole frame layout: just the 32-bit varint uncompressed
+#: length — no magic and no content trailer (``format_description.txt``
+#: carries no checksum; use the framed codec for integrity).
+SNAPPY_FRAME = FrameSpec(
+    display="Snappy stream",
+    has_length=True,
+    length_bits=32,
+    has_checksum=False,
+)
 
 SNAPPY_INFO = CodecInfo(
     name="snappy",
@@ -105,62 +116,81 @@ def emit_elements(tokens: List[Token]) -> bytes:
     return bytes(out)
 
 
+def try_parse_element(data, pos: int) -> Optional[Tuple[Token, int]]:
+    """Parse one element from ``data[pos:]``; ``None`` if it is incomplete.
+
+    Structural validation only (a zero copy offset is corruption regardless
+    of position); offset-vs-produced validation is the caller's job since it
+    depends on stream position. The incremental streaming decoder and the
+    one-shot :func:`parse_elements` share this grammar.
+    """
+    n = len(data)
+    if pos >= n:
+        return None
+    tag_byte = data[pos]
+    pos += 1
+    tag = tag_byte & 0x3
+    if tag == _TAG_LITERAL:
+        field = tag_byte >> 2
+        if field < 60:
+            length = field + 1
+        else:
+            extra = field - 59
+            if pos + extra > n:
+                return None
+            length = int.from_bytes(data[pos : pos + extra], "little") + 1
+            pos += extra
+        if pos + length > n:
+            return None
+        return Literal(bytes(data[pos : pos + length])), pos + length
+    if tag == _TAG_COPY1:
+        if pos + 1 > n:
+            return None
+        length = ((tag_byte >> 2) & 0x7) + 4
+        offset = ((tag_byte >> 5) & 0x7) << 8 | data[pos]
+        pos += 1
+    elif tag == _TAG_COPY2:
+        if pos + 2 > n:
+            return None
+        length = (tag_byte >> 2) + 1
+        offset = int.from_bytes(data[pos : pos + 2], "little")
+        pos += 2
+    else:
+        if pos + 4 > n:
+            return None
+        length = (tag_byte >> 2) + 1
+        offset = int.from_bytes(data[pos : pos + 4], "little")
+        pos += 4
+    if offset == 0:
+        raise CorruptStreamError("copy element with zero offset")
+    return Copy(offset=offset, length=length), pos
+
+
 def parse_elements(data: bytes) -> Tuple[int, TokenStream]:
     """Parse a Snappy stream into (uncompressed_length, token stream).
 
     This is the exact element sequence a decompressor CDPU executes; the
     hardware model consumes it directly.
     """
-    expected, pos = decode_varint(data, 0, max_bits=32)
+    preamble, pos = SNAPPY_FRAME.decode_preamble(data)
+    expected = preamble.content_length
     tokens: List[Token] = []
     produced = 0
     n = len(data)
     while pos < n:
-        tag_byte = data[pos]
-        pos += 1
-        tag = tag_byte & 0x3
-        if tag == _TAG_LITERAL:
-            field = tag_byte >> 2
-            if field < 60:
-                length = field + 1
-            else:
-                extra = field - 59
-                if pos + extra > n:
-                    raise CorruptStreamError("truncated literal length")
-                length = int.from_bytes(data[pos : pos + extra], "little") + 1
-                pos += extra
-            if pos + length > n:
-                raise CorruptStreamError("literal runs past end of input")
-            tokens.append(Literal(data[pos : pos + length]))
-            pos += length
-            produced += length
+        parsed = try_parse_element(data, pos)
+        if parsed is None:
+            raise CorruptStreamError("truncated element at end of stream")
+        token, pos = parsed
+        if isinstance(token, Literal):
+            produced += len(token.data)
         else:
-            if tag == _TAG_COPY1:
-                if pos + 1 > n:
-                    raise CorruptStreamError("truncated copy-1 element")
-                length = ((tag_byte >> 2) & 0x7) + 4
-                offset = ((tag_byte >> 5) & 0x7) << 8 | data[pos]
-                pos += 1
-            elif tag == _TAG_COPY2:
-                if pos + 2 > n:
-                    raise CorruptStreamError("truncated copy-2 element")
-                length = (tag_byte >> 2) + 1
-                offset = int.from_bytes(data[pos : pos + 2], "little")
-                pos += 2
-            else:
-                if pos + 4 > n:
-                    raise CorruptStreamError("truncated copy-4 element")
-                length = (tag_byte >> 2) + 1
-                offset = int.from_bytes(data[pos : pos + 4], "little")
-                pos += 4
-            if offset == 0:
-                raise CorruptStreamError("copy element with zero offset")
-            if offset > produced:
+            if token.offset > produced:
                 raise CorruptStreamError(
-                    f"copy offset {offset} exceeds produced output {produced}"
+                    f"copy offset {token.offset} exceeds produced output {produced}"
                 )
-            tokens.append(Copy(offset=offset, length=length))
-            produced += length
+            produced += token.length
+        tokens.append(token)
         if produced > expected:
             raise CorruptStreamError(
                 f"stream produces {produced} bytes, preamble promised {expected}"
@@ -172,8 +202,101 @@ def parse_elements(data: bytes) -> Tuple[int, TokenStream]:
     return expected, TokenStream(tokens, produced)
 
 
+class _SnappyDecompressContext(DecompressContext):
+    """Element-at-a-time Snappy decoder with window-bounded history.
+
+    Retains only the last 64 KiB of output (the format's fixed window, which
+    also covers every offset our encoder can emit) plus any incomplete
+    element bytes — O(window + chunk), never O(stream). A foreign stream
+    using a copy-4 offset beyond the retained window is rejected as corrupt;
+    the buffered one-shot path never produced such offsets.
+    """
+
+    bounded = True
+
+    def __init__(self, codec: "SnappyCodec") -> None:
+        super().__init__(codec)
+        self._pending = bytearray()
+        self._history = bytearray()
+        self._expected: Optional[int] = None
+        self._produced = 0
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._pending) + len(self._history)
+
+    def _feed(self, chunk: bytes) -> bytes:
+        self._pending += chunk
+        return self._drain()
+
+    def _drain(self) -> bytes:
+        data = self._pending
+        pos = 0
+        if self._expected is None:
+            parsed = SNAPPY_FRAME.try_decode_preamble(data)
+            if parsed is None:
+                return b""
+            preamble, pos = parsed
+            self._expected = preamble.content_length
+        work = self._history
+        base = len(work)
+        while True:
+            element = try_parse_element(data, pos)
+            if element is None:
+                break
+            token, pos = element
+            if isinstance(token, Literal):
+                work += token.data
+                self._produced += len(token.data)
+            else:
+                if token.offset > self._produced:
+                    raise CorruptStreamError(
+                        f"copy offset {token.offset} exceeds produced output "
+                        f"{self._produced}"
+                    )
+                start = len(work) - token.offset
+                if start < 0:
+                    raise CorruptStreamError(
+                        f"copy offset {token.offset} reaches beyond the "
+                        f"retained {SNAPPY_WINDOW}-byte streaming window"
+                    )
+                if token.length <= token.offset:
+                    work += work[start : start + token.length]
+                else:  # overlapping copy replicates bytes
+                    for i in range(token.length):
+                        work.append(work[start + i])
+                self._produced += token.length
+            if self._produced > self._expected:
+                raise CorruptStreamError(
+                    f"stream produces {self._produced} bytes, preamble "
+                    f"promised {self._expected}"
+                )
+        del data[:pos]
+        out = bytes(work[base:])
+        if len(work) > SNAPPY_WINDOW:
+            del work[: len(work) - SNAPPY_WINDOW]
+        return out
+
+    def _flush(self, end: bool) -> bytes:
+        if not end:
+            return b""
+        if self._expected is None:
+            # Never saw a complete preamble: report it exactly as the
+            # one-shot parse of this short buffer would.
+            SNAPPY_FRAME.decode_preamble(bytes(self._pending))
+        if self._pending:
+            raise CorruptStreamError("truncated element at end of stream")
+        if self._produced != self._expected:
+            raise CorruptStreamError(
+                f"stream produced {self._produced} bytes, preamble promised "
+                f"{self._expected}"
+            )
+        self._history.clear()
+        return b""
+
+
 class SnappyCodec(Codec):
-    """Buffer-in/buffer-out Snappy, structured like the C++ library.
+    """Snappy codec, structured like the C++ library.
 
     ``use_skipping`` toggles the software incompressible-data heuristic; the
     hardware pipeline instantiates the same matcher with skipping disabled.
@@ -196,18 +319,26 @@ class SnappyCodec(Codec):
         """Run only the dictionary-coding stage (used by the HW model)."""
         return self._encoder.encode(data)
 
-    def compress(
+    def decompress_context(
+        self, *, window_size: Optional[int] = None
+    ) -> DecompressContext:
+        return _SnappyDecompressContext(self)
+
+    def _compress_buffer(
         self,
         data: bytes,
         *,
         level: Optional[int] = None,
         window_size: Optional[int] = None,
     ) -> bytes:
-        if len(data) > _MAX_INPUT:
+        if len(data) > (1 << SNAPPY_FRAME.length_bits) - 1:
             raise UnsupportedInputError("snappy inputs are limited to 2^32-1 bytes")
         stream = self._encoder.encode(data)
-        return encode_varint(len(data)) + emit_elements(stream.tokens)
+        preamble = SNAPPY_FRAME.encode_preamble(content_length=len(data))
+        return preamble + emit_elements(stream.tokens)
 
-    def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+    def _decompress_buffer(
+        self, data: bytes, *, window_size: Optional[int] = None
+    ) -> bytes:
         expected, stream = parse_elements(data)
         return decode_tokens(stream.tokens, expected_length=expected)

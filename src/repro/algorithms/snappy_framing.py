@@ -10,15 +10,18 @@ compressed (0x00) or uncompressed (0x01) chunks of at most 64 KiB of source
 data, each protected by a masked CRC-32C; padding (0xFE) and reserved-
 skippable chunks are tolerated. Each data chunk is independently framed, so
 a consumer can restart mid-stream — which is also what lets hardware process
-chunks without unbounded state.
+chunks without unbounded state, and what makes both directions of the codec
+truly incremental: the contexts below hold at most one in-flight chunk.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
 from repro.algorithms.base import Codec, CodecInfo, WeightClass
+from repro.algorithms.container import FrameSpec
 from repro.algorithms.snappy import SnappyCodec
+from repro.algorithms.streaming import CompressContext, DecompressContext
 from repro.common.crc32c import masked_crc32c
 from repro.common.errors import CorruptStreamError
 from repro.common.units import KiB
@@ -35,6 +38,16 @@ STREAM_IDENTIFIER = b"\xff\x06\x00\x00sNaPpY"
 #: Maximum uncompressed data per chunk.
 MAX_CHUNK_DATA = 65536
 
+#: Every byte of a valid stream identifier chunk is fixed, so the whole
+#: chunk acts as the frame magic; chunk framing carries no stream-level
+#: length or trailer (integrity is per-chunk masked CRC-32C).
+SNAPPY_FRAMED_FRAME = FrameSpec(
+    display="Snappy framed stream",
+    magic=STREAM_IDENTIFIER,
+    has_length=False,
+    has_checksum=False,
+)
+
 
 def _chunk(chunk_type: int, payload: bytes) -> bytes:
     if len(payload) > 0xFFFFFF:
@@ -50,12 +63,17 @@ class SnappyFramedStream:
         self._pending = bytearray()
         self._header_emitted = False
 
+    @property
+    def pending_bytes(self) -> int:
+        """Input bytes awaiting a full 64 KiB chunk (always < 64 KiB)."""
+        return len(self._pending)
+
     def write(self, data: bytes) -> bytes:
         """Feed input; returns any frames completed by this write."""
         self._pending.extend(data)
         out = bytearray()
         if not self._header_emitted:
-            out += STREAM_IDENTIFIER
+            out += SNAPPY_FRAMED_FRAME.encode_preamble()
             self._header_emitted = True
         while len(self._pending) >= MAX_CHUNK_DATA:
             block = bytes(self._pending[:MAX_CHUNK_DATA])
@@ -67,7 +85,7 @@ class SnappyFramedStream:
         """Emit the final partial chunk (and the header for empty streams)."""
         out = bytearray()
         if not self._header_emitted:
-            out += STREAM_IDENTIFIER
+            out += SNAPPY_FRAMED_FRAME.encode_preamble()
             self._header_emitted = True
         if self._pending:
             out += self._encode_block(bytes(self._pending))
@@ -90,7 +108,7 @@ def compress_framed(data: bytes) -> bytes:
 
 def iter_frames(stream: bytes) -> Iterator[tuple]:
     """Yield (chunk_type, payload) pairs, validating structure."""
-    if not stream.startswith(STREAM_IDENTIFIER[:1]):
+    if not stream or stream[0] != CHUNK_STREAM_IDENTIFIER:
         raise CorruptStreamError("framed stream must begin with a stream identifier")
     pos = 0
     while pos < len(stream):
@@ -103,6 +121,34 @@ def iter_frames(stream: bytes) -> Iterator[tuple]:
             raise CorruptStreamError("truncated chunk payload")
         yield chunk_type, stream[pos : pos + length]
         pos += length
+
+
+def _decode_chunk(chunk_type: int, payload: bytes, codec: SnappyCodec) -> bytes:
+    """Decode one non-identifier chunk into its source bytes (b"" if none).
+
+    Shared by the one-shot decoder and the streaming context so both apply
+    identical CRC, size and reserved-chunk policies.
+    """
+    if chunk_type == CHUNK_PADDING:
+        return b""
+    if chunk_type in (CHUNK_COMPRESSED, CHUNK_UNCOMPRESSED):
+        if len(payload) < 4:
+            raise CorruptStreamError("chunk too short for its CRC")
+        expected_crc = int.from_bytes(payload[:4], "little")
+        body = payload[4:]
+        if chunk_type == CHUNK_COMPRESSED:
+            block = codec.decompress(body)
+        else:
+            block = body
+        if len(block) > MAX_CHUNK_DATA:
+            raise CorruptStreamError("chunk exceeds 64 KiB of source data")
+        if masked_crc32c(block) != expected_crc:
+            raise CorruptStreamError("chunk CRC mismatch")
+        return block
+    if 0x02 <= chunk_type <= 0x7F:
+        raise CorruptStreamError(f"unskippable reserved chunk {chunk_type:#04x}")
+    # 0x80..0xFD are reserved skippable: ignored.
+    return b""
 
 
 def decompress_framed(stream: bytes) -> bytes:
@@ -118,25 +164,7 @@ def decompress_framed(stream: bytes) -> bytes:
             continue
         if not saw_identifier:
             raise CorruptStreamError("data chunk before stream identifier")
-        if chunk_type == CHUNK_PADDING:
-            continue
-        if chunk_type in (CHUNK_COMPRESSED, CHUNK_UNCOMPRESSED):
-            if len(payload) < 4:
-                raise CorruptStreamError("chunk too short for its CRC")
-            expected_crc = int.from_bytes(payload[:4], "little")
-            body = payload[4:]
-            if chunk_type == CHUNK_COMPRESSED:
-                block = codec.decompress(body)
-            else:
-                block = body
-            if len(block) > MAX_CHUNK_DATA:
-                raise CorruptStreamError("chunk exceeds 64 KiB of source data")
-            if masked_crc32c(block) != expected_crc:
-                raise CorruptStreamError("chunk CRC mismatch")
-            out += block
-        elif 0x02 <= chunk_type <= 0x7F:
-            raise CorruptStreamError(f"unskippable reserved chunk {chunk_type:#04x}")
-        # 0x80..0xFD are reserved skippable: ignored.
+        out += _decode_chunk(chunk_type, payload, codec)
     if not saw_identifier:
         raise CorruptStreamError("empty stream (no identifier)")
     return bytes(out)
@@ -152,17 +180,119 @@ SNAPPY_FRAMED_INFO = CodecInfo(
 )
 
 
+class _SnappyFramedCompressContext(CompressContext):
+    """Chunk-at-a-time framed compressor (wraps :class:`SnappyFramedStream`).
+
+    Chunk boundaries are a pure function of the input offset (every 64 KiB),
+    so output is byte-identical to the one-shot path for any feed chunking.
+    """
+
+    bounded = True
+
+    def __init__(self, codec: "SnappyFramedCodec") -> None:
+        super().__init__(codec)
+        self._stream = SnappyFramedStream()
+
+    @property
+    def buffered_bytes(self) -> int:
+        return self._stream.pending_bytes
+
+    def _feed(self, chunk: bytes) -> bytes:
+        return self._stream.write(chunk)
+
+    def _flush(self, end: bool) -> bytes:
+        if not end:
+            return b""
+        return self._stream.flush()
+
+
+class _SnappyFramedDecompressContext(DecompressContext):
+    """Chunk-at-a-time framed decompressor.
+
+    Holds at most one incomplete chunk (≤ 16 MiB by the 24-bit length field;
+    ≤ 64 KiB + framing for chunks our compressor emits) and no output
+    history — data chunks are self-contained, which is the framing format's
+    whole point.
+    """
+
+    bounded = True
+
+    def __init__(self, codec: "SnappyFramedCodec") -> None:
+        super().__init__(codec)
+        self._pending = bytearray()
+        self._snappy = SnappyCodec()
+        self._saw_identifier = False
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._pending)
+
+    def _feed(self, chunk: bytes) -> bytes:
+        self._pending += chunk
+        return self._drain()
+
+    def _drain(self) -> bytes:
+        data = self._pending
+        if not self._saw_identifier:
+            parsed = SNAPPY_FRAMED_FRAME.try_decode_preamble(data)
+            if parsed is None:
+                return b""
+            del data[: parsed[1]]
+            self._saw_identifier = True
+        out = bytearray()
+        while len(data) >= 4:
+            chunk_type = data[0]
+            length = int.from_bytes(data[1:4], "little")
+            if len(data) < 4 + length:
+                break
+            payload = bytes(data[4 : 4 + length])
+            del data[: 4 + length]
+            if chunk_type == CHUNK_STREAM_IDENTIFIER:
+                if payload != b"sNaPpY":
+                    raise CorruptStreamError("bad stream identifier payload")
+                continue
+            out += _decode_chunk(chunk_type, payload, self._snappy)
+        return bytes(out)
+
+    def _flush(self, end: bool) -> bytes:
+        if not end:
+            return b""
+        if not self._saw_identifier:
+            # Never saw the full identifier: a valid stream cannot start
+            # this way, so report it exactly as the one-shot parse would.
+            SNAPPY_FRAMED_FRAME.decode_preamble(bytes(self._pending))
+        if self._pending:
+            if len(self._pending) < 4:
+                raise CorruptStreamError("truncated chunk header")
+            raise CorruptStreamError("truncated chunk payload")
+        return b""
+
+
 class SnappyFramedCodec(Codec):
     """Buffer-in/buffer-out adapter over the framing format.
 
     Unlike raw Snappy, every chunk carries a masked CRC-32C, so this is the
     integrity-checked variant of the codec pair — corruption anywhere in a
-    data chunk surfaces as :class:`CorruptStreamError`.
+    data chunk surfaces as :class:`CorruptStreamError`. Both streaming
+    directions are bounded: the format was designed chunk-restartable.
     """
 
     info = SNAPPY_FRAMED_INFO
 
-    def compress(
+    def compress_context(
+        self,
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> CompressContext:
+        return _SnappyFramedCompressContext(self)
+
+    def decompress_context(
+        self, *, window_size: Optional[int] = None
+    ) -> DecompressContext:
+        return _SnappyFramedDecompressContext(self)
+
+    def _compress_buffer(
         self,
         data: bytes,
         *,
@@ -171,5 +301,7 @@ class SnappyFramedCodec(Codec):
     ) -> bytes:
         return compress_framed(data)
 
-    def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+    def _decompress_buffer(
+        self, data: bytes, *, window_size: Optional[int] = None
+    ) -> bytes:
         return decompress_framed(data)

@@ -1,0 +1,236 @@
+"""Incremental compress/decompress contexts (the paper's streaming API).
+
+§3.4 notes the stable codec API has always been "a stateless, buffer-in,
+buffer-out API ... and a streaming equivalent"; the CDPUs themselves are
+streaming dataflow engines fed chunk-by-chunk under bounded SRAM history
+(§5). This module is that streaming equivalent for the software codecs,
+mirroring pyzstd's ``ZstdCompressor``/``ZstdDecompressor`` shape:
+
+    ctx = codec.compress_context(level=3)
+    out = ctx.feed(chunk_a)        # may return bytes immediately
+    out += ctx.feed(chunk_b)
+    out += ctx.flush()             # finalize; context is now closed
+
+Contexts are single-use state machines: ``feed`` after the final ``flush``
+raises :class:`~repro.common.errors.StreamStateError`, and a feed that
+detects corruption poisons the context (the stream cannot be resumed past a
+corrupt prefix). ``flush(end=False)`` drains whatever output is currently
+producible without ending the stream.
+
+Two capability tiers exist, reported by the ``bounded`` attribute:
+
+* ``bounded=True`` — internal buffering is O(window + chunk size): the
+  context does real incremental work per feed (block-based and element-based
+  formats). The obs gauge ``codec.<name>.stream.<op>.buffered_bytes`` tracks
+  the held bytes.
+* ``bounded=False`` — the format's monolithic body (or its
+  length-up-front preamble) forces whole-stream buffering; the context still
+  presents the streaming API but defers the transform to the final flush.
+
+The one-shot ``Codec.compress``/``decompress`` entry points are thin
+wrappers over these contexts (one feed + one flush), so the streaming path
+is *the* codec execution core, not a parallel implementation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro import obs
+from repro.common.errors import CorruptStreamError, StreamStateError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms.base import Codec
+
+_OPEN = "open"
+_FINISHED = "finished"
+_FAILED = "failed"
+
+
+class StreamContext:
+    """Base incremental context: feed/flush state machine + observability.
+
+    Subclasses implement :meth:`_feed` and :meth:`_flush` and expose their
+    held-byte count through :attr:`buffered_bytes`; this base owns the
+    state transitions, the per-feed spans and counters, and the
+    buffered-bytes gauge/high-water tracking.
+    """
+
+    #: "compress" or "decompress" (set by the two direction subclasses).
+    operation: str = "stream"
+    #: True when internal buffering is O(window + chunk), not O(input).
+    bounded: bool = False
+
+    def __init__(self, codec: "Codec") -> None:
+        self._codec_name = codec.info.name
+        self._state = _OPEN
+        #: High-water mark of :attr:`buffered_bytes`, for memory-bound tests.
+        self.max_buffered_bytes = 0
+
+    # -- subclass surface ---------------------------------------------------
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes currently held inside the context."""
+        raise NotImplementedError
+
+    def _feed(self, chunk: bytes) -> bytes:
+        raise NotImplementedError
+
+    def _flush(self, end: bool) -> bytes:
+        raise NotImplementedError
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True once the final flush completed (context is closed)."""
+        return self._state == _FINISHED
+
+    def feed(self, chunk: bytes) -> bytes:
+        """Consume ``chunk``; return any output producible right away."""
+        self._check_open("feed")
+        try:
+            out = self._run(self._feed, chunk)
+        except CorruptStreamError:
+            self._state = _FAILED
+            raise
+        self._track()
+        return out
+
+    def flush(self, end: bool = True) -> bytes:
+        """Drain pending output; ``end=True`` finalizes the stream.
+
+        The final flush validates stream completeness (a decompress context
+        raises :class:`CorruptStreamError` on a truncated stream — it never
+        silently returns a partial result) and closes the context.
+        """
+        self._check_open("flush")
+        try:
+            out = self._run(self._flush, end)
+        except CorruptStreamError:
+            self._state = _FAILED
+            raise
+        if end:
+            self._state = _FINISHED
+        self._track()
+        return out
+
+    # -- internals ----------------------------------------------------------
+
+    def _check_open(self, what: str) -> None:
+        if self._state == _FINISHED:
+            raise StreamStateError(
+                f"{what} on a finished {self._codec_name} {self.operation} "
+                "context (create a new context per stream)"
+            )
+        if self._state == _FAILED:
+            raise StreamStateError(
+                f"{what} on a failed {self._codec_name} {self.operation} "
+                "context (the stream was corrupt; it cannot be resumed)"
+            )
+
+    def _run(self, fn, arg) -> bytes:
+        if not obs.enabled():
+            return fn(arg)
+        name = f"codec.{self._codec_name}.stream.{self.operation}"
+        stage = "feed" if fn == self._feed else "flush"
+        with obs.span(f"{name}.{stage}", category="codec"):
+            out = fn(arg)
+        obs.counter_add(f"{name}.{stage}.calls", 1)
+        if stage == "feed":
+            obs.counter_add(f"{name}.bytes_in", len(arg))
+        obs.counter_add(f"{name}.bytes_out", len(out))
+        return out
+
+    def _track(self) -> None:
+        buffered = self.buffered_bytes
+        if buffered > self.max_buffered_bytes:
+            self.max_buffered_bytes = buffered
+        if obs.enabled():
+            obs.gauge_set(
+                f"codec.{self._codec_name}.stream.{self.operation}.buffered_bytes",
+                buffered,
+            )
+
+
+class CompressContext(StreamContext):
+    """Incremental compressor (``feed`` raw bytes, receive frame bytes)."""
+
+    operation = "compress"
+
+
+class DecompressContext(StreamContext):
+    """Incremental decompressor (``feed`` frame bytes, receive raw bytes)."""
+
+    operation = "decompress"
+
+
+class BufferedCompressContext(CompressContext):
+    """Generic fallback: buffer the input, run the block transform at flush.
+
+    Used by codecs whose monolithic frame body cannot be produced
+    incrementally (Flate/Gipfeli/Brotli-like). Output is byte-identical to
+    the one-shot path for every chunking by construction.
+    """
+
+    bounded = False
+
+    def __init__(
+        self,
+        codec: "Codec",
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> None:
+        super().__init__(codec)
+        self._codec = codec
+        self._level = level
+        self._window_size = window_size
+        self._pending = bytearray()
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._pending)
+
+    def _feed(self, chunk: bytes) -> bytes:
+        self._pending += chunk
+        return b""
+
+    def _flush(self, end: bool) -> bytes:
+        if not end:
+            return b""
+        out = self._codec._compress_buffer(
+            bytes(self._pending), level=self._level, window_size=self._window_size
+        )
+        self._pending.clear()
+        return out
+
+
+class BufferedDecompressContext(DecompressContext):
+    """Generic fallback: buffer the frame, decode at the final flush."""
+
+    bounded = False
+
+    def __init__(self, codec: "Codec", *, window_size: Optional[int] = None) -> None:
+        super().__init__(codec)
+        self._codec = codec
+        self._window_size = window_size
+        self._pending = bytearray()
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._pending)
+
+    def _feed(self, chunk: bytes) -> bytes:
+        self._pending += chunk
+        return b""
+
+    def _flush(self, end: bool) -> bytes:
+        if not end:
+            return b""
+        out = self._codec._decompress_buffer(
+            bytes(self._pending), window_size=self._window_size
+        )
+        self._pending.clear()
+        return out

@@ -42,11 +42,20 @@ from repro.algorithms.lz77 import (
     TokenStream,
 )
 from repro.algorithms.container import (
+    CHECKSUM_BYTES,
+    FrameSpec,
     append_content_checksum,
     split_content_checksum,
+    try_decode_varint,
     verify_content_checksum,
+    verify_running_checksum,
+)
+from repro.algorithms.streaming import (
+    CompressContext,
+    DecompressContext,
 )
 from repro.common.bitio import BitReader, BitWriter
+from repro.common.crc32c import crc32c
 from repro.common.errors import ConfigError, CorruptStreamError
 from repro.common.units import KiB, MiB, is_power_of_two
 from repro.common.varint import decode_varint, encode_varint
@@ -73,6 +82,18 @@ _BLOCK_COMPRESSED = 2
 
 _LITERALS_RAW = 0
 _LITERALS_HUFFMAN = 1
+
+#: Frame layout: magic, version byte, window-log byte, varint content
+#: length, self-terminating block sequence (last-block flag), CRC trailer.
+ZSTD_FRAME = FrameSpec(
+    display="ZStd-like frame",
+    magic=MAGIC,
+    version=FORMAT_VERSION,
+    has_window_log=True,
+    has_length=True,
+    length_bits=32,
+    has_checksum=True,
+)
 
 ZSTD_INFO = CodecInfo(
     name="zstd",
@@ -413,7 +434,20 @@ class ZstdCodec(Codec):
         window = self.resolve_window(window_size, level=resolved_level)
         return self._matcher(resolved_level, window).encode(data)
 
-    def compress(
+    def compress_context(
+        self,
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> CompressContext:
+        return _ZstdCompressContext(self, level=level, window_size=window_size)
+
+    def decompress_context(
+        self, *, window_size: Optional[int] = None
+    ) -> DecompressContext:
+        return _ZstdDecompressContext(self)
+
+    def _compress_buffer(
         self,
         data: bytes,
         *,
@@ -426,11 +460,11 @@ class ZstdCodec(Codec):
         matcher = self._matcher(resolved_level, window)
         coder = SequenceCoder(self._accuracy_override or params.accuracy_log)
 
-        out = bytearray()
-        out += MAGIC
-        out.append(FORMAT_VERSION)
-        out.append(window.bit_length() - 1)
-        out += encode_varint(len(data))
+        out = bytearray(
+            ZSTD_FRAME.encode_preamble(
+                content_length=len(data), window_log=window.bit_length() - 1
+            )
+        )
 
         if not data:
             out.append(_BLOCK_RAW | 0x80)
@@ -469,23 +503,18 @@ class ZstdCodec(Codec):
         header += encode_varint(len(body))
         return bytes(header) + bytes(body)
 
-    def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+    def _decompress_buffer(
+        self, data: bytes, *, window_size: Optional[int] = None
+    ) -> bytes:
         frame, stored_crc = split_content_checksum(data)
         out = self._decompress_frame(frame)
         verify_content_checksum(out, stored_crc)
         return out
 
     def _decompress_frame(self, data: bytes) -> bytes:
-        if len(data) < 6 or data[:4] != MAGIC:
-            raise CorruptStreamError("bad magic: not a ZStd-like frame")
-        if data[4] != FORMAT_VERSION:
-            raise CorruptStreamError(f"unsupported format version {data[4]}")
-        window_log = data[5]
-        if not 10 <= window_log <= 27:
-            raise CorruptStreamError(f"window log {window_log} out of range")
-        window = 1 << window_log
-        pos = 6
-        expected, pos = decode_varint(data, pos, max_bits=32)
+        preamble, pos = ZSTD_FRAME.decode_preamble(data)
+        window = preamble.window
+        expected = preamble.content_length
         out = bytearray()
         saw_last = False
         while pos < len(data):
@@ -550,3 +579,204 @@ class ZstdCodec(Codec):
         out += literals[lit_pos:]
         if len(out) - block_start != raw_size:
             raise CorruptStreamError("block decoded to wrong size")
+
+
+class _ZstdCompressContext(CompressContext):
+    """Block-at-a-time ZStd compressor.
+
+    Input buffering is bounded: every full block beyond ``BLOCK_SIZE`` is
+    matched and entropy-coded as soon as it arrives (one block is held back
+    so the last-block flag lands exactly where the one-shot path puts it).
+    The frame *header* carries the total content length, so the compressed
+    block bytes accumulate internally until flush — output, not window
+    history, is what this context cannot bound.
+    """
+
+    bounded = False
+
+    def __init__(
+        self,
+        codec: "ZstdCodec",
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> None:
+        super().__init__(codec)
+        self._codec = codec
+        level = codec.info.clamp_level(level)
+        self._window = codec.resolve_window(window_size, level=level)
+        params = level_params(level)
+        self._matcher = codec._matcher(level, self._window)
+        self._coder = SequenceCoder(
+            codec._accuracy_override or params.accuracy_log
+        )
+        self._input = bytearray()
+        self._blocks = bytearray()
+        self._total = 0
+        self._crc = 0
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._input) + len(self._blocks)
+
+    def _feed(self, chunk: bytes) -> bytes:
+        self._input += chunk
+        self._total += len(chunk)
+        self._crc = crc32c(chunk, self._crc)
+        # Hold one full block back: whether a block is *last* is only known
+        # once a byte beyond it arrives (or the stream ends).
+        while len(self._input) > BLOCK_SIZE:
+            block = bytes(self._input[:BLOCK_SIZE])
+            del self._input[:BLOCK_SIZE]
+            self._blocks += self._codec._compress_block(
+                block, self._matcher, self._coder, last=False
+            )
+        return b""
+
+    def _flush(self, end: bool) -> bytes:
+        if not end:
+            return b""
+        out = bytearray(
+            ZSTD_FRAME.encode_preamble(
+                content_length=self._total,
+                window_log=self._window.bit_length() - 1,
+            )
+        )
+        out += self._blocks
+        if self._total == 0:
+            out.append(_BLOCK_RAW | 0x80)
+            out += encode_varint(0)
+        else:
+            out += self._codec._compress_block(
+                bytes(self._input), self._matcher, self._coder, last=True
+            )
+        self._input.clear()
+        self._blocks.clear()
+        return bytes(out) + self._crc.to_bytes(CHECKSUM_BYTES, "little")
+
+
+class _ZstdDecompressContext(DecompressContext):
+    """Block-at-a-time ZStd decompressor with O(block + chunk) buffering.
+
+    Blocks are matched independently (offsets never cross a block boundary,
+    see :meth:`ZstdCodec._compress_block`), so each complete block decodes
+    into a fresh scratch buffer and is emitted immediately — no decoded
+    history is retained at all. The CRC-32C trailer is verified from a
+    running digest once the last-flagged block has been consumed.
+    """
+
+    bounded = True
+
+    _PREAMBLE = "preamble"
+    _BLOCKS = "blocks"
+    _TRAILER = "trailer"
+    _DONE = "done"
+
+    def __init__(self, codec: "ZstdCodec") -> None:
+        super().__init__(codec)
+        self._codec = codec
+        self._pending = bytearray()
+        self._stage = self._PREAMBLE
+        self._window = 0
+        self._expected = 0
+        self._produced = 0
+        self._crc = 0
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._pending)
+
+    def _feed(self, chunk: bytes) -> bytes:
+        self._pending += chunk
+        return self._drain()
+
+    def _drain(self) -> bytes:
+        data = self._pending
+        if self._stage == self._PREAMBLE:
+            parsed = ZSTD_FRAME.try_decode_preamble(data)
+            if parsed is None:
+                return b""
+            preamble, pos = parsed
+            del data[:pos]
+            self._window = preamble.window
+            self._expected = preamble.content_length
+            self._stage = self._BLOCKS
+        out = bytearray()
+        while self._stage == self._BLOCKS:
+            block = self._try_take_block()
+            if block is None:
+                break
+            out += block
+            self._produced += len(block)
+            self._crc = crc32c(block, self._crc)
+            if self._produced > self._expected:
+                raise CorruptStreamError("frame produced more bytes than declared")
+        if self._stage == self._TRAILER and len(data) >= CHECKSUM_BYTES:
+            stored = int.from_bytes(data[:CHECKSUM_BYTES], "little")
+            del data[:CHECKSUM_BYTES]
+            if self._produced != self._expected:
+                raise CorruptStreamError(
+                    f"frame produced {self._produced} bytes, header declared "
+                    f"{self._expected}"
+                )
+            verify_running_checksum(self._crc, self._produced, stored)
+            self._stage = self._DONE
+        if self._stage == self._DONE and data:
+            raise CorruptStreamError("data after last block")
+        return bytes(out)
+
+    def _try_take_block(self) -> Optional[bytes]:
+        """Decode one complete block from the buffer, or ``None`` to wait."""
+        data = self._pending
+        if not data:
+            return None
+        tag = data[0]
+        block_type = tag & 0x7F
+        parsed = try_decode_varint(data, 1, max_bits=64)
+        if parsed is None:
+            return None
+        raw_size, pos = parsed
+        if block_type == _BLOCK_RAW:
+            if len(data) < pos + raw_size:
+                return None
+            block = bytes(data[pos : pos + raw_size])
+            pos += raw_size
+        elif block_type == _BLOCK_RLE:
+            if len(data) <= pos:
+                return None
+            block = bytes([data[pos]]) * raw_size
+            pos += 1
+        elif block_type == _BLOCK_COMPRESSED:
+            parsed = try_decode_varint(data, pos, max_bits=64)
+            if parsed is None:
+                return None
+            body_size, body_pos = parsed
+            if len(data) < body_pos + body_size:
+                return None
+            scratch = bytearray()
+            self._codec._decode_block(
+                bytes(data[body_pos : body_pos + body_size]),
+                0,
+                raw_size,
+                self._window,
+                scratch,
+            )
+            block = bytes(scratch)
+            pos = body_pos + body_size
+        else:
+            raise CorruptStreamError(f"unknown block type {block_type}")
+        del data[:pos]
+        if tag & 0x80:
+            self._stage = self._TRAILER
+        return block
+
+    def _flush(self, end: bool) -> bytes:
+        if not end:
+            return b""
+        out = self._drain()
+        if self._stage != self._DONE:
+            raise CorruptStreamError(
+                "truncated ZStd-like frame: stream ended "
+                f"while reading {self._stage}"
+            )
+        return out

@@ -16,8 +16,7 @@ from typing import List
 from repro.algorithms.container import split_content_checksum, verify_content_checksum
 from repro.algorithms.lz77 import Copy, Literal, Token, TokenStream, decode_tokens
 from repro.algorithms.zstd import (
-    FORMAT_VERSION,
-    MAGIC,
+    ZSTD_FRAME,
     SequenceCoder,
     _BLOCK_COMPRESSED,
     _BLOCK_RAW,
@@ -79,13 +78,9 @@ def analyze_frame(data: bytes) -> FrameStats:
     """
     total_bytes = len(data)
     data, stored_crc = split_content_checksum(data)
-    if len(data) < 6 or data[:4] != MAGIC:
-        raise CorruptStreamError("bad magic: not a ZStd-like frame")
-    if data[4] != FORMAT_VERSION:
-        raise CorruptStreamError(f"unsupported format version {data[4]}")
-    window_log = data[5]
-    pos = 6
-    expected, pos = decode_varint(data, pos, max_bits=32)
+    preamble, pos = ZSTD_FRAME.decode_preamble(data)
+    window_log = preamble.window_log
+    expected = preamble.content_length
 
     blocks: List[BlockStats] = []
     tokens: List[Token] = []

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.algorithms.base import Codec
 from repro.algorithms.container import (
+    FrameSpec,
     append_content_checksum,
     split_content_checksum,
     verify_content_checksum,
@@ -43,6 +45,19 @@ from repro.common.varint import decode_varint, encode_varint
 DICT_MAGIC = b"ZSRD"
 #: Version 2 added the CRC-32C content trailer (see algorithms.container).
 DICT_FORMAT_VERSION = 2
+
+#: Frame layout: magic, version byte, window-log byte, 4-byte dictionary
+#: CRC-32C (the ``extra`` header), varint content length, blocks, trailer.
+DICT_FRAME = FrameSpec(
+    display="dictionary frame",
+    magic=DICT_MAGIC,
+    version=DICT_FORMAT_VERSION,
+    has_window_log=True,
+    extra_header_bytes=4,
+    has_length=True,
+    length_bits=32,
+    has_checksum=True,
+)
 
 
 def strip_prefix_tokens(tokens: List[Token], prefix_length: int) -> List[Token]:
@@ -70,8 +85,13 @@ def strip_prefix_tokens(tokens: List[Token], prefix_length: int) -> List[Token]:
     return out
 
 
-class ZstdDictCodec:
-    """ZStd-like compression with a caller-supplied prefix dictionary."""
+class ZstdDictCodec(Codec):
+    """ZStd-like compression with a caller-supplied prefix dictionary.
+
+    A full :class:`~repro.algorithms.base.Codec`: the one-shot entry points
+    and (whole-stream buffered) streaming contexts come from the base class;
+    this class supplies the dictionary-seeded block transforms.
+    """
 
     info = ZSTD_INFO
 
@@ -81,7 +101,7 @@ class ZstdDictCodec:
         self.dictionary = dictionary
         self._checksum = crc32c(dictionary)
 
-    def compress(
+    def _compress_buffer(
         self,
         data: bytes,
         *,
@@ -96,12 +116,13 @@ class ZstdDictCodec:
         coder = SequenceCoder(params.accuracy_log)
         dict_tail = self.dictionary[-window:]
 
-        out = bytearray()
-        out += DICT_MAGIC
-        out.append(DICT_FORMAT_VERSION)
-        out.append(window.bit_length() - 1)
-        out += self._checksum.to_bytes(4, "little")
-        out += encode_varint(len(data))
+        out = bytearray(
+            DICT_FRAME.encode_preamble(
+                content_length=len(data),
+                window_log=window.bit_length() - 1,
+                extra=self._checksum.to_bytes(4, "little"),
+            )
+        )
 
         if not data:
             out.append(0x80)  # empty last block
@@ -148,29 +169,24 @@ class ZstdDictCodec:
     ) -> bytes:
         return self._compress_first_block(block, b"", matcher, coder, last)
 
-    def decompress(self, data: bytes, *, window_size: Optional[int] = None) -> bytes:
+    def _decompress_buffer(
+        self, data: bytes, *, window_size: Optional[int] = None
+    ) -> bytes:
         frame, stored_crc = split_content_checksum(data)
         out = self._decompress_frame(frame)
         verify_content_checksum(out, stored_crc)
         return out
 
     def _decompress_frame(self, data: bytes) -> bytes:
-        if len(data) < 10 or data[:4] != DICT_MAGIC:
-            raise CorruptStreamError("bad magic: not a dictionary frame")
-        if data[4] != DICT_FORMAT_VERSION:
-            raise CorruptStreamError(f"unsupported dict-frame version {data[4]}")
-        window_log = data[5]
-        if not 10 <= window_log <= 27:
-            raise CorruptStreamError(f"window log {window_log} out of range")
-        window = 1 << window_log
-        stored_checksum = int.from_bytes(data[6:10], "little")
+        preamble, pos = DICT_FRAME.decode_preamble(data)
+        window = preamble.window
+        expected = preamble.content_length
+        stored_checksum = int.from_bytes(preamble.extra, "little")
         if stored_checksum != self._checksum:
             raise CorruptStreamError(
                 "frame was compressed with a different dictionary (CRC mismatch)"
             )
         dict_tail = self.dictionary[-window:]
-        pos = 10
-        expected, pos = decode_varint(data, pos, max_bits=32)
         out = bytearray()
         saw_last = False
         first = True

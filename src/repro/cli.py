@@ -1,9 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands expose the library's main surfaces:
+Eight subcommands expose the library's main surfaces:
 
 * ``compress`` / ``decompress`` — run any of the from-scratch codecs on a
   file (buffer-in/buffer-out, §3.4's stable API).
+* ``stream`` — pipe stdin to stdout through a codec's incremental
+  compress/decompress context chunk-by-chunk (§3.4's "streaming
+  equivalent"); ``--chunk-size`` controls the feed granularity.
 * ``fleet`` — print the §3 fleet-profiling summary from a synthetic sample.
 * ``dse`` — run one of the Figure 11-15 sweeps and print its table
   (``--jobs N`` fans design points over worker processes; ``--cache`` /
@@ -12,7 +15,7 @@ Seven subcommands expose the library's main surfaces:
   (same ``--jobs``/``--cache`` engine options).
 * ``stats`` — run an instrumented workload (codec round-trips, or a fig11
   smoke sweep) and print the metric snapshot (see :mod:`repro.obs`).
-* ``lint`` — run the codec-aware static-analysis pass (rules R001-R005).
+* ``lint`` — run the codec-aware static-analysis pass (rules R001-R006).
 
 The global ``--trace <file>`` flag (before the subcommand) enables the
 observability layer for any command and writes a Chrome trace-event JSON on
@@ -55,6 +58,32 @@ def _build_parser() -> argparse.ArgumentParser:
     decomp.add_argument("output")
     decomp.add_argument("--algorithm", "-a", choices=available_codecs(), default="snappy")
 
+    stream = sub.add_parser(
+        "stream",
+        help="pipe stdin to stdout through an incremental codec context",
+    )
+    stream.add_argument(
+        "direction",
+        choices=["compress", "decompress"],
+        help="which direction to stream",
+    )
+    stream.add_argument(
+        "--codec",
+        "--algorithm",
+        "-a",
+        dest="codec",
+        choices=available_codecs(),
+        default="snappy",
+    )
+    stream.add_argument(
+        "--chunk-size",
+        type=int,
+        default=64 * 1024,
+        metavar="BYTES",
+        help="bytes fed to the context per step (default 65536)",
+    )
+    stream.add_argument("--level", "-l", type=int, default=None)
+
     fleet = sub.add_parser("fleet", help="print the fleet profiling summary (paper §3)")
     fleet.add_argument("--calls", type=int, default=120_000)
     fleet.add_argument("--seed", type=int, default=0)
@@ -95,7 +124,7 @@ def _build_parser() -> argparse.ArgumentParser:
     # after the subcommand and forward it verbatim.
     lint = sub.add_parser(
         "lint",
-        help="run the static-analysis pass (R001-R005)",
+        help="run the static-analysis pass (R001-R006)",
         add_help=False,
     )
     lint.add_argument("lint_args", nargs=argparse.REMAINDER)
@@ -181,6 +210,43 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
         return 1
     _write(args.output, output)
     print(f"{args.algorithm}: {len(output)} bytes restored", file=sys.stderr)
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.common.errors import ReproError
+
+    if args.chunk_size <= 0:
+        print(f"error: --chunk-size must be positive, got {args.chunk_size}", file=sys.stderr)
+        return 2
+    codec = get_codec(args.codec)
+    if args.direction == "compress":
+        ctx = codec.compress_context(level=args.level)
+    else:
+        ctx = codec.decompress_context()
+    stdin, stdout = sys.stdin.buffer, sys.stdout.buffer
+    bytes_in = bytes_out = 0
+    try:
+        while True:
+            chunk = stdin.read(args.chunk_size)
+            if not chunk:
+                break
+            bytes_in += len(chunk)
+            out = ctx.feed(chunk)
+            bytes_out += len(out)
+            stdout.write(out)
+        out = ctx.flush()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    bytes_out += len(out)
+    stdout.write(out)
+    stdout.flush()
+    print(
+        f"{args.codec} stream {args.direction}: {bytes_in} -> {bytes_out} bytes "
+        f"(chunks of {args.chunk_size}, peak buffered {ctx.max_buffered_bytes})",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -318,6 +384,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
+    "stream": _cmd_stream,
     "fleet": _cmd_fleet,
     "dse": _cmd_dse,
     "summaries": _cmd_summaries,

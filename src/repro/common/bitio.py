@@ -77,6 +77,19 @@ class BitReader:
     def bit_position(self) -> int:
         return self._pos
 
+    def extend(self, more: bytes) -> None:
+        """Append bytes to the stream, resuming reads past the old end.
+
+        Lets a streaming decoder hand a partially-received bitstream to the
+        reader and keep the bit cursor across feeds: an underflowing
+        ``read``/``peek`` raises without consuming, the caller waits for
+        more input and ``extend``\\ s, and the next read continues from the
+        same bit position.
+        """
+        if more:
+            self._data = bytes(self._data) + bytes(more)
+            self._limit = len(self._data) * 8
+
     def read(self, num_bits: int) -> int:
         """Consume and return ``num_bits`` bits as an integer."""
         value = self.peek(num_bits)

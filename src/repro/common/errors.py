@@ -25,5 +25,9 @@ class UnsupportedInputError(ReproError):
     """The input violates a documented limit (e.g. exceeds a format maximum)."""
 
 
+class StreamStateError(ReproError):
+    """A streaming context was used out of order (e.g. feed after flush)."""
+
+
 class CalibrationError(ReproError):
     """A calibration table is inconsistent or missing an anchor point."""

@@ -21,6 +21,11 @@ Rules
   ``Params``/``Config`` dataclasses without ``__post_init__`` validation.
 * **R005 registry completeness** — every codec in ``algorithms/registry.py``
   has an encoder, a decoder, and a round-trip test file.
+* **R006 container framing** — frame magics (``MAGIC``, ``*_MAGIC``,
+  ``STREAM_IDENTIFIER``) may only be read inside
+  ``algorithms/container.py``; codecs declare a
+  :class:`~repro.algorithms.container.FrameSpec` instead of hand-rolling
+  preamble bytes. Baseline-free: new hits are fixed, not grandfathered.
 
 Findings can be suppressed on a line with ``# repro: noqa[R001]`` (or a bare
 ``# repro: noqa`` for all rules), or grandfathered in a checked-in baseline

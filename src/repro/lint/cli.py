@@ -26,7 +26,7 @@ DEFAULT_BASELINE = ".repro-lint-baseline.json"
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="Codec-aware static analysis (rules R001-R005); see "
+        description="Codec-aware static analysis (rules R001-R006); see "
         "README.md 'Static analysis' for the rule catalogue and "
         "'# repro: noqa[RULE]' suppression syntax.",
     )

@@ -3,6 +3,7 @@
 from repro.lint.rules import (  # noqa: F401
     api_hygiene,
     calibration,
+    container_framing,
     decoder_safety,
     determinism,
     registry_completeness,

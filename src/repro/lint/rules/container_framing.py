@@ -1,0 +1,95 @@
+"""R006: frame preamble handling lives in ``algorithms/container.py`` only.
+
+The streaming refactor extracted every codec's inline magic/version/varint
+preamble handling into the declarative :class:`~repro.algorithms.container.
+FrameSpec` layer. This rule keeps it that way: outside ``container.py``, a
+magic constant (``MAGIC``, ``*_MAGIC``, ``STREAM_IDENTIFIER``) may be
+*defined* and may be handed to a container-layer call as a keyword argument
+(``FrameSpec(magic=MAGIC)``), but may not be read anywhere else — comparing,
+slicing or concatenating a magic inline is exactly the per-codec preamble
+duplication the container layer exists to prevent.
+
+The rule is baseline-free by design: new hits are fixed by routing the byte
+handling through :class:`FrameSpec`, not by baselining.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Set
+
+from repro.lint.engine import ModuleContext, ProjectContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+from repro.lint.rules.common import dotted_name, is_test_path
+
+#: Identifier shapes that name a frame magic / stream identifier constant.
+_MAGIC_NAME = re.compile(r"^(MAGIC|[A-Z0-9_]+_MAGIC|STREAM_IDENTIFIER)$")
+
+#: The one module allowed to manipulate preamble bytes directly.
+_CONTAINER_MODULE = "algorithms/container.py"
+
+
+def _is_container(rel: str) -> bool:
+    norm = rel[4:] if rel.startswith("src/") else rel
+    norm = norm[6:] if norm.startswith("repro/") else norm
+    return norm == _CONTAINER_MODULE
+
+
+@register
+class ContainerFramingRule(Rule):
+    code = "R006"
+    name = "container-framing"
+    summary = "magic/preamble byte handling belongs to algorithms/container.py"
+    default_severity = Severity.ERROR
+
+    def check(self, project: ProjectContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for ctx in project.modules:
+            if is_test_path(ctx.rel) or _is_container(ctx.rel):
+                continue
+            findings.extend(self._check_module(ctx))
+        return findings
+
+    def _check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        allowed = self._keyword_argument_nodes(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            name = self._magic_load(node)
+            if name is None or id(node) in allowed:
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                f"inline use of frame magic '{name}': preamble byte handling "
+                "belongs to the container layer — declare a FrameSpec and use "
+                "encode_preamble()/decode_preamble() instead",
+            )
+
+    @staticmethod
+    def _magic_load(node: ast.AST) -> str:
+        """The magic name this node reads, or ``None``."""
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and _MAGIC_NAME.match(node.id)
+        ):
+            return node.id
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+            and _MAGIC_NAME.match(node.attr)
+        ):
+            return dotted_name(node) or node.attr
+        return None
+
+    @staticmethod
+    def _keyword_argument_nodes(tree: ast.AST) -> Set[int]:
+        """Nodes passed as ``keyword=`` arguments (the FrameSpec declaration
+        idiom): the one sanctioned way to hand a magic to the container."""
+        allowed: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    allowed.add(id(keyword.value))
+        return allowed

@@ -7,7 +7,10 @@ round-trip test file, is an un-exercised format that will drift from spec.
 This rule statically cross-checks, for each ``_CODEC_FACTORIES`` entry:
 
 * the factory class is imported from a resolvable ``algorithms/`` module,
-* that class defines both ``compress`` and ``decompress``,
+* that class provides both directions of the codec surface — for each of
+  compress/decompress, either the one-shot override, the whole-buffer
+  ``_compress_buffer``/``_decompress_buffer`` transform, or a streaming
+  ``compress_context``/``decompress_context`` factory,
 * a ``tests/algorithms/test_<module>.py`` file exists and mentions
   ``decompress`` (i.e. it round-trips, not just constructs).
 """
@@ -153,9 +156,15 @@ class RegistryCompletenessRule(Rule):
             return entries
         return None
 
-    @staticmethod
-    def _missing_methods(module_path: Path, class_name: str) -> Optional[set]:
-        """Methods missing from {compress, decompress}; None if class absent."""
+    #: Any one of these per direction satisfies the encode/decode contract.
+    _DIRECTION_METHODS = {
+        "compress": ("compress", "_compress_buffer", "compress_context"),
+        "decompress": ("decompress", "_decompress_buffer", "decompress_context"),
+    }
+
+    @classmethod
+    def _missing_methods(cls, module_path: Path, class_name: str) -> Optional[set]:
+        """Directions missing from {compress, decompress}; None if class absent."""
         try:
             tree = ast.parse(module_path.read_text(encoding="utf-8"))
         except (OSError, SyntaxError):
@@ -167,5 +176,9 @@ class RegistryCompletenessRule(Rule):
                     for b in node.body
                     if isinstance(b, (ast.FunctionDef, ast.AsyncFunctionDef))
                 }
-                return {"compress", "decompress"} - methods
+                return {
+                    direction
+                    for direction, accepted in cls._DIRECTION_METHODS.items()
+                    if not methods.intersection(accepted)
+                }
         return None

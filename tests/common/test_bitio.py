@@ -155,3 +155,44 @@ def test_reader_reproduces_bytes(data):
     """Property: reading 8-bit fields reproduces the byte string."""
     reader = BitReader(data)
     assert bytes(reader.read(8) for _ in range(len(data))) == data
+
+
+class TestBitReaderExtend:
+    """extend(): resume a reader across streaming feeds."""
+
+    def test_extend_resumes_at_same_bit_position(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        writer.write(0xABCD, 16)
+        stream = writer.getvalue()
+        reader = BitReader(stream[:1])
+        assert reader.read(3) == 0b101
+        with pytest.raises(CorruptStreamError):
+            reader.read(16)  # underflow: only 5 bits left
+        assert reader.bit_position == 3  # failed read consumed nothing
+        reader.extend(stream[1:])
+        assert reader.read(16) == 0xABCD
+
+    def test_extend_empty_is_noop(self):
+        reader = BitReader(b"\xff")
+        reader.read(4)
+        reader.extend(b"")
+        assert reader.bits_remaining == 4
+        assert reader.read(4) == 0xF
+
+    def test_extend_after_exhaustion(self):
+        reader = BitReader(b"\x0f")
+        assert reader.read(8) == 0x0F
+        assert reader.bits_remaining == 0
+        reader.extend(b"\xf0")
+        assert reader.bits_remaining == 8
+        assert reader.read(8) == 0xF0
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(1, 63))
+    def test_chunked_extend_equals_whole_buffer(self, data, split):
+        split = min(split, len(data))
+        whole = BitReader(data)
+        chunked = BitReader(data[:split])
+        chunked.extend(data[split:])
+        for _ in range(len(data)):
+            assert chunked.read(8) == whole.read(8)

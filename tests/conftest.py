@@ -7,13 +7,29 @@ additionally persists to a disk cache across runs.
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.dse.runner import DseRunner
 from repro.fleet import generate_fleet_profile
 from repro.hcbench import default_benchmark
+
+# Hypothesis profiles: the default disables the per-example deadline (the
+# pure-python codecs are slow enough that a 200 ms deadline flakes on loaded
+# machines), while "ci" pins an explicit generous deadline and derandomizes
+# so CI failures replay deterministically. Select with HYPOTHESIS_PROFILE.
+settings.register_profile("default", deadline=None)
+settings.register_profile(
+    "ci",
+    deadline=2000,
+    max_examples=25,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 def _sample_inputs() -> dict:

@@ -117,6 +117,70 @@ class TestRandomMutations:
                 codec.decompress(compressed[:cut])
 
 
+@pytest.mark.parametrize("codec_name", available_codecs())
+class TestStreamingTruncation:
+    """Mid-stream truncation through the incremental decompress contexts.
+
+    A truncated stream fed chunk-by-chunk must fail with the same error
+    class as the one-shot decoder (:class:`CorruptStreamError`) — at the
+    latest from the final ``flush``, which is what guards against a
+    streaming consumer mistaking a truncated stream for a complete one.
+    Bytes emitted by earlier feeds are fine (that is what streaming is
+    for); *finishing* without an error is not.
+    """
+
+    CHUNK_SIZES = (1, 7, 64)
+
+    def _stream_decompress(self, codec_name, stream, chunk_size):
+        ctx = get_codec(codec_name).decompress_context()
+        for start in range(0, len(stream), chunk_size):
+            ctx.feed(stream[start : start + chunk_size])
+        ctx.flush()
+        return ctx
+
+    def test_truncation_at_chunk_boundaries(self, codec_name):
+        compressed = get_codec(codec_name).compress(PAYLOAD)
+        for chunk_size in self.CHUNK_SIZES:
+            # Cut on an exact feed boundary: the context is in a clean
+            # between-feeds state, so only the final flush can object.
+            for boundary in _eighth_boundaries(len(compressed)):
+                cut = max(chunk_size, boundary - boundary % chunk_size)
+                truncated = compressed[:cut]
+                with pytest.raises(CorruptStreamError):
+                    get_codec(codec_name).decompress(truncated)
+                ctx = get_codec(codec_name).decompress_context()
+                with pytest.raises(CorruptStreamError):
+                    for start in range(0, cut, chunk_size):
+                        ctx.feed(truncated[start : start + chunk_size])
+                    ctx.flush()
+                assert not ctx.finished
+
+    def test_truncation_at_misaligned_cuts(self, codec_name):
+        compressed = get_codec(codec_name).compress(PAYLOAD)
+        for chunk_size in self.CHUNK_SIZES:
+            for cut in _eighth_boundaries(len(compressed)):
+                with pytest.raises(CorruptStreamError):
+                    self._stream_decompress(
+                        codec_name, compressed[:cut], chunk_size
+                    )
+
+    def test_failed_context_is_poisoned(self, codec_name):
+        from repro.common.errors import StreamStateError
+
+        compressed = get_codec(codec_name).compress(PAYLOAD)
+        ctx = get_codec(codec_name).decompress_context()
+        with pytest.raises(CorruptStreamError):
+            ctx.feed(compressed[: len(compressed) // 2])
+            ctx.flush()
+        with pytest.raises(StreamStateError):
+            ctx.feed(compressed[len(compressed) // 2 :])
+
+    def test_empty_stream_rejected_by_flush(self, codec_name):
+        ctx = get_codec(codec_name).decompress_context()
+        with pytest.raises(ReproError):
+            ctx.flush()
+
+
 #: Byte offset of each frame's uncompressed-length varint preamble (after
 #: magic / window-log header bytes). All of these mirror Snappy's spec, which
 #: limits the declared length to 32 bits. ``snappy-framed`` carries raw Snappy

@@ -365,12 +365,145 @@ class TestR005RegistryCompleteness:
         project.write("src/repro/fleet/api.py", "X = 1\n")
         assert project.findings("src", rule="R005") == []
 
+    def test_buffer_transform_surface_is_complete(self, project):
+        """The streaming refactor's surface counts: ``_compress_buffer``/
+        ``_decompress_buffer`` (or context factories) satisfy R005."""
+        self._registry(project)
+        project.write(
+            "src/repro/algorithms/mycodec.py",
+            """
+            class MyCodec:
+                def _compress_buffer(self, data):
+                    return data
+
+                def _decompress_buffer(self, data):
+                    return data
+            """,
+        )
+        assert project.findings("src", rule="R005") == []
+
+    def test_context_only_surface_is_complete(self, project):
+        self._registry(project)
+        project.write(
+            "src/repro/algorithms/mycodec.py",
+            """
+            class MyCodec:
+                def compress_context(self):
+                    return object()
+
+                def decompress_context(self):
+                    return object()
+            """,
+        )
+        assert project.findings("src", rule="R005") == []
+
+
+class TestR006ContainerFraming:
+    def test_inline_magic_comparison_fires(self, project):
+        project.write(
+            "src/repro/algorithms/mycodec.py",
+            """
+            MAGIC = b"XY"
+
+            def decode(data):
+                if data[:2] != MAGIC:
+                    raise ValueError("bad magic")
+            """,
+        )
+        found = project.findings("src", rule="R006")
+        assert len(found) == 1
+        assert found[0].severity is Severity.ERROR
+        assert "MAGIC" in found[0].message
+
+    def test_framespec_keyword_declaration_is_quiet(self, project):
+        project.write(
+            "src/repro/algorithms/mycodec.py",
+            """
+            from repro.algorithms.container import FrameSpec
+
+            MAGIC = b"XY"
+            MY_FRAME = FrameSpec(display="my frame", magic=MAGIC)
+            """,
+        )
+        assert project.findings("src", rule="R006") == []
+
+    def test_definition_alone_is_quiet(self, project):
+        project.write("src/repro/algorithms/mycodec.py", 'MAGIC = b"XY"\n')
+        assert project.findings("src", rule="R006") == []
+
+    def test_prefixed_magic_and_stream_identifier_fire(self, project):
+        project.write(
+            "src/repro/algorithms/mycodec.py",
+            """
+            DICT_MAGIC = b"AB"
+            STREAM_IDENTIFIER = b"CDEF"
+
+            def encode():
+                return DICT_MAGIC + STREAM_IDENTIFIER
+            """,
+        )
+        assert len(project.findings("src", rule="R006")) == 2
+
+    def test_chunk_type_constant_is_quiet(self, project):
+        # CHUNK_STREAM_IDENTIFIER is a chunk *type byte*, not the magic.
+        project.write(
+            "src/repro/algorithms/mycodec.py",
+            """
+            CHUNK_STREAM_IDENTIFIER = 0xFF
+
+            def first_byte_ok(stream):
+                return stream[0] == CHUNK_STREAM_IDENTIFIER
+            """,
+        )
+        assert project.findings("src", rule="R006") == []
+
+    def test_attribute_load_fires(self, project):
+        project.write(
+            "src/repro/algorithms/mycodec.py",
+            """
+            from repro.algorithms import zstd
+
+            def sniff(data):
+                return data[:4] == zstd.MAGIC
+            """,
+        )
+        found = project.findings("src", rule="R006")
+        assert len(found) == 1
+        assert "zstd.MAGIC" in found[0].message
+
+    def test_container_module_is_exempt(self, project):
+        project.write(
+            "src/repro/algorithms/container.py",
+            """
+            def check(data, magic):
+                if data[: len(magic)] != magic:
+                    raise ValueError
+            MAGIC = b"XY"
+            USE = MAGIC + b"!"
+            """,
+        )
+        assert project.findings("src", rule="R006") == []
+
+    def test_tests_are_exempt(self, project):
+        project.write(
+            "tests/algorithms/test_mycodec.py",
+            """
+            from repro.algorithms.zstd import MAGIC
+
+            def test_magic():
+                assert MAGIC == b"ZSRL"
+            """,
+        )
+        assert project.findings("tests", rule="R006") == []
+
 
 class TestRuleRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_six_rules_registered(self):
         from repro.lint import all_rules
 
-        assert [r.code for r in all_rules()] == ["R001", "R002", "R003", "R004", "R005"]
+        assert [r.code for r in all_rules()] == [
+            "R001", "R002", "R003", "R004", "R005", "R006",
+        ]
 
     def test_get_rule_by_code(self):
         assert get_rule("R001").name == "determinism"

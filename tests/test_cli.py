@@ -45,6 +45,106 @@ class TestCompressDecompress:
         assert "x)" in capsys.readouterr().err
 
 
+class TestStreamCommand:
+    """``repro stream``: stdin -> stdout through an incremental context."""
+
+    PAYLOAD = (b"stream me through the incremental context, chunk by chunk. " * 300) + bytes(
+        range(256)
+    )
+
+    def _run(self, monkeypatch, capsysbinary, argv, stdin: bytes):
+        import io
+        import sys as _sys
+        import types
+
+        monkeypatch.setattr(
+            _sys, "stdin", types.SimpleNamespace(buffer=io.BytesIO(stdin))
+        )
+        code = main(argv)
+        captured = capsysbinary.readouterr()
+        return code, captured.out, captured.err
+
+    @pytest.mark.parametrize("codec", ["snappy", "zstd", "snappy-framed"])
+    def test_stream_roundtrip(self, monkeypatch, capsysbinary, codec):
+        code, packed, err = self._run(
+            monkeypatch,
+            capsysbinary,
+            ["stream", "compress", "--codec", codec, "--chunk-size", "1024"],
+            self.PAYLOAD,
+        )
+        assert code == 0
+        assert b"peak buffered" in err
+        code, restored, err = self._run(
+            monkeypatch,
+            capsysbinary,
+            ["stream", "decompress", "--codec", codec, "--chunk-size", "777"],
+            packed,
+        )
+        assert code == 0
+        assert restored == self.PAYLOAD
+
+    def test_stream_output_matches_one_shot_compress(self, monkeypatch, capsysbinary):
+        from repro.algorithms.registry import get_codec
+
+        code, packed, _ = self._run(
+            monkeypatch,
+            capsysbinary,
+            ["stream", "compress", "-a", "lzo", "--chunk-size", "100"],
+            self.PAYLOAD,
+        )
+        assert code == 0
+        assert packed == get_codec("lzo").compress(self.PAYLOAD)
+
+    def test_corrupt_stream_exits_nonzero(self, monkeypatch, capsysbinary):
+        code, out, err = self._run(
+            monkeypatch,
+            capsysbinary,
+            ["stream", "decompress", "--codec", "zstd"],
+            b"definitely not a zstd frame",
+        )
+        assert code == 1
+        assert b"error" in err
+
+    def test_truncated_stream_exits_nonzero(self, monkeypatch, capsysbinary):
+        from repro.algorithms.registry import get_codec
+
+        frame = get_codec("zstd").compress(self.PAYLOAD)
+        code, out, err = self._run(
+            monkeypatch,
+            capsysbinary,
+            ["stream", "decompress", "--codec", "zstd"],
+            frame[: len(frame) // 2],
+        )
+        assert code == 1
+
+    def test_bad_chunk_size_rejected(self, monkeypatch, capsysbinary):
+        code, _, err = self._run(
+            monkeypatch,
+            capsysbinary,
+            ["stream", "compress", "--chunk-size", "0"],
+            b"x",
+        )
+        assert code == 2
+        assert b"chunk-size" in err
+
+    def test_trace_flag_covers_stream(self, monkeypatch, capsysbinary, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        code, _, _ = self._run(
+            monkeypatch,
+            capsysbinary,
+            ["--trace", str(out_path), "stream", "compress", "-a", "snappy"],
+            self.PAYLOAD,
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        names = {e.get("name") for e in payload["traceEvents"]}
+        assert any(
+            n and n.startswith("codec.snappy.stream.compress") for n in names
+        )
+
+
 class TestFleetCommand:
     def test_summary_prints_key_statistics(self, capsys):
         assert main(["fleet", "--calls", "20000", "--seed", "2"]) == 0
