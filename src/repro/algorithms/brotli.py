@@ -190,9 +190,9 @@ def _decode_sequences(data: bytes, pos: int):
     reader = BitReader(data[pos : pos + extra_bytes])
     pos += extra_bytes
     sequences: List[SequenceTriple] = []
-    for i in range(count):
+    for triple in zip(ll, ml, off):
         values = []
-        for code in (ll[i], ml[i], off[i]):
+        for code in triple:
             width = max(0, code - 1)
             values.append(code_to_value(code, reader.read(width) if width else 0))
         if values[2] <= 0:
@@ -300,18 +300,22 @@ class BrotliCodec(Codec):
         if mode != 1:
             raise CorruptStreamError(f"unknown body mode {mode}")
 
+        if pos >= len(data):
+            raise CorruptStreamError("truncated literal-mode byte")
         lit_mode = data[pos]
         pos += 1
         lit_count, pos = decode_varint(data, pos)
         if lit_mode == 0:
-            literals = data[pos : pos + lit_count]
-            if len(literals) != lit_count:
+            if lit_count > len(data) - pos:
                 raise CorruptStreamError("truncated raw literals")
+            literals = data[pos : pos + lit_count]
             pos += lit_count
         elif lit_mode == 1:
             table, consumed = deserialize_lengths(data[pos:], 256)
             pos += consumed
             payload_len, pos = decode_varint(data, pos)
+            if payload_len > len(data) - pos:
+                raise CorruptStreamError("truncated literal payload")
             literals = bytes(decode_symbols(data[pos : pos + payload_len], lit_count, table))
             pos += payload_len
         else:

@@ -214,18 +214,22 @@ class FlateCodec(Codec):
             raise CorruptStreamError(f"unknown body mode {mode}")
 
         # Literals section.
+        if pos >= len(data):
+            raise CorruptStreamError("truncated literal-mode byte")
         lit_mode = data[pos]
         pos += 1
         lit_count, pos = decode_varint(data, pos)
         if lit_mode == 0:
-            literals = data[pos : pos + lit_count]
-            if len(literals) != lit_count:
+            if lit_count > len(data) - pos:
                 raise CorruptStreamError("truncated raw literals")
+            literals = data[pos : pos + lit_count]
             pos += lit_count
         elif lit_mode == 1:
             table, consumed = deserialize_lengths(data[pos:], 256)
             pos += consumed
             payload_len, pos = decode_varint(data, pos)
+            if payload_len > len(data) - pos:
+                raise CorruptStreamError("truncated literal payload")
             literals = bytes(decode_symbols(data[pos : pos + payload_len], lit_count, table))
             pos += payload_len
         else:
@@ -237,6 +241,8 @@ class FlateCodec(Codec):
             streams.append(codes)
         extra_bits, pos = decode_varint(data, pos)
         extra_bytes = (extra_bits + 7) // 8
+        if extra_bytes > len(data) - pos:
+            raise CorruptStreamError("truncated extra-bits stream")
         reader = BitReader(data[pos : pos + extra_bytes])
         pos += extra_bytes
         trailing, pos = decode_varint(data, pos)

@@ -162,12 +162,19 @@ class GipfeliCodec(Codec):
 
         num_tokens, pos = decode_varint(data, pos)
         plan_len, pos = decode_varint(data, pos)
-        plan = data[pos : pos + plan_len]
-        if len(plan) != plan_len:
+        if plan_len > len(data) - pos:
             raise CorruptStreamError("truncated token plan")
+        plan = data[pos : pos + plan_len]
         pos += plan_len
+        # Every token consumes at least one plan byte, so a count beyond
+        # the plan length cannot be satisfied.
+        if num_tokens > len(plan):
+            raise CorruptStreamError("token count exceeds plan length")
         bit_length, pos = decode_varint(data, pos)
-        payload = data[pos : pos + (bit_length + 7) // 8]
+        payload_bytes = (bit_length + 7) // 8
+        if payload_bytes > len(data) - pos:
+            raise CorruptStreamError("truncated literal payload")
+        payload = data[pos : pos + payload_bytes]
         reader = BitReader(payload)
 
         tokens: List = []
@@ -189,6 +196,10 @@ class GipfeliCodec(Codec):
                 run_len = control >> 1
                 if run_len == 0:
                     raise CorruptStreamError("zero-length literal run")
+                # Each literal consumes at least one payload bit, so a run
+                # longer than the whole bit stream cannot be satisfied.
+                if run_len > 8 * len(payload):
+                    raise CorruptStreamError("literal run exceeds payload bits")
                 run = bytearray()
                 for _ in range(run_len):
                     if reader.read(1):

@@ -19,6 +19,7 @@ from repro.algorithms.lzo import LZO_INFO, LzoCodec
 from repro.algorithms.snappy import SNAPPY_INFO, SnappyCodec
 from repro.algorithms.snappy_framing import SnappyFramedCodec
 from repro.algorithms.zstd import ZSTD_INFO, ZstdCodec
+from repro.common.errors import ConfigError
 
 #: Fleet algorithm descriptions, in the paper's Figure 1 legend order.
 ALGORITHM_INFOS: Dict[str, CodecInfo] = {
@@ -55,7 +56,9 @@ def get_codec(name: str) -> Codec:
         factory = _CODEC_FACTORIES[name.lower()]
     except KeyError:
         known = ", ".join(available_codecs())
-        raise KeyError(f"no codec implementation for {name!r}; available: {known}") from None
+        raise ConfigError(
+            f"no codec implementation for {name!r}; available: {known}"
+        ) from None
     return factory()
 
 
@@ -65,7 +68,7 @@ def get_info(name: str) -> CodecInfo:
         return ALGORITHM_INFOS[name.lower()]
     except KeyError:
         known = ", ".join(ALGORITHM_INFOS)
-        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+        raise ConfigError(f"unknown algorithm {name!r}; known: {known}") from None
 
 
 def heavyweight_algorithms() -> List[str]:

@@ -334,10 +334,12 @@ class SequenceCoder:
         reader = BitReader(data[pos : pos + extra_bytes])
         pos += extra_bytes
         ll_codes, ml_codes, off_codes = streams
+        if not len(ll_codes) == len(ml_codes) == len(off_codes) == num_sequences:
+            raise CorruptStreamError("sequence streams have mismatched lengths")
         sequences: List[SequenceTriple] = []
-        for i in range(num_sequences):
+        for triple in zip(ll_codes, ml_codes, off_codes):
             values = []
-            for code in (ll_codes[i], ml_codes[i], off_codes[i]):
+            for code in triple:
                 if code >= CODE_ALPHABET:
                     raise CorruptStreamError(f"sequence code {code} out of range")
                 width = max(0, code - 1)
@@ -533,6 +535,11 @@ class ZstdCodec(Codec):
             elif block_type == _BLOCK_RLE:
                 if pos >= len(data):
                     raise CorruptStreamError("truncated RLE block")
+                # The encoder never emits blocks beyond BLOCK_SIZE, so a
+                # larger declared size is corruption — and materialising it
+                # first would let a one-byte block demand a 2**64 buffer.
+                if raw_size > BLOCK_SIZE:
+                    raise CorruptStreamError(f"RLE block size {raw_size} exceeds block limit")
                 out += bytes([data[pos]]) * raw_size
                 pos += 1
             elif block_type == _BLOCK_COMPRESSED:
@@ -744,6 +751,10 @@ class _ZstdDecompressContext(DecompressContext):
         elif block_type == _BLOCK_RLE:
             if len(data) <= pos:
                 return None
+            if raw_size > BLOCK_SIZE:
+                raise CorruptStreamError(
+                    f"RLE block size {raw_size} exceeds block limit"
+                )
             block = bytes([data[pos]]) * raw_size
             pos += 1
         elif block_type == _BLOCK_COMPRESSED:

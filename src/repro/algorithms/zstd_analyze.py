@@ -151,6 +151,8 @@ def _analyze_block(data: bytes, pos: int, raw_size: int):
     num_sequences, scan = decode_varint(data, scan)
     if num_sequences:
         for _ in range(3):
+            if scan + 2 > len(data):
+                raise CorruptStreamError("truncated FSE table header")
             acc_logs.append(data[scan])
             alphabet = data[scan + 1]
             scan += 2

@@ -150,7 +150,8 @@ def default_benchmark(seed: int = 0, files_per_suite: int = 48) -> HyperCompress
                 cached = pickle.load(handle)
             if isinstance(cached, HyperCompressBench):
                 return cached
-        except Exception:
+        except (pickle.UnpicklingError, EOFError, OSError, ValueError,
+                AttributeError, ImportError, IndexError):
             cache_file.unlink(missing_ok=True)  # corrupt cache: regenerate
     bench = generate_hypercompressbench(
         GeneratorConfig(seed=seed, files_per_suite=files_per_suite)

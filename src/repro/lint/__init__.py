@@ -26,6 +26,25 @@ Rules
   ``algorithms/container.py``; codecs declare a
   :class:`~repro.algorithms.container.FrameSpec` instead of hand-rolling
   preamble bytes. Baseline-free: new hits are fixed, not grandfathered.
+* **R007 exception contract** — public surfaces (codec ``compress``/
+  ``decompress``, streaming ``feed``/``flush``, CLI handlers) may only let
+  :class:`~repro.common.errors.ReproError` subclasses escape; the
+  project-wide call graph (:mod:`repro.lint.flow`) is searched for
+  reachable ``IndexError``/``KeyError``/``struct.error`` paths.
+* **R008 tainted length** — integers decoded from the untrusted stream
+  (varints, ``int.from_bytes``, ``struct.unpack``, wide bit reads) must be
+  compared against a buffer length or documented limit before sizing a
+  slice, a ``range()``, or an allocation.
+* **R009 guarded read** — flow-sensitive successor to R002's
+  unguarded-read heuristic: each decoder buffer read needs a *dominating*
+  bounds check. R002's syntactic check stays active only for functions the
+  CFG cannot model, so the demotion never widens the unchecked surface.
+
+R007–R009 run on a shared flow layer (:mod:`repro.lint.flow`): per-function
+CFGs over :mod:`ast`, reaching definitions, a taint lattice, and a
+project-wide call graph with per-function summaries, built once per lint
+run and handed to the rules (see DESIGN.md §7.4 for the architecture and
+its soundness caveats).
 
 Findings can be suppressed on a line with ``# repro: noqa[R001]`` (or a bare
 ``# repro: noqa`` for all rules), or grandfathered in a checked-in baseline

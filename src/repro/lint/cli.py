@@ -15,10 +15,12 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.common.errors import ConfigError
 from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.cache import DEFAULT_CACHE_DIR, LintCache
 from repro.lint.engine import find_project_root, run_lint
 from repro.lint.findings import Severity
-from repro.lint.reporting import render_human, render_json
+from repro.lint.reporting import render_human, render_json, render_sarif
 
 DEFAULT_BASELINE = ".repro-lint-baseline.json"
 
@@ -26,7 +28,7 @@ DEFAULT_BASELINE = ".repro-lint-baseline.json"
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="Codec-aware static analysis (rules R001-R006); see "
+        description="Codec-aware static analysis (rules R001-R009); see "
         "README.md 'Static analysis' for the rule catalogue and "
         "'# repro: noqa[RULE]' suppression syntax.",
     )
@@ -40,10 +42,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["human", "json"],
+        choices=["human", "json", "sarif"],
         default="human",
         dest="output_format",
-        help="output format",
+        help="output format (sarif emits a SARIF 2.1.0 log for code-scanning upload)",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the flow-analysis pass (default: "
+        "$REPRO_JOBS or serial); findings are identical for any N",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-hash result cache under results/.lint-cache",
     )
     parser.add_argument(
         "--baseline",
@@ -80,7 +96,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
 
     root = find_project_root(Path(paths[0]).resolve())
-    result = run_lint(paths, root=root)
+    cache = None if args.no_cache else LintCache(root / DEFAULT_CACHE_DIR)
+    try:
+        result = run_lint(paths, root=root, jobs=args.jobs, cache=cache)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
     if args.no_baseline:
@@ -110,7 +131,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     new, grandfathered, stale = baseline.partition(result.findings)
-    renderer = render_json if args.output_format == "json" else render_human
+    renderer = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "human": render_human,
+    }[args.output_format]
     print(renderer(result, new, grandfathered, stale))
 
     gate = Severity.WARNING if args.strict else Severity.ERROR

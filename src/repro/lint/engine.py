@@ -1,15 +1,54 @@
-"""Lint engine: file discovery, AST parsing, suppressions, rule dispatch."""
+"""Lint engine: file discovery, AST parsing, suppressions, rule dispatch.
+
+Analysis runs in two passes. Pass one builds the flow layer — one CFG plus
+taint solve per function (:func:`repro.lint.flow.collect_module_flow`),
+assembled into project-wide call-graph summaries
+(:func:`repro.lint.flow.assemble`). Pass two runs the rules, which see the
+summaries on :attr:`ProjectContext.summaries`; the flow rules (R007-R009)
+consume them directly and R002 uses them to demote its syntactic heuristic
+to a fallback for functions the flow layer could not model.
+
+Pass one is the expensive part and is embarrassingly parallel per file, so
+``jobs > 1`` fans it out over a :class:`~concurrent.futures.
+ProcessPoolExecutor` (the same idiom as :mod:`repro.dse.parallel`: explicit
+argument wins, then ``REPRO_JOBS``, then serial; order-preserving ``map``
+keeps results byte-identical for any worker count). Whole runs are also
+memoizable by content hash via :mod:`repro.lint.cache`.
+"""
 
 from __future__ import annotations
 
 import ast
+import os
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.common.errors import ConfigError
+from repro.lint.cache import LintCache, digest_text
 from repro.lint.findings import Finding, Severity
-from repro.lint.registry import Rule, all_rules
+from repro.lint.flow import ProjectSummaries, assemble, collect_module_flow
+from repro.lint.registry import RULESET_VERSION, Rule, all_rules
+
+#: Environment variable consulted when no explicit ``jobs`` is given
+#: (shared with the DSE sweep pool).
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit arg, then ``REPRO_JOBS``, then 1."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ConfigError(f"{JOBS_ENV_VAR} must be an integer, got {raw!r}") from None
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    return jobs
 
 #: ``# repro: noqa`` or ``# repro: noqa[R001,R003]`` suppresses findings on
 #: the annotated line (the line the finding is reported at).
@@ -60,10 +99,13 @@ class ModuleContext:
 
 @dataclass
 class ProjectContext:
-    """Everything a rule may inspect: the root and all parsed modules."""
+    """Everything a rule may inspect: the root, modules, and flow summaries."""
 
     root: Path
     modules: List[ModuleContext] = field(default_factory=list)
+    #: Project-wide call-graph summaries, built by the engine before rules
+    #: run. ``None`` only when a rule is invoked outside :func:`run_lint`.
+    summaries: Optional[ProjectSummaries] = None
 
     def module(self, rel: str) -> Optional[ModuleContext]:
         for ctx in self.modules:
@@ -151,17 +193,74 @@ def load_module(path: Path, root: Path) -> Union[ModuleContext, Finding]:
     )
 
 
+def _collect_flows(
+    modules: Sequence[ModuleContext], jobs: int
+) -> Dict[str, list]:
+    """Per-module flow records, optionally fanned out over a process pool.
+
+    ``map`` preserves input order and :func:`~repro.lint.flow.
+    collect_module_flow` is deterministic on ``(rel, source)``, so the
+    assembled summaries — and every downstream finding — are byte-identical
+    for any worker count.
+    """
+    rels = [ctx.rel for ctx in modules]
+    sources = [ctx.source for ctx in modules]
+    if jobs <= 1 or len(modules) <= 1:
+        records = [collect_module_flow(rel, src) for rel, src in zip(rels, sources)]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(modules))) as pool:
+            records = list(pool.map(collect_module_flow, rels, sources, chunksize=4))
+    return dict(zip(rels, records))
+
+
+def _result_to_payload(result: LintResult) -> dict:
+    return {
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "findings": [f.to_json() for f in result.findings],
+    }
+
+
+def _result_from_payload(payload: dict) -> Optional[LintResult]:
+    try:
+        findings = [
+            Finding(
+                rule=raw["rule"],
+                path=raw["path"],
+                line=int(raw["line"]),
+                col=int(raw["col"]),
+                severity=Severity.parse(raw["severity"]),
+                message=raw["message"],
+                snippet=raw.get("snippet", ""),
+            )
+            for raw in payload["findings"]
+        ]
+        return LintResult(
+            findings=findings,
+            files_checked=int(payload["files_checked"]),
+            suppressed=int(payload["suppressed"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None  # entry written by an incompatible version: treat as miss
+
+
 def run_lint(
     paths: Sequence[Union[str, Path]],
     *,
     root: Optional[Union[str, Path]] = None,
     rules: Optional[Sequence[Rule]] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[LintCache] = None,
 ) -> LintResult:
     """Lint ``paths`` and return findings sorted by location.
 
     ``root`` anchors repo-relative paths and project-structural rules; it is
     auto-detected (nearest ``pyproject.toml``) when omitted. ``rules``
-    defaults to every registered rule.
+    defaults to every registered rule. ``jobs`` parallelizes the flow pass
+    (explicit arg, then ``REPRO_JOBS``, then serial); results are identical
+    for any worker count. ``cache`` memoizes whole runs by content hash.
     """
     if not paths:
         raise ValueError("run_lint needs at least one path")
@@ -173,12 +272,34 @@ def run_lint(
 
     project = ProjectContext(root=resolved_root)
     findings: List[Finding] = []
+    digests: List[Tuple[str, str]] = []
     for path in files:
         loaded = load_module(path, resolved_root)
         if isinstance(loaded, Finding):
             findings.append(loaded)
+            # Unparsable content still participates in the key so editing
+            # (or fixing) a broken file invalidates the cached result.
+            try:
+                digests.append((loaded.path, digest_text(path.read_bytes().hex())))
+            except OSError:
+                digests.append((loaded.path, "<unreadable>"))
         else:
             project.modules.append(loaded)
+            digests.append((loaded.rel, digest_text(loaded.source)))
+
+    cache_key: Optional[str] = None
+    if cache is not None:
+        cache_key = cache.key(
+            RULESET_VERSION, [rule.code for rule in active_rules], digests
+        )
+        payload = cache.get(cache_key)
+        if payload is not None:
+            cached = _result_from_payload(payload)
+            if cached is not None:
+                return cached
+
+    flows = _collect_flows(project.modules, resolve_jobs(jobs))
+    project.summaries = assemble(project.modules, flows)
 
     for rule in active_rules:
         findings.extend(rule.check(project))
@@ -197,4 +318,7 @@ def run_lint(
             kept.append(finding)
 
     kept.sort(key=lambda f: f.sort_key)
-    return LintResult(findings=kept, files_checked=len(files), suppressed=suppressed)
+    result = LintResult(findings=kept, files_checked=len(files), suppressed=suppressed)
+    if cache is not None and cache_key is not None:
+        cache.put(cache_key, _result_to_payload(result))
+    return result

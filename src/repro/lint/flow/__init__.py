@@ -1,0 +1,65 @@
+"""Flow-sensitive analysis core for the lint rules (R007-R009).
+
+The syntactic rules (R001-R006) pattern-match single AST nodes; the rules
+that guard the decoder-safety contract need more: *where* a value came from,
+*whether* a check dominates its use, and *which* exceptions can escape a
+public surface through arbitrarily deep helper chains. This package supplies
+that machinery in four layers, each usable on its own:
+
+* :mod:`repro.lint.flow.cfg` — per-function control-flow graphs built from
+  ``ast`` (``if``/``while``/``for``/``try``/``with``/``return``/``raise``/
+  ``break``/``continue``), with branch edges annotated by their condition so
+  downstream analyses can refine facts per edge.
+* :mod:`repro.lint.flow.dataflow` — reaching definitions and def-use chains
+  over a CFG (classic forward may-analysis, worklist solver).
+* :mod:`repro.lint.flow.taint` — a small taint lattice tracking integers
+  that originate from untrusted stream reads, with *kills* on dominating
+  bounds checks (``if length > len(buf) - pos: raise``) and reports of
+  unchecked slice/``range()``/allocation sinks.
+* :mod:`repro.lint.flow.summaries` — a project-wide call graph with
+  per-function summaries: which exception classes can escape, and whether
+  buffer-ish parameters are bounds-checked before indexed use. Summaries are
+  propagated to a fixpoint so a leak three helpers deep is charged to the
+  public surface that exposes it.
+
+Soundness stance (see DESIGN.md §7.4): the analyses are *best-effort and
+deliberately unsound* in the direction that keeps findings actionable —
+constructs the CFG cannot model mark the function ``supported=False`` and
+the flow rules fall back to the older syntactic heuristics for it, rather
+than guessing.
+"""
+
+from repro.lint.flow.cfg import CFG, build_cfg, scan_expr
+from repro.lint.flow.dataflow import ReachingDefs, reaching_definitions
+from repro.lint.flow.summaries import (
+    FunctionSummary,
+    ProjectSummaries,
+    assemble,
+    build_summaries,
+    collect_module_flow,
+)
+from repro.lint.flow.taint import (
+    Env,
+    SinkHit,
+    TaintAnalysis,
+    analyze_taint,
+    index_read_sites,
+)
+
+__all__ = [
+    "CFG",
+    "Env",
+    "FunctionSummary",
+    "ProjectSummaries",
+    "ReachingDefs",
+    "SinkHit",
+    "TaintAnalysis",
+    "analyze_taint",
+    "assemble",
+    "build_cfg",
+    "build_summaries",
+    "collect_module_flow",
+    "index_read_sites",
+    "reaching_definitions",
+    "scan_expr",
+]

@@ -9,6 +9,11 @@ from repro.lint.findings import Finding, Severity
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.lint.engine import ProjectContext
 
+#: Monotonic version of the *rule logic*. Bump whenever any rule's behaviour
+#: changes (new rule, changed heuristic, changed message) so content-hash
+#: lint caches keyed on it evict results computed by older rules.
+RULESET_VERSION = 2
+
 
 class Rule:
     """Base class for lint rules.

@@ -1,14 +1,26 @@
-"""Human and JSON renderings of a lint run."""
+"""Human, JSON, and SARIF 2.1.0 renderings of a lint run."""
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.lint.baseline import BaselineEntry
 from repro.lint.engine import LintResult
-from repro.lint.findings import Finding
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, all_rules
+
+#: Canonical SARIF 2.1.0 schema location (embedded in every report).
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+#: Severity -> SARIF result level.
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
 
 
 def render_human(
@@ -56,3 +68,94 @@ def render_json(
         "stale_baseline": [entry.to_json() for entry in stale],
     }
     return json.dumps(payload, indent=2)
+
+
+def _sarif_result(finding: Finding, rule_index: Optional[int], *, suppressed: bool) -> dict:
+    region = {"startLine": max(finding.line, 1)}
+    if finding.col >= 0:
+        region["startColumn"] = finding.col + 1  # SARIF columns are 1-based
+    if finding.snippet:
+        region["snippet"] = {"text": finding.snippet}
+    result: dict = {
+        "ruleId": finding.rule,
+        "level": _SARIF_LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "PROJECTROOT",
+                    },
+                    "region": region,
+                }
+            }
+        ],
+        "partialFingerprints": {"reproLintFingerprint/v1": finding.fingerprint},
+    }
+    if rule_index is not None:
+        result["ruleIndex"] = rule_index
+    if suppressed:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "grandfathered in the lint baseline"}
+        ]
+    return result
+
+
+def render_sarif(
+    result: LintResult,
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    stale: Sequence[BaselineEntry],
+    rules: Optional[Sequence[Rule]] = None,
+) -> str:
+    """The run as a SARIF 2.1.0 log (one ``run``, all rules declared).
+
+    Baselined findings are included with a ``suppressions`` entry so SARIF
+    consumers (GitHub code scanning) see them as acknowledged, not new.
+    Output is deterministic: rules in code order, results in the engine's
+    sorted order, fixed key layout — ``--jobs N`` cannot perturb it.
+    """
+    active_rules = list(rules) if rules is not None else all_rules()
+    rule_index = {rule.code: i for i, rule in enumerate(active_rules)}
+    descriptors = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary or rule.name},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS[rule.default_severity]
+            },
+            "helpUri": "https://github.com/repro/repro#static-analysis",
+        }
+        for rule in active_rules
+    ]
+    results = [
+        _sarif_result(f, rule_index.get(f.rule), suppressed=False) for f in new
+    ] + [
+        _sarif_result(f, rule_index.get(f.rule), suppressed=True)
+        for f in grandfathered
+    ]
+    log = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://github.com/repro/repro",
+                        "rules": descriptors,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+                "properties": {
+                    "filesChecked": result.files_checked,
+                    "suppressed": result.suppressed,
+                    "staleBaselineEntries": [e.to_json() for e in stale],
+                },
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

@@ -6,5 +6,8 @@ from repro.lint.rules import (  # noqa: F401
     container_framing,
     decoder_safety,
     determinism,
+    exception_contract,
+    guarded_read,
     registry_completeness,
+    tainted_length,
 )

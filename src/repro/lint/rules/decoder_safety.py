@@ -8,10 +8,13 @@ function in the codec tree (``algorithms/``, ``core/blocks/``,
 
 * **Unguarded reads** — a decoder-shaped function (``decode*``, ``parse*``,
   ``decompress``, ``deserialize*``, ``iter_frames``, ``analyze_frame``, ...)
-  that subscripts raw buffers or reassembles integers from bytes must
-  mention ``CorruptStreamError`` (or delegate to a helper that does): an
-  underflow path that can only raise ``IndexError`` is a silent-garbage bug
-  waiting for an optimization.
+  whose signature actually takes a buffer-shaped parameter and that
+  subscripts raw buffers or reassembles integers from bytes must mention
+  ``CorruptStreamError`` (or delegate to a helper that does): an underflow
+  path that can only raise ``IndexError`` is a silent-garbage bug waiting
+  for an optimization. This check is the *syntactic fallback*: functions
+  the flow layer modeled are skipped here, because R009 checks each of
+  their read sites for a dominating guard — strictly more precise.
 * **Untranslated low-level errors** — an ``except IndexError/KeyError/
   struct.error`` inside a decoder that does not raise ``CorruptStreamError``
   hides corruption.
@@ -28,8 +31,10 @@ from typing import Iterable, List
 
 from repro.lint.engine import ModuleContext, ProjectContext
 from repro.lint.findings import Finding, Severity
+from repro.lint.flow.taint import is_buffer_name
 from repro.lint.registry import Rule, register
 from repro.lint.rules.common import dotted_name, is_test_path, path_matches
+from repro.lint.rules.guarded_read import _decode_side
 
 #: Directories/files whose functions read untrusted bytes.
 _DECODER_PATHS = (
@@ -70,7 +75,7 @@ class DecoderSafetyRule(Rule):
             in_decoder_tree = path_matches(ctx.rel, _DECODER_PATHS)
             findings.extend(self._check_handlers(ctx, in_decoder_tree))
             if in_decoder_tree:
-                findings.extend(self._check_unguarded_reads(ctx))
+                findings.extend(self._check_unguarded_reads(ctx, project))
         return findings
 
     # -- broad / untranslated exception handlers ---------------------------
@@ -147,7 +152,9 @@ class DecoderSafetyRule(Rule):
                     spans.append((node.lineno, node.end_lineno or node.lineno))
         return spans
 
-    def _check_unguarded_reads(self, ctx: ModuleContext) -> Iterable[Finding]:
+    def _check_unguarded_reads(
+        self, ctx: ModuleContext, project: ProjectContext
+    ) -> Iterable[Finding]:
         for node in ast.walk(ctx.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
@@ -155,6 +162,10 @@ class DecoderSafetyRule(Rule):
                 continue
             if node.name.startswith("encode") or "encode" in node.name.split("_"):
                 continue
+            if not self._takes_buffer(node):
+                continue
+            if self._flow_covered(ctx, node, project):
+                continue  # R009 checks each read site with full flow facts
             if not self._has_raw_reads(node):
                 continue
             if self._mentions_corrupt(node) or self._delegates_to_decoder(node):
@@ -166,6 +177,40 @@ class DecoderSafetyRule(Rule):
                 "CorruptStreamError path: underflow would leak IndexError "
                 "or silently truncate",
             )
+
+    @staticmethod
+    def _takes_buffer(func: ast.FunctionDef) -> bool:
+        """Whether the signature receives untrusted bytes to read.
+
+        Scopes the decoder-name heuristic to functions that can actually
+        see a stream: a buffer-shaped parameter, or (for streaming-context
+        methods) a buffer-shaped ``self`` attribute subscripted in the body.
+        """
+        args = func.args
+        params = [a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]]
+        if any(is_buffer_name(p) for p in params if p != "self"):
+            return True
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Attribute)
+                and isinstance(node.value.value, ast.Name)
+                and node.value.value.id == "self"
+                and is_buffer_name(node.value.attr)
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _flow_covered(
+        ctx: ModuleContext, node: ast.FunctionDef, project: ProjectContext
+    ) -> bool:
+        """Whether R009's flow-sensitive check supersedes the heuristic here."""
+        summaries = project.summaries
+        if summaries is None:
+            return False
+        summary = summaries.function_at(ctx.rel, node.lineno)
+        return summary is not None and summary.supported and _decode_side(summary)
 
     #: Variable-name shapes that hold untrusted stream bytes.
     _STREAM_NAME = re.compile(r"(data|stream|payload|buf|compressed|frame|blob|raw)", re.I)

@@ -1,0 +1,97 @@
+"""R009: direct buffer reads in the decoder tree have dominating guards.
+
+The flow-sensitive successor to R002's unguarded-read heuristic. R002 asks
+a blunt question — "does this decoder *mention* ``CorruptStreamError``
+anywhere?" — which both misses reads after the one guarded path and flags
+functions that validate carefully through helpers. R009 instead asks, per
+read site ``buf[i]``, whether a guard *dominates* it:
+
+* the index was bounds-checked on every path reaching the read;
+* the index is a constant and ``len(buf)`` (or the buffer's truthiness)
+  was tested on the way in;
+* every unchecked path branched off into a ``CorruptStreamError`` raise;
+* the read sits inside a ``try`` that translates ``IndexError`` into
+  ``CorruptStreamError``.
+
+Scope: decoder-tree modules (``algorithms/``, ``core/blocks/``,
+``common/{bitio,varint}.py``), decode-shaped functions only — encoders
+index buffers they built themselves. Functions whose CFG the flow layer
+cannot model (``match`` statements, diverging taint solves) are *not*
+checked here; R002's syntactic heuristic remains active for exactly those,
+so demotion never widens the unchecked surface.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+from repro.lint.engine import ProjectContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+from repro.lint.rules.common import is_test_path, path_matches
+
+#: Directories/files whose functions read untrusted bytes (same tree R002
+#: patrols).
+_DECODER_PATHS = (
+    "algorithms",
+    "core/blocks",
+    "common/bitio.py",
+    "common/varint.py",
+)
+
+#: Decode-side function/method shapes. Encoder helpers (``encode*``,
+#: ``compress``) index buffers they produced, so they are out of scope.
+_DECODE_NAME = re.compile(
+    r"(^|_)(decode|decompress|parse|deserialize|expand|iter_frames|analyze)"
+)
+
+#: Classes whose *every* method is decode-side (streaming decompressors
+#: name their steps ``_feed``/``_take``/``_drain``, not ``decode*``).
+_DECODE_CLASS = re.compile(r"(Decoder|Decompress|Reader)")
+
+
+def _decode_side(summary) -> bool:
+    if summary.name.startswith("encode") or "encode" in summary.name.split("_"):
+        return False
+    if _DECODE_NAME.search(summary.name):
+        return True
+    return bool(summary.cls and _DECODE_CLASS.search(summary.cls))
+
+
+@register
+class GuardedReadRule(Rule):
+    code = "R009"
+    name = "guarded-read"
+    summary = "decoder buffer reads need a dominating bounds check"
+    default_severity = Severity.ERROR
+
+    def check(self, project: ProjectContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        summaries = project.summaries
+        if summaries is None:
+            return findings
+        for summary in summaries.functions.values():
+            if is_test_path(summary.rel):
+                continue
+            if not path_matches(summary.rel, _DECODER_PATHS):
+                continue
+            if not summary.supported or not _decode_side(summary):
+                continue
+            ctx = project.module(summary.rel)
+            if ctx is None:
+                continue
+            for site in summary.read_sites:
+                if site.guarded:
+                    continue
+                findings.append(
+                    ctx.finding(
+                        self,
+                        site.lineno,
+                        f"read of '{site.base}' in '{summary.display}' has "
+                        f"{site.reason}; corrupt input would surface as "
+                        "IndexError instead of CorruptStreamError — guard the "
+                        "index or translate the exception",
+                    )
+                )
+        return findings

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.algorithms.base import Operation, WeightClass
+from repro.common.errors import ConfigError
 from repro.algorithms.registry import (
     ALGORITHM_INFOS,
     available_codecs,
@@ -42,9 +43,9 @@ class TestRegistry:
         assert get_info("ZSTD").display_name == "ZStd"
 
     def test_unknown_names_raise_with_suggestions(self):
-        with pytest.raises(KeyError, match="snappy"):
+        with pytest.raises(ConfigError, match="snappy"):
             get_codec("lz4")
-        with pytest.raises(KeyError, match="brotli"):
+        with pytest.raises(ConfigError, match="brotli"):
             get_info("lz4")
 
     def test_fresh_instance_per_call(self):

@@ -227,6 +227,84 @@ def test_random_junk_never_crashes_uncontrolled(codec_name, junk):
         pass
 
 
+#: Per-codec compressed PAYLOAD, computed once — compression dominates the
+#: runtime of the property tests below and the input never changes.
+_COMPRESSED_CACHE = {}
+
+
+def _compressed(codec_name: str) -> bytes:
+    if codec_name not in _COMPRESSED_CACHE:
+        _COMPRESSED_CACHE[codec_name] = get_codec(codec_name).compress(PAYLOAD)
+    return _COMPRESSED_CACHE[codec_name]
+
+
+def _havoc(data, base: bytes) -> bytes:
+    """A short random edit script (truncate/flip/insert/delete) over ``base``.
+
+    Starting from a *valid* stream and damaging it reaches much deeper into
+    the decoders than random junk: the header parses, so the mutations land
+    in match offsets, lengths, and entropy payloads.
+    """
+    buf = bytearray(base)
+    ops = data.draw(
+        st.lists(
+            st.sampled_from(["truncate", "flip", "insert", "delete"]),
+            min_size=1,
+            max_size=4,
+        ),
+        label="ops",
+    )
+    for op in ops:
+        if not buf:
+            break
+        pos = data.draw(st.integers(0, len(buf) - 1), label=f"{op}-pos")
+        if op == "truncate":
+            del buf[pos:]
+        elif op == "flip":
+            buf[pos] ^= data.draw(st.integers(1, 255), label="flip-mask")
+        elif op == "insert":
+            buf.insert(pos, data.draw(st.integers(0, 255), label="insert-byte"))
+        else:
+            del buf[pos]
+    return bytes(buf)
+
+
+@pytest.mark.parametrize("codec_name", available_codecs())
+class TestExceptionContractRuntime:
+    """Runtime counterpart of lint rule R007 (exception contract).
+
+    The static rule proves that public decode surfaces cannot leak
+    low-level exceptions along any modelled path; this property test
+    checks the same contract dynamically on adversarial inputs: for any
+    damaged stream, ``decompress`` / ``feed`` / ``flush`` either succeed
+    or raise a :class:`ReproError` subclass. An ``IndexError``,
+    ``KeyError``, ``struct.error``, ``MemoryError``, or hang escaping here
+    is a bug the lint rule should also have caught — file both.
+    """
+
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    @given(data=st.data())
+    def test_one_shot_decompress_raises_only_repro_errors(self, codec_name, data):
+        stream = _havoc(data, _compressed(codec_name))
+        try:
+            get_codec(codec_name).decompress(stream)
+        except ReproError:
+            pass  # controlled failure: the contract holds
+
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    @given(data=st.data())
+    def test_streaming_context_raises_only_repro_errors(self, codec_name, data):
+        stream = _havoc(data, _compressed(codec_name))
+        chunk_size = data.draw(st.integers(1, 64), label="chunk-size")
+        ctx = get_codec(codec_name).decompress_context()
+        try:
+            for start in range(0, len(stream), chunk_size):
+                ctx.feed(stream[start : start + chunk_size])
+            ctx.flush()
+        except ReproError:
+            pass  # controlled failure: the contract holds
+
+
 class TestHardwareModelUnderCorruption:
     def test_snappy_pipeline_rejects_corrupt_stream(self):
         from repro.core.generator import CdpuGenerator

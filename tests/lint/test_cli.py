@@ -2,7 +2,114 @@
 
 import json
 
+import jsonschema
+
 from repro.lint.cli import main
+
+#: Structural subset of the SARIF 2.1.0 schema covering everything this
+#: tool emits. The full upstream schema is not vendored; this pins the
+#: load-bearing shape (versioning, tool.driver.rules, result locations)
+#: so a regression cannot silently break code-scanning upload.
+SARIF_21_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string"},
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "columnKind": {
+                        "enum": ["utf16CodeUnits", "unicodeCodePoints"]
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message", "locations"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": ["artifactLocation"],
+                                                "properties": {
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    }
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                                "suppressions": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["kind"],
+                                        "properties": {
+                                            "kind": {
+                                                "enum": [
+                                                    "inSource",
+                                                    "external",
+                                                ]
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
 
 
 class TestExitCodes:
@@ -70,6 +177,113 @@ class TestJsonFormat:
         payload = json.loads(capsys.readouterr().out)
         assert payload["files_checked"] >= 1
         assert [f["rule"] for f in payload["findings"]] == ["R001"]
+
+
+class TestSarifFormat:
+    def _emit(self, project, capsys, *extra):
+        main([str(project.root / "src"), "--format", "sarif", *extra])
+        return json.loads(capsys.readouterr().out)
+
+    def test_log_validates_against_sarif_21_schema(self, project, capsys):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        log = self._emit(project, capsys)
+        jsonschema.validate(log, SARIF_21_SCHEMA)
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_all_rules_declared_and_results_indexed(self, project, capsys):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        log = self._emit(project, capsys)
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == [f"R00{i}" for i in range(1, 10)]
+        (result,) = log["runs"][0]["results"]
+        assert result["ruleId"] == "R001"
+        assert result["level"] == "error"
+        assert rules[result["ruleIndex"]]["id"] == "R001"
+
+    def test_columns_are_one_based(self, project, capsys):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        log = self._emit(project, capsys)
+        region = log["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+
+    def test_baselined_findings_carry_suppressions(self, project, capsys):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        src = str(project.root / "src")
+        assert main([src, "--update-baseline", "--justification", "legacy rng"]) == 0
+        capsys.readouterr()
+        log = self._emit(project, capsys)
+        jsonschema.validate(log, SARIF_21_SCHEMA)
+        (result,) = log["runs"][0]["results"]
+        assert result["suppressions"][0]["kind"] == "external"
+
+    def test_fingerprints_present_for_dedup(self, project, capsys):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        log = self._emit(project, capsys)
+        fingerprints = log["runs"][0]["results"][0]["partialFingerprints"]
+        assert "reproLintFingerprint/v1" in fingerprints
+
+
+class TestJobsAndCache:
+    FIXTURES = {
+        "src/repro/fleet/sampler.py": "import random\n",
+        "src/repro/algorithms/toy.py": """
+            def decompress(data):
+                length = int.from_bytes(data[:4], "little")
+                return data[4:4 + length]
+        """,
+        "src/repro/algorithms/helper.py": """
+            def _read(data, pos):
+                return data[pos]
+        """,
+        "src/repro/sim/clock.py": "def period(cycles):\n    return cycles / 2.1e9\n",
+        "src/repro/common/util.py": "X = 1\n",
+    }
+
+    def _populate(self, project):
+        for rel, source in self.FIXTURES.items():
+            project.write(rel, source)
+
+    def test_jobs_4_output_is_byte_identical_to_jobs_1(self, project, capsys):
+        self._populate(project)
+        src = str(project.root / "src")
+        main([src, "--format", "sarif", "--no-cache", "--jobs", "1"])
+        serial = capsys.readouterr().out
+        main([src, "--format", "sarif", "--no-cache", "--jobs", "4"])
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        assert json.loads(serial)["runs"][0]["results"]  # non-trivial run
+
+    def test_invalid_jobs_is_usage_error(self, project, capsys):
+        self._populate(project)
+        assert main([str(project.root / "src"), "--jobs", "0"]) == 2
+        assert "jobs" in capsys.readouterr().err
+
+    def test_jobs_env_var_is_validated(self, project, capsys, monkeypatch):
+        self._populate(project)
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        assert main([str(project.root / "src")]) == 2
+        assert "REPRO_JOBS" in capsys.readouterr().err
+
+    def test_cache_dir_created_by_default_not_with_no_cache(self, project):
+        self._populate(project)
+        src = str(project.root / "src")
+        cache_dir = project.root / "results" / ".lint-cache"
+        main([src, "--no-cache"])
+        assert not cache_dir.exists()
+        main([src])
+        assert any(cache_dir.glob("*.json"))
+
+    def test_warm_cache_matches_cold_output(self, project, capsys):
+        self._populate(project)
+        src = str(project.root / "src")
+        main([src, "--format", "json"])
+        cold = capsys.readouterr().out
+        main([src, "--format", "json"])
+        warm = capsys.readouterr().out
+        assert cold == warm
 
 
 class TestReproCliWiring:

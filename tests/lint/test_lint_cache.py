@@ -1,0 +1,129 @@
+"""Content-hash lint cache: warm hits, invalidation, eviction, atomicity."""
+
+import json
+
+from repro.lint import run_lint
+from repro.lint.cache import CACHE_SCHEMA_VERSION, LintCache
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule
+
+
+class CountingRule(Rule):
+    """A rule that counts invocations — cache hits must not re-run it."""
+
+    code = "R001"  # reuse a known code so Severity parsing etc. stays happy
+    name = "counting"
+    summary = "test double"
+    default_severity = Severity.ERROR
+
+    def __init__(self):
+        self.calls = 0
+
+    def check(self, project):
+        self.calls += 1
+        for ctx in project.modules:
+            if "random" in ctx.source:
+                yield ctx.finding(self, 1, "counted finding")
+
+
+class TestWarmHits:
+    def test_second_run_replays_without_rerunning_rules(self, project, tmp_path):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        cache = LintCache(tmp_path / "lint-cache")
+        rule = CountingRule()
+        first = run_lint([project.root / "src"], root=project.root, rules=[rule], cache=cache)
+        second = run_lint([project.root / "src"], root=project.root, rules=[rule], cache=cache)
+        assert rule.calls == 1
+        assert [f.to_json() for f in first.findings] == [
+            f.to_json() for f in second.findings
+        ]
+        assert second.files_checked == first.files_checked
+
+    def test_edited_file_misses(self, project, tmp_path):
+        target = project.write("src/repro/fleet/sampler.py", "import random\n")
+        cache = LintCache(tmp_path / "lint-cache")
+        rule = CountingRule()
+        run_lint([project.root / "src"], root=project.root, rules=[rule], cache=cache)
+        target.write_text("import random  # edited\n")
+        run_lint([project.root / "src"], root=project.root, rules=[rule], cache=cache)
+        assert rule.calls == 2
+
+    def test_added_file_misses(self, project, tmp_path):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        cache = LintCache(tmp_path / "lint-cache")
+        rule = CountingRule()
+        run_lint([project.root / "src"], root=project.root, rules=[rule], cache=cache)
+        project.write("src/repro/fleet/extra.py", "X = 1\n")
+        run_lint([project.root / "src"], root=project.root, rules=[rule], cache=cache)
+        assert rule.calls == 2
+
+
+class TestKeying:
+    FILES = [("src/a.py", "digest-a"), ("src/b.py", "digest-b")]
+
+    def test_key_is_order_insensitive_in_files(self, tmp_path):
+        cache = LintCache(tmp_path)
+        assert cache.key(1, ["R001"], self.FILES) == cache.key(
+            1, ["R001"], list(reversed(self.FILES))
+        )
+
+    def test_key_changes_with_ruleset_version(self, tmp_path):
+        cache = LintCache(tmp_path)
+        assert cache.key(1, ["R001"], self.FILES) != cache.key(2, ["R001"], self.FILES)
+
+    def test_key_changes_with_rule_selection(self, tmp_path):
+        cache = LintCache(tmp_path)
+        assert cache.key(1, ["R001"], self.FILES) != cache.key(
+            1, ["R001", "R002"], self.FILES
+        )
+
+    def test_key_changes_with_any_file_digest(self, tmp_path):
+        cache = LintCache(tmp_path)
+        changed = [("src/a.py", "digest-a2"), ("src/b.py", "digest-b")]
+        assert cache.key(1, ["R001"], self.FILES) != cache.key(1, ["R001"], changed)
+
+
+class TestEviction:
+    def test_schema_mismatch_evicts_entries(self, tmp_path):
+        cache = LintCache(tmp_path / "store")
+        cache.put("k", {"findings": []})
+        assert cache.get("k") is not None
+        # Simulate a store written by an older layout.
+        (tmp_path / "store" / "SCHEMA").write_text(str(CACHE_SCHEMA_VERSION + 1))
+        fresh = LintCache(tmp_path / "store")
+        assert fresh.get("k") is None
+        assert (tmp_path / "store" / "SCHEMA").read_text().strip() == str(
+            CACHE_SCHEMA_VERSION
+        )
+
+    def test_corrupt_entry_is_miss_and_deleted(self, tmp_path):
+        cache = LintCache(tmp_path / "store")
+        cache.put("k", {"findings": []})
+        entry = tmp_path / "store" / "k.json"
+        entry.write_text("{not json")
+        assert cache.get("k") is None
+        assert not entry.exists()
+
+    def test_incompatible_payload_is_miss_not_crash(self, project, tmp_path):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        cache = LintCache(tmp_path / "store")
+        rule = CountingRule()
+        run_lint([project.root / "src"], root=project.root, rules=[rule], cache=cache)
+        # Overwrite the stored payload with a wrong-shaped one.
+        entries = list((tmp_path / "store").glob("*.json"))
+        assert len(entries) == 1
+        entries[0].write_text(json.dumps({"findings": [{"bogus": True}]}))
+        result = run_lint(
+            [project.root / "src"], root=project.root, rules=[rule], cache=cache
+        )
+        assert rule.calls == 2  # fell back to a real run
+        assert [f.rule for f in result.findings] == ["R001"]
+
+    def test_put_is_atomic_no_tmp_left_behind(self, tmp_path):
+        cache = LintCache(tmp_path / "store")
+        cache.put("k", {"findings": [Finding(
+            rule="R001", path="src/x.py", line=1, col=0,
+            severity=Severity.ERROR, message="m",
+        ).to_json()]})
+        leftovers = [p for p in (tmp_path / "store").iterdir() if ".tmp." in p.name]
+        assert leftovers == []

@@ -63,7 +63,9 @@ class TestR001Determinism:
 
 
 class TestR002DecoderSafety:
-    def test_decoder_without_corrupt_path_fires(self, project):
+    def test_unguarded_decoder_demoted_to_flow_rule(self, project):
+        # Flow-modelable decoders are R009's jurisdiction now; the R002
+        # heuristic stays quiet for them so each site is judged precisely.
         project.write(
             "src/repro/algorithms/toy.py",
             """
@@ -71,6 +73,26 @@ class TestR002DecoderSafety:
                 return data[0] | (data[1] << 8)
             """,
         )
+        assert project.findings("src", rule="R002") == []
+        found = project.findings("src", rule="R009")
+        assert len(found) == 2  # one per unguarded read
+        assert all("decode_header" in f.message for f in found)
+
+    def test_unmodelable_decoder_falls_back_to_heuristic(self, project):
+        # A match statement marks the CFG unsupported, so the syntactic
+        # R002 check is the only line of defence and must still fire.
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            def decode_header(data):
+                match data[0]:
+                    case 0:
+                        return data[1]
+                    case _:
+                        return data[2] | (data[3] << 8)
+            """,
+        )
+        assert project.findings("src", rule="R009") == []
         found = project.findings("src", rule="R002")
         assert len(found) == 1
         assert "decode_header" in found[0].message
@@ -497,12 +519,255 @@ class TestR006ContainerFraming:
         assert project.findings("tests", rule="R006") == []
 
 
+class TestR007ExceptionContract:
+    def test_struct_error_leak_fires(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            import struct
+
+            def decompress(data):
+                return struct.unpack("<I", data[:4])[0]
+            """,
+        )
+        found = project.findings("src", rule="R007")
+        assert len(found) == 1
+        assert "error" in found[0].message
+        assert "decompress" in found[0].message
+
+    def test_translated_struct_error_is_quiet(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            import struct
+
+            from repro.common.errors import CorruptStreamError
+
+            def decompress(data):
+                try:
+                    return struct.unpack("<I", data[:4])[0]
+                except struct.error:
+                    raise CorruptStreamError("truncated word")
+            """,
+        )
+        assert project.findings("src", rule="R007") == []
+
+    def test_leak_through_helper_carries_trace(self, project):
+        # The IndexError originates two frames below the surface; the
+        # call-graph fixpoint must carry it up and name the helper chain.
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            def _read_tag(data):
+                return data[0]
+
+            def _parse_header(data):
+                return _read_tag(data) << 8
+
+            def decompress(data):
+                return _parse_header(data)
+            """,
+        )
+        found = project.findings("src", rule="R007")
+        assert any("IndexError" in f.message for f in found)
+        assert any("_read_tag" in f.message for f in found)
+
+    def test_guarded_helper_chain_is_quiet(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            from repro.common.errors import CorruptStreamError
+
+            def _read_tag(data):
+                if not data:
+                    raise CorruptStreamError("empty stream")
+                return data[0]
+
+            def decompress(data):
+                return _read_tag(data) << 8
+            """,
+        )
+        assert project.findings("src", rule="R007") == []
+
+    def test_non_surface_helpers_not_reported_directly(self, project):
+        # Leaks are reported at surfaces, not at every internal helper.
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            import struct
+
+            def _inner(data):
+                return struct.unpack("<I", data[:4])[0]
+            """,
+        )
+        assert project.findings("src", rule="R007") == []
+
+
+class TestR008TaintedLength:
+    def test_planted_unchecked_varint_slice_fires(self, project):
+        # The acceptance-criterion snippet: a varint length drives a slice
+        # bound with no bounds check in between.
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            from repro.common.varint import decode_varint
+
+            def decode_block(buf, pos):
+                length, pos = decode_varint(buf, pos)
+                return buf[pos:pos + length]
+            """,
+        )
+        found = project.findings("src", rule="R008")
+        assert len(found) == 1
+        assert "length" in found[0].message
+        assert "slice-bound" in found[0].message
+
+    def test_planted_guarded_varint_slice_is_quiet(self, project):
+        # Same snippet with the canonical guard: comparison against the
+        # remaining buffer kills the taint on the fall-through edge.
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            from repro.common.errors import CorruptStreamError
+            from repro.common.varint import decode_varint
+
+            def decode_block(buf, pos):
+                length, pos = decode_varint(buf, pos)
+                if length > len(buf) - pos:
+                    raise CorruptStreamError("declared length overruns buffer")
+                return buf[pos:pos + length]
+            """,
+        )
+        assert project.findings("src", rule="R008") == []
+
+    def test_unchecked_range_limit_fires(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            def decode_tokens(data):
+                count = int.from_bytes(data[:4], "little")
+                return [data[4 + i] for i in range(count)]
+            """,
+        )
+        found = project.findings("src", rule="R008")
+        assert any("range-limit" in f.message for f in found)
+
+    def test_capped_range_limit_is_quiet(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            from repro.common.errors import CorruptStreamError
+
+            MAX_TOKENS = 4096
+
+            def decode_tokens(data):
+                count = int.from_bytes(data[:4], "little")
+                if count > MAX_TOKENS:
+                    raise CorruptStreamError("token count exceeds limit")
+                return list(range(count))
+            """,
+        )
+        assert project.findings("src", rule="R008") == []
+
+    def test_attacker_sized_repeat_fires(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            def decode_rle(data):
+                size = int.from_bytes(data[:8], "little")
+                return data[8:9] * size
+            """,
+        )
+        found = project.findings("src", rule="R008")
+        assert any("repeat" in f.message for f in found)
+
+    def test_min_capped_size_is_quiet(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            def decode_rle(data):
+                size = min(int.from_bytes(data[:8], "little"), 65536)
+                return data[8:9] * size
+            """,
+        )
+        assert project.findings("src", rule="R008") == []
+
+    def test_tests_are_exempt(self, project):
+        project.write(
+            "tests/algorithms/test_toy.py",
+            """
+            def helper(buf):
+                n = int.from_bytes(buf[:4], "little")
+                return buf[4:4 + n]
+            """,
+        )
+        assert project.findings("tests", rule="R008") == []
+
+
+class TestR009GuardedRead:
+    def test_read_after_partial_guard_fires(self, project):
+        # R002's heuristic would pass this ("mentions CorruptStreamError");
+        # flow analysis sees data[2] is not covered by the len(data) < 2 check.
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            from repro.common.errors import CorruptStreamError
+
+            def decode_header(data):
+                if len(data) < 2:
+                    raise CorruptStreamError("underflow")
+                version = data[0] | (data[1] << 8)
+                return version, data[2]
+            """,
+        )
+        found = project.findings("src", rule="R009")
+        assert len(found) == 1
+        assert found[0].line == 8
+
+    def test_translating_try_is_quiet(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            from repro.common.errors import CorruptStreamError
+
+            def decode_tag(data, pos):
+                try:
+                    return data[pos]
+                except IndexError:
+                    raise CorruptStreamError("truncated at tag byte")
+            """,
+        )
+        assert project.findings("src", rule="R009") == []
+
+    def test_encoder_reads_are_out_of_scope(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            def encode_header(version):
+                table = bytes([1, 2, 3])
+                return table[0] | (table[1] << 8)
+            """,
+        )
+        assert project.findings("src", rule="R009") == []
+
+    def test_non_decoder_tree_is_out_of_scope(self, project):
+        project.write(
+            "src/repro/analysis/report.py",
+            """
+            def decode_row(fields):
+                return fields[0]
+            """,
+        )
+        assert project.findings("src", rule="R009") == []
+
+
 class TestRuleRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         from repro.lint import all_rules
 
         assert [r.code for r in all_rules()] == [
             "R001", "R002", "R003", "R004", "R005", "R006",
+            "R007", "R008", "R009",
         ]
 
     def test_get_rule_by_code(self):
