@@ -1,0 +1,84 @@
+"""Lint wall-clock baseline: cold vs warm cache, jobs 1 vs 4.
+
+Emits ``results/BENCH_lint.json`` — the repo's first lint perf artifact —
+so the performance trajectory of the analyzer is tracked the same way the
+figure tables are. Two properties are asserted hard because they are
+architectural, not machine-dependent:
+
+* a warm content-hash cache must beat a cold run by a wide margin (the
+  whole point of :mod:`repro.lint.cache`);
+* every configuration must produce identical findings (jobs parity).
+
+The comparison against the *committed* baseline is deliberately soft: CI
+machines vary, so a slowdown beyond the allowed ratio emits a prominent
+warning for the reviewer rather than failing the build. Lives under
+``benchmarks/`` with the ``bench`` marker because it measures time.
+"""
+
+import json
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.cache import LintCache
+
+REQUIRED_WARM_SPEEDUP = 3.0
+#: Soft gate: warn (don't fail) when cold lint is this much slower than the
+#: committed baseline.
+SOFT_REGRESSION_RATIO = 3.0
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_BASELINE = _REPO_ROOT / "results" / "BENCH_lint.json"
+
+
+def _timed_run(src: Path, *, jobs: int, cache: LintCache):
+    start = time.perf_counter()
+    result = run_lint([src], root=_REPO_ROOT, jobs=jobs, cache=cache)
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.bench
+def test_lint_cold_warm_jobs_matrix_and_baseline(tmp_path, results_dir):
+    src = _REPO_ROOT / "src"
+    timings = {}
+    findings = {}
+    for jobs in (1, 4):
+        cache = LintCache(tmp_path / f"lint-cache-j{jobs}")
+        result_cold, cold = _timed_run(src, jobs=jobs, cache=cache)
+        result_warm, warm = _timed_run(src, jobs=jobs, cache=cache)
+        timings[f"cold_jobs{jobs}_seconds"] = round(cold, 4)
+        timings[f"warm_jobs{jobs}_seconds"] = round(warm, 4)
+        findings[jobs] = [f.to_json() for f in result_cold.findings]
+        assert [f.to_json() for f in result_warm.findings] == findings[jobs]
+        assert cold >= REQUIRED_WARM_SPEEDUP * warm, (
+            f"warm lint cache not fast enough at jobs={jobs}: "
+            f"cold={cold:.3f}s warm={warm:.3f}s"
+        )
+
+    # Jobs parity: the parallel flow pass must not perturb findings.
+    assert findings[1] == findings[4]
+
+    payload = {
+        "benchmark": "lint",
+        "files": len(list(src.rglob("*.py"))),
+        **timings,
+    }
+    previous = None
+    if _BASELINE.exists():
+        previous = json.loads(_BASELINE.read_text())
+    (results_dir / "BENCH_lint.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    if previous is not None:
+        for key in ("cold_jobs1_seconds", "cold_jobs4_seconds"):
+            before, now = previous.get(key), payload[key]
+            if before and now > SOFT_REGRESSION_RATIO * before:
+                warnings.warn(
+                    f"lint perf regression (soft): {key} was {before}s, "
+                    f"now {now}s (> {SOFT_REGRESSION_RATIO}x)",
+                    stacklevel=1,
+                )

@@ -15,7 +15,10 @@ Eight subcommands expose the library's main surfaces:
   (same ``--jobs``/``--cache`` engine options).
 * ``stats`` — run an instrumented workload (codec round-trips, or a fig11
   smoke sweep) and print the metric snapshot (see :mod:`repro.obs`).
-* ``lint`` — run the codec-aware static-analysis pass (rules R001-R006).
+* ``lint`` — run the codec-aware static-analysis pass (rules R001-R013).
+* ``sanitize`` — re-execute a target run (DSE sweep, lint, stream, stats)
+  under varied ``PYTHONHASHSEED``/worker-count environments and diff the
+  artifacts byte-for-byte (see :mod:`repro.sanitize`).
 
 The global ``--trace <file>`` flag (before the subcommand) enables the
 observability layer for any command and writes a Chrome trace-event JSON on
@@ -93,6 +96,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "figure", choices=["fig11", "fig12", "fig13", "fig14", "fig15"],
         help="which figure's sweep to run",
     )
+    dse.add_argument(
+        "--files-per-suite",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reduce the benchmark to N files per suite (default: full 48; "
+        "small values give tier-1-sized runs for CI and `repro sanitize`)",
+    )
     _add_engine_options(dse)
 
     summaries = sub.add_parser(
@@ -120,14 +131,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="snapshot rendering (json is deterministic for a given workload state)",
     )
 
-    # ``lint`` owns its own argparse (repro.lint.cli); capture everything
-    # after the subcommand and forward it verbatim.
+    # ``lint`` and ``sanitize`` own their own argparse (repro.lint.cli /
+    # repro.sanitize.cli); capture everything after the subcommand and
+    # forward it verbatim.
     lint = sub.add_parser(
         "lint",
-        help="run the static-analysis pass (R001-R006)",
+        help="run the static-analysis pass (R001-R013)",
         add_help=False,
     )
     lint.add_argument("lint_args", nargs=argparse.REMAINDER)
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="re-run a target under varied env and diff artifacts byte-for-byte",
+        add_help=False,
+    )
+    sanitize.add_argument("sanitize_args", nargs=argparse.REMAINDER)
     return parser
 
 
@@ -156,12 +174,12 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _build_runner(args: argparse.Namespace):
+def _build_runner(args: argparse.Namespace, bench=None):
     """A DseRunner honouring the --jobs/--cache engine options."""
     from repro.dse import DseCache, DseRunner
 
     cache = DseCache() if args.cache else None
-    return DseRunner(jobs=args.jobs, cache=cache)
+    return DseRunner(bench, jobs=args.jobs, cache=cache)
 
 
 def _read(path: str) -> bytes:
@@ -272,7 +290,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 def _cmd_dse(args: argparse.Namespace) -> int:
     from repro.dse import experiments
 
-    runner = _build_runner(args)
+    bench = None
+    if args.files_per_suite is not None:
+        from repro.hcbench.suite import default_benchmark
+
+        bench = default_benchmark(seed=0, files_per_suite=args.files_per_suite)
+    runner = _build_runner(args, bench)
     figure = {
         "fig11": experiments.fig11_snappy_decompression,
         "fig12": experiments.fig12_snappy_compression,
@@ -381,6 +404,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(args.lint_args)
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.sanitize.cli import main as sanitize_main
+
+    return sanitize_main(args.sanitize_args)
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
@@ -390,6 +419,7 @@ _COMMANDS = {
     "summaries": _cmd_summaries,
     "stats": _cmd_stats,
     "lint": _cmd_lint,
+    "sanitize": _cmd_sanitize,
 }
 
 
@@ -402,6 +432,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["sanitize"]:
+        from repro.sanitize.cli import main as sanitize_main
+
+        return sanitize_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.trace is None:
         return _COMMANDS[args.command](args)

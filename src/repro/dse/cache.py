@@ -172,7 +172,7 @@ class DseCache:
         except OSError:
             pass  # no schema marker yet: treat all entries as stale
         if stale:
-            for entry in self.root.glob(f"*{_ENTRY_SUFFIX}"):
+            for entry in sorted(self.root.glob(f"*{_ENTRY_SUFFIX}")):
                 try:
                     entry.unlink()
                     obs.counter_add("dse.cache.evict", 1)

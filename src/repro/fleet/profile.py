@@ -127,7 +127,9 @@ def generate_fleet_profile(seed: int = 0, num_calls: int = 200_000) -> FleetProf
         # Per-call ratio: lognormal in 1/ratio so the byte-weighted aggregate
         # compression ratio converges to the Figure 2c bin value.
         inv_ratios = np.empty(count, dtype=float)
-        for bin_name in set(_ratio_bin(algo, int(l)) for l in levels):
+        # Sorted so the per-bin RNG draws happen in one canonical order
+        # regardless of PYTHONHASHSEED (set order would vary the stream).
+        for bin_name in sorted(set(_ratio_bin(algo, int(l)) for l in levels)):
             bin_mask = np.asarray(
                 [_ratio_bin(algo, int(l)) == bin_name for l in levels]
             )

@@ -61,7 +61,7 @@ class LintCache:
             except OSError:
                 existing = None
         if existing != current:
-            for entry in self.root.glob(f"*{_ENTRY_SUFFIX}"):
+            for entry in sorted(self.root.glob(f"*{_ENTRY_SUFFIX}")):
                 try:
                     entry.unlink()
                 except OSError:

@@ -12,7 +12,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Monotonic version of the *rule logic*. Bump whenever any rule's behaviour
 #: changes (new rule, changed heuristic, changed message) so content-hash
 #: lint caches keyed on it evict results computed by older rules.
-RULESET_VERSION = 2
+RULESET_VERSION = 3
 
 
 class Rule:
@@ -28,6 +28,9 @@ class Rule:
     name: str = "unnamed"
     summary: str = ""
     default_severity: Severity = Severity.ERROR
+    #: Optional markdown remediation guidance, surfaced as ``help`` in SARIF
+    #: rule descriptors so code-scanning alerts tell the reader how to fix.
+    remediation: str = ""
 
     def check(self, project: "ProjectContext") -> Iterable[Finding]:
         raise NotImplementedError

@@ -118,8 +118,9 @@ def render_sarif(
     """
     active_rules = list(rules) if rules is not None else all_rules()
     rule_index = {rule.code: i for i, rule in enumerate(active_rules)}
-    descriptors = [
-        {
+    descriptors = []
+    for rule in active_rules:
+        descriptor = {
             "id": rule.code,
             "name": rule.name,
             "shortDescription": {"text": rule.summary or rule.name},
@@ -128,8 +129,14 @@ def render_sarif(
             },
             "helpUri": "https://github.com/repro/repro#static-analysis",
         }
-        for rule in active_rules
-    ]
+        if rule.remediation:
+            # ``help`` makes code-scanning alerts actionable: the markdown
+            # body is what GitHub renders under "Show more".
+            descriptor["help"] = {
+                "text": rule.remediation,
+                "markdown": rule.remediation,
+            }
+        descriptors.append(descriptor)
     results = [
         _sarif_result(f, rule_index.get(f.rule), suppressed=False) for f in new
     ] + [

@@ -2,12 +2,16 @@
 
 from repro.lint.rules import (  # noqa: F401
     api_hygiene,
+    blocking_in_async,
     calibration,
     container_framing,
     decoder_safety,
     determinism,
+    determinism_hygiene,
     exception_contract,
     guarded_read,
+    pool_safety,
     registry_completeness,
     tainted_length,
+    worker_purity,
 )

@@ -1,0 +1,304 @@
+"""R012: the ordering/entropy hazards our bit-identical contracts fear.
+
+The repo's core reproducibility promises — bit-identical DSE results across
+worker counts, byte-identical lint findings for any ``--jobs``, golden
+vectors stable across machines — all die by a thousand small cuts of
+*accidental* nondeterminism. This rule flags the exact cuts:
+
+* **Unsorted filesystem enumeration.** ``os.listdir``/``os.scandir``/
+  ``glob.glob``/``Path.glob``/``rglob``/``iterdir`` return entries in an
+  OS-dependent order; any consumer that is not wrapped in ``sorted()`` (or
+  an order-insensitive reducer: ``set``/``len``/``sum``/``min``/``max``/
+  ``any``/``all``) inherits that order. Sort at the source, not downstream.
+* **Set iteration feeding ordered output.** Iterating a ``set`` literal,
+  comprehension, or ``set()``/``frozenset()`` value — directly or through a
+  name the def-chain proves set-typed — in a ``for`` header, comprehension,
+  ``list``/``tuple``/``enumerate`` call, or ``str.join`` produces
+  ``PYTHONHASHSEED``-dependent order for string elements.
+* **Wall-clock flowing into serialized artifacts.** ``time.time()`` & co.
+  passed (directly or via a once-assigned local) into cache keys, digests,
+  or JSON serialization makes artifacts differ between identical runs.
+* **Global-state randomness.** Calls drawing from the interpreter-global
+  ``random``/``numpy.random`` state depend on ambient seeding; R001 already
+  bans the imports in library code — this rule flags the *calls*, which is
+  what matters in tools and scripts.
+
+``repro.common.rng`` (the sanctioned entropy owner) and ``repro.obs``
+(whose whole purpose is wall-clock measurement) are exempt, as are tests.
+The runtime counterpart is ``repro sanitize``, which catches whatever this
+static pass cannot prove (see DESIGN.md §7.5).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import ModuleContext, ProjectContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+from repro.lint.rules.common import dotted_name, is_test_path, path_matches
+from repro.lint.rules.determinism import _TIME_SOURCES
+
+#: Modules allowed to touch entropy / wall-clock by design.
+_EXEMPT_PATHS = ("common/rng.py", "obs")
+
+#: Call terminals that enumerate the filesystem in OS order.
+_ENUM_TERMINALS = frozenset(
+    {"listdir", "scandir", "glob", "iglob", "rglob", "iterdir"}
+)
+
+#: Wrapping calls that make enumeration order irrelevant.
+_ORDER_SAFE_WRAPPERS = frozenset(
+    {"sorted", "set", "frozenset", "len", "sum", "min", "max", "any", "all"}
+)
+
+#: Call terminals that consume an iterable in order.
+_ORDERED_CONSUMERS = frozenset({"list", "tuple", "enumerate", "join"})
+
+#: Sinks that serialize or key on their arguments.
+_SINK_RE = re.compile(
+    r"(^|\.)(key|make_key|dumps|dump|to_json|digest\w*|sha\d+|md5|blake2\w+|put)$"
+)
+
+#: numpy.random names that only *type* (no entropy draw).
+_NP_TYPE_NAMES = frozenset({"Generator", "SeedSequence", "BitGenerator", "default_rng"})
+
+
+def _terminal(name: Optional[str]) -> str:
+    return name.split(".")[-1] if name else ""
+
+
+def _parent_map(tree: ast.AST) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _wrapped_order_safe(node: ast.AST, parents: Dict[int, ast.AST]) -> bool:
+    """True when an ancestor call neutralizes iteration order."""
+    cur = node
+    while True:
+        parent = parents.get(id(cur))
+        if parent is None or isinstance(parent, ast.stmt):
+            return False
+        if isinstance(parent, ast.Call):
+            if _terminal(dotted_name(parent.func)) in _ORDER_SAFE_WRAPPERS:
+                return True
+        if isinstance(parent, ast.Compare) and any(
+            isinstance(op, (ast.In, ast.NotIn)) for op in parent.ops
+        ):
+            return True  # membership test: order-free
+        cur = parent
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return _terminal(dotted_name(node.func)) in ("set", "frozenset")
+    return False
+
+
+def _iter_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """The module plus every (nested) function scope."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Nodes lexically in this scope, not descending into nested functions.
+
+    Nested ``def``s are their own scopes (yielded separately by
+    :func:`_iter_scopes`); walking into them here would double-report every
+    hazard once per enclosing scope.
+    """
+    stack: List[ast.AST] = list(scope.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _name_defs(scope: ast.AST) -> Dict[str, List[ast.AST]]:
+    defs: Dict[str, List[ast.AST]] = {}
+    for node in _scope_walk(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    defs.setdefault(target.id, []).append(node.value)
+    return defs
+
+
+@register
+class DeterminismHygieneRule(Rule):
+    code = "R012"
+    name = "determinism-hygiene"
+    summary = "no unsorted enumeration, hash-order iteration, or clock-keyed artifacts"
+    default_severity = Severity.ERROR
+    remediation = (
+        "Sort filesystem enumerations at the source (`sorted(os.listdir(p))`), "
+        "iterate sets through `sorted(...)` when the order reaches any output, "
+        "keep wall-clock values out of cache keys and serialized artifacts, "
+        "and draw randomness from repro.common.rng.make_rng with an explicit "
+        "seed. Verify the fix end-to-end with `repro sanitize`."
+    )
+
+    def check(self, project: ProjectContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for ctx in project.modules:
+            if is_test_path(ctx.rel) or path_matches(ctx.rel, _EXEMPT_PATHS):
+                continue
+            findings.extend(self._check_module(ctx))
+        return findings
+
+    def _check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        parents = _parent_map(ctx.tree)
+        module_consts = _name_defs(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_enumeration(ctx, node, parents)
+                yield from self._check_global_rng(ctx, node)
+        for scope in _iter_scopes(ctx.tree):
+            local_defs = _name_defs(scope) if not isinstance(scope, ast.Module) else {}
+            yield from self._check_set_iteration(
+                ctx, scope, local_defs, module_consts
+            )
+            yield from self._check_clock_sinks(ctx, scope)
+
+    # -- unsorted filesystem enumeration ---------------------------------
+
+    def _check_enumeration(
+        self, ctx: ModuleContext, node: ast.Call, parents: Dict[int, ast.AST]
+    ) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if _terminal(name) not in _ENUM_TERMINALS:
+            return
+        if _wrapped_order_safe(node, parents):
+            return
+        yield ctx.finding(
+            self,
+            node,
+            f"'{name}(...)' enumerates the filesystem in OS-dependent order; "
+            "wrap it in sorted(...) at the source so every consumer sees one "
+            "canonical order",
+        )
+
+    # -- set iteration feeding ordered output ----------------------------
+
+    def _check_set_iteration(
+        self,
+        ctx: ModuleContext,
+        scope: ast.AST,
+        local_defs: Dict[str, List[ast.AST]],
+        module_consts: Dict[str, List[ast.AST]],
+    ) -> Iterator[Finding]:
+        def provable_set(expr: ast.AST) -> bool:
+            if _is_set_expr(expr):
+                return True
+            if isinstance(expr, ast.Name):
+                bindings = local_defs.get(expr.id) or module_consts.get(expr.id)
+                return bool(bindings) and all(_is_set_expr(b) for b in bindings)
+            return False
+
+        candidates: List[Tuple[ast.AST, str]] = []
+        for node in _scope_walk(scope):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                candidates.append((node.iter, "for loop"))
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    candidates.append((gen.iter, "comprehension"))
+            elif isinstance(node, ast.Call):
+                terminal = _terminal(dotted_name(node.func))
+                if terminal in _ORDERED_CONSUMERS and node.args:
+                    candidates.append((node.args[0], f"{terminal}(...)"))
+        seen: Set[int] = set()
+        for expr, context in candidates:
+            if id(expr) in seen or not provable_set(expr):
+                continue
+            seen.add(id(expr))
+            yield ctx.finding(
+                self,
+                expr,
+                f"iteration over a set in a {context} is PYTHONHASHSEED-"
+                "dependent for str elements; iterate sorted(...) so the "
+                "order is canonical",
+            )
+
+    # -- wall-clock flowing into keys / serialized artifacts -------------
+
+    def _check_clock_sinks(self, ctx: ModuleContext, scope: ast.AST) -> Iterator[Finding]:
+        def is_time_call(expr: ast.AST) -> bool:
+            if not isinstance(expr, ast.Call):
+                return False
+            name = dotted_name(expr.func) or ""
+            return name in _TIME_SOURCES or (
+                name.endswith(".now") and "datetime" in name
+            )
+
+        time_names: Set[str] = set()
+        for node in _scope_walk(scope):
+            if isinstance(node, ast.Assign) and is_time_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        time_names.add(target.id)
+        for node in _scope_walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func) or ""
+            if not _SINK_RE.search(name):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                tainted = any(
+                    is_time_call(sub)
+                    or (
+                        isinstance(sub, ast.Name)
+                        and isinstance(sub.ctx, ast.Load)
+                        and sub.id in time_names
+                    )
+                    for sub in ast.walk(arg)
+                )
+                if tainted:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"wall-clock value flows into '{name}(...)'; "
+                        "keys, digests and serialized artifacts must "
+                        "be pure functions of their inputs so "
+                        "identical runs produce identical bytes",
+                    )
+                    break
+
+    # -- interpreter-global RNG state ------------------------------------
+
+    def _check_global_rng(self, ctx: ModuleContext, node: ast.Call) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            yield ctx.finding(
+                self,
+                node,
+                f"'{name}()' draws from the interpreter-global random state; "
+                "use repro.common.rng.make_rng with an explicit seed",
+            )
+        elif (
+            len(parts) >= 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[-1] not in _NP_TYPE_NAMES
+        ):
+            yield ctx.finding(
+                self,
+                node,
+                f"'{name}()' uses numpy's global random state; derive a "
+                "Generator from repro.common.rng.make_rng instead",
+            )

@@ -1,0 +1,42 @@
+"""Runtime determinism sanitizer (``repro sanitize``).
+
+The dynamic counterpart to lint rules R010-R012: re-executes a target run
+under a matrix of ``PYTHONHASHSEED`` x ``REPRO_JOBS`` environment variants,
+normalizes the artifacts, and reports the first divergent byte with
+provenance. See DESIGN.md §7.5 for the normalization/diff model and
+:mod:`repro.sanitize.selftest` for the planted-bug proof that the harness
+detects what it claims to.
+"""
+
+from repro.sanitize.diffing import Divergence, first_divergence
+from repro.sanitize.harness import (
+    TargetReport,
+    Variant,
+    VariantRun,
+    run_all,
+    run_target,
+    run_variant,
+    variant_matrix,
+)
+from repro.sanitize.normalize import RULES, NormRule, normalize
+from repro.sanitize.selftest import PLANTED_WORKER_SOURCE, run_selftest
+from repro.sanitize.targets import TARGETS, SanitizeTarget
+
+__all__ = [
+    "Divergence",
+    "first_divergence",
+    "TargetReport",
+    "Variant",
+    "VariantRun",
+    "run_all",
+    "run_target",
+    "run_variant",
+    "variant_matrix",
+    "RULES",
+    "NormRule",
+    "normalize",
+    "PLANTED_WORKER_SOURCE",
+    "run_selftest",
+    "TARGETS",
+    "SanitizeTarget",
+]

@@ -1,0 +1,124 @@
+"""``repro sanitize`` — the determinism sanitizer's command-line surface.
+
+Examples::
+
+    repro sanitize                      # all built-in targets, full matrix
+    repro sanitize lint dse             # just those targets
+    repro sanitize --hashseeds 0,1,7    # widen the seed sweep
+    repro sanitize --jobs-matrix 1,2,8  # widen the worker sweep
+    repro sanitize --selftest           # prove the harness detects a plant
+    repro sanitize --list               # show targets and exit
+
+Exit status: 0 when every requested target reproduces bit-identically (and,
+with ``--selftest``, the plant diverges); 1 on any divergence (or a plant
+that fails to diverge); 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.sanitize.harness import TargetReport, run_target, variant_matrix
+from repro.sanitize.selftest import run_selftest
+from repro.sanitize.targets import TARGETS
+
+
+def _int_list(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated ints, got {text!r}")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sanitize",
+        description="Re-execute a target run under varied PYTHONHASHSEED / "
+        "worker-count environments, normalize the artifacts, and report the "
+        "first divergent byte (runtime counterpart to lint rules R010-R012).",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        metavar="TARGET",
+        help=f"targets to check (default: all of {', '.join(TARGETS)})",
+    )
+    parser.add_argument(
+        "--hashseeds",
+        type=_int_list,
+        default=[0, 1],
+        metavar="N,N",
+        help="PYTHONHASHSEED values to cross into the matrix (default: 0,1)",
+    )
+    parser.add_argument(
+        "--jobs-matrix",
+        type=_int_list,
+        default=[1, 4],
+        metavar="N,N",
+        help="REPRO_JOBS values to cross into the matrix (default: 1,4)",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="also run the planted-nondeterminism self-test (must diverge)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_targets",
+        help="list built-in targets and exit",
+    )
+    return parser
+
+
+def _render(report: TargetReport, *, expect_divergence: bool = False) -> bool:
+    """Print one target's verdict; return True when it met expectations."""
+    runs = len(report.runs)
+    if report.error:
+        print(f"FAIL  {report.target}: {report.error}")
+        return False
+    if report.divergence is None:
+        verdict = "PASS" if not expect_divergence else "FAIL"
+        detail = f"{runs} variants byte-identical"
+        if expect_divergence:
+            detail += " — but the planted bug SHOULD diverge; harness is blind"
+        print(f"{verdict}  {report.target}: {detail}")
+        return not expect_divergence
+    label = "DIVERGED (expected)" if expect_divergence else "DIVERGED"
+    base, other = report.blamed
+    print(f"{label}  {report.target}: {base} vs {other}")
+    print("  " + report.divergence.describe(base, other).replace("\n", "\n  "))
+    return expect_divergence
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_targets:
+        for target in TARGETS.values():
+            print(f"{target.name:8s} {target.description}")
+        return 0
+    names = args.targets or list(TARGETS)
+    unknown = [n for n in names if n not in TARGETS]
+    if unknown:
+        print(
+            f"error: unknown target(s) {', '.join(unknown)}; "
+            f"known: {', '.join(TARGETS)}",
+            file=sys.stderr,
+        )
+        return 2
+    variants = variant_matrix(args.hashseeds, args.jobs_matrix)
+    print(
+        f"sanitize: {len(names)} target(s) x {len(variants)} variants "
+        f"(hashseeds {args.hashseeds}, jobs {args.jobs_matrix})"
+    )
+    ok = True
+    for name in names:
+        report = run_target(TARGETS[name], variants)
+        ok = _render(report) and ok
+    if args.selftest:
+        ok = _render(run_selftest(variants), expect_divergence=True) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

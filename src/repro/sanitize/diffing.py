@@ -1,0 +1,63 @@
+"""First-divergent-byte diffing with line/column provenance.
+
+``git diff`` answers "what changed"; the sanitizer needs to answer "where
+do two *supposedly identical* runs first part ways" precisely enough to
+act on: the byte offset, the 1-based line and column, and the surrounding
+context from both artifacts. Everything after the first divergence is
+usually cascade noise, so only the first point is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Bytes of context shown on each side of the divergence point.
+_CONTEXT = 48
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where two artifacts disagree."""
+
+    offset: int  # 0-based byte offset of the first differing byte
+    line: int  # 1-based line containing the offset (w.r.t. artifact a)
+    column: int  # 1-based column within that line
+    context_a: str
+    context_b: str
+
+    def describe(self, label_a: str, label_b: str) -> str:
+        return (
+            f"first divergent byte at offset {self.offset} "
+            f"(line {self.line}, col {self.column}):\n"
+            f"  {label_a}: ...{self.context_a}...\n"
+            f"  {label_b}: ...{self.context_b}..."
+        )
+
+
+def _excerpt(data: bytes, offset: int) -> str:
+    lo = max(0, offset - _CONTEXT // 2)
+    window = data[lo : offset + _CONTEXT]
+    return window.decode("utf-8", errors="backslashreplace").replace("\n", "\\n")
+
+
+def first_divergence(a: bytes, b: bytes) -> Optional[Divergence]:
+    """The first byte where ``a`` and ``b`` differ, or ``None`` if equal."""
+    if a == b:
+        return None
+    limit = min(len(a), len(b))
+    offset = limit  # differ only in length: divergence is at the common end
+    for i in range(limit):
+        if a[i] != b[i]:
+            offset = i
+            break
+    prefix = a[:offset]
+    line = prefix.count(b"\n") + 1
+    column = offset - (prefix.rfind(b"\n") + 1) + 1
+    return Divergence(
+        offset=offset,
+        line=line,
+        column=column,
+        context_a=_excerpt(a, offset),
+        context_b=_excerpt(b, offset),
+    )

@@ -1,0 +1,169 @@
+"""The sanitizer harness: re-execute, normalize, diff, blame.
+
+``repro sanitize`` is the runtime counterpart to lint rules R010-R012 —
+the TSan to their clang-tidy. Where the static pass proves hazards on the
+AST, the harness *demonstrates* determinism on the real binary: it re-runs
+a target command under a matrix of environment variants (``PYTHONHASHSEED``
+crossed with ``REPRO_JOBS``), normalizes each run's artifact
+(:mod:`repro.sanitize.normalize`), and byte-compares every variant against
+the first. Any disagreement is reported as the first divergent byte with
+both variants' context (:mod:`repro.sanitize.diffing`) — which in practice
+names the unsorted enumeration or hash-order iteration at fault.
+
+Subprocess isolation is deliberate: hash randomization is fixed at
+interpreter start, so ``PYTHONHASHSEED`` cannot be varied in-process, and a
+fresh process per variant also guarantees no cache/module state leaks
+between runs.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sanitize.diffing import Divergence, first_divergence
+from repro.sanitize.normalize import normalize
+from repro.sanitize.targets import SanitizeTarget
+
+#: Seconds before a variant run is considered hung.
+_RUN_TIMEOUT = 600
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One cell of the perturbation matrix: a name and an env overlay."""
+
+    name: str
+    env: Dict[str, str]
+
+
+def variant_matrix(
+    hashseeds: Sequence[int] = (0, 1), jobs: Sequence[int] = (1, 4)
+) -> Tuple[Variant, ...]:
+    """The cross product of hash seeds and worker counts, baseline first."""
+    variants = []
+    for seed in hashseeds:
+        for n in jobs:
+            variants.append(
+                Variant(
+                    name=f"hashseed={seed},jobs={n}",
+                    env={"PYTHONHASHSEED": str(seed), "REPRO_JOBS": str(n)},
+                )
+            )
+    return tuple(variants)
+
+
+@dataclass
+class VariantRun:
+    """One execution of a target under one variant."""
+
+    variant: str
+    returncode: int
+    artifact: bytes  # normalized stdout+stderr
+    raw_bytes: int  # artifact size before normalization
+    norm_counts: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class TargetReport:
+    """All variant runs of one target plus the verdict."""
+
+    target: str
+    runs: List[VariantRun] = field(default_factory=list)
+    divergence: Optional[Divergence] = None
+    #: names of the two variants the divergence is between (baseline, other)
+    blamed: Tuple[str, str] = ("", "")
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.error and self.divergence is None
+
+
+def project_root() -> Path:
+    """The repo root (the directory holding ``src``), from this file."""
+    return Path(__file__).resolve().parents[3]
+
+
+def _variant_env(target: SanitizeTarget, variant: Variant, root: Path) -> Dict[str, str]:
+    env = dict(os.environ)
+    src = str(root / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    env.update(target.env)
+    env.update(variant.env)
+    return env
+
+
+def _command(target: SanitizeTarget) -> List[str]:
+    if target.script:
+        return [sys.executable, target.script, *target.argv]
+    return [sys.executable, "-m", "repro", *target.argv]
+
+
+def run_variant(
+    target: SanitizeTarget, variant: Variant, *, root: Optional[Path] = None
+) -> VariantRun:
+    """Execute one (target, variant) cell and normalize its artifact."""
+    root = root or project_root()
+    proc = subprocess.run(
+        _command(target),
+        input=target.stdin,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=_variant_env(target, variant, root),
+        cwd=str(root),
+        timeout=_RUN_TIMEOUT,
+    )
+    raw = proc.stdout + b"\n--- stderr ---\n" + proc.stderr
+    artifact, counts = normalize(raw, target.normalizers)
+    return VariantRun(
+        variant=variant.name,
+        returncode=proc.returncode,
+        artifact=artifact,
+        raw_bytes=len(raw),
+        norm_counts=counts,
+    )
+
+
+def run_target(
+    target: SanitizeTarget,
+    variants: Sequence[Variant],
+    *,
+    root: Optional[Path] = None,
+) -> TargetReport:
+    """Run every variant and diff each against the first (the baseline)."""
+    report = TargetReport(target=target.name)
+    for variant in variants:
+        try:
+            report.runs.append(run_variant(target, variant, root=root))
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            report.error = f"variant '{variant.name}' failed to run: {exc}"
+            return report
+    baseline = report.runs[0]
+    for run in report.runs[1:]:
+        if run.returncode != baseline.returncode:
+            report.error = (
+                f"exit status diverged: {baseline.variant} -> "
+                f"{baseline.returncode}, {run.variant} -> {run.returncode}"
+            )
+            return report
+        div = first_divergence(baseline.artifact, run.artifact)
+        if div is not None:
+            report.divergence = div
+            report.blamed = (baseline.variant, run.variant)
+            return report
+    return report
+
+
+def run_all(
+    targets: Sequence[SanitizeTarget],
+    variants: Sequence[Variant],
+    *,
+    root: Optional[Path] = None,
+) -> List[TargetReport]:
+    return [run_target(t, variants, root=root) for t in targets]

@@ -1,0 +1,78 @@
+"""Artifact normalization: strip *legitimately* varying bytes before diffing.
+
+The sanitizer's contract (DESIGN.md §7.5) is: after normalization, every
+variant of a run must produce byte-identical artifacts. Normalization rules
+therefore encode the *allowed* sources of variation — wall-clock timings,
+process ids, temp-dir names — and nothing else. A rule that scrubbed too
+much would hide real nondeterminism, so each rule is named, narrow, and the
+report counts how many substitutions it made (a rule that fires on one
+variant but not another is itself a strong divergence hint).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class NormRule:
+    """One named, narrow substitution applied to an artifact."""
+
+    name: str
+    pattern: str
+    replacement: str
+
+    def compiled(self) -> "re.Pattern[str]":
+        return re.compile(self.pattern)
+
+
+#: The rule library, keyed by the names targets reference.
+RULES: Dict[str, NormRule] = {
+    rule.name: rule
+    for rule in (
+        # Wall-clock histogram payloads in obs snapshots: the bucket spread
+        # and min/mean/max/total seconds are honest measurements that differ
+        # between any two runs. Counts stay — they must not vary.
+        NormRule(
+            "obs-seconds-buckets",
+            r'("[^"]*\.seconds":\{)"buckets":\{[^{}]*\}',
+            r'\1"buckets":{}',
+        ),
+        NormRule(
+            "obs-seconds-moments",
+            r'("(?:max|mean|min|total)":)-?[0-9][0-9.e+-]*',
+            r"\g<1>0",
+        ),
+        # Process ids in any pid=..., "pid": ... spelling.
+        NormRule("pid", r'(\bpid\b"?[=:]\s*)\d+', r"\g<1>0"),
+        # Temp-dir names (mkdtemp suffixes are random by design).
+        NormRule("tmpdir", r"/tmp/[A-Za-z0-9._-]*repro[A-Za-z0-9._-]*", "<TMP>"),
+        # CPython object addresses in reprs.
+        NormRule("addr", r"0x[0-9a-f]{6,}", "<ADDR>"),
+    )
+}
+
+
+def normalize(
+    data: bytes, rule_names: Sequence[str]
+) -> Tuple[bytes, Dict[str, int]]:
+    """Apply the named rules; return the scrubbed bytes and per-rule counts.
+
+    Artifacts are treated as UTF-8 text when they decode (all current
+    targets emit text); binary artifacts (e.g. ``stream`` output) pass
+    through untouched unless they happen to decode, in which case the
+    narrow patterns simply never match.
+    """
+    counts: Dict[str, int] = {}
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError:
+        return data, counts
+    for name in rule_names:
+        rule = RULES[name]
+        text, n = rule.compiled().subn(rule.replacement, text)
+        if n:
+            counts[name] = n
+    return text.encode("utf-8"), counts

@@ -1,0 +1,70 @@
+"""Seeded-nondeterminism self-test: prove the sanitizer can actually catch.
+
+A harness that always reports PASS is indistinguishable from a harness that
+works. This module plants a deliberately nondeterministic worker — the
+classic unsorted-``glob`` bug, with the entries additionally routed through
+a ``set`` so the emitted order is ``PYTHONHASHSEED``-dependent — runs it
+through the same variant matrix as the real targets, and demands the
+harness *detect* the divergence. CI runs this next to the real targets: the
+real ones must PASS, the plant must DIVERGE, or the job fails.
+
+The plant is kept as a source-code **string** (written to a temp dir at run
+time) rather than an importable module, so ``repro lint --strict src``
+stays clean while the same string doubles as a fixture for the R012 lint
+tests — one artifact, detected statically and dynamically.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.sanitize.harness import TargetReport, run_target, variant_matrix
+from repro.sanitize.targets import SanitizeTarget
+
+#: The planted bug. ``glob.glob`` enumerates in OS order (R012 hazard one),
+#: the ``set`` detour makes the final order hash-seed-dependent (hazard
+#: two), so any two PYTHONHASHSEED variants all but surely disagree.
+PLANTED_WORKER_SOURCE = """\
+import glob
+import sys
+
+def emit_manifest(root):
+    names = {path.rsplit("/", 1)[-1] for path in glob.glob(root + "/*.bin")}
+    for name in names:
+        sys.stdout.write(name + "\\n")
+
+if __name__ == "__main__":
+    emit_manifest(sys.argv[1])
+"""
+
+#: Enough entries that two hash seeds agreeing on the order is negligible.
+_PLANTED_FILES = 16
+
+
+def plant(workdir: Path) -> SanitizeTarget:
+    """Write the planted worker and its input files; return its target."""
+    script = workdir / "planted_worker.py"
+    script.write_text(PLANTED_WORKER_SOURCE, encoding="utf-8")
+    data = workdir / "data"
+    data.mkdir(exist_ok=True)
+    for i in range(_PLANTED_FILES):
+        (data / f"shard-{i:02d}.bin").write_bytes(b"\x00")
+    return SanitizeTarget(
+        name="selftest-planted",
+        description="deliberately unsorted glob->set manifest (must diverge)",
+        argv=(str(data),),
+        script=str(script),
+    )
+
+
+def run_selftest(variants=None) -> TargetReport:
+    """Run the plant through the matrix; the report SHOULD show divergence.
+
+    Returns the raw report — callers (CLI, CI) assert ``not report.ok``:
+    a passing plant means the harness has lost its teeth.
+    """
+    variants = tuple(variants) if variants is not None else variant_matrix()
+    with tempfile.TemporaryDirectory(prefix="repro-sanitize-selftest-") as tmp:
+        target = plant(Path(tmp))
+        return run_target(target, variants)

@@ -1,0 +1,83 @@
+"""Built-in sanitizer targets: the runs whose determinism the repo promises.
+
+A target is a *command the repo already ships* plus the normalization rules
+for its legitimately-varying bytes. The harness re-executes it under every
+variant in the matrix and demands byte-identical normalized artifacts. The
+four defaults cover the repo's determinism contracts end to end:
+
+* ``dse``    — a reduced Figure 11 sweep (the parallel evaluate-points path)
+* ``lint``   — the full static-analysis pass in JSON (the flow-pool path)
+* ``stream`` — an incremental codec round over a seeded pseudo-corpus
+* ``stats``  — an instrumented workload snapshot (timings normalized away)
+
+``dse`` and ``lint`` take their worker count from ``REPRO_JOBS``, which the
+variant matrix sets — so one target exercises jobs∈{1,4} without bespoke
+flags, exactly the jobs-parity guarantee the old hand-rolled smoke steps
+checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+def _stream_payload() -> bytes:
+    """A deterministic ~96 KiB mixed payload (text runs + an LCG byte walk).
+
+    Built from arithmetic only — no RNG module, no hash iteration — so the
+    bytes are identical on every interpreter and PYTHONHASHSEED.
+    """
+    text = (b"the fleet compresses what the fleet decompresses. " * 640)
+    state = 0x2545F4914F6CDD1D
+    noise = bytearray()
+    for _ in range(64 * 1024):
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        noise.append((state >> 33) & 0xFF)
+    return text + bytes(noise)
+
+
+@dataclass(frozen=True)
+class SanitizeTarget:
+    """One re-executable run the sanitizer can diff across variants."""
+
+    name: str
+    description: str
+    argv: Tuple[str, ...]  # arguments after ``python -m repro``
+    stdin: bytes = b""
+    normalizers: Tuple[str, ...] = ()
+    #: extra env fixed for *all* variants of this target (baseline knobs).
+    env: Dict[str, str] = field(default_factory=dict)
+    #: when set, run ``python <script> <argv...>`` instead of ``-m repro``
+    #: (used by the planted-nondeterminism self-test).
+    script: str = ""
+
+
+#: Registry of built-in targets, in report order.
+TARGETS: Dict[str, SanitizeTarget] = {
+    t.name: t
+    for t in (
+        SanitizeTarget(
+            name="dse",
+            description="Figure 11 sweep, reduced benchmark, no cache",
+            argv=("dse", "fig11", "--no-cache", "--files-per-suite", "2"),
+        ),
+        SanitizeTarget(
+            name="lint",
+            description="full static-analysis pass over src, JSON findings",
+            argv=("lint", "--format", "json", "--no-cache", "src"),
+        ),
+        SanitizeTarget(
+            name="stream",
+            description="incremental snappy round over a seeded pseudo-corpus",
+            argv=("stream", "compress", "--codec", "snappy", "--chunk-size", "4096"),
+            stdin=_stream_payload(),
+        ),
+        SanitizeTarget(
+            name="stats",
+            description="instrumented codec round-trips, JSON snapshot",
+            argv=("stats", "--workload", "roundtrip", "--format", "json"),
+            normalizers=("obs-seconds-buckets", "obs-seconds-moments"),
+        ),
+    )
+}

@@ -59,7 +59,7 @@ def poisson_trace(
     mask = np.ones(len(profile), dtype=bool)
     if algorithms is not None:
         allowed = {ALGORITHMS.index(a) for a in algorithms}
-        mask = np.isin(profile.algo, list(allowed))
+        mask = np.isin(profile.algo, sorted(allowed))
     indices = np.flatnonzero(mask)
     if len(indices) == 0:
         raise ValueError("no fleet calls match the requested algorithms")

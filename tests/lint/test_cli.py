@@ -194,11 +194,21 @@ class TestSarifFormat:
         project.write("src/repro/fleet/sampler.py", "import random\n")
         log = self._emit(project, capsys)
         rules = log["runs"][0]["tool"]["driver"]["rules"]
-        assert [r["id"] for r in rules] == [f"R00{i}" for i in range(1, 10)]
+        expected = [f"R{i:03d}" for i in range(1, 14)]
+        assert [r["id"] for r in rules] == expected
         (result,) = log["runs"][0]["results"]
         assert result["ruleId"] == "R001"
         assert result["level"] == "error"
         assert rules[result["ruleIndex"]]["id"] == "R001"
+
+    def test_concurrency_rules_carry_help_markdown(self, project, capsys):
+        project.write("src/repro/fleet/sampler.py", "import random\n")
+        log = self._emit(project, capsys)
+        rules = {r["id"]: r for r in log["runs"][0]["tool"]["driver"]["rules"]}
+        for code in ("R010", "R011", "R012", "R013"):
+            help_block = rules[code]["help"]
+            assert help_block["markdown"] == help_block["text"]
+            assert help_block["markdown"]
 
     def test_columns_are_one_based(self, project, capsys):
         project.write("src/repro/fleet/sampler.py", "import random\n")

@@ -1,0 +1,534 @@
+"""Tests for the concurrency/determinism rule family (R010-R013)."""
+
+import pytest
+
+from repro.lint import get_rule
+from repro.sanitize.selftest import PLANTED_WORKER_SOURCE
+
+
+class TestR010PoolSafety:
+    def test_lambda_submit_flagged(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(lambda x: x + 1, i) for i in items]
+            """,
+        )
+        (finding,) = project.findings("src", rule="R010")
+        assert "lambda" in finding.message
+        assert finding.severity.name == "ERROR"
+
+    def test_nested_function_target_flagged(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(items):
+                def work(x):
+                    return x + 1
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(work, items))
+            """,
+        )
+        (finding,) = project.findings("src", rule="R010")
+        assert "'work'" in finding.message
+
+    def test_toplevel_target_clean(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work(x):
+                return x + 1
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(work, items))
+            """,
+        )
+        assert project.findings("src", rule="R010") == []
+
+    def test_open_handle_argument_flagged_through_def_use(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work(handle):
+                return handle.read()
+
+            def run(path):
+                handle = open(path, "rb")
+                with ProcessPoolExecutor() as pool:
+                    return pool.submit(work, handle)
+            """,
+        )
+        (finding,) = project.findings("src", rule="R010")
+        assert "open file handle" in finding.message
+
+    def test_lock_argument_flagged(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            """
+            import threading
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work(lock, x):
+                return x
+
+            def run(items):
+                lock = threading.Lock()
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(work, lock, i) for i in items]
+            """,
+        )
+        (finding,) = project.findings("src", rule="R010")
+        assert "synchronization primitive" in finding.message
+
+    def test_generator_function_target_flagged(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work(x):
+                yield x + 1
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(work, i) for i in items]
+            """,
+        )
+        (finding,) = project.findings("src", rule="R010")
+        assert "generator function" in finding.message
+
+    def test_multiprocessing_pool_spelling_covered(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            """
+            from multiprocessing import Pool
+
+            def run(items):
+                with Pool(4) as pool:
+                    return pool.map(lambda x: x, items)
+            """,
+        )
+        assert project.findings("src", rule="R010") != []
+
+    def test_plain_data_arguments_clean(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work(x, names):
+                return x, names
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(work, i, ["a", "b"]) for i in items]
+            """,
+        )
+        assert project.findings("src", rule="R010") == []
+
+    def test_tests_exempt(self, project):
+        project.write(
+            "tests/test_sweep.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def test_pool():
+                with ProcessPoolExecutor() as pool:
+                    pool.submit(lambda: 1)
+            """,
+        )
+        assert project.findings("tests", rule="R010") == []
+
+
+class TestR011WorkerPurity:
+    def test_direct_global_write_flagged_at_write_site(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _RESULTS = []
+
+            def work(x):
+                global _RESULTS
+                _RESULTS = [x]
+                return x
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(work, i) for i in items]
+            """,
+        )
+        (finding,) = project.findings("src", rule="R011")
+        assert "_RESULTS" in finding.message
+        # blame lands on the write inside ``work``, not the dispatch line
+        assert finding.line == 8
+
+    def test_transitive_write_through_callee_flagged(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _CACHE = {}
+
+            def remember(x):
+                _CACHE[x] = True
+
+            def work(x):
+                remember(x)
+                return x
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(work, i) for i in items]
+            """,
+        )
+        (finding,) = project.findings("src", rule="R011")
+        assert "_CACHE" in finding.message
+        assert "remember" in finding.message  # provenance chain names the callee
+
+    def test_mutation_method_on_module_list_flagged(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _SEEN = []
+
+            def work(x):
+                _SEEN.append(x)
+                return x
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(work, i) for i in items]
+            """,
+        )
+        (finding,) = project.findings("src", rule="R011")
+        assert "_SEEN" in finding.message
+
+    def test_initializer_writes_sanctioned(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _WORKER_STATE = None
+
+            def _init_worker(payload):
+                global _WORKER_STATE
+                _WORKER_STATE = payload
+
+            def work(x):
+                return x
+
+            def run(items, payload):
+                with ProcessPoolExecutor(
+                    initializer=_init_worker, initargs=(payload,)
+                ) as pool:
+                    return list(pool.map(work, items))
+            """,
+        )
+        assert project.findings("src", rule="R011") == []
+
+    def test_pure_worker_clean(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work(x):
+                local = []
+                local.append(x)
+                return local
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(work, i) for i in items]
+            """,
+        )
+        assert project.findings("src", rule="R011") == []
+
+    def test_unreachable_impure_function_not_flagged(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _STATE = []
+
+            def impure(x):
+                _STATE.append(x)
+
+            def work(x):
+                return x
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(work, i) for i in items]
+            """,
+        )
+        assert project.findings("src", rule="R011") == []
+
+
+class TestR012DeterminismHygiene:
+    def test_unsorted_listdir_flagged(self, project):
+        project.write(
+            "src/repro/corpus/scan.py",
+            """
+            import os
+
+            def manifest(root):
+                return [name for name in os.listdir(root)]
+            """,
+        )
+        (finding,) = project.findings("src", rule="R012")
+        assert "os.listdir" in finding.message
+
+    def test_sorted_listdir_clean(self, project):
+        project.write(
+            "src/repro/corpus/scan.py",
+            """
+            import os
+
+            def manifest(root):
+                return sorted(os.listdir(root))
+            """,
+        )
+        assert project.findings("src", rule="R012") == []
+
+    def test_path_glob_method_flagged(self, project):
+        project.write(
+            "src/repro/corpus/scan.py",
+            """
+            def entries(root):
+                for path in root.glob("*.bin"):
+                    yield path
+            """,
+        )
+        (finding,) = project.findings("src", rule="R012")
+        assert "root.glob" in finding.message
+
+    def test_len_wrapper_is_order_safe(self, project):
+        project.write(
+            "src/repro/corpus/scan.py",
+            """
+            import os
+
+            def count(root):
+                return len(os.listdir(root))
+            """,
+        )
+        assert project.findings("src", rule="R012") == []
+
+    def test_set_iteration_in_for_flagged(self, project):
+        project.write(
+            "src/repro/corpus/scan.py",
+            """
+            def emit(names):
+                pending = {n.strip() for n in names}
+                out = []
+                for name in pending:
+                    out.append(name)
+                return out
+            """,
+        )
+        (finding,) = project.findings("src", rule="R012")
+        assert "PYTHONHASHSEED" in finding.message
+
+    def test_sorted_set_iteration_clean(self, project):
+        project.write(
+            "src/repro/corpus/scan.py",
+            """
+            def emit(names):
+                pending = {n.strip() for n in names}
+                return [name for name in sorted(pending)]
+            """,
+        )
+        assert project.findings("src", rule="R012") == []
+
+    def test_set_membership_not_flagged(self, project):
+        project.write(
+            "src/repro/corpus/scan.py",
+            """
+            ALLOWED = {"a", "b"}
+
+            def check(name):
+                return name in ALLOWED
+            """,
+        )
+        assert project.findings("src", rule="R012") == []
+
+    def test_clock_value_into_cache_key_flagged(self, project):
+        project.write(
+            "src/repro/corpus/scan.py",
+            """
+            import time
+
+            def stamp_key(cache, payload):
+                stamp = time.time()
+                return cache.make_key(payload, stamp)
+            """,
+        )
+        (finding,) = project.findings("src", rule="R012")
+        assert "wall-clock" in finding.message
+
+    def test_clock_into_json_dumps_flagged(self, project):
+        project.write(
+            "src/repro/corpus/scan.py",
+            """
+            import json
+            import time
+
+            def report(results):
+                return json.dumps({"results": results, "at": time.time()})
+            """,
+        )
+        assert project.findings("src", rule="R012") != []
+
+    def test_global_random_call_flagged(self, project):
+        project.write(
+            "src/repro/corpus/scan.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+        )
+        assert any(
+            "interpreter-global" in f.message
+            for f in project.findings("src", rule="R012")
+        )
+
+    def test_planted_worker_source_detected_statically(self, project):
+        """The sanitizer's planted bug must also be caught by R012."""
+        project.write("src/repro/fleet/planted.py", PLANTED_WORKER_SOURCE)
+        findings = project.findings("src", rule="R012")
+        assert findings, "R012 missed the planted unsorted-glob worker"
+        assert any("glob.glob" in f.message for f in findings)
+
+    def test_obs_tree_exempt(self, project):
+        project.write(
+            "src/repro/obs/clock.py",
+            """
+            import time
+
+            def snapshot_key(metrics):
+                return metrics.make_key(time.time())
+            """,
+        )
+        assert project.findings("src", rule="R012") == []
+
+
+class TestR013BlockingInAsync:
+    def test_time_sleep_in_async_flagged(self, project):
+        project.write(
+            "src/repro/service/worker.py",
+            """
+            import time
+
+            async def serve(request):
+                time.sleep(0.1)
+                return request
+            """,
+        )
+        (finding,) = project.findings("src", rule="R013")
+        assert "time.sleep" in finding.message
+        assert "asyncio.sleep" in finding.message
+
+    def test_subprocess_run_in_async_flagged(self, project):
+        project.write(
+            "src/repro/service/worker.py",
+            """
+            import subprocess
+
+            async def serve(request):
+                return subprocess.run(["true"])
+            """,
+        )
+        (finding,) = project.findings("src", rule="R013")
+        assert "subprocess.run" in finding.message
+
+    def test_import_alias_resolved(self, project):
+        project.write(
+            "src/repro/service/worker.py",
+            """
+            import subprocess as sp
+
+            async def serve(request):
+                return sp.check_output(["true"])
+            """,
+        )
+        (finding,) = project.findings("src", rule="R013")
+        assert "check_output" in finding.message
+
+    def test_bare_open_in_async_flagged(self, project):
+        project.write(
+            "src/repro/service/worker.py",
+            """
+            async def serve(path):
+                with open(path) as handle:
+                    return handle.read()
+            """,
+        )
+        (finding,) = project.findings("src", rule="R013")
+        assert "'open(" in finding.message
+
+    def test_sync_function_not_flagged(self, project):
+        project.write(
+            "src/repro/service/worker.py",
+            """
+            import time
+
+            def serve(request):
+                time.sleep(0.1)
+                return request
+            """,
+        )
+        assert project.findings("src", rule="R013") == []
+
+    def test_nested_sync_def_inside_async_not_flagged(self, project):
+        project.write(
+            "src/repro/service/worker.py",
+            """
+            import time
+
+            async def serve(request):
+                def blocking_helper():
+                    time.sleep(0.1)
+                return blocking_helper
+            """,
+        )
+        assert project.findings("src", rule="R013") == []
+
+    def test_asyncio_sleep_clean(self, project):
+        project.write(
+            "src/repro/service/worker.py",
+            """
+            import asyncio
+
+            async def serve(request):
+                await asyncio.sleep(0.1)
+                return request
+            """,
+        )
+        assert project.findings("src", rule="R013") == []
+
+
+class TestRemediationMetadata:
+    @pytest.mark.parametrize("code", ["R010", "R011", "R012", "R013"])
+    def test_new_rules_carry_remediation(self, code):
+        assert get_rule(code).remediation

@@ -1,0 +1,201 @@
+"""Suppression and baseline interaction for the flow-sensitive rules.
+
+Flow-sensitive findings have two candidate homes: the *surface* site (the
+public function / pool dispatch where the contract is declared) and the
+*blame* site (the statement that actually violates it, possibly frames
+away). ``# repro: noqa[...]`` applies to the reported line only, so the
+rules' choice of report site IS the suppression contract:
+
+* R007 reports at the blame line inside the surface function — suppress
+  there, not at the helper that raised.
+* R009 reports at the unguarded read — suppress at the read.
+* R010 reports at the dispatch (that is both surface and blame: the fix is
+  to change what is dispatched).
+* R011 reports at the offending write, frames below the dispatch —
+  suppress at the write; a noqa on the dispatch line must NOT silence it.
+
+The baseline must grandfather the same lines the engine reports, so these
+tests also pin the round-trip: update-baseline -> clean run -> stale entry
+detection when the offending line disappears.
+"""
+
+import json
+
+from repro.lint.cli import main as lint_main
+
+#: An R011 violation: the worker mutates module state two frames down.
+_R011_PROJECT = """
+from concurrent.futures import ProcessPoolExecutor
+
+_SEEN = []
+
+def _remember(x):
+    _SEEN.append(x){write_noqa}
+
+def work(x):
+    _remember(x)
+    return x
+
+def run(items):
+    with ProcessPoolExecutor() as pool:{dispatch_noqa_pad}
+        return [pool.submit(work, i) for i in items]{dispatch_noqa}
+"""
+
+
+def _r011_source(write_noqa: str = "", dispatch_noqa: str = "") -> str:
+    return _R011_PROJECT.format(
+        write_noqa=write_noqa, dispatch_noqa=dispatch_noqa, dispatch_noqa_pad=""
+    )
+
+
+class TestBlameVsSurfaceSuppression:
+    def test_r011_noqa_at_write_site_suppresses(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            _r011_source(write_noqa="  # repro: noqa[R011]"),
+        )
+        assert project.findings("src", rule="R011") == []
+
+    def test_r011_noqa_at_dispatch_site_does_not_suppress(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            _r011_source(dispatch_noqa="  # repro: noqa[R011]"),
+        )
+        assert len(project.findings("src", rule="R011")) == 1
+
+    def test_r010_noqa_at_dispatch_site_suppresses(self, project):
+        project.write(
+            "src/repro/fleet/sweep.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(lambda x: x, i) for i in items]  # repro: noqa[R010]
+            """,
+        )
+        assert project.findings("src", rule="R010") == []
+
+    def test_r007_noqa_at_blame_line_suppresses(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            import struct
+
+            def decompress(data):
+                return struct.unpack("<I", data[:4])[0]  # repro: noqa[R007]
+            """,
+        )
+        assert project.findings("src", rule="R007") == []
+
+    def test_r007_noqa_on_def_line_does_not_suppress(self, project):
+        project.write(
+            "src/repro/algorithms/toy.py",
+            """
+            import struct
+
+            def decompress(data):  # repro: noqa[R007]
+                return struct.unpack("<I", data[:4])[0]
+            """,
+        )
+        assert len(project.findings("src", rule="R007")) == 1
+
+    def test_r009_noqa_at_read_site_suppresses(self, project):
+        project.write(
+            "src/repro/core/blocks/toy.py",
+            """
+            def decode_token(data, pos):
+                if pos < len(data):
+                    return data[pos]
+                return data[pos + 1]  # repro: noqa[R009]
+            """,
+        )
+        assert project.findings("src", rule="R009") == []
+
+    def test_r012_noqa_at_hazard_line_suppresses(self, project):
+        project.write(
+            "src/repro/corpus/scan.py",
+            """
+            import os
+
+            def manifest(root):
+                return [n for n in os.listdir(root)]  # repro: noqa[R012]
+            """,
+        )
+        assert project.findings("src", rule="R012") == []
+
+    def test_r013_noqa_at_call_suppresses(self, project):
+        project.write(
+            "src/repro/service/worker.py",
+            """
+            import time
+
+            async def serve(request):
+                time.sleep(0.1)  # repro: noqa[R013]
+                return request
+            """,
+        )
+        assert project.findings("src", rule="R013") == []
+
+
+class TestBaselineInteraction:
+    def _baseline(self, project):
+        return project.root / ".repro-lint-baseline.json"
+
+    def test_r011_finding_baselines_and_then_passes(self, project, capsys):
+        project.write("src/repro/fleet/sweep.py", _r011_source())
+        src = str(project.root / "src")
+        baseline = str(self._baseline(project))
+        assert (
+            lint_main(
+                [
+                    src,
+                    "--baseline",
+                    baseline,
+                    "--update-baseline",
+                    "--justification",
+                    "legacy worker accumulates locally; rework tracked",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        entries = json.loads(self._baseline(project).read_text())["findings"]
+        assert [e["rule"] for e in entries] == ["R011"]
+        assert entries[0]["snippet"] == "_SEEN.append(x)"  # blame site, not dispatch
+        # Grandfathered: the strict run is clean now.
+        assert lint_main([src, "--strict", "--baseline", baseline]) == 0
+
+    def test_fixing_the_write_makes_baseline_entry_stale(self, project, capsys):
+        project.write("src/repro/fleet/sweep.py", _r011_source())
+        src = str(project.root / "src")
+        baseline = str(self._baseline(project))
+        lint_main(
+            [
+                src,
+                "--baseline",
+                baseline,
+                "--update-baseline",
+                "--justification",
+                "legacy worker accumulates locally; rework tracked",
+            ]
+        )
+        # Fix the violation: the worker now returns instead of appending.
+        project.write(
+            "src/repro/fleet/sweep.py",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work(x):
+                return x
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(work, i) for i in items]
+            """,
+        )
+        capsys.readouterr()
+        # Strict mode flags the now-stale grandfathered entry.
+        assert lint_main([src, "--strict", "--baseline", baseline]) == 1
+        out = capsys.readouterr().out + capsys.readouterr().err
+        assert "stale" in out.lower()

@@ -1,0 +1,190 @@
+"""Tests for the runtime determinism sanitizer (repro.sanitize)."""
+
+import sys
+
+import pytest
+
+from repro.sanitize.cli import main as sanitize_main
+from repro.sanitize.diffing import first_divergence
+from repro.sanitize.harness import (
+    Variant,
+    run_target,
+    run_variant,
+    variant_matrix,
+)
+from repro.sanitize.normalize import RULES, normalize
+from repro.sanitize.selftest import PLANTED_WORKER_SOURCE, plant, run_selftest
+from repro.sanitize.targets import TARGETS, SanitizeTarget
+
+
+class TestNormalize:
+    def test_obs_seconds_scrubbed_counts_kept(self):
+        raw = (
+            b'{"histograms":{"stage.lz77.encode.seconds":'
+            b'{"buckets":{"-10":1,"-5":2},"count":3,"max":0.02,"mean":0.01,'
+            b'"min":0.001,"total":0.03}}}'
+        )
+        scrubbed, counts = normalize(
+            raw, ("obs-seconds-buckets", "obs-seconds-moments")
+        )
+        assert b'"buckets":{}' in scrubbed
+        assert b'"count":3' in scrubbed
+        assert b"0.02" not in scrubbed
+        assert counts["obs-seconds-buckets"] == 1
+        assert counts["obs-seconds-moments"] == 4
+
+    def test_identical_inputs_normalize_identically(self):
+        raw = b'{"max":0.5,"count":2}'
+        a, _ = normalize(raw, ("obs-seconds-moments",))
+        b, _ = normalize(raw, ("obs-seconds-moments",))
+        assert a == b
+
+    def test_binary_artifact_passes_through(self):
+        raw = bytes(range(256))
+        out, counts = normalize(raw, ("pid",))
+        assert out == raw
+        assert counts == {}
+
+    def test_rule_names_are_known(self):
+        for target in TARGETS.values():
+            for name in target.normalizers:
+                assert name in RULES
+
+
+class TestDiffing:
+    def test_equal_artifacts_no_divergence(self):
+        assert first_divergence(b"abc\ndef\n", b"abc\ndef\n") is None
+
+    def test_first_divergent_byte_located(self):
+        div = first_divergence(b"line one\nline two\n", b"line one\nline 2wo\n")
+        assert div is not None
+        assert div.offset == 14
+        assert div.line == 2
+        assert div.column == 6
+        assert "two" in div.context_a
+        assert "2wo" in div.context_b
+
+    def test_length_only_divergence_points_at_common_end(self):
+        div = first_divergence(b"same", b"same-and-more")
+        assert div is not None
+        assert div.offset == 4
+
+    def test_describe_names_both_variants(self):
+        div = first_divergence(b"aXb", b"aYb")
+        text = div.describe("seed0", "seed1")
+        assert "seed0" in text and "seed1" in text and "offset 1" in text
+
+
+class TestVariantMatrix:
+    def test_default_matrix_is_hashseed_cross_jobs(self):
+        matrix = variant_matrix()
+        assert [v.name for v in matrix] == [
+            "hashseed=0,jobs=1",
+            "hashseed=0,jobs=4",
+            "hashseed=1,jobs=1",
+            "hashseed=1,jobs=4",
+        ]
+        assert matrix[0].env == {"PYTHONHASHSEED": "0", "REPRO_JOBS": "1"}
+
+    def test_custom_axes(self):
+        matrix = variant_matrix(hashseeds=(7,), jobs=(2,))
+        assert [v.name for v in matrix] == ["hashseed=7,jobs=2"]
+
+
+def _script_target(tmp_path, body: str, name: str = "t") -> SanitizeTarget:
+    script = tmp_path / f"{name}.py"
+    script.write_text(body, encoding="utf-8")
+    return SanitizeTarget(
+        name=name, description="fixture", argv=(), script=str(script)
+    )
+
+
+class TestHarness:
+    def test_deterministic_script_passes(self, tmp_path):
+        target = _script_target(tmp_path, "print('stable output')\n")
+        report = run_target(target, variant_matrix())
+        assert report.ok
+        assert len(report.runs) == 4
+
+    def test_hashseed_sensitive_script_diverges(self, tmp_path):
+        target = _script_target(
+            tmp_path,
+            "print(list({'alpha','beta','gamma','delta','epsilon','zeta',"
+            "'eta','theta','iota','kappa'}))\n",
+        )
+        report = run_target(target, variant_matrix())
+        assert not report.ok
+        assert report.divergence is not None
+        base, other = report.blamed
+        assert "hashseed=0" in base and "hashseed=1" in other
+
+    def test_exit_status_divergence_reported(self, tmp_path):
+        target = _script_target(
+            tmp_path,
+            "import os, sys\n"
+            "sys.exit(1 if os.environ.get('PYTHONHASHSEED') == '1' else 0)\n",
+        )
+        report = run_target(target, variant_matrix())
+        assert not report.ok
+        assert "exit status diverged" in report.error
+
+    def test_env_overlay_reaches_subprocess(self, tmp_path):
+        target = _script_target(
+            tmp_path,
+            "import os\nprint(os.environ['REPRO_JOBS'])\n",
+        )
+        run = run_variant(target, Variant("j9", {"REPRO_JOBS": "9"}))
+        assert run.artifact.startswith(b"9\n")
+
+
+class TestSelfTest:
+    def test_planted_worker_diverges_across_hashseeds(self):
+        report = run_selftest()
+        assert not report.ok, "harness failed to detect the planted bug"
+        assert report.divergence is not None
+
+    def test_plant_writes_script_and_shards(self, tmp_path):
+        target = plant(tmp_path)
+        assert (tmp_path / "planted_worker.py").read_text() == PLANTED_WORKER_SOURCE
+        assert len(list((tmp_path / "data").glob("*.bin"))) == 16
+        assert target.script.endswith("planted_worker.py")
+
+    def test_planted_source_contains_both_hazards(self):
+        # The string doubles as the R012 lint fixture: it must keep the
+        # unsorted glob AND the set detour the rule advertises catching.
+        assert "glob.glob" in PLANTED_WORKER_SOURCE
+        assert "{" in PLANTED_WORKER_SOURCE
+
+
+class TestCli:
+    def test_list_targets(self, capsys):
+        assert sanitize_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in TARGETS:
+            assert name in out
+
+    def test_unknown_target_is_usage_error(self, capsys):
+        assert sanitize_main(["no-such-target"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_selftest_alone_passes_when_harness_detects(self, capsys):
+        # Restrict to hashseed axis only (jobs don't matter for the plant)
+        # and no real targets, keeping the test fast.
+        assert (
+            sanitize_main(
+                ["--selftest", "--jobs-matrix", "1", "--hashseeds", "0,1", "stream"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "DIVERGED (expected)" in out
+        assert "PASS  stream" in out
+
+
+@pytest.mark.skipif(
+    sys.platform.startswith("win"), reason="matrix timing tuned for POSIX CI"
+)
+class TestEndToEndTargets:
+    def test_stream_target_bit_identical(self):
+        report = run_target(TARGETS["stream"], variant_matrix(jobs=(1,)))
+        assert report.ok, report.error or report.divergence
