@@ -1,0 +1,120 @@
+"""Serving-tier wall-clock baseline: goodput and latency per codec/size.
+
+Emits ``results/BENCH_service.json`` so the serving layer's performance
+trajectory is tracked alongside the lint analyzer's (``BENCH_lint.json``).
+Each cell drives one :class:`~repro.service.CompressionService` with a
+closed burst of fixed-size compress round-trips and records goodput plus
+p50/p99 sojourn.
+
+One property is asserted hard because it is architectural: batched dispatch
+must not *lose* goodput versus unbatched on the same burst beyond noise —
+coalescing exists to amortize pool round-trips.
+
+The comparison against the *committed* baseline is deliberately soft: CI
+machines vary, so a goodput drop beyond the allowed ratio emits a prominent
+warning for the reviewer rather than failing the build.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.service import CompressionService, ServiceConfig
+from repro.service.harness import synthesize_payload
+
+#: Soft gate: warn (don't fail) when a cell's goodput falls below
+#: baseline / SOFT_REGRESSION_RATIO.
+SOFT_REGRESSION_RATIO = 3.0
+#: Batching may not lose more than this factor vs unbatched dispatch.
+MAX_BATCHING_LOSS = 2.0
+
+CALLS_PER_CELL = 24
+CODECS = ("snappy", "zstd")
+SIZES = (256, 4096)
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_BASELINE = _REPO_ROOT / "results" / "BENCH_service.json"
+
+TIMEOUT_SECONDS = 300.0
+
+
+def _burst(codec: str, size: int, *, batching: bool) -> dict:
+    """Serve a closed burst of compress calls; return the cell's metrics."""
+    payload = synthesize_payload(0, codec, size)
+    config = ServiceConfig(
+        workers=1, max_batch=8, batching=batching, max_queue_depth=10_000
+    )
+
+    async def _main():
+        async with CompressionService(config) as service:
+            loop = asyncio.get_running_loop()
+            begin = loop.time()
+            responses = await asyncio.wait_for(
+                asyncio.gather(
+                    *[
+                        service.submit(
+                            service.make_request(codec, Operation.COMPRESS, payload)
+                        )
+                        for _ in range(CALLS_PER_CELL)
+                    ]
+                ),
+                TIMEOUT_SECONDS,
+            )
+            makespan = loop.time() - begin
+            return responses, makespan
+
+    responses, makespan = asyncio.run(_main())
+    assert all(r.ok for r in responses)
+    sojourns = np.array([r.sojourn_seconds for r in responses])
+    return {
+        "goodput_bytes_per_second": round(
+            CALLS_PER_CELL * size / max(makespan, 1e-12), 1
+        ),
+        "p50_sojourn_ms": round(float(np.percentile(sojourns, 50)) * 1e3, 4),
+        "p99_sojourn_ms": round(float(np.percentile(sojourns, 99)) * 1e3, 4),
+    }
+
+
+@pytest.mark.bench
+def test_service_goodput_matrix_and_baseline(results_dir):
+    cells = {}
+    for codec in CODECS:
+        for size in SIZES:
+            batched = _burst(codec, size, batching=True)
+            unbatched = _burst(codec, size, batching=False)
+            cells[f"{codec}_{size}B"] = batched
+            # Architectural: coalescing must not collapse goodput.
+            assert batched["goodput_bytes_per_second"] * MAX_BATCHING_LOSS >= (
+                unbatched["goodput_bytes_per_second"]
+            ), (
+                f"batched dispatch lost goodput on {codec}/{size}B: "
+                f"{batched['goodput_bytes_per_second']} vs "
+                f"{unbatched['goodput_bytes_per_second']} B/s unbatched"
+            )
+
+    payload = {"benchmark": "service", "calls_per_cell": CALLS_PER_CELL, **cells}
+    previous = None
+    if _BASELINE.exists():
+        previous = json.loads(_BASELINE.read_text())
+    (results_dir / "BENCH_service.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    if previous is not None:
+        for cell, metrics in cells.items():
+            before = (previous.get(cell) or {}).get("goodput_bytes_per_second")
+            now = metrics["goodput_bytes_per_second"]
+            if before and now * SOFT_REGRESSION_RATIO < before:
+                warnings.warn(
+                    f"service perf regression (soft): {cell} goodput was "
+                    f"{before} B/s, now {now} B/s "
+                    f"(> {SOFT_REGRESSION_RATIO}x slower)",
+                    stacklevel=1,
+                )

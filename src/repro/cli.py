@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight subcommands expose the library's main surfaces:
+Nine subcommands expose the library's main surfaces:
 
 * ``compress`` / ``decompress`` — run any of the from-scratch codecs on a
   file (buffer-in/buffer-out, §3.4's stable API).
@@ -15,9 +15,13 @@ Eight subcommands expose the library's main surfaces:
   (same ``--jobs``/``--cache`` engine options).
 * ``stats`` — run an instrumented workload (codec round-trips, or a fig11
   smoke sweep) and print the metric snapshot (see :mod:`repro.obs`).
+* ``serve`` — stand up the async compression service and replay an
+  open-loop fleet-mix load against it (see :mod:`repro.service`);
+  ``--validate`` replays the served workload through the queueing
+  simulator and compares predicted vs measured service levels.
 * ``lint`` — run the codec-aware static-analysis pass (rules R001-R013).
-* ``sanitize`` — re-execute a target run (DSE sweep, lint, stream, stats)
-  under varied ``PYTHONHASHSEED``/worker-count environments and diff the
+* ``sanitize`` — re-execute a target run (DSE sweep, lint, stream, stats,
+  serve) under varied ``PYTHONHASHSEED``/worker-count environments and diff the
   artifacts byte-for-byte (see :mod:`repro.sanitize`).
 
 The global ``--trace <file>`` flag (before the subcommand) enables the
@@ -129,6 +133,75 @@ def _build_parser() -> argparse.ArgumentParser:
         default="human",
         dest="stats_format",
         help="snapshot rendering (json is deterministic for a given workload state)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async serving layer under an open-loop fleet-mix load",
+    )
+    serve.add_argument("--calls", type=int, default=200, help="offered call count")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--codecs",
+        default="snappy,zstd",
+        help="comma-separated codec lanes to offer traffic to (default snappy,zstd)",
+    )
+    serve.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=None,
+        help="process-pool workers per codec lane (default: $REPRO_JOBS, else 1)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8, help="requests per worker round-trip"
+    )
+    serve.add_argument(
+        "--no-batch",
+        dest="batching",
+        action="store_false",
+        default=True,
+        help="dispatch one request per worker round-trip",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=256,
+        help="bounded outstanding requests per lane; beyond it requests shed "
+        "with a typed ServiceOverloadError",
+    )
+    serve.add_argument(
+        "--max-payload",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="cap sampled call sizes (pure-python codecs; default 4 KiB)",
+    )
+    pacing = serve.add_mutually_exclusive_group()
+    pacing.add_argument(
+        "--target-utilization",
+        type=float,
+        default=0.6,
+        help="calibrate arrival pacing to this offered utilization (default 0.6)",
+    )
+    pacing.add_argument(
+        "--time-scale",
+        type=float,
+        default=None,
+        help="fixed multiplier on trace arrival times instead of calibration "
+        "(0 offers every call at t=0)",
+    )
+    serve.add_argument(
+        "--validate",
+        action="store_true",
+        help="replay the served workload through the queueing simulator and "
+        "report predicted vs measured service levels",
+    )
+    serve.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        dest="serve_format",
     )
 
     # ``lint`` and ``sanitize`` own their own argparse (repro.lint.cli /
@@ -398,6 +471,62 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.common.errors import ReproError
+    from repro.service import ServiceConfig, ServiceHarness, WorkloadSpec
+    from repro.service.validation import validate_against_sim
+
+    codecs = tuple(name for name in args.codecs.split(",") if name)
+    try:
+        spec_kwargs = dict(
+            seed=args.seed,
+            num_calls=args.calls,
+            algorithms=codecs,
+            time_scale=args.time_scale if args.time_scale is not None else 1.0,
+        )
+        if args.max_payload is not None:
+            spec_kwargs["max_payload_bytes"] = args.max_payload
+        spec = WorkloadSpec(**spec_kwargs)
+        config = ServiceConfig(
+            workers=args.workers,
+            max_batch=args.max_batch,
+            batching=args.batching,
+            max_queue_depth=args.queue_depth,
+        )
+        harness = ServiceHarness(spec, config)
+        if args.time_scale is None:
+            harness.calibrate_time_scale(args.target_utilization)
+        trace = harness.effective_trace()
+        report = harness.run(verify=True)
+        validation = None
+        if args.validate:
+            validation = validate_against_sim(report, trace)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.serve_format == "json":
+        payload = report.to_payload()
+        if validation is not None:
+            payload["sim_validation"] = validation.to_payload()
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.render_human())
+        if validation is not None:
+            print(validation.render_human())
+    nonconforming = sum(
+        1 for r in report.records if r.status == "ok" and r.conforms is False
+    )
+    if nonconforming:
+        print(
+            f"error: {nonconforming} responses diverged from one-shot output",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -418,6 +547,7 @@ _COMMANDS = {
     "dse": _cmd_dse,
     "summaries": _cmd_summaries,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
     "sanitize": _cmd_sanitize,
 }

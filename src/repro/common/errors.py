@@ -31,3 +31,24 @@ class StreamStateError(ReproError):
 
 class CalibrationError(ReproError):
     """A calibration table is inconsistent or missing an anchor point."""
+
+
+class ServiceError(ReproError):
+    """Base class for compression-as-a-service (``repro.service``) failures."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission control rejected the request: the codec lane is at capacity.
+
+    This is the serving layer's typed backpressure signal — the caller sees
+    an immediate shed instead of unbounded queueing (paper §3: open-loop
+    fleet traffic must not grow the queue without bound).
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to a service that is not accepting work."""
+
+
+class ServiceInternalError(ServiceError):
+    """A worker failed outside the codec error contract (wrapped, never raw)."""

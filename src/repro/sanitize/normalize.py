@@ -45,6 +45,18 @@ RULES: Dict[str, NormRule] = {
             r'("(?:max|mean|min|total)":)-?[0-9][0-9.e+-]*',
             r"\g<1>0",
         ),
+        # The service LoadReport isolates every honest timing measurement
+        # (makespan, goodput, utilization, percentiles) under one flat
+        # "measured" object precisely so this one rule can blank it; the
+        # offered/config/counts sections must survive untouched.
+        NormRule(
+            "service-measured",
+            r'(?s)("measured":\s*\{)[^{}]*(\})',
+            r"\g<1>\g<2>",
+        ),
+        # Worker counts come from REPRO_JOBS, which the variant matrix
+        # deliberately sweeps; the report's other bytes must not depend on it.
+        NormRule("service-workers", r'("workers":\s*)\d+', r"\g<1>0"),
         # Process ids in any pid=..., "pid": ... spelling.
         NormRule("pid", r'(\bpid\b"?[=:]\s*)\d+', r"\g<1>0"),
         # Temp-dir names (mkdtemp suffixes are random by design).

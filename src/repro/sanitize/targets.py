@@ -3,12 +3,13 @@
 A target is a *command the repo already ships* plus the normalization rules
 for its legitimately-varying bytes. The harness re-executes it under every
 variant in the matrix and demands byte-identical normalized artifacts. The
-four defaults cover the repo's determinism contracts end to end:
+five defaults cover the repo's determinism contracts end to end:
 
 * ``dse``    — a reduced Figure 11 sweep (the parallel evaluate-points path)
 * ``lint``   — the full static-analysis pass in JSON (the flow-pool path)
 * ``stream`` — an incremental codec round over a seeded pseudo-corpus
 * ``stats``  — an instrumented workload snapshot (timings normalized away)
+* ``serve``  — an open-loop service burst (measured section normalized away)
 
 ``dse`` and ``lint`` take their worker count from ``REPRO_JOBS``, which the
 variant matrix sets — so one target exercises jobs∈{1,4} without bespoke
@@ -78,6 +79,30 @@ TARGETS: Dict[str, SanitizeTarget] = {
             description="instrumented codec round-trips, JSON snapshot",
             argv=("stats", "--workload", "roundtrip", "--format", "json"),
             normalizers=("obs-seconds-buckets", "obs-seconds-moments"),
+        ),
+        # Burst mode (--time-scale 0) with an effectively unbounded queue:
+        # no call can shed, so the offered/counts sections and the response
+        # payload digest are pure functions of the seed. Worker count rides
+        # REPRO_JOBS like dse/lint, checking jobs-parity of the service path.
+        SanitizeTarget(
+            name="serve",
+            description="open-loop service burst, JSON load report",
+            argv=(
+                "serve",
+                "--calls",
+                "32",
+                "--codecs",
+                "snappy",
+                "--max-payload",
+                "1024",
+                "--time-scale",
+                "0",
+                "--queue-depth",
+                "100000",
+                "--format",
+                "json",
+            ),
+            normalizers=("service-measured", "service-workers"),
         ),
     )
 }

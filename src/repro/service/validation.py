@@ -1,0 +1,216 @@
+"""Sim-validation: replay a served workload through the queueing simulator.
+
+The queueing model (:mod:`repro.sim.queueing`) predicted service-level
+behaviour long before a real service existed; this module turns it into a
+*tested* model. The identical workload a live :class:`ServiceHarness` run
+served — same arrivals, same per-call service times (measured in-worker) —
+is replayed through :func:`repro.sim.queueing.simulate`, and the sim's
+predicted utilization / mean wait / sojourn percentiles are compared with
+the live measurements under stated tolerances.
+
+Two prediction modes are reported:
+
+* **replay** — the sim consumes the *measured* per-call service times, so
+  any disagreement is queueing-dynamics model error (dispatch overhead,
+  event-loop latency, batching), not service-time estimation error. This is
+  the tight comparison the tier-1 test gates on.
+* **fitted** — a :class:`~repro.sim.queueing.ServiceModel` fitted from the
+  measurements (bytes/second per algorithm/operation) drives the sim, the
+  mode a capacity planner would use. Reported for inspection, compared
+  loosely.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.service.harness import LoadReport
+from repro.sim.arrivals import CallArrival
+from repro.sim.queueing import ServiceModel, SimulationResult, simulate
+
+
+@dataclass(frozen=True)
+class SimTolerance:
+    """Stated agreement bounds for the replay comparison.
+
+    Absolute slacks absorb the live service's fixed overheads the sim does
+    not model (process-pool dispatch, event-loop scheduling); relative
+    bounds scale with the signal once it clears the slack.
+    """
+
+    utilization_abs: float = 0.25
+    wait_rel: float = 0.75
+    wait_abs_seconds: float = 0.030
+    sojourn_rel: float = 0.75
+    sojourn_abs_seconds: float = 0.050
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    name: str
+    measured: float
+    predicted: float
+    within: bool
+
+    def to_payload(self) -> dict:
+        return {
+            "measured": round(self.measured, 6),
+            "predicted": round(self.predicted, 6),
+            "within": self.within,
+        }
+
+
+@dataclass(frozen=True)
+class SimValidationReport:
+    """Predicted-vs-measured comparison for one served workload."""
+
+    lanes: int
+    calls: int
+    tolerance: SimTolerance
+    replay: Tuple[MetricComparison, ...]
+    fitted: Tuple[MetricComparison, ...]
+
+    @property
+    def agrees(self) -> bool:
+        """True when every replay-mode metric is within tolerance."""
+        return all(c.within for c in self.replay)
+
+    def to_payload(self) -> dict:
+        return {
+            "lanes": self.lanes,
+            "calls": self.calls,
+            "tolerance": {
+                "utilization_abs": self.tolerance.utilization_abs,
+                "wait_rel": self.tolerance.wait_rel,
+                "wait_abs_seconds": self.tolerance.wait_abs_seconds,
+                "sojourn_rel": self.tolerance.sojourn_rel,
+                "sojourn_abs_seconds": self.tolerance.sojourn_abs_seconds,
+            },
+            "agrees": self.agrees,
+            "replay": {c.name: c.to_payload() for c in self.replay},
+            "fitted": {c.name: c.to_payload() for c in self.fitted},
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+
+    def render_human(self) -> str:
+        lines = [
+            f"sim validation: {self.calls} calls over {self.lanes} lane(s) -> "
+            + ("AGREES" if self.agrees else "DISAGREES")
+        ]
+        for mode, comparisons in (("replay", self.replay), ("fitted", self.fitted)):
+            for c in comparisons:
+                flag = "ok " if c.within else "OFF"
+                lines.append(
+                    f"  [{mode}] {c.name:<22s} measured={c.measured:.6f} "
+                    f"predicted={c.predicted:.6f}  {flag}"
+                )
+        return "\n".join(lines)
+
+
+def _within(measured: float, predicted: float, rel: float, abs_slack: float) -> bool:
+    return abs(predicted - measured) <= abs_slack + rel * max(measured, predicted)
+
+
+def _compare(
+    report: LoadReport, sim: SimulationResult, tol: SimTolerance
+) -> Tuple[MetricComparison, ...]:
+    pairs = (
+        (
+            "utilization",
+            report.utilization,
+            sim.utilization,
+            lambda m, p: abs(p - m) <= tol.utilization_abs,
+        ),
+        (
+            "mean_wait_seconds",
+            report.mean_wait_seconds,
+            sim.mean_waiting,
+            lambda m, p: _within(m, p, tol.wait_rel, tol.wait_abs_seconds),
+        ),
+        (
+            "p50_sojourn_seconds",
+            report.sojourn_percentile(50),
+            sim.sojourn_percentile(50),
+            lambda m, p: _within(m, p, tol.sojourn_rel, tol.sojourn_abs_seconds),
+        ),
+        (
+            "p99_sojourn_seconds",
+            report.sojourn_percentile(99),
+            sim.sojourn_percentile(99),
+            lambda m, p: _within(m, p, tol.sojourn_rel, tol.sojourn_abs_seconds),
+        ),
+    )
+    return tuple(
+        MetricComparison(name=name, measured=m, predicted=p, within=check(m, p))
+        for name, m, p, check in pairs
+    )
+
+
+def completed_workload(
+    report: LoadReport, trace: List[CallArrival]
+) -> Tuple[List[CallArrival], List[float]]:
+    """The completed subset of a served trace plus its measured service times.
+
+    Shed and failed calls never occupied a worker for their full service, so
+    the replay covers exactly the calls both systems fully processed.
+    """
+    if len(report.records) != len(trace):
+        raise ConfigError(
+            f"report has {len(report.records)} records but trace has "
+            f"{len(trace)} calls; validate against the harness that ran it"
+        )
+    kept: List[CallArrival] = []
+    times: List[float] = []
+    for record, call in zip(report.records, trace):
+        if record.status != "ok":
+            continue
+        kept.append(call)
+        times.append(record.service_seconds)
+    return kept, times
+
+
+def validate_against_sim(
+    report: LoadReport,
+    trace: List[CallArrival],
+    *,
+    lanes: Optional[int] = None,
+    tolerance: Optional[SimTolerance] = None,
+) -> SimValidationReport:
+    """Replay the served workload through the sim and compare predictions.
+
+    ``trace`` must be the harness's :meth:`effective_trace` for the same
+    run. ``lanes`` defaults to the live service's per-codec worker count —
+    the sim's multi-lane station is the model of one codec lane, so the
+    comparison is exact for single-codec workloads and a lane-aggregate
+    approximation for mixed ones.
+    """
+    tol = tolerance or SimTolerance()
+    lanes = report.workers if lanes is None else lanes
+    kept, times = completed_workload(report, trace)
+    if not kept:
+        raise ConfigError("no completed calls to validate against the sim")
+
+    replay_sim = simulate(kept, None, lanes=lanes, service_times=times)
+    replay = _compare(report, replay_sim, tol)
+
+    fitted: Tuple[MetricComparison, ...] = ()
+    samples = [
+        (c.algorithm, c.operation, c.uncompressed_bytes, t)
+        for c, t in zip(kept, times)
+    ]
+    model = ServiceModel.from_measurements(samples)
+    fitted_sim = simulate(kept, model, lanes=lanes)
+    fitted = _compare(report, fitted_sim, tol)
+
+    return SimValidationReport(
+        lanes=lanes,
+        calls=len(kept),
+        tolerance=tol,
+        replay=replay,
+        fitted=fitted,
+    )

@@ -1,0 +1,104 @@
+"""Per-codec process-pool workers for the serving layer.
+
+Reuses the conventions of :mod:`repro.dse.parallel` (the DSE sweep pool):
+worker counts resolve through :func:`~repro.dse.parallel.resolve_jobs`
+(explicit arg, then ``REPRO_JOBS``, then serial), the dispatched callable is
+an importable top-level function with plain-data arguments (lint rule R010),
+and timings ride back with the result as ``(pid, seconds, payload)`` tuples
+so the parent can account per-worker time without cross-process metric
+registries.
+
+Each codec gets its *own* pool, mirroring the paper's per-algorithm CDPU
+instances: a heavyweight brotli batch can never head-of-line-block the
+snappy lane's workers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Tuple
+
+from repro.algorithms.base import Operation
+from repro.algorithms.registry import get_codec
+from repro.common.errors import ReproError, ServiceInternalError
+from repro.dse.parallel import resolve_jobs
+
+#: One work item crossing the process boundary: (operation value, payload,
+#: level). Plain data only — the codec object is rebuilt worker-side.
+WorkItem = Tuple[str, bytes, Optional[int]]
+
+#: One outcome crossing back: (status, payload-or-error, service seconds).
+Outcome = Tuple[str, object, float]
+
+
+def run_service_batch(
+    codec_name: str, items: List[WorkItem]
+) -> Tuple[int, List[Outcome]]:
+    """Execute one batch of requests for one codec inside a worker process.
+
+    Every item is timed individually (``service_seconds`` is the quantity the
+    queueing simulator models), and every failure is converted to a
+    :class:`~repro.common.errors.ReproError` *value* in the outcome list —
+    a raw exception must never cross the process boundary, and one corrupt
+    payload must never poison its batch peers.
+    """
+    codec = get_codec(codec_name)
+    outcomes: List[Outcome] = []
+    for op_value, payload, level in items:
+        begin = time.perf_counter()
+        try:
+            if op_value == Operation.COMPRESS.value:
+                data: object = codec.compress(payload, level=level)
+            else:
+                data = codec.decompress(payload)
+            outcomes.append(("ok", data, time.perf_counter() - begin))
+        except ReproError as exc:
+            outcomes.append(("error", exc, time.perf_counter() - begin))
+        except Exception as exc:  # repro: noqa[R002] - process boundary: a leaked non-Repro exception becomes a typed ServiceInternalError response, never a dead worker
+            wrapped = ServiceInternalError(
+                f"{codec_name} worker leaked {type(exc).__name__}: {exc}"
+            )
+            outcomes.append(("error", wrapped, time.perf_counter() - begin))
+    return os.getpid(), outcomes
+
+
+class CodecWorkerPool:
+    """Lazy family of per-codec process pools sharing one worker-count knob.
+
+    Pools are created on a lane's first batch and torn down together. A
+    broken pool (a worker killed hard, e.g. by the OOM killer) is discarded
+    and rebuilt on the next batch, so one crash degrades to one failed batch
+    rather than a permanently dead lane.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = resolve_jobs(workers)
+        self._pools: Dict[str, ProcessPoolExecutor] = {}
+
+    def submit_batch(self, codec_name: str, items: List[WorkItem]) -> Future:
+        pool = self._pools.get(codec_name)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pools[codec_name] = pool
+        try:
+            return pool.submit(run_service_batch, codec_name, items)
+        except (BrokenProcessPool, RuntimeError):
+            # Rebuild once; if the fresh pool also refuses, let it surface.
+            self.discard(codec_name)
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pools[codec_name] = pool
+            return pool.submit(run_service_batch, codec_name, items)
+
+    def discard(self, codec_name: str) -> None:
+        """Drop a (presumed broken) pool; the next batch builds a fresh one."""
+        pool = self._pools.pop(codec_name, None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        for name in sorted(self._pools):
+            self._pools[name].shutdown(wait=True)
+        self._pools.clear()

@@ -94,6 +94,42 @@ class ServiceModel:
             per_call_seconds=SOFTWARE_CALL_OVERHEAD_CYCLES / xeon.clock_hz,
         )
 
+    @classmethod
+    def from_measurements(
+        cls,
+        samples: Sequence[Tuple[str, Operation, int, float]],
+        *,
+        per_call_seconds: float = 0.0,
+    ) -> "ServiceModel":
+        """Fit effective rates from live per-call timings.
+
+        ``samples`` are ``(algorithm, operation, uncompressed_bytes,
+        service_seconds)`` tuples — e.g. the in-worker timings a
+        :mod:`repro.service` load run measured. The rate per (algorithm,
+        operation) is the bytes-weighted aggregate ``total_bytes /
+        total_seconds`` (after deducting ``per_call_seconds`` per sample),
+        which is exactly the quantity the FIFO model multiplies back out.
+        """
+        if not samples:
+            raise ConfigError("cannot fit a service model from zero samples")
+        byte_totals: Dict[Tuple[str, Operation], float] = {}
+        time_totals: Dict[Tuple[str, Operation], float] = {}
+        for algorithm, operation, nbytes, seconds in samples:
+            key = (algorithm, operation)
+            byte_totals[key] = byte_totals.get(key, 0.0) + float(nbytes)
+            effective = float(seconds) - per_call_seconds
+            time_totals[key] = time_totals.get(key, 0.0) + effective
+        rates = {}
+        for key, total_bytes in byte_totals.items():
+            seconds = time_totals[key]
+            if seconds <= 0 or total_bytes <= 0:
+                raise ConfigError(
+                    f"measurements for {key[0]}/{key[1].value} are degenerate "
+                    f"(bytes={total_bytes}, seconds={seconds}); cannot fit a rate"
+                )
+            rates[key] = total_bytes / seconds
+        return cls(rates=rates, per_call_seconds=per_call_seconds)
+
 
 @dataclass
 class SimulationResult:
@@ -148,15 +184,22 @@ class SimulationResult:
 
 def simulate(
     trace: Sequence[CallArrival],
-    service: ServiceModel,
+    service: Optional[ServiceModel],
     *,
     lanes: int = 1,
+    service_times: Optional[Sequence[float]] = None,
 ) -> SimulationResult:
     """Run the multi-lane FIFO simulation over an arrival trace.
 
     Deterministic given the trace: ties go to the lowest-numbered lane.
     An empty trace is a valid (zero-call, zero-makespan) run — saturation
     sweeps can legitimately offer no arrivals at the lowest loads.
+
+    ``service_times`` replays *measured* per-call service seconds (aligned
+    with ``trace``) instead of the model's rate arithmetic — the
+    sim-validation mode of :mod:`repro.service.validation`, where the only
+    thing under test is the queueing dynamics. ``service`` may be ``None``
+    in that mode; exactly one of the two must supply service times.
 
     With observability enabled (:mod:`repro.obs`), every call becomes a
     *simulated-time* span on its lane's trace track (service slice, plus a
@@ -165,6 +208,13 @@ def simulate(
     """
     if lanes < 1:
         raise ValueError(f"lanes must be >= 1, got {lanes}")
+    if service_times is not None and len(service_times) != len(trace):
+        raise ConfigError(
+            f"service_times has {len(service_times)} entries for a trace of "
+            f"{len(trace)} calls; they must align one-to-one"
+        )
+    if service is None and service_times is None:
+        raise ConfigError("simulate needs a ServiceModel or explicit service_times")
     # Min-heap of (free_at_time, lane_id).
     free_at: List[Tuple[float, int]] = [(0.0, lane) for lane in range(lanes)]
     heapq.heapify(free_at)
@@ -177,7 +227,11 @@ def simulate(
     for index, call in enumerate(trace):
         lane_free, lane = heapq.heappop(free_at)
         start = max(call.arrival_time, lane_free)
-        service_time = service.service_seconds(call)
+        if service_times is not None:
+            service_time = float(service_times[index])
+        else:
+            assert service is not None
+            service_time = service.service_seconds(call)
         end = start + service_time
         heapq.heappush(free_at, (end, lane))
         sojourn[index] = end - call.arrival_time

@@ -1,0 +1,91 @@
+"""Serving conformance: responses are byte-identical to one-shot codec calls.
+
+The service is a *transport*, not a transform: for every registered codec,
+any payload served through the dispatcher — across worker counts and with
+batching on or off — must return exactly the bytes
+``codec.compress(payload)`` / ``codec.decompress(frame)`` would. This is
+the §3.4 stable-API contract extended to the serving tier.
+
+All requests for one configuration go through a single service instance and
+are submitted concurrently, so the batcher genuinely coalesces and the
+per-request fan-back is what's under test (a mis-zipped batch would hand
+request A request B's bytes — precisely the bug class this suite exists
+to catch).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.algorithms.registry import available_codecs, get_codec
+from repro.service import CompressionService, ServiceConfig
+
+TIMEOUT_SECONDS = 300.0
+
+#: Span the awkward cases: empty input, sub-preamble sizes, text runs,
+#: incompressible-ish structure. Kept small — 7 pure-python codecs ×
+#: 4 configurations run on a single CI core.
+PAYLOADS = (
+    b"",
+    b"x",
+    b"abc",
+    b"ab" * 700,
+    b"the quick brown fox jumps over the lazy dog; " * 30,
+    bytes(range(256)) * 3,
+)
+
+CONFIGURATIONS = [
+    pytest.param(1, True, id="workers1-batched"),
+    pytest.param(1, False, id="workers1-unbatched"),
+    pytest.param(4, True, id="workers4-batched"),
+    pytest.param(4, False, id="workers4-unbatched"),
+]
+
+
+def _expected_outputs():
+    """One-shot oracle: (codec, op, payload) -> expected bytes."""
+    oracle = {}
+    for name in available_codecs():
+        codec = get_codec(name)
+        for payload in PAYLOADS:
+            frame = codec.compress(payload)
+            oracle[(name, Operation.COMPRESS, payload)] = frame
+            oracle[(name, Operation.DECOMPRESS, frame)] = payload
+    return oracle
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return _expected_outputs()
+
+
+@pytest.mark.parametrize("workers,batching", CONFIGURATIONS)
+def test_served_bytes_match_one_shot(workers, batching, oracle):
+    config = ServiceConfig(
+        workers=workers, batching=batching, max_batch=4, max_queue_depth=10_000
+    )
+    cases = sorted(oracle.items(), key=lambda kv: (kv[0][0], kv[0][1].value))
+
+    async def _main():
+        async with CompressionService(config) as service:
+            requests = [
+                service.make_request(name, operation, payload)
+                for (name, operation, payload), _expected in cases
+            ]
+            return await asyncio.wait_for(
+                asyncio.gather(*[service.submit(r) for r in requests]),
+                TIMEOUT_SECONDS,
+            )
+
+    responses = asyncio.run(_main())
+    for ((name, operation, _payload), expected), response in zip(cases, responses):
+        assert response.ok, (
+            f"{name} {operation.value} failed in service: {response.error}"
+        )
+        assert response.result_bytes() == expected, (
+            f"{name} {operation.value} served bytes diverge from one-shot"
+        )
+        assert response.codec == name and response.operation is operation

@@ -1,0 +1,179 @@
+"""Dispatcher semantics: batching, admission control, lifecycle, typed errors.
+
+These are the contract tests for :class:`repro.service.CompressionService`
+itself — no load harness, no simulator. Each test drives the service on its
+own event loop via ``asyncio.run`` so lifecycle bugs (lingering drainers,
+un-shut pools) surface as hangs or warnings here, not in later suites.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.algorithms.base import Operation
+from repro.algorithms.registry import get_codec
+from repro.common.errors import (
+    ConfigError,
+    CorruptStreamError,
+    ReproError,
+    ServiceClosedError,
+    ServiceOverloadError,
+)
+from repro.service import CompressionService, ServiceConfig
+
+PAYLOAD = b"dispatcher contract payload: small, repetitive, compressible. " * 8
+
+#: Generous guard so a deadlocked lane fails the test instead of the run.
+TIMEOUT_SECONDS = 60.0
+
+
+def run_service(coro_fn, config: ServiceConfig):
+    """Start a service, run ``coro_fn(service)`` with a deadlock guard."""
+
+    async def _main():
+        async with CompressionService(config) as service:
+            return await asyncio.wait_for(coro_fn(service), TIMEOUT_SECONDS)
+
+    return asyncio.run(_main())
+
+
+def test_batching_coalesces_a_burst():
+    config = ServiceConfig(workers=1, max_batch=8, batching=True)
+
+    async def scenario(service):
+        requests = [
+            service.make_request("snappy", Operation.COMPRESS, PAYLOAD)
+            for _ in range(16)
+        ]
+        responses = await asyncio.gather(*[service.submit(r) for r in requests])
+        assert all(r.ok for r in responses)
+        return service.max_batch_observed("snappy"), responses
+
+    observed, responses = run_service(scenario, config)
+    # A single-worker lane with 16 queued requests must coalesce at least
+    # once; no batch may exceed the configured bound.
+    assert observed >= 2
+    assert all(1 <= r.batch_size <= 8 for r in responses)
+
+
+def test_batching_disabled_pins_batch_to_one():
+    config = ServiceConfig(workers=1, max_batch=8, batching=False)
+
+    async def scenario(service):
+        requests = [
+            service.make_request("snappy", Operation.COMPRESS, PAYLOAD)
+            for _ in range(6)
+        ]
+        responses = await asyncio.gather(*[service.submit(r) for r in requests])
+        return service.max_batch_observed("snappy"), responses
+
+    observed, responses = run_service(scenario, config)
+    assert observed == 1
+    assert all(r.batch_size == 1 for r in responses)
+
+
+def test_admission_control_sheds_beyond_depth():
+    """A synchronous burst against a depth-2 lane admits exactly 2 requests.
+
+    ``submit`` increments the outstanding counter before its first await, so
+    admission decisions for a same-tick burst are deterministic: the first
+    ``max_queue_depth`` submissions are admitted, the rest shed with the
+    typed overload error, and every admitted request still completes.
+    """
+    config = ServiceConfig(workers=1, max_batch=1, batching=False, max_queue_depth=2)
+
+    async def scenario(service):
+        outcomes = await asyncio.gather(
+            *[
+                service.submit(
+                    service.make_request("snappy", Operation.COMPRESS, PAYLOAD)
+                )
+                for _ in range(10)
+            ],
+            return_exceptions=True,
+        )
+        return outcomes
+
+    outcomes = run_service(scenario, config)
+    shed = [o for o in outcomes if isinstance(o, ServiceOverloadError)]
+    completed = [o for o in outcomes if not isinstance(o, BaseException)]
+    assert len(shed) == 8
+    assert len(completed) == 2
+    assert all(r.ok for r in completed)
+    assert not any(
+        isinstance(o, BaseException) and not isinstance(o, ServiceOverloadError)
+        for o in outcomes
+    )
+
+
+def test_unknown_codec_is_a_config_error():
+    config = ServiceConfig(workers=1)
+
+    async def scenario(service):
+        with pytest.raises(ConfigError, match="unknown codec"):
+            await service.submit(
+                service.make_request("no-such-codec", Operation.COMPRESS, b"x")
+            )
+        return True
+
+    assert run_service(scenario, config)
+
+
+def test_submit_outside_lifetime_raises_closed():
+    async def _main():
+        service = CompressionService(ServiceConfig(workers=1))
+        with pytest.raises(ServiceClosedError):
+            await service.submit(
+                service.make_request("snappy", Operation.COMPRESS, b"x")
+            )
+
+    asyncio.run(_main())
+
+
+def test_codec_error_comes_back_typed_and_service_survives():
+    config = ServiceConfig(workers=1, max_batch=4)
+    garbage = b"\xff\xfe definitely not a zstd frame \x00\x01"
+
+    async def scenario(service):
+        bad = await service.submit(
+            service.make_request("zstd", Operation.DECOMPRESS, garbage)
+        )
+        assert not bad.ok
+        assert isinstance(bad.error, ReproError)
+        assert isinstance(bad.error, CorruptStreamError)
+        with pytest.raises(CorruptStreamError):
+            bad.result_bytes()
+        # The lane and its pool must keep serving after an error response.
+        frame = get_codec("zstd").compress(PAYLOAD)
+        good = await service.submit(
+            service.make_request("zstd", Operation.DECOMPRESS, frame)
+        )
+        assert good.ok and good.result_bytes() == PAYLOAD
+        return True
+
+    assert run_service(scenario, config)
+
+
+def test_request_ids_are_monotonic():
+    config = ServiceConfig(workers=1)
+
+    async def scenario(service):
+        ids = [
+            service.make_request("snappy", Operation.COMPRESS, b"x").request_id
+            for _ in range(5)
+        ]
+        assert ids == sorted(ids) and len(set(ids)) == 5
+        return True
+
+    assert run_service(scenario, config)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        ServiceConfig(max_batch=0)
+    with pytest.raises(ConfigError):
+        ServiceConfig(max_queue_depth=0)
+    with pytest.raises(ConfigError):
+        ServiceConfig(linger_seconds=-0.1)

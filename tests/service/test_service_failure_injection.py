@@ -1,0 +1,138 @@
+"""Failure injection at the serving boundary: damaged payloads, live pools.
+
+The runtime counterpart of the dispatcher's typed-error contract: for any
+havoc-mutated decompress payload, the service returns an ``ok=False``
+response whose error is a :class:`~repro.common.errors.ReproError` subclass
+(or, for the unchecksummed raw Snappy wire format, a "successful" decode of
+wrong bytes — the documented detection gap). What must *never* happen:
+
+* a raw ``IndexError``/``struct.error``/``MemoryError`` escaping ``submit``,
+* a worker process dying and taking the lane down,
+* a deadlock (every response arrives within the guard timeout).
+
+One service instance and one event loop persist across *all* hypothesis
+examples and codecs — hammering a single set of worker processes with
+hundreds of corrupt frames is the point; a fresh pool per example would
+reset exactly the state this suite tries to poison.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import Operation
+from repro.algorithms.registry import available_codecs, get_codec
+from repro.common.errors import ReproError
+from repro.service import CompressionService, ServiceConfig
+
+PAYLOAD = (
+    b"serving-tier failure injection payload: structured, repetitive, and "
+    b"long enough to exercise matches and entropy tables. " * 12
+)
+
+TIMEOUT_SECONDS = 60.0
+
+_FRAMES = {name: get_codec(name).compress(PAYLOAD) for name in available_codecs()}
+
+
+@pytest.fixture(scope="module")
+def live_service():
+    """One loop + one started service shared by every example in the module."""
+    loop = asyncio.new_event_loop()
+    service = CompressionService(ServiceConfig(workers=1, max_batch=4))
+    loop.run_until_complete(service.start())
+    yield loop, service
+    loop.run_until_complete(service.close())
+    loop.close()
+
+
+def _submit(loop, service, codec_name: str, operation: Operation, payload: bytes):
+    request = service.make_request(codec_name, operation, payload)
+    return loop.run_until_complete(
+        asyncio.wait_for(service.submit(request), TIMEOUT_SECONDS)
+    )
+
+
+def _havoc(data, base: bytes) -> bytes:
+    """A short random edit script (truncate/flip/insert/delete) over ``base``."""
+    buf = bytearray(base)
+    ops = data.draw(
+        st.lists(
+            st.sampled_from(["truncate", "flip", "insert", "delete"]),
+            min_size=1,
+            max_size=4,
+        ),
+        label="ops",
+    )
+    for op in ops:
+        if not buf:
+            break
+        pos = data.draw(st.integers(0, len(buf) - 1), label=f"{op}-pos")
+        if op == "truncate":
+            del buf[pos:]
+        elif op == "flip":
+            buf[pos] ^= data.draw(st.integers(1, 255), label="flip-mask")
+        elif op == "insert":
+            buf.insert(pos, data.draw(st.integers(0, 255), label="insert-byte"))
+        else:
+            del buf[pos]
+    return bytes(buf)
+
+
+@pytest.mark.parametrize("codec_name", available_codecs())
+class TestServiceUnderCorruption:
+    @settings(max_examples=20, deadline=None, derandomize=True)
+    @given(data=st.data())
+    def test_corrupt_decompress_yields_only_typed_errors(
+        self, codec_name, live_service, data
+    ):
+        loop, service = live_service
+        stream = _havoc(data, _FRAMES[codec_name])
+        response = _submit(loop, service, codec_name, Operation.DECOMPRESS, stream)
+        if response.ok:
+            # Unchecksummed wire formats may decode damaged bytes "cleanly";
+            # the contract is only that nothing leaks and nothing hangs.
+            assert isinstance(response.payload, bytes)
+        else:
+            assert isinstance(response.error, ReproError)
+            assert type(response.error).__module__ == "repro.common.errors"
+            with pytest.raises(ReproError):
+                response.result_bytes()
+
+    def test_lane_still_serves_after_corruption_barrage(
+        self, codec_name, live_service
+    ):
+        """Ordered after the fuzz case: the same pool must still round-trip."""
+        loop, service = live_service
+        response = _submit(
+            loop, service, codec_name, Operation.DECOMPRESS, _FRAMES[codec_name]
+        )
+        assert response.ok and response.result_bytes() == PAYLOAD
+
+
+def test_error_and_success_mixed_in_one_batch(live_service):
+    """A batch mixing poison and valid items resolves each independently."""
+    loop, service = live_service
+    frame = _FRAMES["zstd"]
+    poison = frame[: len(frame) // 2]
+
+    async def scenario():
+        requests = [
+            service.make_request("zstd", Operation.DECOMPRESS, payload)
+            for payload in (frame, poison, frame, poison)
+        ]
+        return await asyncio.wait_for(
+            asyncio.gather(*[service.submit(r) for r in requests]),
+            TIMEOUT_SECONDS,
+        )
+
+    good0, bad1, good2, bad3 = loop.run_until_complete(scenario())
+    assert good0.ok and good0.result_bytes() == PAYLOAD
+    assert good2.ok and good2.result_bytes() == PAYLOAD
+    for bad in (bad1, bad3):
+        assert not bad.ok
+        assert isinstance(bad.error, ReproError)

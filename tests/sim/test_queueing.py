@@ -198,6 +198,78 @@ class TestConservationProperties:
             assert tighter <= looser + 1e-12
 
 
+class TestMeasuredReplay:
+    """The ``service_times`` replay mode added for service sim-validation."""
+
+    def test_replay_matches_equivalent_model(self):
+        """Explicit per-call times equal to the model's must reproduce the
+        model-driven run exactly."""
+        trace = _uniform_trace(50, gap=1e-6, size=1000)
+        service = _flat_service(1e9)
+        times = [service.service_seconds(c) for c in trace]
+        modeled = simulate(trace, service, lanes=2)
+        replayed = simulate(trace, None, lanes=2, service_times=times)
+        np.testing.assert_allclose(replayed.sojourn_seconds, modeled.sojourn_seconds)
+        np.testing.assert_allclose(replayed.waiting_seconds, modeled.waiting_seconds)
+        assert replayed.utilization == pytest.approx(modeled.utilization)
+
+    def test_replay_takes_precedence_over_model(self):
+        trace = _uniform_trace(10, gap=1.0, size=1000)
+        replayed = simulate(
+            trace, _flat_service(1e9), service_times=[0.5] * len(trace)
+        )
+        assert replayed.mean_sojourn == pytest.approx(0.5)
+
+    def test_misaligned_times_rejected(self):
+        from repro.common.errors import ConfigError
+
+        trace = _uniform_trace(5, gap=1.0)
+        with pytest.raises(ConfigError, match="align"):
+            simulate(trace, None, service_times=[1e-6] * 4)
+
+    def test_neither_model_nor_times_rejected(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="ServiceModel or explicit"):
+            simulate(_uniform_trace(3, gap=1.0), None)
+
+
+class TestFittedModels:
+    """``ServiceModel.from_measurements`` — fitting rates from live timings."""
+
+    def test_fit_recovers_a_flat_rate(self):
+        samples = [
+            ("snappy", Operation.DECOMPRESS, 1000, 1e-6),
+            ("snappy", Operation.DECOMPRESS, 2000, 2e-6),
+            ("snappy", Operation.COMPRESS, 4000, 8e-6),
+        ]
+        model = ServiceModel.from_measurements(samples)
+        assert model.rates[("snappy", Operation.DECOMPRESS)] == pytest.approx(1e9)
+        assert model.rates[("snappy", Operation.COMPRESS)] == pytest.approx(5e8)
+        call = CallArrival(0.0, "snappy", Operation.DECOMPRESS, 3000, 1500)
+        assert model.service_seconds(call) == pytest.approx(3e-6)
+
+    def test_fit_deducts_per_call_overhead(self):
+        samples = [("snappy", Operation.DECOMPRESS, 1000, 2e-6)]
+        model = ServiceModel.from_measurements(samples, per_call_seconds=1e-6)
+        assert model.rates[("snappy", Operation.DECOMPRESS)] == pytest.approx(1e9)
+        assert model.per_call_seconds == pytest.approx(1e-6)
+
+    def test_empty_samples_rejected(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="zero samples"):
+            ServiceModel.from_measurements([])
+
+    def test_degenerate_samples_rejected(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="degenerate"):
+            ServiceModel.from_measurements(
+                [("snappy", Operation.DECOMPRESS, 1000, 0.0)]
+            )
+
+
 class TestServiceModels:
     def test_software_baseline_uses_paper_anchors(self):
         service = ServiceModel.software_baseline()

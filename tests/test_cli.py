@@ -153,6 +153,50 @@ class TestFleetCommand:
         assert "ZStd bytes at level" in out
 
 
+class TestServeCommand:
+    """``repro serve``: the open-loop service load runner."""
+
+    BURST = [
+        "serve",
+        "--calls",
+        "12",
+        "--codecs",
+        "snappy",
+        "--time-scale",
+        "0",
+        "--queue-depth",
+        "4096",
+        "--max-payload",
+        "512",
+    ]
+
+    def test_burst_json_report(self, capsys):
+        import json
+
+        assert main(self.BURST + ["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benchmark"] == "service"
+        assert payload["offered"]["calls"] == 12
+        assert payload["counts"]["completed"] == 12
+        assert payload["counts"]["failed"] == 0
+        assert "sim_validation" not in payload
+
+    def test_human_report_with_validation(self, capsys):
+        argv = self.BURST + ["--workers", "1", "--no-batch", "--validate"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "service load: 12 calls offered" in out
+        assert "sim validation" in out
+
+    def test_unknown_codec_exits_nonzero(self, capsys):
+        assert main(["serve", "--calls", "2", "--codecs", "lz4"]) == 1
+        assert "unknown codec" in capsys.readouterr().err
+
+    def test_pacing_flags_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(self.BURST + ["--target-utilization", "0.5"])
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
