@@ -91,9 +91,9 @@ def _instrumented(fn, operation: str):
         name = f"codec.{self.info.name}.{operation}"
         with obs.span(name, category="codec"):
             out = fn(self, data, *args, **kwargs)
-        obs.counter_add(f"{name}.calls", 1)
-        obs.counter_add(f"{name}.bytes_in", len(data))
-        obs.counter_add(f"{name}.bytes_out", len(out))
+            obs.counter_add(f"{name}.calls", 1)
+            obs.counter_add(f"{name}.bytes_in", len(data))
+            obs.counter_add(f"{name}.bytes_out", len(out))
         return out
 
     wrapper._obs_wrapped = True

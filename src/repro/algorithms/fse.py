@@ -15,10 +15,11 @@ parameter 12) controls.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Sequence, Tuple
 
 from repro import obs
-from repro.common.bitio import BitReader, BitWriter
+from repro.common.bitio import BitReader, BitWriter, u32_windows
 from repro.common.errors import CorruptStreamError
 
 #: zstd caps FSE accuracy logs at 9-12 depending on the table; we allow 5-12.
@@ -117,6 +118,21 @@ class FseTable:
     def from_frequencies(cls, frequencies: Dict[int, int], accuracy_log: int = DEFAULT_ACCURACY_LOG) -> "FseTable":
         return cls(normalize_counts(frequencies, accuracy_log), accuracy_log)
 
+    @cached_property
+    def _decode_columns(self) -> Tuple[List[int], List[int], List[int], List[int]]:
+        """:attr:`decode_entries` split into per-field lists plus bit masks.
+
+        Cached per table: the decode loop then runs on plain list indexing
+        (``symbols[state]`` / ``num_bits[state]`` / ...) instead of attribute
+        access on dataclass rows — the Python analogue of the hardware
+        table reader streaming SRAM columns.
+        """
+        symbols = [e.symbol for e in self.decode_entries]
+        num_bits = [e.num_bits for e in self.decode_entries]
+        baselines = [e.baseline for e in self.decode_entries]
+        masks = [(1 << e.num_bits) - 1 for e in self.decode_entries]
+        return symbols, num_bits, baselines, masks
+
     def encode_cost_bits(self, symbol: int) -> float:
         """Average bits to code ``symbol`` (for cost models): -log2(p)."""
         import math
@@ -153,7 +169,7 @@ class FseTable:
             writer = BitWriter()
             for bits_value, num_bits in reversed(ops):
                 writer.write(bits_value, num_bits)
-        obs.counter_add("stage.fse.encode.symbols", len(symbols))
+            obs.counter_add("stage.fse.encode.symbols", len(symbols))
         return writer.getvalue(), state, writer.bit_length
 
     def decode(self, payload: bytes, initial_state: int, count: int) -> List[int]:
@@ -165,17 +181,31 @@ class FseTable:
         if not self.table_size <= initial_state < 2 * self.table_size:
             raise CorruptStreamError(f"FSE initial state {initial_state} out of range")
         with obs.stage("stage.fse.decode"):
-            reader = BitReader(payload)
-            state = initial_state
+            symbols, num_bits, baselines, masks = self._decode_columns
+            windows = u32_windows(payload)
+            total_bits = 8 * len(payload)
+            pos = 0
+            # Track the table index (state - table_size) directly; every
+            # transition lands back in range by construction of the table.
+            state = initial_state - self.table_size
             out: List[int] = []
+            append = out.append
             for _ in range(count):
-                entry = self.decode_entries[state - self.table_size]
-                out.append(entry.symbol)
-                bits = reader.read(entry.num_bits) if entry.num_bits else 0
-                state = self.table_size + entry.baseline + bits
-            if state != self.table_size:
+                append(symbols[state])
+                nb = num_bits[state]
+                if nb:
+                    if nb > total_bits - pos:
+                        raise CorruptStreamError(
+                            f"bitstream underflow: wanted {nb}, have {total_bits - pos}"
+                        )
+                    bits = (windows[pos >> 3] >> (pos & 7)) & masks[state]
+                    pos += nb
+                else:
+                    bits = 0
+                state = baselines[state] + bits
+            if state != 0:
                 raise CorruptStreamError("FSE stream did not terminate on sentinel state")
-        obs.counter_add("stage.fse.decode.symbols", count)
+            obs.counter_add("stage.fse.decode.symbols", count)
         return out
 
     def serialize_counts(self, alphabet_size: int) -> bytes:

@@ -15,10 +15,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Sequence, Tuple
 
 from repro import obs
-from repro.common.bitio import BitReader, BitWriter
+from repro.common.bitio import BitReader, BitWriter, u32_windows
 from repro.common.errors import CorruptStreamError
 
 #: Default code-length cap; zstd limits literal codes to 11 bits.
@@ -137,6 +138,26 @@ class HuffmanTable:
         """Total bits this table needs for the given symbol counts."""
         return sum(self.codes[s][1] * f for s, f in frequencies.items() if f)
 
+    @cached_property
+    def _decode_arrays(self) -> Tuple[List[int], List[int]]:
+        """The flat decode table split into (symbols, lengths) lists.
+
+        Cached per table (``cached_property`` writes the instance ``__dict__``
+        directly, which a frozen dataclass permits): streaming decoders decode
+        many blocks against one table, and plain-list indexing is the fastest
+        per-symbol lookup the interpreter offers.
+        """
+        flat = self.decode_table()
+        return [s for s, _ in flat], [l for _, l in flat]
+
+    @cached_property
+    def _encode_pairs(self) -> Dict[int, Tuple[int, int]]:
+        """Symbol -> (bit-reversed code, length), precomputed for the writer."""
+        return {
+            symbol: (_reverse_bits(code, length), length)
+            for symbol, (code, length) in self.codes.items()
+        }
+
 
 def serialize_lengths(table: HuffmanTable, alphabet_size: int) -> bytes:
     """Serialize code lengths as the table header (4 bits per symbol).
@@ -181,15 +202,15 @@ def encode_symbols(symbols: Sequence[int], table: HuffmanTable) -> bytes:
     """Entropy-code ``symbols`` with ``table`` (LSB-first bitstream)."""
     with obs.stage("stage.huffman.encode"):
         writer = BitWriter()
-        codes = table.codes
+        pairs = table._encode_pairs
         for symbol in symbols:
             try:
-                code, length = codes[symbol]
+                reversed_code, length = pairs[symbol]
             except KeyError:
                 raise ValueError(f"symbol {symbol} not present in table") from None
-            writer.write(_reverse_bits(code, length), length)
+            writer.write(reversed_code, length)
         out = writer.getvalue()
-    obs.counter_add("stage.huffman.encode.symbols", len(symbols))
+        obs.counter_add("stage.huffman.encode.symbols", len(symbols))
     return out
 
 
@@ -200,18 +221,43 @@ def decode_symbols(data: bytes, count: int, table: HuffmanTable) -> List[int]:
     length) is precisely what the hardware expander speculates around (§5.3).
     """
     with obs.stage("stage.huffman.decode"):
-        flat = table.decode_table()
-        reader = BitReader(data)
-        out: List[int] = []
         max_bits = table.max_bits
+        if max_bits > 25:
+            out = _decode_symbols_reader(data, count, table)
+            obs.counter_add("stage.huffman.decode.symbols", count)
+            return out
+        symbols_at, lengths_at = table._decode_arrays
+        windows = u32_windows(data)
+        mask = (1 << max_bits) - 1
+        total_bits = 8 * len(data)
+        out: List[int] = []
+        append = out.append
+        pos = 0
         for _ in range(count):
-            window = reader.peek_padded(max_bits)
-            symbol, length = flat[window]
-            if symbol < 0 or length > reader.bits_remaining:
+            window = (windows[pos >> 3] >> (pos & 7)) & mask
+            symbol = symbols_at[window]
+            length = lengths_at[window]
+            if symbol < 0 or length > total_bits - pos:
                 raise CorruptStreamError("invalid huffman code in stream")
-            reader.skip(length)
-            out.append(symbol)
-    obs.counter_add("stage.huffman.decode.symbols", count)
+            pos += length
+            append(symbol)
+        obs.counter_add("stage.huffman.decode.symbols", count)
+    return out
+
+
+def _decode_symbols_reader(data: bytes, count: int, table: HuffmanTable) -> List[int]:
+    """Reference ``BitReader`` decode loop (fallback for very wide tables)."""
+    flat = table.decode_table()
+    reader = BitReader(data)
+    out: List[int] = []
+    max_bits = table.max_bits
+    for _ in range(count):
+        window = reader.peek_padded(max_bits)
+        symbol, length = flat[window]
+        if symbol < 0 or length > reader.bits_remaining:
+            raise CorruptStreamError("invalid huffman code in stream")
+        reader.skip(length)
+        out.append(symbol)
     return out
 
 

@@ -30,10 +30,20 @@ import numpy as np
 
 from repro import obs
 from repro.common.errors import ConfigError, CorruptStreamError
-from repro.common.hashing import get_hash_function, load_u32le
+from repro.common.hashing import get_hash_function, get_vectorized_hash, load_u32le
 from repro.common.units import is_power_of_two
 
 MIN_MATCH = 4
+
+#: Below this input size the numpy batch-hash setup costs more than the
+#: per-position scalar hashing it replaces; both paths produce identical
+#: slot/tag sequences (tested property), so the threshold is purely a
+#: performance knob.
+_VECTOR_MIN_BYTES = 512
+
+#: Match extension compares blocks of this many bytes (one memcmp each)
+#: before finishing byte-wise inside the mismatching block.
+_EXTEND_BLOCK = 64
 
 
 @dataclass(frozen=True)
@@ -213,6 +223,12 @@ class Lz77Encoder:
     def __init__(self, params: Lz77Params = Lz77Params()) -> None:
         self.params = params
         self._hash = get_hash_function(params.hash_function)
+        # Reusable probe scratch (built lazily, reset per encode call): the
+        # bucket lists survive across calls so repeated small encodes — the
+        # fleet's dominant regime — stop paying the table allocation.
+        self._table: Optional[List[List[int]]] = None
+        self._tag_table: Optional[List[List[int]]] = None
+        self._touched: List[int] = []
 
     def encode(self, data: bytes, *, collect_stats: bool = False) -> TokenStream:
         """Produce the token stream for ``data`` (never raises on any input)."""
@@ -221,15 +237,80 @@ class Lz77Encoder:
             return stream
         with obs.stage("stage.lz77.encode"):
             stream = self._encode(data, None)
-        obs.counter_add("stage.lz77.encode.bytes", len(data))
+            obs.counter_add("stage.lz77.encode.bytes", len(data))
         return stream
 
     def encode_with_stats(self, data: bytes) -> Tuple[TokenStream, MatcherStats]:
         stats = MatcherStats()
         with obs.stage("stage.lz77.encode"):
             stream = self._encode(data, stats)
-        obs.counter_add("stage.lz77.encode.bytes", len(data))
+            obs.counter_add("stage.lz77.encode.bytes", len(data))
         return stream, stats
+
+    def _hash_positions(
+        self, data: bytes, n: int
+    ) -> Tuple[List[int], List[int], Optional[List[int]]]:
+        """Per-position hash slots (masked + raw) and tags for ``data``.
+
+        Returns ``(slots, slots_raw, tags)``: ``slots[p]`` is the bucket the
+        probe at ``p`` indexes (word masked to ``min_match`` bytes),
+        ``slots_raw[p]`` the bucket the in-match insertion indexes (raw
+        32-bit word — identical to ``slots`` when ``min_match == 4``), and
+        ``tags`` the low byte per position (``None`` unless the table stores
+        tags). Large inputs batch-hash every position with numpy; small ones
+        use the scalar hash. Both paths are bit-identical by construction.
+        """
+        params = self.params
+        min_match = params.min_match
+        hash_bits = params.hash_bits
+        hash_mask = (1 << (8 * min_match)) - 1 if min_match < 4 else 0xFFFFFFFF
+        tagged = params.hash_table_contents == "position_and_tag"
+        if n >= _VECTOR_MIN_BYTES:
+            padded = np.frombuffer(bytes(data) + b"\x00\x00\x00", dtype=np.uint8)
+            arr = padded.astype(np.uint64)
+            words = (
+                arr[0:n]
+                | (arr[1 : n + 1] << np.uint64(8))
+                | (arr[2 : n + 2] << np.uint64(16))
+                | (arr[3 : n + 3] << np.uint64(24))
+            )
+            vec_hash = get_vectorized_hash(params.hash_function)
+            slots = vec_hash(words & np.uint64(hash_mask), hash_bits).tolist()
+            slots_raw = (
+                vec_hash(words, hash_bits).tolist() if min_match < 4 else slots
+            )
+            tags = (words & np.uint64(0xFF)).tolist() if tagged else None
+            return slots, slots_raw, tags
+        hash_fn = self._hash
+        slots = []
+        slots_raw = slots if min_match >= 4 else []
+        tags = [] if tagged else None
+        for pos in range(n):
+            word = load_u32le(data, pos)
+            slots.append(hash_fn(word & hash_mask, hash_bits))
+            if min_match < 4:
+                slots_raw.append(hash_fn(word, hash_bits))
+            if tags is not None:
+                tags.append(word & 0xFF)
+        return slots, slots_raw, tags
+
+    def _scratch_table(self) -> Tuple[List[List[int]], Optional[List[List[int]]], List[int]]:
+        """The reusable hash table, with buckets touched last call cleared."""
+        table = self._table
+        if table is None:
+            entries = self.params.hash_table_entries
+            self._table = table = [[] for _ in range(entries)]
+            if self.params.hash_table_contents == "position_and_tag":
+                self._tag_table = [[] for _ in range(entries)]
+            self._touched = []
+        else:
+            tag_table = self._tag_table
+            for slot in self._touched:
+                table[slot].clear()
+                if tag_table is not None:
+                    tag_table[slot].clear()
+            self._touched.clear()
+        return table, self._tag_table, self._touched
 
     def _encode(self, data: bytes, stats: Optional[MatcherStats]) -> TokenStream:
         params = self.params
@@ -244,57 +325,72 @@ class Lz77Encoder:
             return TokenStream(tokens, n)
 
         ways = params.associativity
-        table: List[List[int]] = [[] for _ in range(params.hash_table_entries)]
-        hash_bits = params.hash_bits
-        hash_fn = self._hash
         window = params.window_size
         max_match = params.max_match_length or n
-        tagged = params.hash_table_contents == "position_and_tag"
-        tags: List[List[int]] = [[] for _ in range(params.hash_table_entries)] if tagged else []
+        slots_list, slots_raw, tags_list = self._hash_positions(data, n)
+        table, tag_table, touched = self._scratch_table()
+        tagged = tag_table is not None
 
         literal_start = 0
         pos = 0
         limit = n - min_match + 1
-        hash_mask = (1 << (8 * min_match)) - 1 if min_match < 4 else 0xFFFFFFFF
         skip_credit = 32  # Snappy SW heuristic state: bytes between lookups = skip>>5
         lazy = params.lazy
 
         def probe(at: int) -> Tuple[int, int]:
             """Find the best match at ``at`` and insert it into the table."""
-            word = load_u32le(data, at) & hash_mask
-            slot = hash_fn(word, hash_bits)
-            tag = word & 0xFF
+            slot = slots_list[at]
+            tag = tags_list[at] if tagged else 0
             if stats is not None:
                 stats.positions_hashed += 1
             best_len = 0
             best_off = 0
             bucket = table[slot]
-            bucket_tags = tags[slot] if tagged else None
-            for i, cand in enumerate(bucket):
-                dist = at - cand
-                if dist <= 0 or dist > window:
-                    continue
-                if bucket_tags is not None and bucket_tags[i] != tag:
-                    # Tag mismatch filters the probe without a history read.
-                    continue
-                if stats is not None:
-                    stats.candidates_checked += 1
-                if data[cand : cand + min_match] != data[at : at + min_match]:
-                    if stats is not None:
-                        stats.candidates_rejected += 1
-                    continue
-                length = min_match
+            bucket_tags = tag_table[slot] if tagged else None
+            if bucket:
+                at_prefix = data[at : at + min_match]
                 max_here = min(max_match, n - at)
-                while length < max_here and data[cand + length] == data[at + length]:
-                    length += 1
-                if length > best_len:
-                    best_len = length
-                    best_off = dist
+                for i, cand in enumerate(bucket):
+                    dist = at - cand
+                    if dist <= 0 or dist > window:
+                        continue
+                    if bucket_tags is not None and bucket_tags[i] != tag:
+                        # Tag mismatch filters the probe without a history read.
+                        continue
+                    if stats is not None:
+                        stats.candidates_checked += 1
+                    if data[cand : cand + min_match] != at_prefix:
+                        if stats is not None:
+                            stats.candidates_rejected += 1
+                        continue
+                    # Extend block-wise (each comparison is one memcmp), then
+                    # finish byte-wise inside the first mismatching block —
+                    # identical first-mismatch result to the byte loop.
+                    length = min_match
+                    while length < max_here:
+                        step = min(_EXTEND_BLOCK, max_here - length)
+                        if (
+                            data[cand + length : cand + length + step]
+                            == data[at + length : at + length + step]
+                        ):
+                            length += step
+                        else:
+                            while (
+                                length < max_here
+                                and data[cand + length] == data[at + length]
+                            ):
+                                length += 1
+                            break
+                    if length > best_len:
+                        best_len = length
+                        best_off = dist
             # Insert current position (LRU within the set).
             if len(bucket) >= ways:
                 bucket.pop(0)
                 if bucket_tags is not None:
                     bucket_tags.pop(0)
+            if not bucket:
+                touched.append(slot)
             bucket.append(at)
             if bucket_tags is not None:
                 bucket_tags.append(tag)
@@ -325,16 +421,18 @@ class Lz77Encoder:
                 step = max(1, best_len // 2)
                 inner = pos + step
                 if inner < limit:
-                    w2 = load_u32le(data, inner)
-                    s2 = hash_fn(w2, hash_bits)
+                    s2 = slots_raw[inner]
                     b2 = table[s2]
+                    t2 = tag_table[s2] if tagged else None
                     if len(b2) >= ways:
                         b2.pop(0)
-                        if tagged:
-                            tags[s2].pop(0)
+                        if t2 is not None:
+                            t2.pop(0)
+                    if not b2:
+                        touched.append(s2)
                     b2.append(inner)
-                    if tagged:
-                        tags[s2].append(w2 & 0xFF)
+                    if t2 is not None:
+                        t2.append(tags_list[inner])
                 pos += best_len
                 literal_start = pos
                 skip_credit = 32
@@ -375,13 +473,18 @@ def decode_tokens(tokens: Iterable[Token], *, expected_length: Optional[int] = N
                         f"(only {len(out)} bytes produced)"
                     )
                 start = len(out) - token.offset
-                for i in range(token.length):
-                    out.append(out[start + i])
+                if token.length <= token.offset:
+                    # Non-overlapping copy: one slice append instead of a
+                    # byte loop (the dominant case on real streams).
+                    out += out[start : start + token.length]
+                else:
+                    for i in range(token.length):
+                        out.append(out[start + i])
         if expected_length is not None and len(out) != expected_length:
             raise CorruptStreamError(
                 f"decoded length {len(out)} != expected {expected_length}"
             )
-    obs.counter_add("stage.lz77.decode.bytes", len(out))
+        obs.counter_add("stage.lz77.decode.bytes", len(out))
     return bytes(out)
 
 

@@ -128,6 +128,13 @@ class _LzoDecompressContext(DecompressContext):
     def buffered_bytes(self) -> int:
         return len(self._pending) + len(self._history)
 
+    def _reset(self) -> None:
+        self._pending.clear()
+        self._history.clear()
+        self._expected = None
+        self._produced = 0
+        self._crc = 0
+
     def _feed(self, chunk: bytes) -> bytes:
         self._pending += chunk
         if len(self._pending) <= CHECKSUM_BYTES:

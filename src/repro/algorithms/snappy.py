@@ -225,6 +225,12 @@ class _SnappyDecompressContext(DecompressContext):
     def buffered_bytes(self) -> int:
         return len(self._pending) + len(self._history)
 
+    def _reset(self) -> None:
+        self._pending.clear()
+        self._history.clear()
+        self._expected = None
+        self._produced = 0
+
     def _feed(self, chunk: bytes) -> bytes:
         self._pending += chunk
         return self._drain()

@@ -197,6 +197,9 @@ class _SnappyFramedCompressContext(CompressContext):
     def buffered_bytes(self) -> int:
         return self._stream.pending_bytes
 
+    def _reset(self) -> None:
+        self._stream = SnappyFramedStream()
+
     def _feed(self, chunk: bytes) -> bytes:
         return self._stream.write(chunk)
 
@@ -226,6 +229,10 @@ class _SnappyFramedDecompressContext(DecompressContext):
     @property
     def buffered_bytes(self) -> int:
         return len(self._pending)
+
+    def _reset(self) -> None:
+        self._pending.clear()
+        self._saw_identifier = False
 
     def _feed(self, chunk: bytes) -> bytes:
         self._pending += chunk

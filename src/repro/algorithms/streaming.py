@@ -116,6 +116,30 @@ class StreamContext:
         self._track()
         return out
 
+    def reset(self) -> None:
+        """Make the context ready for a fresh stream, discarding any state.
+
+        Reuse amortizes context setup across calls (pyzstd's guidance for the
+        fleet's small-payload regime); output after ``reset()`` is
+        byte-identical to a fresh context's. Allowed from the open and
+        finished states; a *failed* (corruption-poisoned) context stays
+        poisoned — corruption may indicate an untrustworthy peer, so it must
+        be surfaced, not silently recycled.
+        """
+        if self._state == _FAILED:
+            raise StreamStateError(
+                f"reset on a failed {self._codec_name} {self.operation} "
+                "context (the stream was corrupt; it cannot be resumed)"
+            )
+        self._reset()
+        self._state = _OPEN
+
+    # -- subclass surface (reset) -------------------------------------------
+
+    def _reset(self) -> None:
+        """Discard per-stream state. Subclasses override alongside ``_feed``."""
+        raise NotImplementedError
+
     # -- internals ----------------------------------------------------------
 
     def _check_open(self, what: str) -> None:
@@ -137,10 +161,10 @@ class StreamContext:
         stage = "feed" if fn == self._feed else "flush"
         with obs.span(f"{name}.{stage}", category="codec"):
             out = fn(arg)
-        obs.counter_add(f"{name}.{stage}.calls", 1)
-        if stage == "feed":
-            obs.counter_add(f"{name}.bytes_in", len(arg))
-        obs.counter_add(f"{name}.bytes_out", len(out))
+            obs.counter_add(f"{name}.{stage}.calls", 1)
+            if stage == "feed":
+                obs.counter_add(f"{name}.bytes_in", len(arg))
+            obs.counter_add(f"{name}.bytes_out", len(out))
         return out
 
     def _track(self) -> None:
@@ -206,6 +230,9 @@ class BufferedCompressContext(CompressContext):
         self._pending.clear()
         return out
 
+    def _reset(self) -> None:
+        self._pending.clear()
+
 
 class BufferedDecompressContext(DecompressContext):
     """Generic fallback: buffer the frame, decode at the final flush."""
@@ -234,3 +261,6 @@ class BufferedDecompressContext(DecompressContext):
         )
         self._pending.clear()
         return out
+
+    def _reset(self) -> None:
+        self._pending.clear()

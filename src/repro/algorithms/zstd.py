@@ -626,6 +626,14 @@ class _ZstdCompressContext(CompressContext):
     def buffered_bytes(self) -> int:
         return len(self._input) + len(self._blocks)
 
+    def _reset(self) -> None:
+        # The matcher and sequence coder are per-block and carry no
+        # cross-stream state; keeping them is the point of reuse.
+        self._input.clear()
+        self._blocks.clear()
+        self._total = 0
+        self._crc = 0
+
     def _feed(self, chunk: bytes) -> bytes:
         self._input += chunk
         self._total += len(chunk)
@@ -692,6 +700,14 @@ class _ZstdDecompressContext(DecompressContext):
     @property
     def buffered_bytes(self) -> int:
         return len(self._pending)
+
+    def _reset(self) -> None:
+        self._pending.clear()
+        self._stage = self._PREAMBLE
+        self._window = 0
+        self._expected = 0
+        self._produced = 0
+        self._crc = 0
 
     def _feed(self, chunk: bytes) -> bytes:
         self._pending += chunk

@@ -11,7 +11,34 @@ paper's CDPU use different conventions:
 
 from __future__ import annotations
 
+from typing import List
+
+import numpy as np
+
 from repro.common.errors import CorruptStreamError
+
+
+def u32_windows(data: bytes) -> List[int]:
+    """Per-byte little-endian 32-bit windows, zero-padded past the end.
+
+    ``windows[i]`` holds bytes ``i..i+3`` of ``data`` as a little-endian u32
+    (missing trailing bytes read as zero), with one extra entry past the end.
+    A zero-extended ``width``-bit peek at bit position ``p`` is then just
+    ``(windows[p >> 3] >> (p & 7)) & ((1 << width) - 1)`` — valid whenever
+    ``(p & 7) + width <= 32``, i.e. ``width <= 25``. The whole gather is one
+    vectorized numpy pass, letting entropy decoders replace per-symbol
+    :class:`BitReader` calls with plain list indexing.
+    """
+    n = len(data)
+    padded = np.frombuffer(bytes(data) + b"\x00\x00\x00\x00", dtype=np.uint8)
+    arr = padded.astype(np.uint32)
+    windows = (
+        arr[0 : n + 1]
+        | (arr[1 : n + 2] << np.uint32(8))
+        | (arr[2 : n + 3] << np.uint32(16))
+        | (arr[3 : n + 4] << np.uint32(24))
+    )
+    return windows.tolist()
 
 
 class BitWriter:

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+import numpy as np
+
 _MASK64 = (1 << 64) - 1
 
 #: Snappy's magic multiplier (2654435761 = 2^32 / phi).
@@ -42,12 +44,44 @@ def hash_xor_shift(word: int, bits: int) -> int:
     return word & ((1 << bits) - 1)
 
 
+def hash_multiplicative_vec(words: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorized :func:`hash_multiplicative` over a uint64 word array."""
+    return ((words * np.uint64(_KNUTH32)) & np.uint64(0xFFFFFFFF)) >> np.uint64(
+        32 - bits
+    )
+
+
+def hash_zstd5_vec(words: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorized :func:`hash_zstd5` (uint64 arithmetic wraps mod 2^64)."""
+    value = (words << np.uint64(24)) * np.uint64(_ZSTD_PRIME5)
+    return value >> np.uint64(64 - bits)
+
+
+def hash_xor_shift_vec(words: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorized :func:`hash_xor_shift`."""
+    word = words & np.uint64(0xFFFFFFFF)
+    word ^= word >> np.uint64(15)
+    word = (word * np.uint64(0x85EBCA6B)) & np.uint64(0xFFFFFFFF)
+    word ^= word >> np.uint64(13)
+    return word & np.uint64((1 << bits) - 1)
+
+
 HashFunction = Callable[[int, int], int]
 
 HASH_FUNCTIONS: Dict[str, HashFunction] = {
     "multiplicative": hash_multiplicative,
     "zstd5": hash_zstd5,
     "xor_shift": hash_xor_shift,
+}
+
+#: Array counterparts of :data:`HASH_FUNCTIONS`, one numpy expression each.
+#: Every entry must agree with its scalar twin bit-for-bit — the LZ77 match
+#: finder precomputes slots through these, and the golden wire vectors pin
+#: the resulting token streams.
+VECTORIZED_HASH_FUNCTIONS: Dict[str, Callable[[np.ndarray, int], np.ndarray]] = {
+    "multiplicative": hash_multiplicative_vec,
+    "zstd5": hash_zstd5_vec,
+    "xor_shift": hash_xor_shift_vec,
 }
 
 
@@ -57,6 +91,15 @@ def get_hash_function(name: str) -> HashFunction:
         return HASH_FUNCTIONS[name]
     except KeyError:
         known = ", ".join(sorted(HASH_FUNCTIONS))
+        raise KeyError(f"unknown hash function {name!r}; known: {known}") from None
+
+
+def get_vectorized_hash(name: str) -> Callable[[np.ndarray, int], np.ndarray]:
+    """Vectorized counterpart of :func:`get_hash_function`."""
+    try:
+        return VECTORIZED_HASH_FUNCTIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(VECTORIZED_HASH_FUNCTIONS))
         raise KeyError(f"unknown hash function {name!r}; known: {known}") from None
 
 

@@ -177,7 +177,15 @@ class CompressionService:
         return lane
 
     async def _drain(self, lane: _Lane) -> None:
-        """Lane drainer: gather a batch, round-trip it, resolve futures."""
+        """Lane drainer: gather a batch, round-trip it, resolve futures.
+
+        A batch lingers for ``linger_seconds`` only while it is *short*: the
+        drainer first takes everything already queued, and a batch that is
+        full (or a lane that is closing) dispatches immediately — lingering
+        then would be pure added latency with nothing to gain. The linger is
+        a deadline, not a fixed sleep: each late arrival is awaited only for
+        the time remaining, and the batch leaves the moment it fills.
+        """
         limit = self.config.effective_batch
         closing = False
         while not closing:
@@ -185,12 +193,6 @@ class CompressionService:
             if head is _CLOSE:
                 break
             batch: List[_PendingCall] = [head]
-            if (
-                self.config.linger_seconds > 0
-                and len(batch) < limit
-                and lane.queue.qsize() == 0
-            ):
-                await asyncio.sleep(self.config.linger_seconds)
             while len(batch) < limit:
                 try:
                     nxt = lane.queue.get_nowait()
@@ -200,6 +202,24 @@ class CompressionService:
                     closing = True
                     break
                 batch.append(nxt)
+            linger = self.config.linger_seconds
+            if linger > 0 and not closing and len(batch) < limit:
+                assert self._loop is not None
+                deadline = self._loop.time() + linger
+                while len(batch) < limit:
+                    remaining = deadline - self._loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        nxt = await asyncio.wait_for(
+                            lane.queue.get(), timeout=remaining
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                    if nxt is _CLOSE:
+                        closing = True
+                        break
+                    batch.append(nxt)
             await self._execute(lane, batch)
 
     async def _execute(self, lane: _Lane, batch: List[_PendingCall]) -> None:

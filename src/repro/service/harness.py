@@ -43,6 +43,11 @@ from repro.sim.arrivals import (
 #: Smallest payload size class; below this the frame preamble dominates.
 MIN_PAYLOAD_BYTES = 64
 
+#: Floor for the measured mean one-shot service time used by
+#: :meth:`ServiceHarness.calibrate_time_scale`. A microsecond is already far
+#: below any real codec call; anything smaller is clock-resolution noise.
+MIN_CALIBRATION_SERVICE_SECONDS = 1e-6
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -414,9 +419,19 @@ class ServiceHarness:
         from repro.dse.parallel import resolve_jobs
 
         mean_service = self.library.mean_service_seconds()
+        if not mean_service > 0:
+            raise ConfigError(
+                "measured one-shot service time is zero or negative "
+                f"({mean_service!r}); the calibration payloads are too small "
+                "for this machine's clock resolution — use larger payloads"
+            )
+        # Clamp degenerate-but-positive measurements (tiny payloads on a very
+        # fast machine) so the derived rate cannot explode into an absurd
+        # time scale.
+        mean_service = max(mean_service, MIN_CALIBRATION_SERVICE_SECONDS)
         workers = resolve_jobs(self.config.workers)
         current_rate = len(prepared) / prepared[-1].arrival_time
-        target_rate = target_utilization * workers / max(mean_service, 1e-12)
+        target_rate = target_utilization * workers / mean_service
         scale = current_rate / target_rate
         self._prepared = [
             PreparedCall(

@@ -23,7 +23,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.algorithms.base import Operation
 from repro.algorithms.registry import get_codec
-from repro.common.errors import ReproError, ServiceInternalError
+from repro.algorithms.streaming import StreamContext
+from repro.common.errors import ReproError, ServiceInternalError, StreamStateError
 from repro.dse.parallel import resolve_jobs
 
 #: One work item crossing the process boundary: (operation value, payload,
@@ -32,6 +33,54 @@ WorkItem = Tuple[str, bytes, Optional[int]]
 
 #: One outcome crossing back: (status, payload-or-error, service seconds).
 Outcome = Tuple[str, object, float]
+
+
+class ContextCache:
+    """Reusable per-``(codec, op, level)`` streaming contexts for one worker.
+
+    The one-shot codec entry points are one ``feed`` + one ``flush`` over a
+    fresh context, so running the same pair on a ``reset()`` context is
+    byte-identical by construction — what reuse saves is the per-call context
+    setup, the dominant cost in the fleet's small-payload regime (pyzstd's
+    guidance, ROADMAP item 2). A context poisoned by a corrupt payload
+    refuses ``reset()``; it is discarded and replaced on the next acquire.
+    """
+
+    def __init__(self) -> None:
+        self._contexts: Dict[Tuple[str, str, Optional[int]], StreamContext] = {}
+
+    def run(
+        self, codec_name: str, op_value: str, payload: bytes, level: Optional[int]
+    ) -> bytes:
+        """Serve one request through the cached context for its key."""
+        key = (codec_name, op_value, level)
+        ctx = self._contexts.pop(key, None)
+        if ctx is not None:
+            try:
+                ctx.reset()
+            except StreamStateError:
+                ctx = None  # poisoned by an earlier corrupt stream
+        if ctx is None:
+            codec = get_codec(codec_name)
+            if op_value == Operation.COMPRESS.value:
+                ctx = codec.compress_context(level=level)
+            else:
+                ctx = codec.decompress_context()
+        out = ctx.feed(payload) + ctx.flush()
+        self._contexts[key] = ctx
+        return out
+
+
+#: Worker-process context cache, set once per process by the pool
+#: ``initializer=`` (the sanctioned R011 idiom, as in ``repro.dse.parallel``);
+#: all per-request mutation happens inside the :class:`ContextCache` object.
+_WORKER_CONTEXTS: Optional[ContextCache] = None
+
+
+def _init_service_worker() -> None:
+    """Process-pool initializer: give this worker its own context cache."""
+    global _WORKER_CONTEXTS
+    _WORKER_CONTEXTS = ContextCache()
 
 
 def run_service_batch(
@@ -44,16 +93,21 @@ def run_service_batch(
     :class:`~repro.common.errors.ReproError` *value* in the outcome list —
     a raw exception must never cross the process boundary, and one corrupt
     payload must never poison its batch peers.
+
+    Contexts persist across batches through the worker's
+    :class:`ContextCache` (falling back to a batch-local cache when invoked
+    outside a pool, e.g. from tests), so repeated small calls stop paying
+    per-call context setup. A failed item only poisons its own context,
+    which the cache replaces on the next use of that key.
     """
-    codec = get_codec(codec_name)
+    cache = _WORKER_CONTEXTS
+    if cache is None:
+        cache = ContextCache()
     outcomes: List[Outcome] = []
     for op_value, payload, level in items:
         begin = time.perf_counter()
         try:
-            if op_value == Operation.COMPRESS.value:
-                data: object = codec.compress(payload, level=level)
-            else:
-                data = codec.decompress(payload)
+            data: object = cache.run(codec_name, op_value, payload, level)
             outcomes.append(("ok", data, time.perf_counter() - begin))
         except ReproError as exc:
             outcomes.append(("error", exc, time.perf_counter() - begin))
@@ -81,16 +135,21 @@ class CodecWorkerPool:
     def submit_batch(self, codec_name: str, items: List[WorkItem]) -> Future:
         pool = self._pools.get(codec_name)
         if pool is None:
-            pool = ProcessPoolExecutor(max_workers=self.workers)
+            pool = self._new_pool()
             self._pools[codec_name] = pool
         try:
             return pool.submit(run_service_batch, codec_name, items)
         except (BrokenProcessPool, RuntimeError):
             # Rebuild once; if the fresh pool also refuses, let it surface.
             self.discard(codec_name)
-            pool = ProcessPoolExecutor(max_workers=self.workers)
+            pool = self._new_pool()
             self._pools[codec_name] = pool
             return pool.submit(run_service_batch, codec_name, items)
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers, initializer=_init_service_worker
+        )
 
     def discard(self, codec_name: str) -> None:
         """Drop a (presumed broken) pool; the next batch builds a fresh one."""

@@ -1,0 +1,125 @@
+"""Context reuse contract: ``reset()`` is indistinguishable from a fresh context.
+
+The serving layer keeps one streaming context per (codec, op, level) across
+batches (``service.workers.ContextCache``), so the whole scheme rests on two
+properties pinned here:
+
+* a ``reset()`` context produces byte-identical output to a fresh context,
+  for every codec, both directions, across the golden chunk-size sweep
+  {1, 7, 4096, whole}; and
+* corruption poisoning survives reuse — a context that failed on a corrupt
+  stream refuses ``reset()`` (and feed/flush) with ``StreamStateError``
+  rather than silently recycling.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.registry import available_codecs, get_codec
+from repro.common.errors import CorruptStreamError, StreamStateError
+
+CODECS = sorted(available_codecs())
+
+#: The golden-vector chunkings (None = the whole buffer in one feed).
+CHUNK_SIZES = (1, 7, 4096, None)
+
+BASE = (
+    b"reusable contexts amortize setup across the fleet's small calls. " * 41
+)
+
+
+def run_stream(ctx, data: bytes, chunk_size):
+    out = bytearray()
+    if chunk_size is None:
+        out += ctx.feed(data)
+    else:
+        for start in range(0, len(data), chunk_size):
+            out += ctx.feed(data[start : start + chunk_size])
+    out += ctx.flush()
+    return bytes(out)
+
+
+@pytest.mark.parametrize("codec_name", CODECS)
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_reset_compress_matches_fresh(codec_name, chunk_size):
+    codec = get_codec(codec_name)
+    ctx = codec.compress_context()
+    first = run_stream(ctx, BASE, chunk_size)
+    other = b"a different second stream " * 64
+    ctx.reset()
+    reused = run_stream(ctx, other, chunk_size)
+    fresh = run_stream(codec.compress_context(), other, chunk_size)
+    assert reused == fresh
+    assert first == run_stream(codec.compress_context(), BASE, chunk_size)
+
+
+@pytest.mark.parametrize("codec_name", CODECS)
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_reset_decompress_matches_fresh(codec_name, chunk_size):
+    codec = get_codec(codec_name)
+    frame_a = codec.compress(BASE)
+    frame_b = codec.compress(b"another payload entirely " * 70)
+    ctx = codec.decompress_context()
+    assert run_stream(ctx, frame_a, chunk_size) == BASE
+    ctx.reset()
+    reused = run_stream(ctx, frame_b, chunk_size)
+    fresh = run_stream(codec.decompress_context(), frame_b, chunk_size)
+    assert reused == fresh
+
+
+@pytest.mark.parametrize("codec_name", CODECS)
+def test_reset_midstream_discards_partial_state(codec_name):
+    codec = get_codec(codec_name)
+    frame = codec.compress(BASE)
+    ctx = codec.decompress_context()
+    ctx.feed(frame[: len(frame) // 2])  # abandon a half-consumed stream
+    ctx.reset()
+    assert run_stream(ctx, frame, 97) == BASE
+
+
+@pytest.mark.parametrize("codec_name", CODECS)
+def test_reuse_after_corruption_raises(codec_name):
+    codec = get_codec(codec_name)
+    frame = bytearray(codec.compress(BASE))
+    # Flip bits through the body; at least one mutation must be detected
+    # (CRC trailers and structural checks make this certain in practice).
+    ctx = codec.decompress_context()
+    poisoned = False
+    for pos in range(len(frame)):
+        corrupt = bytes(frame[:pos]) + bytes([frame[pos] ^ 0xFF]) + bytes(
+            frame[pos + 1 :]
+        )
+        ctx = codec.decompress_context()
+        try:
+            ctx.feed(corrupt)
+            ctx.flush()
+        except CorruptStreamError:
+            poisoned = True
+            break
+    assert poisoned, f"{codec_name}: no corruption was detectable"
+    with pytest.raises(StreamStateError):
+        ctx.reset()
+    with pytest.raises(StreamStateError):
+        ctx.feed(b"more")
+    with pytest.raises(StreamStateError):
+        ctx.flush()
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    data=st.binary(min_size=0, max_size=6000),
+    codec_name=st.sampled_from(CODECS),
+    chunk_size=st.sampled_from(CHUNK_SIZES),
+)
+def test_property_reset_roundtrip_identity(data, codec_name, chunk_size):
+    codec = get_codec(codec_name)
+    cctx = codec.compress_context()
+    run_stream(cctx, BASE, None)
+    cctx.reset()
+    frame = run_stream(cctx, data, chunk_size)
+    assert frame == codec.compress(data)
+    dctx = codec.decompress_context()
+    run_stream(dctx, codec.compress(BASE), None)
+    dctx.reset()
+    assert run_stream(dctx, frame, chunk_size) == data

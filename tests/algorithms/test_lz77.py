@@ -224,3 +224,89 @@ def test_roundtrip_arbitrary_bytes(data):
 def test_roundtrip_across_parameter_grid(data, window, entries):
     """Property: identity holds across window/table parameter combinations."""
     roundtrip(data, Lz77Params(window_size=window, hash_table_entries=entries))
+
+
+class TestVectorizedPrecompute:
+    """The numpy batch-hash path must equal the scalar path bit-for-bit.
+
+    ``Lz77Encoder._hash_positions`` switches on input size; the golden wire
+    vectors pin the large-input behaviour, and these tests pin the two paths
+    against each other directly (and the scratch table against fresh state).
+    """
+
+    PARAM_GRID = [
+        Lz77Params(),
+        Lz77Params(min_match=3, lazy=True, hash_function="zstd5"),
+        Lz77Params(
+            hash_table_contents="position_and_tag",
+            associativity=4,
+            hash_function="xor_shift",
+        ),
+        Lz77Params(use_skipping=True, hash_table_entries=1 << 8),
+    ]
+
+    @staticmethod
+    def scalar_reference(data, params):
+        """Recompute slots/tags with the scalar hash, independent of size."""
+        from repro.common.hashing import get_hash_function, load_u32le
+
+        hash_fn = get_hash_function(params.hash_function)
+        hash_mask = (
+            (1 << (8 * params.min_match)) - 1 if params.min_match < 4 else 0xFFFFFFFF
+        )
+        tagged = params.hash_table_contents == "position_and_tag"
+        slots, slots_raw, tags = [], [], [] if tagged else None
+        for pos in range(len(data)):
+            word = load_u32le(data, pos)
+            slots.append(hash_fn(word & hash_mask, params.hash_bits))
+            slots_raw.append(hash_fn(word, params.hash_bits))
+            if tags is not None:
+                tags.append(word & 0xFF)
+        return slots, slots_raw, tags
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    def test_hash_positions_matches_scalar_reference(self, params):
+        data = bytes((i * 131 + i // 7) & 0xFF for i in range(3000))
+        encoder = Lz77Encoder(params)
+        slots, slots_raw, tags = encoder._hash_positions(data, len(data))
+        ref_slots, ref_raw, ref_tags = self.scalar_reference(data, params)
+        assert slots == ref_slots
+        assert slots_raw == ref_raw
+        assert tags == ref_tags
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    def test_small_input_scalar_path_agrees(self, params):
+        data = b"below the vectorization threshold" * 3  # < 512 bytes
+        assert len(data) < 512
+        encoder = Lz77Encoder(params)
+        slots, slots_raw, tags = encoder._hash_positions(data, len(data))
+        ref_slots, ref_raw, ref_tags = self.scalar_reference(data, params)
+        assert slots == ref_slots
+        assert tags == ref_tags
+        if params.min_match < 4:
+            assert slots_raw == ref_raw
+        else:
+            assert slots_raw is slots  # raw word == masked word, list aliased
+
+    @pytest.mark.parametrize("params", PARAM_GRID)
+    def test_scratch_table_reuse_is_stateless(self, params):
+        a = b"first stream with its own repeated repeated content " * 40
+        b = bytes((i * 17) & 0xFF for i in range(2500))
+        reused = Lz77Encoder(params)
+        reused.encode(a)
+        second = reused.encode(b)
+        fresh = Lz77Encoder(params).encode(b)
+        assert [repr(t) for t in second] == [repr(t) for t in fresh]
+
+    def test_encode_identical_across_threshold_styles(self):
+        # The same content encoded below and above the threshold must agree
+        # where the parse is position-independent: a doubled buffer's first
+        # half parse only depends on the first half's content.
+        params = Lz77Params()
+        small = b"abcdabcdabcdabcd" * 8  # 128 bytes: scalar path
+        big = small * 8  # 1024 bytes: vector path
+        enc = Lz77Encoder(params)
+        small_tokens = list(enc.encode(small))
+        big_tokens = list(enc.encode(big))
+        assert decode_tokens(big_tokens, expected_length=len(big)) == big
+        assert decode_tokens(small_tokens, expected_length=len(small)) == small

@@ -1,0 +1,62 @@
+"""Pacing-calibration guards: degenerate measured service times must not
+produce an absurd time scale.
+
+``ServiceHarness.calibrate_time_scale`` divides by the measured mean one-shot
+service time; on a fast machine with tiny payloads that measurement can
+collapse toward (or, with a broken clock, to) zero. Zero/negative now raises
+``ConfigError``; tiny-but-positive values clamp to
+``MIN_CALIBRATION_SERVICE_SECONDS`` so the derived arrival rate stays finite
+and sane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.service import ServiceConfig, ServiceHarness, WorkloadSpec
+from repro.service.harness import MIN_CALIBRATION_SERVICE_SECONDS
+
+SPEC = WorkloadSpec(seed=3, num_calls=20, algorithms=("snappy",), max_payload_bytes=1024)
+
+
+def make_harness() -> ServiceHarness:
+    harness = ServiceHarness(SPEC, ServiceConfig(workers=1))
+    harness.prepare()
+    return harness
+
+
+def test_zero_measured_service_time_raises():
+    harness = make_harness()
+    harness.library.mean_service_seconds = lambda: 0.0
+    with pytest.raises(ConfigError, match="zero or negative"):
+        harness.calibrate_time_scale(0.5)
+
+
+def test_negative_measured_service_time_raises():
+    harness = make_harness()
+    harness.library.mean_service_seconds = lambda: -1e-9
+    with pytest.raises(ConfigError, match="zero or negative"):
+        harness.calibrate_time_scale(0.5)
+
+
+def test_tiny_measured_service_time_clamps():
+    tiny = make_harness()
+    tiny.library.mean_service_seconds = lambda: 1e-15
+    floor = make_harness()
+    floor.library.mean_service_seconds = lambda: MIN_CALIBRATION_SERVICE_SECONDS
+    tiny.calibrate_time_scale(0.5)
+    floor.calibrate_time_scale(0.5)
+    tiny_times = [p.arrival_time for p in tiny.prepare()]
+    floor_times = [p.arrival_time for p in floor.prepare()]
+    assert tiny_times == floor_times
+    assert all(t >= 0 for t in tiny_times)
+
+
+def test_normal_measurement_unaffected_by_guard():
+    harness = make_harness()
+    harness.library.mean_service_seconds = lambda: 0.004  # a realistic 4ms
+    harness.calibrate_time_scale(0.5)
+    times = [p.arrival_time for p in harness.prepare()]
+    assert times == sorted(times)
+    assert times[-1] > 0

@@ -177,3 +177,76 @@ def test_config_validation():
         ServiceConfig(max_queue_depth=0)
     with pytest.raises(ConfigError):
         ServiceConfig(linger_seconds=-0.1)
+
+
+# A linger long enough that any accidental full-linger sleep blows the
+# elapsed-time assertions below by an order of magnitude.
+LONG_LINGER = 30.0
+
+
+def test_full_batch_dispatches_without_lingering():
+    """Regression: a batch already at ``max_batch`` must not sleep the linger."""
+    config = ServiceConfig(
+        workers=1, max_batch=4, batching=True, linger_seconds=LONG_LINGER
+    )
+
+    async def scenario(service):
+        loop = asyncio.get_running_loop()
+        begin = loop.time()
+        requests = [
+            service.make_request("snappy", Operation.COMPRESS, PAYLOAD)
+            for _ in range(8)
+        ]
+        responses = await asyncio.gather(*[service.submit(r) for r in requests])
+        elapsed = loop.time() - begin
+        assert all(r.ok for r in responses)
+        return elapsed
+
+    elapsed = run_service(scenario, config)
+    # Two full batches of 4; with the bug this takes >= one 30s linger.
+    assert elapsed < LONG_LINGER / 2, f"full batches lingered ({elapsed:.1f}s)"
+
+
+def test_close_interrupts_linger():
+    """Regression: a closing lane must not hold its last batch for the linger."""
+    config = ServiceConfig(
+        workers=1, max_batch=8, batching=True, linger_seconds=LONG_LINGER
+    )
+
+    async def _main():
+        loop = asyncio.get_event_loop()
+        begin = loop.time()
+        async with CompressionService(config) as service:
+            request = service.make_request("snappy", Operation.COMPRESS, PAYLOAD)
+            task = asyncio.create_task(service.submit(request))
+            # Let the drainer pick the request up and enter its linger wait;
+            # __aexit__ then closes the lane, which must cut the wait short.
+            await asyncio.sleep(0.2)
+        response = await asyncio.wait_for(task, TIMEOUT_SECONDS)
+        assert response.ok
+        return loop.time() - begin
+
+    elapsed = asyncio.run(_main())
+    assert elapsed < LONG_LINGER / 2, f"close waited out the linger ({elapsed:.1f}s)"
+
+
+def test_linger_coalesces_staggered_arrivals():
+    """A short linger holds an underfull batch open for late arrivals."""
+    config = ServiceConfig(
+        workers=1, max_batch=8, batching=True, linger_seconds=2.0
+    )
+
+    async def scenario(service):
+        first = service.make_request("snappy", Operation.COMPRESS, PAYLOAD)
+        task = asyncio.create_task(service.submit(first))
+        await asyncio.sleep(0.2)  # arrives well inside the linger window
+        second = await service.submit(
+            service.make_request("snappy", Operation.COMPRESS, PAYLOAD)
+        )
+        first_response = await task
+        return first_response, second
+
+    first_response, second = run_service(scenario, config)
+    assert first_response.ok and second.ok
+    assert first_response.batch_size == 2
+    assert second.batch_size == 2
