@@ -146,6 +146,11 @@ def test_codec_throughput_matrix_and_baseline(results_dir):
     assert kernels["crc32c_4KiB_speedup"] >= REQUIRED_KERNEL_SPEEDUP
     assert kernels["huffman_decode_4KiB_speedup"] >= REQUIRED_KERNEL_SPEEDUP
 
+    # Graph presets register as ordinary codecs, so their one-shot and
+    # streaming cells must appear in the matrix alongside the monoliths.
+    graph_cells = [name for name in matrix if name.startswith("graph-")]
+    assert len(graph_cells) >= 3, graph_cells
+
 
 def _kernel_speedups():
     """Vectorized kernels vs the retained scalar reference loops at 4 KiB."""

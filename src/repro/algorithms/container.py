@@ -257,3 +257,95 @@ def try_decode_varint(
         shift += 7
         if shift >= max_bits + 7:
             raise CorruptStreamError("varint too long")
+
+
+# ---------------------------------------------------------------------------
+# Codec-graph stage descriptors (the GRPH frame's pipeline table)
+# ---------------------------------------------------------------------------
+
+#: Upper bound on stages in one graph frame; longer pipelines are corruption.
+MAX_GRAPH_STAGES = 12
+#: Upper bound on integer parameters carried by one stage descriptor.
+_MAX_STAGE_PARAMS = 4
+
+
+@dataclass(frozen=True)
+class StageDescriptor:
+    """Wire form of one pipeline stage: a numeric id plus integer params.
+
+    The descriptor table is what makes a graph frame self-describing — the
+    decoder rebuilds the whole transform pipeline from these rows alone,
+    without out-of-band configuration.
+    """
+
+    stage_id: int
+    params: Tuple[int, ...] = ()
+
+
+def encode_stage_descriptors(descriptors: Tuple[StageDescriptor, ...]) -> bytes:
+    """Serialize a descriptor table: varint count, then per-stage rows.
+
+    Each row is ``varint stage_id, varint n_params, varint param*``.
+    """
+    if not 0 < len(descriptors) <= MAX_GRAPH_STAGES:
+        raise ValueError(
+            f"descriptor table must hold 1..{MAX_GRAPH_STAGES} stages"
+        )
+    out = [encode_varint(len(descriptors))]
+    for descriptor in descriptors:
+        if len(descriptor.params) > _MAX_STAGE_PARAMS:
+            raise ValueError(
+                f"stage {descriptor.stage_id} carries too many parameters"
+            )
+        out.append(encode_varint(descriptor.stage_id))
+        out.append(encode_varint(len(descriptor.params)))
+        for param in descriptor.params:
+            out.append(encode_varint(param))
+    return b"".join(out)
+
+
+def try_decode_stage_descriptors(
+    data: bytes, pos: int
+) -> Optional[Tuple[Tuple[StageDescriptor, ...], int]]:
+    """Parse a descriptor table from ``data`` starting at ``pos``.
+
+    Same contract as :func:`try_decode_varint`: returns ``None`` when the
+    buffer ends mid-table (streaming callers wait for more bytes), the
+    ``(descriptors, next_pos)`` pair when complete, and raises
+    :class:`CorruptStreamError` for tables that are provably invalid
+    (zero stages, too many stages, too many parameters).
+    """
+    decoded = try_decode_varint(data, pos, max_bits=16)
+    if decoded is None:
+        return None
+    count, pos = decoded
+    if count < 1:
+        raise CorruptStreamError("graph frame declares an empty pipeline")
+    if count > MAX_GRAPH_STAGES:
+        raise CorruptStreamError(
+            f"graph frame declares {count} stages (limit {MAX_GRAPH_STAGES})"
+        )
+    descriptors = []
+    for _ in range(count):
+        decoded = try_decode_varint(data, pos, max_bits=16)
+        if decoded is None:
+            return None
+        stage_id, pos = decoded
+        decoded = try_decode_varint(data, pos, max_bits=16)
+        if decoded is None:
+            return None
+        n_params, pos = decoded
+        if n_params > _MAX_STAGE_PARAMS:
+            raise CorruptStreamError(
+                f"stage {stage_id} declares {n_params} parameters "
+                f"(limit {_MAX_STAGE_PARAMS})"
+            )
+        params = []
+        for _ in range(n_params):
+            decoded = try_decode_varint(data, pos, max_bits=32)
+            if decoded is None:
+                return None
+            param, pos = decoded
+            params.append(param)
+        descriptors.append(StageDescriptor(stage_id, tuple(params)))
+    return tuple(descriptors), pos

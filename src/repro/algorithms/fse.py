@@ -21,6 +21,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro import obs
 from repro.common.bitio import BitReader, BitWriter, u32_windows
 from repro.common.errors import CorruptStreamError
+from repro.common.varint import encode_varint
 
 #: zstd caps FSE accuracy logs at 9-12 depending on the table; we allow 5-12.
 MIN_ACCURACY_LOG = 5
@@ -239,3 +240,90 @@ class FseTable:
         if sum(normalized.values()) != (1 << accuracy_log):
             raise CorruptStreamError("FSE header counts do not sum to table size")
         return cls(normalized, accuracy_log), reader.byte_position()
+
+
+# ---------------------------------------------------------------------------
+# Byte-block adapter (the codec-graph ``fse`` backend stage)
+# ---------------------------------------------------------------------------
+
+#: Block mode bytes: raw passthrough vs entropy-coded.
+_BLOCK_RAW = 0
+_BLOCK_CODED = 1
+_BYTE_ALPHABET = 256
+
+
+def _block_accuracy_log(data: bytes, distinct: int) -> int:
+    """Table size heuristic: grow with the block, stay above the alphabet."""
+    chosen = max(len(data).bit_length() - 2, distinct.bit_length())
+    return max(MIN_ACCURACY_LOG, min(DEFAULT_ACCURACY_LOG, chosen))
+
+
+def encode_byte_block(data: bytes) -> bytes:
+    """Self-delimiting FSE block over raw bytes.
+
+    Layout: one mode byte (0 raw, 1 coded); coded blocks carry the accuracy
+    log, a varint symbol count, the normalized-count table header, a varint
+    final state, and the bitstream. Falls back to raw whenever coding does
+    not shrink the block, so output never exceeds ``len(data) + 1`` bytes.
+    """
+    if data:
+        frequencies = {}
+        for byte in data:
+            frequencies[byte] = frequencies.get(byte, 0) + 1
+        accuracy_log = _block_accuracy_log(data, len(frequencies))
+        table = FseTable.from_frequencies(frequencies, accuracy_log)
+        payload, final_state, _ = table.encode(data)
+        coded = (
+            bytes([_BLOCK_CODED, accuracy_log])
+            + encode_varint(len(data))
+            + table.serialize_counts(_BYTE_ALPHABET)
+            + encode_varint(final_state)
+            + payload
+        )
+        if len(coded) <= len(data):
+            return coded
+    return bytes([_BLOCK_RAW]) + data
+
+
+def decode_byte_block(data: bytes, *, max_count: int = 1 << 26) -> bytes:
+    """Inverse of :func:`encode_byte_block`.
+
+    A decode surface: raises :class:`CorruptStreamError` on any block it
+    cannot invert. ``max_count`` bounds the declared symbol count — FSE
+    symbols can legitimately cost zero bits, so unlike Huffman the payload
+    size does not bound the count and an explicit cap is required.
+    """
+    from repro.algorithms.container import try_decode_varint
+
+    if not data:
+        raise CorruptStreamError("empty FSE block")
+    mode = data[0]
+    if mode == _BLOCK_RAW:
+        return data[1:]
+    if mode != _BLOCK_CODED:
+        raise CorruptStreamError(f"unknown FSE block mode {mode}")
+    if len(data) < 2:
+        raise CorruptStreamError("truncated FSE block accuracy log")
+    accuracy_log = data[1]
+    if not MIN_ACCURACY_LOG <= accuracy_log <= MAX_ACCURACY_LOG:
+        raise CorruptStreamError(f"FSE block accuracy log {accuracy_log} out of range")
+    decoded = try_decode_varint(data, 2, max_bits=32)
+    if decoded is None:
+        raise CorruptStreamError("truncated FSE block symbol count")
+    count, pos = decoded
+    if count > max_count:
+        raise CorruptStreamError(
+            f"FSE block declares {count} symbols (limit {max_count})"
+        )
+    header_bytes = (_BYTE_ALPHABET * (accuracy_log + 1) + 7) // 8
+    if len(data) - pos < header_bytes:
+        raise CorruptStreamError("truncated FSE block table header")
+    table, consumed = FseTable.deserialize_counts(
+        data[pos:], _BYTE_ALPHABET, accuracy_log
+    )
+    pos += consumed
+    decoded = try_decode_varint(data, pos, max_bits=32)
+    if decoded is None:
+        raise CorruptStreamError("truncated FSE block state")
+    initial_state, pos = decoded
+    return bytes(table.decode(data[pos:], initial_state, count))

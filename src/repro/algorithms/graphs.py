@@ -1,0 +1,196 @@
+"""Composable codec graphs: transform pipelines behind a self-describing frame.
+
+The paper's design space treats each codec as a monolith, but the fleet data
+it rests on shows compression wins come from matching *structure* to *entropy
+coding* — the model OpenZL formalizes: a codec is a DAG of reversible
+transforms (delta, byte transpose, float plane split, tokenization) feeding an
+entropy backend, and the graph description ships inside the frame so the
+decoder needs no out-of-band configuration.
+
+This module is the (linear-) graph engine over :mod:`repro.algorithms.stages`:
+
+* :data:`GRAPH_FRAME` — the ``GRPH`` container: magic, version byte, varint
+  content length, then the stage-descriptor table
+  (:func:`repro.algorithms.container.encode_stage_descriptors`), then the
+  pipeline output, then a CRC-32C content trailer.
+* :class:`GraphCodec` — an ordinary :class:`~repro.algorithms.base.Codec`
+  whose block transform runs the stage pipeline forward / inverse. Because it
+  is a plain codec, streaming contexts, the serving layer, golden vectors,
+  fuzzing and obs spans all apply unchanged.
+* :data:`GRAPH_PRESETS` — named pipelines registered with the codec registry
+  at import, so ``get_codec("graph-delta-fse")`` just works.
+
+Decompression is **self-describing**: ``_decompress_buffer`` rebuilds the
+pipeline purely from the frame's descriptor table, never from the codec
+instance's own spec, so any graph frame decodes under any preset's decoder.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.algorithms.base import Codec, CodecInfo, WeightClass
+from repro.algorithms.container import (
+    FrameSpec,
+    append_content_checksum,
+    encode_stage_descriptors,
+    split_content_checksum,
+    try_decode_stage_descriptors,
+    verify_content_checksum,
+)
+from repro.algorithms.stages import (
+    Stage,
+    descriptor_for,
+    make_stage,
+    stage_from_descriptor,
+)
+from repro.common.errors import ConfigError, CorruptStreamError
+
+#: One stage spec: stage name plus its integer parameters.
+StageSpec = Tuple
+#: One graph spec: an ordered tuple of stage specs, last one a backend.
+GraphSpec = Tuple[StageSpec, ...]
+
+GRAPH_MAGIC = b"GRPH"
+
+#: The codec-graph container. Keyword construction keeps the magic handling
+#: inside the declarative frame layer (lint rule R006).
+GRAPH_FRAME = FrameSpec(
+    display="codec-graph frame",
+    magic=GRAPH_MAGIC,
+    version=1,
+    has_length=True,
+    has_checksum=True,
+)
+
+#: Named graph presets, registered as ordinary codecs. The dict literal is
+#: statically cross-checked against the stage registry by lint rule R005.
+GRAPH_PRESETS = {
+    "graph-delta-fse": (("delta", 1), ("fse",)),
+    "graph-plane-fse": (("transpose", 8), ("delta", 1), ("fse",)),
+    "graph-float-fse": (("float_split", 8), ("delta", 1), ("fse",)),
+    "graph-lz-huff": (("lz77",), ("huffman",)),
+    "graph-token-fse": (("tokenize", 10), ("fse",)),
+}
+
+
+def build_stages(spec: GraphSpec) -> Tuple[Stage, ...]:
+    """Instantiate a graph spec into a stage pipeline.
+
+    Raises :class:`ConfigError` when the spec is empty, malformed, or does
+    not terminate in an entropy backend (a transform-only pipeline would
+    leave structured bytes uncoded — always a configuration mistake).
+    """
+    if not spec:
+        raise ConfigError("graph spec must contain at least one stage")
+    stages = tuple(make_stage(entry[0], *entry[1:]) for entry in spec)
+    if not stages[-1].is_backend:
+        raise ConfigError(
+            f"graph must end in an entropy backend, got {stages[-1].name!r}"
+        )
+    return stages
+
+
+def describe_graph(spec: GraphSpec) -> str:
+    """Human-readable pipeline, e.g. ``delta(1) > fse``."""
+    return " > ".join(stage.describe() for stage in build_stages(spec))
+
+
+class GraphCodec(Codec):
+    """A stage pipeline packaged as an ordinary registry codec."""
+
+    def __init__(self, name: str, spec: GraphSpec) -> None:
+        self._stages = build_stages(spec)
+        self.info = CodecInfo(
+            name=name,
+            display_name=f"Graph[{' > '.join(s.name for s in self._stages)}]",
+            weight_class=WeightClass.HEAVYWEIGHT,
+            has_entropy_coding=self._stages[-1].name != "raw",
+            supports_levels=False,
+            fixed_window_bytes=64 * 1024,
+        )
+
+    @property
+    def stages(self) -> Tuple[Stage, ...]:
+        return self._stages
+
+    def _compress_buffer(
+        self,
+        data: bytes,
+        *,
+        level: Optional[int] = None,
+        window_size: Optional[int] = None,
+    ) -> bytes:
+        body = data
+        for stage in self._stages:
+            body = stage.forward(body)
+        stages = self._stages
+        if len(body) >= len(data) and any(s.name != "raw" for s in stages):
+            # Raw escape (zstd-style raw block): when the pipeline loses on
+            # this input — e.g. a float transform fed text — ship the bytes
+            # verbatim under a raw-only pipeline. The frame stays
+            # self-describing, and expansion is bounded by the fixed frame
+            # overhead instead of the worst transform in the pipeline.
+            stages = (make_stage("raw"),)
+            body = data
+        frame = (
+            GRAPH_FRAME.encode_preamble(content_length=len(data))
+            + encode_stage_descriptors(
+                tuple(descriptor_for(stage) for stage in stages)
+            )
+            + body
+        )
+        return append_content_checksum(frame, data)
+
+    def _decompress_buffer(
+        self, data: bytes, *, window_size: Optional[int] = None
+    ) -> bytes:
+        frame, stored = split_content_checksum(data)
+        preamble, pos = GRAPH_FRAME.decode_preamble(frame)
+        decoded = try_decode_stage_descriptors(frame, pos)
+        if decoded is None:
+            raise CorruptStreamError("truncated graph stage descriptor table")
+        descriptors, pos = decoded
+        stages = tuple(stage_from_descriptor(d) for d in descriptors)
+        if not stages[-1].is_backend:
+            raise CorruptStreamError(
+                f"graph frame ends in transform stage {stages[-1].name!r}"
+            )
+        out = bytes(frame[pos:])
+        for stage in reversed(stages):
+            out = stage.inverse(out)
+        if len(out) != preamble.content_length:
+            raise CorruptStreamError(
+                f"graph frame declared {preamble.content_length} bytes "
+                f"but pipeline produced {len(out)}"
+            )
+        verify_content_checksum(out, stored)
+        return out
+
+
+def graph_presets() -> Tuple[str, ...]:
+    """Preset names in sorted order."""
+    return tuple(sorted(GRAPH_PRESETS))
+
+
+def register_graph_presets(register: Callable[[str, Callable[[], Codec]], None]) -> None:
+    """Register every preset with the codec registry (called at import)."""
+    for name in graph_presets():
+        register(name, functools.partial(GraphCodec, name, GRAPH_PRESETS[name]))
+
+
+def describe_frame(data: bytes) -> Dict[str, object]:
+    """Parse a graph frame's header for the CLI: pipeline + declared length."""
+    frame, _ = split_content_checksum(data)
+    preamble, pos = GRAPH_FRAME.decode_preamble(frame)
+    decoded = try_decode_stage_descriptors(frame, pos)
+    if decoded is None:
+        raise CorruptStreamError("truncated graph stage descriptor table")
+    descriptors, pos = decoded
+    stages = tuple(stage_from_descriptor(d) for d in descriptors)
+    return {
+        "pipeline": " > ".join(stage.describe() for stage in stages),
+        "content_length": preamble.content_length,
+        "body_bytes": len(frame) - pos,
+    }

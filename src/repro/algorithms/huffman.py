@@ -21,6 +21,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro import obs
 from repro.common.bitio import BitReader, BitWriter, u32_windows
 from repro.common.errors import CorruptStreamError
+from repro.common.varint import encode_varint
 
 #: Default code-length cap; zstd limits literal codes to 11 bits.
 DEFAULT_MAX_BITS = 11
@@ -264,3 +265,70 @@ def _decode_symbols_reader(data: bytes, count: int, table: HuffmanTable) -> List
 def byte_frequencies(data: bytes) -> Dict[int, int]:
     """Symbol statistics for a byte buffer (the dictionary builder's input)."""
     return dict(Counter(data))
+
+
+# ---------------------------------------------------------------------------
+# Byte-block adapter (the codec-graph ``huffman`` backend stage)
+# ---------------------------------------------------------------------------
+
+#: Block mode bytes: raw passthrough vs entropy-coded.
+_BLOCK_RAW = 0
+_BLOCK_CODED = 1
+_BYTE_ALPHABET = 256
+
+
+def encode_byte_block(data: bytes) -> bytes:
+    """Self-delimiting Huffman block over raw bytes.
+
+    Layout: one mode byte (0 raw, 1 coded); coded blocks carry a varint
+    symbol count, the 4-bit-per-symbol code-length header, and the
+    bitstream. Falls back to raw whenever coding does not shrink the block,
+    so output never exceeds ``len(data) + 1`` bytes. This is the same
+    table-header-plus-bitstream shape the Flate-like codec's literal section
+    uses, factored out for the composable-graph backend.
+    """
+    if data:
+        table = HuffmanTable.from_frequencies(byte_frequencies(data))
+        coded = (
+            bytes([_BLOCK_CODED])
+            + encode_varint(len(data))
+            + serialize_lengths(table, _BYTE_ALPHABET)
+            + encode_symbols(data, table)
+        )
+        if len(coded) <= len(data):
+            return coded
+    return bytes([_BLOCK_RAW]) + data
+
+
+def decode_byte_block(data: bytes, *, max_count: int = 1 << 26) -> bytes:
+    """Inverse of :func:`encode_byte_block`.
+
+    A decode surface: raises :class:`CorruptStreamError` on any block it
+    cannot invert. ``max_count`` bounds the declared symbol count so a
+    mutated varint cannot demand an implausibly long decode loop.
+    """
+    from repro.algorithms.container import try_decode_varint
+
+    if not data:
+        raise CorruptStreamError("empty huffman block")
+    mode = data[0]
+    if mode == _BLOCK_RAW:
+        return data[1:]
+    if mode != _BLOCK_CODED:
+        raise CorruptStreamError(f"unknown huffman block mode {mode}")
+    decoded = try_decode_varint(data, 1, max_bits=32)
+    if decoded is None:
+        raise CorruptStreamError("truncated huffman block symbol count")
+    count, pos = decoded
+    if count > max_count:
+        raise CorruptStreamError(
+            f"huffman block declares {count} symbols (limit {max_count})"
+        )
+    header = data[pos:]
+    if len(header) < _BYTE_ALPHABET // 2:
+        raise CorruptStreamError("truncated huffman block table header")
+    table, consumed = deserialize_lengths(header, _BYTE_ALPHABET)
+    payload = header[consumed:]
+    if count > 8 * len(payload):
+        raise CorruptStreamError("huffman block count exceeds bitstream capacity")
+    return bytes(decode_symbols(payload, count, table))

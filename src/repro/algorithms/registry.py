@@ -9,7 +9,7 @@ full Figure 1 algorithm set.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.algorithms.base import Codec, CodecInfo, WeightClass
 from repro.algorithms.brotli import BROTLI_INFO, BrotliCodec
@@ -44,17 +44,34 @@ _CODEC_FACTORIES = {
     "lzo": LzoCodec,
 }
 
+#: Codecs registered at runtime via :func:`register_codec` (graph presets).
+_DYNAMIC_FACTORIES: Dict[str, Callable[[], Codec]] = {}
+
+
+def register_codec(name: str, factory: Callable[[], Codec]) -> None:
+    """Register a codec factory under ``name``.
+
+    Collisions raise :class:`ConfigError` rather than silently overwriting —
+    a second registration under an existing name would swap the wire format
+    behind every consumer holding that name (service workers resolve codecs
+    by name), so it is always a configuration bug.
+    """
+    key = name.lower()
+    if key in _CODEC_FACTORIES or key in _DYNAMIC_FACTORIES:
+        raise ConfigError(f"codec name {name!r} is already registered")
+    _DYNAMIC_FACTORIES[key] = factory
+
 
 def available_codecs() -> List[str]:
     """Names of algorithms with a runnable codec implementation."""
-    return sorted(_CODEC_FACTORIES)
+    return sorted({**_CODEC_FACTORIES, **_DYNAMIC_FACTORIES})
 
 
 def get_codec(name: str) -> Codec:
     """Instantiate a codec by registry name (fresh instance each call)."""
-    try:
-        factory = _CODEC_FACTORIES[name.lower()]
-    except KeyError:
+    key = name.lower()
+    factory = _CODEC_FACTORIES.get(key) or _DYNAMIC_FACTORIES.get(key)
+    if factory is None:
         known = ", ".join(available_codecs())
         raise ConfigError(
             f"no codec implementation for {name!r}; available: {known}"
@@ -77,3 +94,11 @@ def heavyweight_algorithms() -> List[str]:
 
 def lightweight_algorithms() -> List[str]:
     return [n for n, i in ALGORITHM_INFOS.items() if i.weight_class is WeightClass.LIGHTWEIGHT]
+
+
+# Graph presets register last: the import is deferred to the module bottom
+# because graphs.py's stage backends wrap the same primitive codec modules
+# imported above.
+from repro.algorithms.graphs import register_graph_presets  # noqa: E402
+
+register_graph_presets(register_codec)

@@ -115,6 +115,36 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(summaries)
 
+    graph = sub.add_parser(
+        "graph", help="inspect and run composable codec graphs"
+    )
+    graph_sub = graph.add_subparsers(dest="graph_command", required=True)
+    graph_sub.add_parser("list", help="list registered graph presets")
+    graph_describe = graph_sub.add_parser(
+        "describe", help="describe a preset pipeline or a .bin graph frame"
+    )
+    graph_describe.add_argument(
+        "target", help="preset name (e.g. graph-delta-fse) or path to a frame"
+    )
+    graph_roundtrip = graph_sub.add_parser(
+        "roundtrip", help="compress + decompress a file through a preset"
+    )
+    graph_roundtrip.add_argument("preset", help="preset name")
+    graph_roundtrip.add_argument(
+        "input", nargs="?", default="-", help="input file (default: stdin)"
+    )
+    graph_sweep = graph_sub.add_parser(
+        "sweep",
+        help="score the transform-chain x backend lattice per workload "
+        "against every monolithic codec",
+    )
+    graph_sweep.add_argument("--seed", type=int, default=None)
+    graph_sweep.add_argument("--size", type=int, default=None, metavar="BYTES")
+    graph_sweep.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the JSON artifact (e.g. results/graph_dse.json)",
+    )
+
     stats = sub.add_parser(
         "stats",
         help="run an instrumented workload and print the metrics snapshot",
@@ -451,6 +481,68 @@ def _stats_workload_sim() -> None:
     simulate(trace, service, lanes=2)
 
 
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from repro.algorithms.graphs import (
+        GRAPH_PRESETS,
+        describe_frame,
+        describe_graph,
+        graph_presets,
+    )
+    from repro.common.errors import ReproError
+
+    try:
+        if args.graph_command == "list":
+            for name in graph_presets():
+                print(f"{name:18s} {describe_graph(GRAPH_PRESETS[name])}")
+            return 0
+        if args.graph_command == "describe":
+            if args.target in GRAPH_PRESETS:
+                print(f"{args.target}: {describe_graph(GRAPH_PRESETS[args.target])}")
+                return 0
+            info = describe_frame(_read(args.target))
+            print(f"pipeline       : {info['pipeline']}")
+            print(f"content length : {info['content_length']} bytes")
+            print(f"body           : {info['body_bytes']} bytes")
+            return 0
+        if args.graph_command == "roundtrip":
+            codec = get_codec(args.preset)
+            data = _read(args.input)
+            frame = codec.compress(data)
+            restored = codec.decompress(frame)
+            if restored != data:
+                print("error: round trip diverged", file=sys.stderr)
+                return 1
+            ratio = len(frame) / max(1, len(data))
+            print(
+                f"{args.preset}: {len(data)} -> {len(frame)} bytes "
+                f"(ratio {ratio:.4f}), round trip OK"
+            )
+            return 0
+        # sweep
+        from repro.dse.graphs import sweep_graph_designs, sweep_summary_lines
+
+        kwargs = {}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        if args.size is not None:
+            kwargs["size"] = args.size
+        payload = sweep_graph_designs(**kwargs)
+        for line in sweep_summary_lines(payload):
+            print(line)
+        if args.out:
+            import json
+
+            _write(
+                args.out,
+                (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(),
+            )
+            print(f"wrote {args.out}", file=sys.stderr)
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro import obs
 
@@ -546,6 +638,7 @@ _COMMANDS = {
     "fleet": _cmd_fleet,
     "dse": _cmd_dse,
     "summaries": _cmd_summaries,
+    "graph": _cmd_graph,
     "stats": _cmd_stats,
     "serve": _cmd_serve,
     "lint": _cmd_lint,

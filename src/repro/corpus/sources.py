@@ -179,6 +179,72 @@ def mixed_source(seed: int, size: int) -> bytes:
     return b"".join(parts)[:size]
 
 
+# ---------------------------------------------------------------------------
+# FCBench-style domain sources (codec-graph sweep workloads)
+# ---------------------------------------------------------------------------
+
+
+def float_timeseries_source(seed: int, size: int) -> bytes:
+    """Little-endian f64 sensor series: smooth drift on a quantized grid.
+
+    Models FCBench's scientific/sensor domain: consecutive readings differ
+    by tiny quantized steps, so sign and exponent bytes are nearly constant
+    and high mantissa bytes change slowly — structure a ``float_split`` +
+    ``delta`` graph exposes but byte-oriented LZ matching largely misses.
+    Values are rounded to a 2**-10 grid (a fixed ADC step), as real sensor
+    pipelines quantize before logging.
+    """
+    rng = make_rng(seed, "float_timeseries")
+    count = max(1, (size + 7) // 8)
+    steps = rng.normal(0.0, 0.02, size=count)
+    # Occasional regime changes so the series is not one trivial ramp.
+    regime = rng.random(size=count) < 0.002
+    steps[regime] += rng.normal(0.0, 5.0, size=int(regime.sum()))
+    series = 100.0 + np.cumsum(steps)
+    quantized = np.round(series * 1024.0) / 1024.0
+    return quantized.astype("<f8").tobytes()[:size]
+
+
+def columnar_records_source(seed: int, size: int) -> bytes:
+    """Column-major record batches (analytics-file stand-in).
+
+    Each batch serializes 256 records column by column: ascending u64 row
+    ids, regularly spaced u64 timestamps with jitter, a smooth quantized f32
+    metric, and a skewed u8 enum — the layout where per-column transforms
+    (``transpose`` + ``delta``) beat whole-row codecs.
+    """
+    rng = make_rng(seed, "columnar_records")
+    batch = 256
+    out = bytearray()
+    row_id = int(rng.integers(1, 1 << 20))
+    timestamp = 1_700_000_000_000 + int(rng.integers(0, 1 << 30))
+    metric = 50.0
+    while len(out) < size:
+        ids = np.arange(row_id, row_id + batch, dtype="<u8")
+        row_id += batch
+        jitter = rng.integers(0, 40, size=batch, dtype=np.int64)
+        stamps = (timestamp + np.arange(batch, dtype=np.int64) * 1000 + jitter).astype("<u8")
+        timestamp = int(stamps[-1])
+        metric_walk = metric + np.cumsum(rng.normal(0.0, 0.05, size=batch))
+        metric = float(metric_walk[-1])
+        metrics = (np.round(metric_walk * 256.0) / 256.0).astype("<f4")
+        enums = rng.choice(
+            np.array([0, 0, 0, 0, 0, 1, 1, 2], dtype=np.uint8), size=batch
+        )
+        out += ids.tobytes() + stamps.tobytes() + metrics.tobytes() + enums.tobytes()
+    return bytes(out[:size])
+
+
+#: FCBench-style domain workloads for the graph-aware DSE sweep. Kept apart
+#: from :data:`SOURCES` on purpose: the hcbench LUTs and committed DSE
+#: artifacts are derived from the classic source set, so extending SOURCES
+#: would silently shift every downstream distribution.
+DOMAIN_SOURCES: Dict[str, "SourceFn"] = {
+    "float_timeseries": float_timeseries_source,
+    "columnar_records": columnar_records_source,
+}
+
+
 SourceFn = Callable[[int, int], bytes]
 
 #: All corpus sources, keyed by name; ordered roughly by compressibility.

@@ -9,6 +9,13 @@ magic constant (``MAGIC``, ``*_MAGIC``, ``STREAM_IDENTIFIER``) may be
 slicing or concatenating a magic inline is exactly the per-codec preamble
 duplication the container layer exists to prevent.
 
+The codec-graph frame extends the fence: a stage's numeric wire id
+(``STAGE_ID``) is descriptor-table plumbing, so outside the stage registry
+(``algorithms/stages.py``) and the container layer it may not be read at
+all — graph code maps stages to wire ids through
+``descriptor_for()``/``stage_from_descriptor()``, never by consuming ids
+inline.
+
 The rule is baseline-free by design: new hits are fixed by routing the byte
 handling through :class:`FrameSpec`, not by baselining.
 """
@@ -27,14 +34,27 @@ from repro.lint.rules.common import dotted_name, is_test_path
 #: Identifier shapes that name a frame magic / stream identifier constant.
 _MAGIC_NAME = re.compile(r"^(MAGIC|[A-Z0-9_]+_MAGIC|STREAM_IDENTIFIER)$")
 
+#: Identifier naming a stage's graph-frame wire id.
+_STAGE_ID_NAME = re.compile(r"^STAGE_ID$")
+
 #: The one module allowed to manipulate preamble bytes directly.
 _CONTAINER_MODULE = "algorithms/container.py"
 
+#: The one module (besides the container) allowed to read stage wire ids.
+_STAGES_MODULE = "algorithms/stages.py"
+
+
+def _normalize(rel: str) -> str:
+    norm = rel[4:] if rel.startswith("src/") else rel
+    return norm[6:] if norm.startswith("repro/") else norm
+
 
 def _is_container(rel: str) -> bool:
-    norm = rel[4:] if rel.startswith("src/") else rel
-    norm = norm[6:] if norm.startswith("repro/") else norm
-    return norm == _CONTAINER_MODULE
+    return _normalize(rel) == _CONTAINER_MODULE
+
+
+def _may_read_stage_ids(rel: str) -> bool:
+    return _normalize(rel) in (_CONTAINER_MODULE, _STAGES_MODULE)
 
 
 @register
@@ -47,24 +67,38 @@ class ContainerFramingRule(Rule):
     def check(self, project: ProjectContext) -> Iterable[Finding]:
         findings: List[Finding] = []
         for ctx in project.modules:
-            if is_test_path(ctx.rel) or _is_container(ctx.rel):
+            if is_test_path(ctx.rel):
                 continue
             findings.extend(self._check_module(ctx))
         return findings
 
     def _check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
         allowed = self._keyword_argument_nodes(ctx.tree)
+        check_magic = not _is_container(ctx.rel)
+        check_stage_ids = not _may_read_stage_ids(ctx.rel)
         for node in ast.walk(ctx.tree):
-            name = self._magic_load(node)
-            if name is None or id(node) in allowed:
-                continue
-            yield ctx.finding(
-                self,
-                node,
-                f"inline use of frame magic '{name}': preamble byte handling "
-                "belongs to the container layer — declare a FrameSpec and use "
-                "encode_preamble()/decode_preamble() instead",
-            )
+            if check_magic:
+                name = self._magic_load(node)
+                if name is not None and id(node) not in allowed:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"inline use of frame magic '{name}': preamble byte "
+                        "handling belongs to the container layer — declare a "
+                        "FrameSpec and use encode_preamble()/decode_preamble() "
+                        "instead",
+                    )
+                    continue
+            if check_stage_ids:
+                name = self._stage_id_load(node)
+                if name is not None:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"inline read of stage wire id '{name}': graph "
+                        "descriptor handling belongs to the stage registry — "
+                        "use descriptor_for()/stage_from_descriptor() instead",
+                    )
 
     @staticmethod
     def _magic_load(node: ast.AST) -> str:
@@ -79,6 +113,23 @@ class ContainerFramingRule(Rule):
             isinstance(node, ast.Attribute)
             and isinstance(node.ctx, ast.Load)
             and _MAGIC_NAME.match(node.attr)
+        ):
+            return dotted_name(node) or node.attr
+        return None
+
+    @staticmethod
+    def _stage_id_load(node: ast.AST) -> str:
+        """The stage wire id this node reads, or ``None``."""
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and _STAGE_ID_NAME.match(node.id)
+        ):
+            return node.id
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+            and _STAGE_ID_NAME.match(node.attr)
         ):
             return dotted_name(node) or node.attr
         return None

@@ -13,6 +13,14 @@ This rule statically cross-checks, for each ``_CODEC_FACTORIES`` entry:
   ``compress_context``/``decompress_context`` factory,
 * a ``tests/algorithms/test_<module>.py`` file exists and mentions
   ``decompress`` (i.e. it round-trips, not just constructs).
+
+The codec-graph layer extends the contract: every ``GRAPH_PRESETS`` entry in
+``algorithms/graphs.py`` is cross-checked against the stage registry in
+``algorithms/stages.py`` — each stage name must be a ``_STAGE_TYPES`` key,
+each pipeline must terminate in an ``ENTROPY_BACKENDS`` member, and the
+graph layer must have its own round-trip test file. A preset naming a stage
+that does not exist would otherwise only fail at import time of the first
+consumer.
 """
 
 from __future__ import annotations
@@ -113,7 +121,133 @@ class RegistryCompletenessRule(Rule):
                         severity=Severity.WARNING,
                     )
                 )
+        findings.extend(self._check_graph_presets(project, registry_ctx))
         return findings
+
+    def _check_graph_presets(
+        self, project: ProjectContext, registry_ctx: ModuleContext
+    ) -> List[Finding]:
+        """Cross-check GRAPH_PRESETS against the stage registry, statically."""
+        rel_dir = str(registry_ctx.rel).rsplit("/", 1)[0]
+        graphs_ctx = project.module(f"{rel_dir}/graphs.py")
+        stages_ctx = project.module(f"{rel_dir}/stages.py")
+        if graphs_ctx is None or stages_ctx is None:
+            return []
+        findings: List[Finding] = []
+        stage_names = self._dict_string_keys(stages_ctx.tree, "_STAGE_TYPES")
+        backends = self._string_tuple(stages_ctx.tree, "ENTROPY_BACKENDS")
+        presets = self._graph_presets(graphs_ctx.tree)
+        if stage_names is None or backends is None or presets is None:
+            return []
+        for key_node, preset_name, stages in presets:
+            if not preset_name.startswith("graph-"):
+                findings.append(
+                    graphs_ctx.finding(
+                        self,
+                        key_node,
+                        f"graph preset {preset_name!r} must use the 'graph-' "
+                        "name prefix so registry consumers can recognize the "
+                        "frame family",
+                    )
+                )
+            unknown = [s for s in stages if s not in stage_names]
+            if unknown:
+                findings.append(
+                    graphs_ctx.finding(
+                        self,
+                        key_node,
+                        f"graph preset {preset_name!r} names unknown stage(s) "
+                        f"{', '.join(repr(s) for s in unknown)} — not in "
+                        "stages._STAGE_TYPES",
+                    )
+                )
+            elif stages and stages[-1] not in backends:
+                findings.append(
+                    graphs_ctx.finding(
+                        self,
+                        key_node,
+                        f"graph preset {preset_name!r} ends in transform "
+                        f"{stages[-1]!r}; pipelines must terminate in one of "
+                        f"ENTROPY_BACKENDS ({', '.join(backends)})",
+                    )
+                )
+        test_path = project.root / "tests" / "algorithms" / "test_graphs.py"
+        if not test_path.exists() or "decompress" not in test_path.read_text(
+            encoding="utf-8"
+        ):
+            findings.append(
+                graphs_ctx.finding(
+                    self,
+                    graphs_ctx.tree,
+                    "graph presets have no round-trip test file "
+                    "tests/algorithms/test_graphs.py exercising decompress",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _dict_string_keys(tree: ast.Module, var_name: str) -> Optional[set]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if var_name in targets and isinstance(node.value, ast.Dict):
+                return {
+                    k.value
+                    for k in node.value.keys
+                    if isinstance(k, ast.Constant) and isinstance(k.value, str)
+                }
+        return None
+
+    @staticmethod
+    def _string_tuple(tree: ast.Module, var_name: str) -> Optional[Tuple[str, ...]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (
+                [node.target] if isinstance(node, ast.AnnAssign) else node.targets
+            )
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            value = node.value
+            if var_name in names and isinstance(value, ast.Tuple):
+                return tuple(
+                    e.value
+                    for e in value.elts
+                    if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                )
+        return None
+
+    @staticmethod
+    def _graph_presets(
+        tree: ast.Module,
+    ) -> Optional[List[Tuple[ast.AST, str, List[str]]]]:
+        """(key node, preset name, stage-name list) per GRAPH_PRESETS entry."""
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "GRAPH_PRESETS" not in targets or not isinstance(node.value, ast.Dict):
+                continue
+            entries: List[Tuple[ast.AST, str, List[str]]] = []
+            for key, value in zip(node.value.keys, node.value.values):
+                if not (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(value, ast.Tuple)
+                ):
+                    continue
+                stages: List[str] = []
+                for stage in value.elts:
+                    if (
+                        isinstance(stage, ast.Tuple)
+                        and stage.elts
+                        and isinstance(stage.elts[0], ast.Constant)
+                        and isinstance(stage.elts[0].value, str)
+                    ):
+                        stages.append(stage.elts[0].value)
+                entries.append((key, key.value, stages))
+            return entries
+        return None
 
     @staticmethod
     def _find_registry(project: ProjectContext) -> Optional[ModuleContext]:

@@ -1,0 +1,185 @@
+"""Round-trip, self-description and corruption tests for codec graphs."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.container import (
+    MAX_GRAPH_STAGES,
+    StageDescriptor,
+    encode_stage_descriptors,
+    try_decode_stage_descriptors,
+)
+from repro.algorithms.graphs import (
+    GRAPH_FRAME,
+    GRAPH_PRESETS,
+    GraphCodec,
+    build_stages,
+    describe_frame,
+    describe_graph,
+    graph_presets,
+)
+from repro.algorithms.registry import available_codecs, get_codec
+from repro.common.errors import ConfigError, CorruptStreamError
+
+RNG = np.random.default_rng(7)
+
+PAYLOADS = {
+    "empty": b"",
+    "one_byte": b"G",
+    "text": b"composable codec graphs over reversible stages\n" * 40,
+    "random": RNG.integers(0, 256, 4444, dtype=np.uint8).tobytes(),
+    "floats": (np.cumsum(RNG.normal(0, 0.01, 600)) + 42).astype("<f8").tobytes(),
+}
+
+
+@pytest.mark.parametrize("preset", sorted(GRAPH_PRESETS))
+@pytest.mark.parametrize("payload", sorted(PAYLOADS))
+def test_every_preset_roundtrips(preset, payload):
+    codec = get_codec(preset)
+    data = PAYLOADS[payload]
+    assert codec.decompress(codec.compress(data)) == data
+
+
+def test_presets_are_registered_codecs():
+    for preset in graph_presets():
+        assert preset in available_codecs()
+        codec = get_codec(preset)
+        assert codec.info.name == preset
+        assert not codec.info.supports_levels
+
+
+def test_frames_are_self_describing():
+    # Any graph decoder reconstructs the pipeline from the frame alone:
+    # frames cross-decode under every other preset's codec instance.
+    data = PAYLOADS["floats"]
+    frames = {name: get_codec(name).compress(data) for name in graph_presets()}
+    for name, frame in frames.items():
+        for other in graph_presets():
+            assert get_codec(other).decompress(frame) == data, (name, other)
+
+
+def test_describe_frame_reports_pipeline():
+    codec = get_codec("graph-plane-fse")
+    info = describe_frame(codec.compress(PAYLOADS["floats"]))
+    assert info["pipeline"] == "transpose(8) > delta(1) > fse"
+    assert info["content_length"] == len(PAYLOADS["floats"])
+
+
+def test_describe_graph_labels():
+    assert describe_graph(GRAPH_PRESETS["graph-delta-fse"]) == "delta(1) > fse"
+    assert describe_graph(GRAPH_PRESETS["graph-lz-huff"]) == "lz77 > huffman"
+
+
+def test_raw_escape_bounds_expansion():
+    # A float pipeline fed text falls back to a raw-only pipeline; the
+    # frame overhead is fixed, not proportional to the worst transform.
+    codec = get_codec("graph-float-fse")
+    data = PAYLOADS["random"]
+    frame = codec.compress(data)
+    assert len(frame) <= len(data) + 24
+    assert describe_frame(frame)["pipeline"] == "raw"
+    assert codec.decompress(frame) == data
+
+
+def test_build_stages_validates_spec():
+    with pytest.raises(ConfigError, match="at least one stage"):
+        build_stages(())
+    with pytest.raises(ConfigError, match="entropy backend"):
+        build_stages((("delta", 1),))
+    with pytest.raises(ConfigError, match="unknown stage"):
+        build_stages((("wavelet", 2), ("fse",)))
+
+
+class TestDescriptorWire:
+    def test_roundtrip(self):
+        table = (StageDescriptor(1, (4,)), StageDescriptor(18, ()))
+        blob = encode_stage_descriptors(table)
+        decoded, pos = try_decode_stage_descriptors(blob, 0)
+        assert decoded == table
+        assert pos == len(blob)
+
+    def test_truncation_returns_none(self):
+        blob = encode_stage_descriptors((StageDescriptor(1, (4,)),))
+        for cut in range(len(blob)):
+            assert try_decode_stage_descriptors(blob[:cut], 0) is None
+
+    def test_zero_and_oversized_counts_raise(self):
+        with pytest.raises(CorruptStreamError, match="empty pipeline"):
+            try_decode_stage_descriptors(b"\x00", 0)
+        with pytest.raises(CorruptStreamError, match="limit"):
+            try_decode_stage_descriptors(bytes([MAX_GRAPH_STAGES + 1]), 0)
+
+    def test_encode_rejects_oversized_tables(self):
+        too_many = tuple(StageDescriptor(1, (1,)) for _ in range(MAX_GRAPH_STAGES + 1))
+        with pytest.raises(ValueError):
+            encode_stage_descriptors(too_many)
+        with pytest.raises(ValueError):
+            encode_stage_descriptors((StageDescriptor(1, (1, 2, 3, 4, 5)),))
+
+
+class TestGraphFrameCorruption:
+    """Targeted descriptor-table attacks beyond the generic fuzz matrix."""
+
+    def _frame_parts(self, data=b"graph corruption probe " * 30):
+        codec = get_codec("graph-delta-fse")
+        frame = codec.compress(data)
+        _, header_len = GRAPH_FRAME.try_decode_preamble(frame)
+        return codec, frame, header_len, data
+
+    def test_bad_stage_id_raises(self):
+        codec, frame, header_len, _ = self._frame_parts()
+        mutated = bytearray(frame)
+        # Descriptor table: count, then the first stage id varint.
+        mutated[header_len + 1] = 99
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(bytes(mutated))
+
+    def test_truncated_descriptor_table_raises(self):
+        codec, frame, header_len, _ = self._frame_parts()
+        # Cut inside the descriptor table (checksum trailer stripped too).
+        truncated = frame[: header_len + 1]
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(truncated)
+
+    def test_transform_terminated_pipeline_raises(self):
+        # A frame whose descriptor table ends in a transform (mismatched
+        # inverse): decoder must reject it before running any inverse.
+        data = b"mismatched inverse probe"
+        body = build_stages((("delta", 1), ("fse",)))[0].forward(data)
+        from repro.algorithms.container import append_content_checksum
+
+        frame = (
+            GRAPH_FRAME.encode_preamble(content_length=len(data))
+            + encode_stage_descriptors((StageDescriptor(1, (1,)),))
+            + body
+        )
+        with pytest.raises(CorruptStreamError, match="transform stage"):
+            get_codec("graph-delta-fse").decompress(
+                append_content_checksum(frame, data)
+            )
+
+    def test_wrong_declared_length_raises(self):
+        codec, frame, header_len, data = self._frame_parts()
+        # Re-frame with a lying content length over the same body+table.
+        from repro.algorithms.container import append_content_checksum
+
+        body = frame[header_len:-4]
+        lying = GRAPH_FRAME.encode_preamble(content_length=len(data) + 1) + body
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(append_content_checksum(lying, data))
+
+
+def test_graph_codec_rejects_foreign_frames():
+    codec = get_codec("graph-delta-fse")
+    for other in ("zstd", "snappy-framed", "flate"):
+        frame = get_codec(other).compress(PAYLOADS["text"])
+        with pytest.raises(CorruptStreamError):
+            codec.decompress(frame)
+
+
+def test_custom_graph_codec_outside_presets():
+    codec = GraphCodec("graph-custom", (("transpose", 4), ("huffman",)))
+    data = PAYLOADS["floats"]
+    assert codec.decompress(codec.compress(data)) == data
+    # Its frames decode under any preset codec too (self-describing).
+    assert get_codec("graph-delta-fse").decompress(codec.compress(data)) == data

@@ -20,8 +20,23 @@ class TestRegistry:
 
     def test_registered_codecs_runnable(self):
         assert available_codecs() == [
-            "brotli", "flate", "gipfeli", "lzo", "snappy", "snappy-framed", "zstd",
+            "brotli", "flate", "gipfeli",
+            "graph-delta-fse", "graph-float-fse", "graph-lz-huff",
+            "graph-plane-fse", "graph-token-fse",
+            "lzo", "snappy", "snappy-framed", "zstd",
         ]
+
+    def test_register_codec_collision_raises(self):
+        # Static and dynamic names are both protected; a second registration
+        # would silently swap the wire format behind every name holder.
+        from repro.algorithms.registry import register_codec
+        from repro.algorithms.snappy import SnappyCodec
+
+        with pytest.raises(ConfigError, match="already registered"):
+            register_codec("snappy", SnappyCodec)
+        with pytest.raises(ConfigError, match="already registered"):
+            register_codec("Graph-Delta-FSE", SnappyCodec)
+        assert get_codec("snappy").info.name == "snappy"
 
     def test_snappy_framed_is_not_a_fleet_algorithm(self):
         # The framed variant is runnable but sits outside Figure 1's six.

@@ -1,0 +1,136 @@
+"""Unit tests for the composable stage library (transforms + backends)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import stages
+from repro.algorithms.container import StageDescriptor
+from repro.common.errors import ConfigError, CorruptStreamError
+
+RNG = np.random.default_rng(20230617)
+
+PAYLOADS = {
+    "empty": b"",
+    "one_byte": b"A",
+    "text": b"the quick brown fox jumps over the lazy dog\n" * 50,
+    "random": RNG.integers(0, 256, 5001, dtype=np.uint8).tobytes(),
+    "f64_tail": (np.cumsum(RNG.normal(0, 1e-3, 700)) + 100).astype("<f8").tobytes() + b"xy",
+    "f32_tail": (np.cumsum(RNG.normal(0, 1e-3, 700)) + 100).astype("<f4").tobytes() + b"z",
+    "lines": b"GET /api/v1/item HTTP 200\n" * 200,
+    "all_bytes": bytes(range(256)) * 5,
+}
+
+STAGE_VARIANTS = [
+    ("delta", (1,)),
+    ("delta", (4,)),
+    ("delta", (8,)),
+    ("transpose", (4,)),
+    ("transpose", (8,)),
+    ("float_split", (4,)),
+    ("float_split", (8,)),
+    ("tokenize", (10,)),
+    ("raw", ()),
+    ("huffman", ()),
+    ("fse", ()),
+    ("lz77", ()),
+]
+
+
+@pytest.mark.parametrize("name,params", STAGE_VARIANTS)
+@pytest.mark.parametrize("payload", sorted(PAYLOADS))
+def test_every_stage_roundtrips_every_payload(name, params, payload):
+    stage = stages.make_stage(name, *params)
+    data = PAYLOADS[payload]
+    assert stage.inverse(stage.forward(data)) == data
+
+
+@pytest.mark.parametrize("name,params", STAGE_VARIANTS)
+def test_descriptor_roundtrip(name, params):
+    stage = stages.make_stage(name, *params)
+    descriptor = stages.descriptor_for(stage)
+    rebuilt = stages.stage_from_descriptor(descriptor)
+    assert type(rebuilt) is type(stage)
+    assert rebuilt.params() == stage.params()
+
+
+def test_stage_names_cover_registry():
+    assert set(stages.stage_names()) == {
+        "delta", "transpose", "float_split", "tokenize",
+        "raw", "huffman", "fse", "lz77",
+    }
+    for backend in stages.ENTROPY_BACKENDS:
+        assert stages.make_stage(backend).is_backend
+
+
+def test_make_stage_rejects_unknown_and_bad_params():
+    with pytest.raises(ConfigError, match="unknown stage"):
+        stages.make_stage("wavelet")
+    with pytest.raises(ConfigError):
+        stages.make_stage("delta", 0)
+    with pytest.raises(ConfigError):
+        stages.make_stage("transpose", 1)
+    with pytest.raises(ConfigError):
+        stages.make_stage("float_split", 6)
+    with pytest.raises(ConfigError):
+        stages.make_stage("tokenize", 256)
+
+
+def test_stage_from_descriptor_rejects_corrupt_descriptors():
+    with pytest.raises(CorruptStreamError, match="unknown stage"):
+        stages.stage_from_descriptor(StageDescriptor(99, ()))
+    with pytest.raises(CorruptStreamError):
+        stages.stage_from_descriptor(StageDescriptor(1, (0,)))  # delta stride 0
+    with pytest.raises(CorruptStreamError):
+        stages.stage_from_descriptor(StageDescriptor(3, (5,)))  # float width 5
+
+
+def test_delta_exposes_small_residuals():
+    ramp = bytes(range(200)) * 10
+    out = stages.make_stage("delta", 1).forward(ramp)
+    # A ramp deltas to a near-constant residual stream.
+    assert len(set(out[1:])) <= 2
+
+
+def test_transpose_groups_lanes():
+    records = b"".join(bytes([i, 0, 0, 0]) for i in range(64))
+    out = stages.make_stage("transpose", 4).forward(records)
+    # Lane 0 (the varying byte) comes first, then three all-zero planes.
+    assert out[:64] == bytes(range(64))
+    assert set(out[64:]) == {0}
+
+
+def test_float_split_isolates_exponent_plane():
+    values = (np.full(512, 1.5) + np.arange(512) * 2.0 ** -10).astype("<f8")
+    out = stages.make_stage("float_split", 8).forward(values.tobytes())
+    # All 512 values share sign and exponent: the 64-byte sign bitplane
+    # after the varint count prefix is all zero.
+    from repro.common.varint import encode_varint
+
+    prefix = len(encode_varint(512))
+    sign_plane = out[prefix : prefix + 64]
+    assert set(sign_plane) == {0}
+
+
+def test_tokenize_maps_repeated_records_to_indices():
+    data = b"alpha\nbeta\nalpha\nbeta\nalpha\n"
+    stage = stages.make_stage("tokenize", 10)
+    out = stage.forward(data)
+    assert len(out) < len(data)
+    assert stage.inverse(out) == data
+
+
+@pytest.mark.parametrize("backend", stages.ENTROPY_BACKENDS)
+def test_backend_inverse_rejects_truncation(backend):
+    stage = stages.make_stage(backend)
+    if backend == "raw":
+        pytest.skip("raw has no structure to violate")
+    coded = stage.forward(PAYLOADS["text"])
+    with pytest.raises(CorruptStreamError):
+        stage.inverse(coded[: len(coded) // 2])
+
+
+def test_backends_never_expand_beyond_one_byte():
+    for backend in ("huffman", "fse"):
+        stage = stages.make_stage(backend)
+        for data in PAYLOADS.values():
+            assert len(stage.forward(data)) <= len(data) + 1

@@ -136,11 +136,17 @@ class TestBoundedBuffering:
             for name in available_codecs()
         }
         # Element/block formats stream with bounded history; the monolithic
-        # entropy-coded bodies legitimately buffer the whole frame.
+        # entropy-coded bodies legitimately buffer the whole frame. Graph
+        # pipelines run whole-buffer transforms, so they buffer too.
         assert bounded == {
             "brotli": False,
             "flate": False,
             "gipfeli": False,
+            "graph-delta-fse": False,
+            "graph-float-fse": False,
+            "graph-lz-huff": False,
+            "graph-plane-fse": False,
+            "graph-token-fse": False,
             "lzo": True,
             "snappy": True,
             "snappy-framed": True,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.algorithms.snappy import SnappyCodec
 from repro.corpus.chunker import Chunk, chunk_corpus
-from repro.corpus.sources import SOURCES, build_corpus
+from repro.corpus.sources import DOMAIN_SOURCES, SOURCES, build_corpus
 
 
 class TestSources:
@@ -57,6 +57,55 @@ class TestSources:
     def test_dna_alphabet(self):
         data = SOURCES["dna"](5, 3000)
         assert set(data) <= set(b"ACGT")
+
+
+class TestDomainSources:
+    """FCBench-style float/columnar workloads for the graph sweep."""
+
+    @pytest.mark.parametrize("name", sorted(DOMAIN_SOURCES))
+    def test_exact_size(self, name):
+        assert len(DOMAIN_SOURCES[name](3, 10_000)) == 10_000
+
+    @pytest.mark.parametrize("name", sorted(DOMAIN_SOURCES))
+    def test_deterministic(self, name):
+        assert DOMAIN_SOURCES[name](42, 5000) == DOMAIN_SOURCES[name](42, 5000)
+
+    @pytest.mark.parametrize("name", sorted(DOMAIN_SOURCES))
+    def test_seed_sensitivity(self, name):
+        assert DOMAIN_SOURCES[name](1, 5000) != DOMAIN_SOURCES[name](2, 5000)
+
+    def test_domain_sources_stay_out_of_classic_set(self):
+        # The hcbench LUTs and committed DSE artifacts derive from SOURCES;
+        # domain workloads must not silently shift those distributions.
+        assert not set(DOMAIN_SOURCES) & set(SOURCES)
+
+    def test_float_timeseries_is_valid_f64(self):
+        import numpy as np
+
+        data = DOMAIN_SOURCES["float_timeseries"](7, 8000)
+        values = np.frombuffer(data, dtype="<f8")
+        assert np.isfinite(values).all()
+        # Quantized smooth walk: consecutive deltas are small and lie on
+        # the 2**-10 grid.
+        deltas = np.diff(values)
+        assert np.abs(deltas).max() < 50.0
+        assert np.allclose(values * 1024, np.round(values * 1024))
+
+    def test_columnar_records_have_ascending_id_column(self):
+        import numpy as np
+
+        data = DOMAIN_SOURCES["columnar_records"](7, 21 * 256 * 2)
+        ids = np.frombuffer(data[: 8 * 256], dtype="<u8")
+        assert (np.diff(ids.astype(np.int64)) == 1).all()
+
+    def test_plane_graph_beats_monolithic_on_floats(self):
+        # The property the graph DSE sweep rests on, pinned as a unit test.
+        from repro.algorithms.registry import get_codec
+
+        data = DOMAIN_SOURCES["float_timeseries"](11, 12_000)
+        graph = len(get_codec("graph-plane-fse").compress(data))
+        zstd = len(get_codec("zstd").compress(data))
+        assert graph < zstd
 
 
 class TestBuildCorpus:

@@ -227,6 +227,67 @@ def test_random_junk_never_crashes_uncontrolled(codec_name, junk):
         pass
 
 
+class TestGraphFrameDescriptors:
+    """Graph frames add a descriptor table between preamble and body; attack
+    it specifically: bad stage ids, truncated tables, and a pipeline whose
+    inverse does not match the body (transform-terminated)."""
+
+    GRAPH_PRESET = "graph-delta-fse"
+
+    def _frame_and_table_offset(self):
+        from repro.algorithms.graphs import GRAPH_FRAME
+
+        frame = _compressed(self.GRAPH_PRESET)
+        _, header_len = GRAPH_FRAME.try_decode_preamble(frame)
+        return frame, header_len
+
+    def test_bad_stage_id_rejected(self):
+        frame, table_at = self._frame_and_table_offset()
+        mutated = bytearray(frame)
+        mutated[table_at + 1] = 0x7F  # first stage id varint -> unknown id
+        with pytest.raises(CorruptStreamError):
+            get_codec(self.GRAPH_PRESET).decompress(bytes(mutated))
+
+    def test_descriptor_truncation_rejected_at_every_cut(self):
+        frame, table_at = self._frame_and_table_offset()
+        # The delta(1)>fse table is 6 varint bytes; every cut inside it (and
+        # the headers before it) must raise, never return wrong bytes.
+        for cut in range(table_at + 6):
+            with pytest.raises(CorruptStreamError):
+                get_codec(self.GRAPH_PRESET).decompress(frame[:cut])
+
+    def test_oversized_stage_count_rejected(self):
+        from repro.algorithms.container import MAX_GRAPH_STAGES
+
+        frame, table_at = self._frame_and_table_offset()
+        mutated = bytearray(frame)
+        mutated[table_at] = MAX_GRAPH_STAGES + 1
+        with pytest.raises(CorruptStreamError):
+            get_codec(self.GRAPH_PRESET).decompress(bytes(mutated))
+
+    def test_mismatched_inverse_pipeline_rejected(self):
+        from repro.algorithms.container import (
+            StageDescriptor,
+            append_content_checksum,
+            encode_stage_descriptors,
+        )
+        from repro.algorithms.graphs import GRAPH_FRAME
+
+        # Body coded by delta>fse, table claiming a bare transform pipeline:
+        # the decoder must reject the table, not run a mismatched inverse.
+        frame, table_at = self._frame_and_table_offset()
+        body = frame[table_at + 6 : -4]
+        lying = (
+            GRAPH_FRAME.encode_preamble(content_length=len(PAYLOAD))
+            + encode_stage_descriptors((StageDescriptor(1, (1,)),))
+            + body
+        )
+        with pytest.raises(CorruptStreamError):
+            get_codec(self.GRAPH_PRESET).decompress(
+                append_content_checksum(lying, PAYLOAD)
+            )
+
+
 #: Per-codec compressed PAYLOAD, computed once — compression dominates the
 #: runtime of the property tests below and the input never changes.
 _COMPRESSED_CACHE = {}

@@ -419,6 +419,89 @@ class TestR005RegistryCompleteness:
         )
         assert project.findings("src", rule="R005") == []
 
+    def _graph_layer(self, project, presets, *, with_test=True):
+        self._registry(project)
+        project.write(
+            "src/repro/algorithms/stages.py",
+            """
+            _STAGE_TYPES = {
+                "delta": object,
+                "fse": object,
+            }
+            ENTROPY_BACKENDS = ("fse",)
+            """,
+        )
+        project.write("src/repro/algorithms/graphs.py", presets)
+        if with_test:
+            project.write(
+                "tests/algorithms/test_graphs.py",
+                "def test_rt():\n    c.decompress(b'')\n",
+            )
+
+    def test_valid_graph_presets_are_quiet(self, project):
+        self._graph_layer(
+            project,
+            """
+            GRAPH_PRESETS = {
+                "graph-delta-fse": (("delta", 1), ("fse",)),
+            }
+            """,
+        )
+        assert project.findings("src", rule="R005") == []
+
+    def test_unknown_stage_in_preset_fires(self, project):
+        self._graph_layer(
+            project,
+            """
+            GRAPH_PRESETS = {
+                "graph-bogus": (("wavelet", 2), ("fse",)),
+            }
+            """,
+        )
+        found = project.findings("src", rule="R005")
+        assert len(found) == 1
+        assert "wavelet" in found[0].message
+
+    def test_transform_terminated_preset_fires(self, project):
+        self._graph_layer(
+            project,
+            """
+            GRAPH_PRESETS = {
+                "graph-headless": (("delta", 1),),
+            }
+            """,
+        )
+        found = project.findings("src", rule="R005")
+        assert len(found) == 1
+        assert "ENTROPY_BACKENDS" in found[0].message
+
+    def test_unprefixed_preset_name_fires(self, project):
+        self._graph_layer(
+            project,
+            """
+            GRAPH_PRESETS = {
+                "deltafse": (("delta", 1), ("fse",)),
+            }
+            """,
+        )
+        found = project.findings("src", rule="R005")
+        assert len(found) == 1
+        assert "graph-" in found[0].message
+
+    def test_missing_graph_test_file_fires(self, project):
+        self._graph_layer(
+            project,
+            """
+            GRAPH_PRESETS = {
+                "graph-delta-fse": (("delta", 1), ("fse",)),
+            }
+            """,
+            with_test=False,
+        )
+        found = project.findings("src", rule="R005")
+        assert len(found) == 1
+        assert "test_graphs.py" in found[0].message
+
 
 class TestR006ContainerFraming:
     def test_inline_magic_comparison_fires(self, project):
@@ -517,6 +600,42 @@ class TestR006ContainerFraming:
             """,
         )
         assert project.findings("tests", rule="R006") == []
+
+    def test_stage_id_read_outside_stage_registry_fires(self, project):
+        project.write(
+            "src/repro/algorithms/mygraphs.py",
+            """
+            from repro.algorithms.stages import DeltaStage
+
+            def descriptor(stage):
+                return (DeltaStage.STAGE_ID, stage.params())
+            """,
+        )
+        found = project.findings("src", rule="R006")
+        assert len(found) == 1
+        assert "STAGE_ID" in found[0].message
+
+    def test_stage_id_in_stage_registry_is_quiet(self, project):
+        project.write(
+            "src/repro/algorithms/stages.py",
+            """
+            class DeltaStage:
+                STAGE_ID = 1
+
+            _STAGES_BY_ID = {DeltaStage.STAGE_ID: DeltaStage}
+            """,
+        )
+        assert project.findings("src", rule="R006") == []
+
+    def test_stage_id_definition_alone_is_quiet(self, project):
+        project.write(
+            "src/repro/algorithms/mystage.py",
+            """
+            class MyStage:
+                STAGE_ID = 7
+            """,
+        )
+        assert project.findings("src", rule="R006") == []
 
 
 class TestR007ExceptionContract:

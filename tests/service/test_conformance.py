@@ -62,6 +62,15 @@ def oracle():
     return _expected_outputs()
 
 
+def test_matrix_covers_graph_presets(oracle):
+    """Graph codecs register like any other codec, so the conformance
+    matrix must pick them up — workers resolve them by name, proving the
+    GRPH frame family survives workers × batching byte-identically."""
+    graph_codecs = {name for name, _op, _payload in oracle if name.startswith("graph-")}
+    assert "graph-delta-fse" in graph_codecs
+    assert len(graph_codecs) >= 3
+
+
 @pytest.mark.parametrize("workers,batching", CONFIGURATIONS)
 def test_served_bytes_match_one_shot(workers, batching, oracle):
     config = ServiceConfig(

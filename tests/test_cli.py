@@ -197,6 +197,57 @@ class TestServeCommand:
             main(self.BURST + ["--target-utilization", "0.5"])
 
 
+class TestGraphCommand:
+    def test_list_prints_presets_and_pipelines(self, capsys):
+        assert main(["graph", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "graph-delta-fse" in out
+        assert "delta(1) > fse" in out
+        assert "transpose(8) > delta(1) > fse" in out
+
+    def test_describe_preset(self, capsys):
+        assert main(["graph", "describe", "graph-lz-huff"]) == 0
+        assert "lz77 > huffman" in capsys.readouterr().out
+
+    def test_describe_frame_file(self, tmp_path, capsys):
+        source = tmp_path / "in.bin"
+        source.write_bytes(b"describe this frame please " * 200)
+        frame = tmp_path / "out.grph"
+        assert main(
+            ["compress", str(source), str(frame), "-a", "graph-delta-fse"]
+        ) == 0
+        assert main(["graph", "describe", str(frame)]) == 0
+        out = capsys.readouterr().out
+        assert "delta(1) > fse" in out
+        assert str(len(source.read_bytes())) in out
+
+    def test_roundtrip_reports_ratio(self, tmp_path, capsys):
+        source = tmp_path / "in.bin"
+        source.write_bytes(b"graph roundtrip payload " * 300)
+        assert main(["graph", "roundtrip", "graph-token-fse", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "round trip OK" in out
+
+    def test_roundtrip_unknown_preset_exits_nonzero(self, tmp_path, capsys):
+        source = tmp_path / "in.bin"
+        source.write_bytes(b"x")
+        assert main(["graph", "roundtrip", "graph-nope", str(source)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_writes_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "sweep.json"
+        assert main(
+            ["graph", "sweep", "--size", "2048",
+             "--out", str(out_path)]
+        ) == 0
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["experiment"] == "graph_dse"
+        assert "float_timeseries" in payload["workloads"]
+        assert "best graph" in capsys.readouterr().out
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
