@@ -181,7 +181,9 @@ def register_graph_presets(register: Callable[[str, Callable[[], Codec]], None])
 
 
 def describe_frame(data: bytes) -> Dict[str, object]:
-    """Parse a graph frame's header for the CLI: pipeline + declared length."""
+    """Parse a graph frame's header for the CLI: pipeline, declared length,
+    and whether the encoder took the raw escape (pipeline expanded the body,
+    so it was stored verbatim under a single ``raw`` stage)."""
     frame, _ = split_content_checksum(data)
     preamble, pos = GRAPH_FRAME.decode_preamble(frame)
     decoded = try_decode_stage_descriptors(frame, pos)
@@ -193,4 +195,5 @@ def describe_frame(data: bytes) -> Dict[str, object]:
         "pipeline": " > ".join(stage.describe() for stage in stages),
         "content_length": preamble.content_length,
         "body_bytes": len(frame) - pos,
+        "raw_escape": len(stages) == 1 and stages[0].name == "raw",
     }

@@ -220,7 +220,17 @@ def decode_symbols(data: bytes, count: int, table: HuffmanTable) -> List[int]:
 
     The serial dependence here (next code position depends on previous code
     length) is precisely what the hardware expander speculates around (§5.3).
+
+    ``count`` comes from an untrusted stream, so it is capped against the
+    payload before any symbol is materialized: every huffman code spans at
+    least one bit (``build_code_lengths`` assigns 1..max_bits), so a valid
+    ``data`` can encode at most ``8 * len(data)`` symbols. Without the cap
+    a 20-byte corrupt frame could demand billions of appends (R015).
     """
+    if count > 8 * len(data):
+        raise CorruptStreamError(
+            f"stream of {len(data)} bytes cannot encode {count} symbols"
+        )
     with obs.stage("stage.huffman.decode"):
         max_bits = table.max_bits
         if max_bits > 25:

@@ -503,6 +503,10 @@ def _cmd_graph(args: argparse.Namespace) -> int:
             print(f"pipeline       : {info['pipeline']}")
             print(f"content length : {info['content_length']} bytes")
             print(f"body           : {info['body_bytes']} bytes")
+            escaped = "yes (pipeline expanded; body stored verbatim)" if info[
+                "raw_escape"
+            ] else "no"
+            print(f"raw escape     : {escaped}")
             return 0
         if args.graph_command == "roundtrip":
             codec = get_codec(args.preset)

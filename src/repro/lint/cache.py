@@ -28,7 +28,7 @@ from pathlib import Path
 from typing import Optional, Sequence, Tuple, Union
 
 #: Bump to evict every entry written with an older cache layout.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 _SCHEMA_FILENAME = "SCHEMA"
 _ENTRY_SUFFIX = ".json"

@@ -34,7 +34,8 @@ import ast
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.lint.flow.cfg import build_cfg
+from repro.lint.flow.cfg import build_cfg, scan_expr
+from repro.lint.flow.dataflow import canonical_name
 from repro.lint.flow.taint import analyze_taint, index_read_sites, is_buffer_name
 
 #: Builtin exception hierarchy (child -> parent), enough to decide whether a
@@ -160,6 +161,40 @@ class SinkRec:
 
 
 @dataclass(frozen=True)
+class ParamSinkRec:
+    """One dangerous sink an integer *parameter* reaches unchecked.
+
+    Produced by the seeded-taint pass: the parameter is assumed untrusted
+    on entry, and if no in-function cap dominates the sink, the function
+    amplifies whatever its callers pass in. R015 joins these against
+    tainted call arguments to bound allocation interprocedurally.
+    """
+
+    param: str
+    kind: str  # "allocation" | "repeat" | "range-limit" | "slice-bound"
+    lineno: int
+
+
+@dataclass(frozen=True)
+class TaintedArgRec:
+    """One call site passing a stream-tainted, unchecked value as argument.
+
+    ``arg_index`` is the positional index with ``self`` receivers excluded
+    (matching :attr:`FunctionSummary.params` on the callee side); keyword
+    arguments carry ``kw`` instead. ``names`` are the tainted variables
+    feeding the argument, for blame messages.
+    """
+
+    target: Optional[str]
+    terminal: str
+    lineno: int
+    col: int
+    arg_index: int  # -1 for keyword arguments
+    names: Tuple[str, ...]
+    kw: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class GlobalWriteRec:
     """One write to module- or class-level mutable state.
 
@@ -230,6 +265,10 @@ class FunctionSummary:
     #: escaping exception -> (line, provenance chain "a -> b -> c").
     escape_traces: Dict[str, Tuple[int, str]] = field(default_factory=dict)
     param_risks: Set[str] = field(default_factory=set)
+    #: Sinks behind each risky parameter (R015's callee side).
+    param_sinks: List[ParamSinkRec] = field(default_factory=list)
+    #: Calls forwarding unchecked tainted values (R015's caller side).
+    tainted_args: List[TaintedArgRec] = field(default_factory=list)
     raises: List[RaiseRec] = field(default_factory=list)
     calls: List[CallRec] = field(default_factory=list)
     #: Concurrency facts (R010-R013): ``async def``, generator body,
@@ -821,6 +860,62 @@ def _collect_imports(tree: ast.Module) -> Dict[str, str]:
     return table
 
 
+def _collect_tainted_args(taint) -> List[TaintedArgRec]:
+    """Call sites whose arguments carry unchecked stream-tainted values.
+
+    The caller-side half of R015: a tainted length that was capped before
+    the call never gets here (the env cleared its taint), so every record
+    is a value crossing a function boundary unchecked.
+    """
+    records: List[TaintedArgRec] = []
+    seen: Set[Tuple[int, int, int, Optional[str]]] = set()
+    for _block, _index, item, env in taint.iter_items():
+        target = scan_expr(item)
+        if target is None:
+            continue
+        for node in ast.walk(target):
+            if not isinstance(node, ast.Call):
+                continue
+            if any(isinstance(a, ast.Starred) for a in node.args):
+                continue  # positional indices would be unknowable
+            callee = dotted(node.func)
+            terminal = callee.split(".")[-1] if callee else None
+            if terminal is None:
+                continue
+            slots = [(i, None, a) for i, a in enumerate(node.args)] + [
+                (-1, k.arg, k.value) for k in node.keywords if k.arg
+            ]
+            for index, kw, arg in slots:
+                if not env.expr_tainted(arg):
+                    continue
+                key = (node.lineno, node.col_offset, index, kw)
+                if key in seen:
+                    continue
+                seen.add(key)
+                names = tuple(
+                    sorted(
+                        {
+                            name
+                            for sub in ast.walk(arg)
+                            for name in [canonical_name(sub)]
+                            if name is not None and name in env.tainted
+                        }
+                    )
+                ) or ("<expr>",)
+                records.append(
+                    TaintedArgRec(
+                        target=callee,
+                        terminal=terminal,
+                        lineno=node.lineno,
+                        col=node.col_offset,
+                        arg_index=index,
+                        names=names,
+                        kw=kw,
+                    )
+                )
+    return records
+
+
 def collect_module_flow(rel: str, source: str) -> List[FunctionSummary]:
     """Per-file local analysis: one summary record per top-level function.
 
@@ -876,7 +971,17 @@ def collect_module_flow(rel: str, source: str) -> List[FunctionSummary]:
                 seeded = analyze_taint(cfg, tainted_params=seeds)
                 if seeded.converged:
                     for hit in seeded.sinks():
-                        summary.param_risks |= set(hit.names) & seeds
+                        risky = set(hit.names) & seeds
+                        summary.param_risks |= risky
+                        summary.param_sinks.extend(
+                            ParamSinkRec(
+                                param=param,
+                                kind=hit.kind,
+                                lineno=hit.node.lineno,
+                            )
+                            for param in sorted(risky)
+                        )
+            summary.tainted_args = _collect_tainted_args(taint)
         collector = _EffectCollector(local_names=_local_names(func))
         for stmt in func.body:
             collector.visit(stmt)

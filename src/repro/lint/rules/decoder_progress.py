@@ -1,0 +1,282 @@
+"""R016: every decode loop must provably consume input or exit.
+
+A decoder's ``while`` loop is driven by attacker-controlled bytes: if a
+corrupt frame can steer execution onto a path that neither advances the
+loop condition nor leaves the loop, the decoder spins forever and a single
+call pins a serving-layer worker (the fleet-facing flavor of a denial of
+service — no memory is harmed, the *thread* is). The classic shape is a
+``continue`` taken before the cursor advance::
+
+    while pos < len(data):
+        tag = data[pos]
+        if tag == _PADDING:
+            continue          # pos unchanged: infinite loop on padding
+        pos += 1
+        ...
+
+The rule checks, per ``while`` loop in decode-shaped functions of the
+decoder tree:
+
+* **progress or exit** — the body must contain at least one statement that
+  can change a name the condition reads (assignment, augmented assignment,
+  ``del``, or a mutating method call on it), or an exit (``break`` /
+  ``return`` / ``raise``). ``while True`` loops must contain an exit.
+* **progress before ``continue``** — every ``continue`` must be lexically
+  preceded, on its own path, by such a progress statement (for
+  ``while True`` loops any call counts, since the exit condition lives in
+  state the callee may advance).
+
+Loops whose condition the rule cannot tie to any trackable name (pure call
+conditions) are skipped rather than guessed, matching the flow package's
+soundness stance. ``for`` loops are exempt: their iteration count is
+bounded by the iterable. Baseline-free by design: a hit is fixed by
+advancing the cursor or bounding the loop, never by baselining.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import ModuleContext, ProjectContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.flow.dataflow import canonical_name
+from repro.lint.registry import Rule, register
+from repro.lint.rules.common import is_test_path, path_matches
+from repro.lint.rules.guarded_read import _DECODER_PATHS, _DECODE_CLASS
+
+#: Decode-side function shapes. Wider than R009's: streaming state machines
+#: name their consuming steps ``_drain``/``_feed``/``_take``/``_flush``,
+#: and the bit/varint primitives use ``read*``/``inflate*``.
+_DECODE_NAME = re.compile(
+    r"(^|_)(decode|decompress|parse|deserialize|expand|iter_frames|analyze"
+    r"|drain|feed|take|flush|inflate|read|peek)"
+)
+
+#: Method calls that mutate their receiver enough to change a loop
+#: condition reading it (buffer consumption, queue draining).
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "extendleft",
+        "insert",
+        "remove",
+        "discard",
+        "clear",
+        "pop",
+        "popleft",
+        "popitem",
+        "update",
+        "write",
+        "truncate",
+        "seek",
+        "advance",
+        "consume",
+    }
+)
+
+
+def _decode_side(name: str, cls: Optional[str]) -> bool:
+    if name.startswith("encode") or "encode" in name.split("_"):
+        return False
+    if _DECODE_NAME.search(name):
+        return True
+    return bool(cls and _DECODE_CLASS.search(cls))
+
+
+def _iter_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[Optional[str], ast.AST]]:
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield None, node
+        elif isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield node.name, member
+
+
+def _tracked_names(test: ast.expr) -> Optional[Set[str]]:
+    """Names the loop condition reads, or ``None`` for ``while True``."""
+    if isinstance(test, ast.Constant):
+        return None if test.value else set()
+    names: Set[str] = set()
+    for node in ast.walk(test):
+        name = canonical_name(node)
+        if name is not None:
+            names.add(name)
+    return names
+
+
+def _target_roots(target: ast.expr) -> Iterator[str]:
+    """Canonical roots a store/delete target can change."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_roots(elt)
+        return
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Attribute, ast.Starred)):
+        name = canonical_name(node)
+        if name is not None:
+            yield name
+            return
+        node = node.value if not isinstance(node, ast.Starred) else node.value
+    name = canonical_name(node)
+    if name is not None:
+        yield name
+
+
+def _stmt_progress(stmt: ast.stmt, tracked: Optional[Set[str]]) -> bool:
+    """Whether this single statement can advance the loop condition."""
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        roots = {root for t in targets for root in _target_roots(t)}
+    elif isinstance(stmt, ast.Delete):
+        roots = {root for t in stmt.targets for root in _target_roots(t)}
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        if tracked is None:
+            return True  # while True: any call may advance hidden state
+        func = stmt.value.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            root = canonical_name(func.value)
+            return root is not None and root in tracked
+        return False
+    else:
+        return False
+    if tracked is None:
+        return bool(roots)
+    return bool(roots & tracked)
+
+
+def _subtree_progress(stmt: ast.stmt, tracked: Optional[Set[str]]) -> bool:
+    """Whether any statement under ``stmt`` can advance the condition."""
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.stmt) and _stmt_progress(node, tracked):
+            return True
+        if tracked is None and isinstance(node, ast.Call):
+            return True
+    return False
+
+
+def _iter_stmts(
+    body: Sequence[ast.stmt], *, into_loops: bool
+) -> Iterator[ast.stmt]:
+    """Statements of a loop body, optionally crossing nested loops; never
+    crosses into nested function/class definitions."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if not into_loops and isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            continue
+        for attr in ("body", "orelse", "finalbody"):
+            yield from _iter_stmts(getattr(stmt, attr, []) or [], into_loops=into_loops)
+        for handler in getattr(stmt, "handlers", []) or []:
+            yield from _iter_stmts(handler.body, into_loops=into_loops)
+
+
+@register
+class DecoderProgressRule(Rule):
+    code = "R016"
+    name = "decoder-progress"
+    summary = "decode loops must provably consume input or exit"
+    default_severity = Severity.ERROR
+    remediation = (
+        "Make every path through the loop advance the cursor or leave the "
+        "loop: move the position update ahead of any `continue`, raise "
+        "CorruptStreamError for frames that cannot progress, or bound the "
+        "loop with a `for` over a computed iteration count. `while True` "
+        "loops need a reachable break/return/raise."
+    )
+
+    def check(self, project: ProjectContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for ctx in project.modules:
+            if is_test_path(ctx.rel):
+                continue
+            if not path_matches(ctx.rel, _DECODER_PATHS):
+                continue
+            for cls, func in _iter_functions(ctx.tree):
+                if not _decode_side(func.name, cls):
+                    continue
+                for node in ast.walk(func):
+                    if isinstance(node, ast.While):
+                        findings.extend(self._check_loop(ctx, node))
+        return findings
+
+    def _check_loop(self, ctx: ModuleContext, loop: ast.While) -> Iterable[Finding]:
+        tracked = _tracked_names(loop.test)
+        if tracked is not None and not tracked:
+            return  # condition reads no trackable name: skip, don't guess
+        exits = any(
+            isinstance(s, (ast.Return, ast.Raise))
+            for s in _iter_stmts(loop.body, into_loops=True)
+        ) or any(
+            isinstance(s, ast.Break)
+            for s in _iter_stmts(loop.body, into_loops=False)
+        )
+        progress = any(
+            _stmt_progress(s, tracked)
+            for s in _iter_stmts(loop.body, into_loops=True)
+        )
+        if tracked is None:
+            if not exits:
+                yield ctx.finding(
+                    self,
+                    loop,
+                    "unbounded decode loop: `while True` body contains no "
+                    "break/return/raise — a corrupt frame would spin here "
+                    "forever",
+                )
+            return
+        if not progress and not exits:
+            names = ", ".join(sorted(tracked))
+            yield ctx.finding(
+                self,
+                loop,
+                f"decode loop can never terminate: the condition reads "
+                f"({names}) but no statement in the body changes them and "
+                "no break/return/raise exits the loop",
+            )
+            return
+        yield from self._check_continues(ctx, loop.body, tracked, False)
+
+    def _check_continues(
+        self,
+        ctx: ModuleContext,
+        body: Sequence[ast.stmt],
+        tracked: Optional[Set[str]],
+        progressed: bool,
+    ) -> Iterator[Finding]:
+        """Flag ``continue`` statements no progress statement precedes."""
+        for stmt in body:
+            if isinstance(stmt, ast.Continue) and not progressed:
+                yield ctx.finding(
+                    self,
+                    stmt,
+                    "this `continue` re-enters the loop without consuming "
+                    "input: no statement before it on this path advances "
+                    "the loop condition — a corrupt frame reaching it "
+                    "loops forever",
+                )
+            elif isinstance(stmt, ast.If):
+                yield from self._check_continues(ctx, stmt.body, tracked, progressed)
+                yield from self._check_continues(ctx, stmt.orelse, tracked, progressed)
+            elif isinstance(stmt, ast.Try):
+                yield from self._check_continues(ctx, stmt.body, tracked, progressed)
+                for handler in stmt.handlers:
+                    yield from self._check_continues(
+                        ctx, handler.body, tracked, progressed
+                    )
+                yield from self._check_continues(ctx, stmt.orelse, tracked, progressed)
+                yield from self._check_continues(
+                    ctx, stmt.finalbody, tracked, progressed
+                )
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                yield from self._check_continues(ctx, stmt.body, tracked, progressed)
+            if _subtree_progress(stmt, tracked):
+                progressed = True
+        return

@@ -84,15 +84,18 @@ TARGETS: Dict[str, SanitizeTarget] = {
         # no call can shed, so the offered/counts sections and the response
         # payload digest are pure functions of the seed. Worker count rides
         # REPRO_JOBS like dse/lint, checking jobs-parity of the service path.
+        # The codec mix covers both frame families: a monolithic codec
+        # (snappy) and a composable graph preset whose stage-table decode
+        # path would otherwise never run under the sanitizers.
         SanitizeTarget(
             name="serve",
-            description="open-loop service burst, JSON load report",
+            description="open-loop service burst over snappy + a graph preset",
             argv=(
                 "serve",
                 "--calls",
                 "32",
                 "--codecs",
-                "snappy",
+                "snappy,graph-delta-fse",
                 "--max-payload",
                 "1024",
                 "--time-scale",

@@ -52,18 +52,36 @@ def poisson_trace(
     their fleet joint distribution); interarrival times are exponential with
     a rate chosen so the long-run offered load equals
     ``offered_bytes_per_second`` of uncompressed data.
+
+    ``algorithms`` may also name codecs the fleet telemetry does not track
+    (graph presets, experimental codecs). Those have no rows of their own,
+    so they borrow call *shapes* (sizes, operation, arrival pattern) from
+    the fleet rows and take over a proportional share of the offered calls.
     """
     if offered_bytes_per_second <= 0:
         raise ValueError("offered load must be positive")
     rng = make_rng(seed, "sim-arrivals")
     mask = np.ones(len(profile), dtype=bool)
+    extra: List[str] = []
     if algorithms is not None:
-        allowed = {ALGORITHMS.index(a) for a in algorithms}
-        mask = np.isin(profile.algo, sorted(allowed))
+        requested = sorted(set(algorithms))
+        fleet = sorted(ALGORITHMS.index(a) for a in requested if a in ALGORITHMS)
+        extra = [a for a in requested if a not in ALGORITHMS]
+        if fleet:
+            mask = np.isin(profile.algo, fleet)
     indices = np.flatnonzero(mask)
     if len(indices) == 0:
         raise ValueError("no fleet calls match the requested algorithms")
     chosen = rng.choice(indices, size=num_calls)
+    names = [ALGORITHMS[int(profile.algo[row])] for row in chosen]
+    if extra:
+        share = len(extra) / len(requested)
+        takeover = rng.random(num_calls) < share
+        picks = rng.choice(len(extra), size=num_calls)
+        names = [
+            extra[int(pick)] if take else name
+            for name, take, pick in zip(names, takeover, picks)
+        ]
 
     mean_bytes = float(profile.uncompressed_bytes[chosen].mean())
     rate = offered_bytes_per_second / mean_bytes  # calls per second
@@ -71,11 +89,11 @@ def poisson_trace(
     times = np.cumsum(gaps)
 
     trace = []
-    for t, row in zip(times, chosen):
+    for t, row, name in zip(times, chosen, names):
         trace.append(
             CallArrival(
                 arrival_time=float(t),
-                algorithm=ALGORITHMS[int(profile.algo[row])],
+                algorithm=name,
                 operation=Operation.COMPRESS if profile.operation[row] == 0 else Operation.DECOMPRESS,
                 uncompressed_bytes=int(profile.uncompressed_bytes[row]),
                 compressed_bytes=int(profile.compressed_bytes[row]),

@@ -1,0 +1,66 @@
+"""Regenerate the committed wire-grammar artifact.
+
+``results/frame_grammars.json`` is to the *frame layout* what the golden
+vectors are to the frame bytes: a committed snapshot that tier-1 diffs
+against the grammars statically extracted from the source tree
+(:mod:`repro.lint.flow.grammar`). The drift test
+(``tests/lint/test_frame_grammars.py``) fails when the two disagree —
+and, via the layout fingerprint, demands a frame *version bump* whenever a
+preamble field's order or width changed, exactly like a wire format change
+in a deployed fleet would.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.tools.regen_grammars          # rewrite
+    PYTHONPATH=src python -m repro.tools.regen_grammars --check  # diff only
+
+Run after any deliberate frame-layout change (with its version bump) or
+after adding/retiring a codec or graph preset, and commit the result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.flow.grammar import extract_project_grammars
+
+ARTIFACT = Path("results") / "frame_grammars.json"
+
+
+def render(root: Path) -> str:
+    index = extract_project_grammars(root)
+    return json.dumps(index.to_artifact(), indent=2, sort_keys=True) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path, default=Path("."), help="repository root"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if the committed artifact is stale instead of rewriting",
+    )
+    args = parser.parse_args(argv)
+    path = args.root / ARTIFACT
+    fresh = render(args.root)
+    stale = not path.exists() or path.read_text(encoding="utf-8") != fresh
+    if args.check:
+        if stale:
+            print(f"{path} is stale — rerun repro.tools.regen_grammars")
+            return 1
+        print(f"{path} is up to date")
+        return 0
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(fresh, encoding="utf-8")
+    names = sorted(json.loads(fresh)["grammars"])
+    print(f"wrote {path}: {len(names)} grammars ({', '.join(names)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,7 @@ def test_describe_frame_reports_pipeline():
     info = describe_frame(codec.compress(PAYLOADS["floats"]))
     assert info["pipeline"] == "transpose(8) > delta(1) > fse"
     assert info["content_length"] == len(PAYLOADS["floats"])
+    assert info["raw_escape"] is False
 
 
 def test_describe_graph_labels():
@@ -77,7 +78,9 @@ def test_raw_escape_bounds_expansion():
     data = PAYLOADS["random"]
     frame = codec.compress(data)
     assert len(frame) <= len(data) + 24
-    assert describe_frame(frame)["pipeline"] == "raw"
+    info = describe_frame(frame)
+    assert info["pipeline"] == "raw"
+    assert info["raw_escape"] is True
     assert codec.decompress(frame) == data
 
 

@@ -112,6 +112,15 @@ class TestEncodeDecode:
             # Demand more symbols than the payload can contain.
             decode_symbols(b"", 3, table)
 
+    def test_oversized_symbol_count_rejected_before_allocation(self):
+        # The R015 amplification fix: a corrupt count must be rejected
+        # against the 8-bits-per-symbol ceiling *before* any symbol is
+        # materialized, not fail billions of appends later.
+        table = HuffmanTable.from_frequencies({i: i + 1 for i in range(5)})
+        payload = encode_symbols([0, 1, 2], table)
+        with pytest.raises(CorruptStreamError, match="cannot encode"):
+            decode_symbols(payload, 8 * len(payload) + 1, table)
+
     def test_encoded_bit_length_matches_actual(self):
         data = b"entropy coding " * 30
         freqs = byte_frequencies(data)

@@ -16,7 +16,9 @@ declared-length invariant guarantees detection; arbitrary-position mutations
 keep the weaker length-invariant check.
 """
 
+import json
 import random
+from pathlib import Path
 
 import pytest
 from hypothesis import given, settings
@@ -181,19 +183,41 @@ class TestStreamingTruncation:
             ctx.flush()
 
 
-#: Byte offset of each frame's uncompressed-length varint preamble (after
-#: magic / window-log header bytes). All of these mirror Snappy's spec, which
-#: limits the declared length to 32 bits. ``snappy-framed`` carries raw Snappy
-#: frames inside chunks rather than a frame-level preamble, so it is covered
-#: through the raw codec's entry.
+#: Committed wire grammars (statically extracted by
+#: ``repro.lint.flow.grammar``, drift-gated by
+#: ``tests/lint/test_frame_grammars.py``). The fuzz rows below are *seeded*
+#: from them, so the static analyzer's view of each frame layout and the
+#: dynamic corruption coverage stay linked: move a header field and both
+#: the drift gate and these offsets shift together.
+_GRAMMARS = json.loads(
+    (Path(__file__).resolve().parents[2] / "results" / "frame_grammars.json")
+    .read_text(encoding="utf-8")
+)["grammars"]
+
+#: Byte offset of each frame's uncompressed-length varint, derived from the
+#: grammar artifact: ``header_bytes`` counts the fixed-width fields (magic /
+#: version / window-log) written before it. All of these mirror Snappy's
+#: spec, which limits the declared length to 32 bits. ``snappy-framed``
+#: carries raw Snappy frames inside chunks rather than a frame-level
+#: preamble, so it has no varint field and is covered through the raw
+#: codec's entry.
 PREAMBLE_OFFSET = {
-    "snappy": 0,
-    "gipfeli": 4,
-    "lzo": 4,
-    "flate": 5,
-    "brotli": 5,
-    "zstd": 6,
+    name: grammar["header_bytes"]
+    for name, grammar in _GRAMMARS.items()
+    if name in set(available_codecs())
+    and any(field["kind"] == "varint" for field in grammar["fields"])
 }
+
+
+def _fixed_fields(grammar):
+    """``(field, offset)`` per fixed-width header field before the varint."""
+    out, pos = [], 0
+    for field in grammar["fields"]:
+        if field.get("width") is None:
+            break
+        out.append((field, pos))
+        pos += field["width"]
+    return out
 
 
 class TestOversizedPreamble:
@@ -208,12 +232,86 @@ class TestOversizedPreamble:
         compressed = get_codec(codec_name).compress(PAYLOAD)
         offset = PREAMBLE_OFFSET[codec_name]
         declared, end = decode_varint(compressed, offset, max_bits=32)
-        assert declared == len(PAYLOAD), "preamble offset map is stale"
+        assert declared == len(PAYLOAD), "grammar-derived varint offset is stale"
         spliced = (
             compressed[:offset] + encode_varint(MAX_VARINT32 + 1) + compressed[end:]
         )
         with pytest.raises(CorruptStreamError):
             get_codec(codec_name).decompress(spliced)
+
+
+class TestGrammarDerivedHeader:
+    """Fuzz rows seeded by the committed wire grammars: truncation inside
+    every fixed header field, wrong-version-byte corruption for every
+    version-gated frame, and out-of-range window-log corruption for every
+    guarded frame. New codecs (and new header fields) join these rows the
+    moment their grammar lands in the artifact — no hand-written offset
+    table to forget."""
+
+    CODECS = sorted(set(available_codecs()) & set(_GRAMMARS))
+    VERSION_GATED = [
+        name
+        for name in CODECS
+        if any(f.get("gate") == "version" for f in _GRAMMARS[name]["fields"])
+    ]
+    WINDOW_GUARDED = [
+        name
+        for name in CODECS
+        if any(f.get("guard") for f in _GRAMMARS[name]["fields"])
+    ]
+
+    def test_artifact_anchors(self):
+        """Hand-pinned layout facts guard the artifact itself: if
+        ``frame_grammars.json`` regressed, fail here rather than silently
+        fuzz the wrong offsets."""
+        assert PREAMBLE_OFFSET["snappy"] == 0
+        assert PREAMBLE_OFFSET["zstd"] == 6
+        assert _GRAMMARS["snappy-framed"]["header_bytes"] == 10
+        assert self.VERSION_GATED and self.WINDOW_GUARDED
+
+    @pytest.mark.parametrize("codec_name", CODECS)
+    def test_truncation_inside_fixed_header(self, codec_name):
+        grammar = _GRAMMARS[codec_name]
+        cuts = list(range(1, grammar["header_bytes"]))
+        if any(field["kind"] == "varint" for field in grammar["fields"]):
+            # Header complete but length varint missing. (For varint-less
+            # frames like snappy-framed a bare header is a valid empty
+            # stream, so the boundary cut only applies here.)
+            cuts.append(grammar["header_bytes"])
+        compressed = _compressed(codec_name)
+        for cut in cuts:
+            with pytest.raises(CorruptStreamError):
+                get_codec(codec_name).decompress(compressed[:cut])
+
+    @pytest.mark.parametrize("codec_name", VERSION_GATED)
+    def test_wrong_version_byte_rejected(self, codec_name):
+        ((field, offset),) = [
+            (f, at)
+            for f, at in _fixed_fields(_GRAMMARS[codec_name])
+            if f.get("gate") == "version"
+        ]
+        compressed = _compressed(codec_name)
+        assert compressed[offset] == field["value"], "grammar offset is stale"
+        mutated = bytearray(compressed)
+        mutated[offset] = (field["value"] + 1) % 256
+        with pytest.raises(CorruptStreamError):
+            get_codec(codec_name).decompress(bytes(mutated))
+
+    @pytest.mark.parametrize("codec_name", WINDOW_GUARDED)
+    def test_window_log_out_of_range_rejected(self, codec_name):
+        ((field, offset),) = [
+            (f, at)
+            for f, at in _fixed_fields(_GRAMMARS[codec_name])
+            if f.get("guard")
+        ]
+        low, high = (int(part) for part in field["guard"].split(".."))
+        compressed = _compressed(codec_name)
+        assert low <= compressed[offset] <= high, "grammar offset is stale"
+        for bad in (max(0, low - 1), high + 1, 0xFF):
+            mutated = bytearray(compressed)
+            mutated[offset] = bad
+            with pytest.raises(CorruptStreamError):
+                get_codec(codec_name).decompress(bytes(mutated))
 
 
 @pytest.mark.parametrize("codec_name", available_codecs())

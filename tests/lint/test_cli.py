@@ -194,7 +194,7 @@ class TestSarifFormat:
         project.write("src/repro/fleet/sampler.py", "import random\n")
         log = self._emit(project, capsys)
         rules = log["runs"][0]["tool"]["driver"]["rules"]
-        expected = [f"R{i:03d}" for i in range(1, 14)]
+        expected = [f"R{i:03d}" for i in range(1, 17)]
         assert [r["id"] for r in rules] == expected
         (result,) = log["runs"][0]["results"]
         assert result["ruleId"] == "R001"
@@ -205,7 +205,7 @@ class TestSarifFormat:
         project.write("src/repro/fleet/sampler.py", "import random\n")
         log = self._emit(project, capsys)
         rules = {r["id"]: r for r in log["runs"][0]["tool"]["driver"]["rules"]}
-        for code in ("R010", "R011", "R012", "R013"):
+        for code in ("R010", "R011", "R012", "R013", "R014", "R015", "R016"):
             help_block = rules[code]["help"]
             assert help_block["markdown"] == help_block["text"]
             assert help_block["markdown"]

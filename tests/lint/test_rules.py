@@ -881,12 +881,13 @@ class TestR009GuardedRead:
 
 
 class TestRuleRegistry:
-    def test_all_thirteen_rules_registered(self):
+    def test_all_sixteen_rules_registered(self):
         from repro.lint import all_rules
 
         assert [r.code for r in all_rules()] == [
             "R001", "R002", "R003", "R004", "R005", "R006",
             "R007", "R008", "R009", "R010", "R011", "R012", "R013",
+            "R014", "R015", "R016",
         ]
 
     def test_get_rule_by_code(self):

@@ -50,6 +50,14 @@ class TestNormalize:
             for name in target.normalizers:
                 assert name in RULES
 
+    def test_serve_target_covers_both_frame_families(self):
+        # The sanitizers should exercise the composable graph decode path
+        # (stage tables), not only monolithic frames.
+        argv = TARGETS["serve"].argv
+        codecs = argv[argv.index("--codecs") + 1].split(",")
+        assert "snappy" in codecs
+        assert "graph-delta-fse" in codecs
+
 
 class TestDiffing:
     def test_equal_artifacts_no_divergence(self):

@@ -46,6 +46,24 @@ class TestArrivals:
         trace = poisson_trace(fleet_profile, num_calls=200, algorithms=["snappy"])
         assert all(c.algorithm == "snappy" for c in trace)
 
+    def test_non_fleet_codec_borrows_call_shapes(self, fleet_profile):
+        # Codecs absent from the fleet telemetry (graph presets) take a
+        # proportional share of the offered calls, with sizes/operations
+        # resampled from the fleet rows.
+        trace = poisson_trace(
+            fleet_profile,
+            num_calls=400,
+            algorithms=["snappy", "graph-delta-fse"],
+        )
+        mix = {c.algorithm for c in trace}
+        assert mix == {"snappy", "graph-delta-fse"}
+        share = sum(c.algorithm == "graph-delta-fse" for c in trace) / len(trace)
+        assert 0.3 < share < 0.7
+        only = poisson_trace(
+            fleet_profile, num_calls=50, algorithms=["graph-delta-fse"]
+        )
+        assert all(c.algorithm == "graph-delta-fse" for c in only)
+
     def test_bad_load_rejected(self, fleet_profile):
         with pytest.raises(ValueError):
             poisson_trace(fleet_profile, offered_bytes_per_second=0)

@@ -220,6 +220,24 @@ class TestGraphCommand:
         out = capsys.readouterr().out
         assert "delta(1) > fse" in out
         assert str(len(source.read_bytes())) in out
+        assert "raw escape     : no" in out
+
+    def test_describe_frame_reports_raw_escape(self, tmp_path, capsys):
+        import hashlib
+
+        source = tmp_path / "in.bin"
+        noise = b"".join(
+            hashlib.sha256(i.to_bytes(2, "big")).digest() for i in range(128)
+        )
+        source.write_bytes(noise)
+        frame = tmp_path / "out.grph"
+        assert main(
+            ["compress", str(source), str(frame), "-a", "graph-float-fse"]
+        ) == 0
+        assert main(["graph", "describe", str(frame)]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline       : raw" in out
+        assert "raw escape     : yes" in out
 
     def test_roundtrip_reports_ratio(self, tmp_path, capsys):
         source = tmp_path / "in.bin"
